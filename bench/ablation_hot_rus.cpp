@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation beyond the paper: how many Raster Units should take the hot
+ * end of the temperature ranking? The paper argues for exactly one
+ * (§V-D): "only one Raster Unit handles the hottest tiles at any given
+ * time, preventing multiple Raster Units from adding excessive memory
+ * pressure". This bench sweeps 1..N hot RUs at 3 and 4 Raster Units.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(
+        argc, argv, {"CCS", "SuS"},
+        defaultMemorySubset());
+
+    for (const std::uint32_t rus : {3u, 4u}) {
+        banner("Hot-RU sweep at " + std::to_string(rus)
+               + " Raster Units (vs equal-core baseline)");
+        Table table({"bench", "1 hot", "2 hot",
+                     rus == 4 ? "3 hot" : "-"});
+        std::vector<std::vector<double>> gains(3);
+        for (const auto &name : opt.benchmarks) {
+            const BenchmarkSpec &spec = findBenchmark(name);
+            const RunResult base = runBenchmark(
+                spec, sized(GpuConfig::baseline(4 * rus), opt),
+                opt.frames);
+            std::vector<std::string> row{name};
+            for (std::uint32_t hot = 1; hot <= 3; ++hot) {
+                if (hot >= rus) {
+                    row.push_back("-");
+                    continue;
+                }
+                GpuConfig cfg = sized(GpuConfig::libra(rus, 4), opt);
+                cfg.sched.hotRasterUnits = hot;
+                const RunResult r = runBenchmark(spec, cfg, opt.frames);
+                const double gain = steadySpeedup(base, r) - 1.0;
+                gains[hot - 1].push_back(gain);
+                row.push_back(Table::pct(gain));
+            }
+            table.addRow(std::move(row));
+        }
+        printTable(table, opt);
+        std::string extra;
+        if (rus == 4)
+            extra = " 3 hot=" + Table::pct(mean(gains[2]));
+        std::printf("averages: 1 hot=%s 2 hot=%s%s\n",
+                    Table::pct(mean(gains[0])).c_str(),
+                    Table::pct(mean(gains[1])).c_str(), extra.c_str());
+        std::printf("paper's design: one hot RU.\n");
+    }
+    return 0;
+}

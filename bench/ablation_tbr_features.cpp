@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation study beyond the paper's evaluation: how LIBRA's gains
+ * compose with other TBR bandwidth savers and traversal orders.
+ *
+ *  - Scanline vs Morton traversal (the §II-B design choice the paper's
+ *    baseline makes in Morton's favor).
+ *  - ARM-style Transaction Elimination (skip unchanged-tile flushes).
+ *  - AFBC-style frame-buffer compression on the flush path.
+ *
+ * Each row reports cycles/frame, DRAM traffic and the fraction of tile
+ * flushes eliminated, for PTR and for LIBRA.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+namespace
+{
+
+struct Variant
+{
+    std::string name;
+    GpuConfig cfg;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(
+        argc, argv, {"CCS", "GDL"},
+        defaultMemorySubset());
+
+    std::vector<Variant> variants;
+    variants.push_back({"PTR morton", GpuConfig::ptr(2, 4)});
+    {
+        GpuConfig scan = GpuConfig::ptr(2, 4);
+        scan.sched.policy = SchedulerPolicy::Scanline;
+        variants.push_back({"PTR scanline", scan});
+    }
+    variants.push_back({"LIBRA", GpuConfig::libra(2, 4)});
+    {
+        GpuConfig te = GpuConfig::libra(2, 4);
+        te.transactionElimination = true;
+        variants.push_back({"LIBRA + TE", te});
+    }
+    {
+        GpuConfig afbc = GpuConfig::libra(2, 4);
+        afbc.fbCompressionRatio = 0.5;
+        variants.push_back({"LIBRA + AFBC(0.5)", afbc});
+    }
+    {
+        GpuConfig both = GpuConfig::libra(2, 4);
+        both.transactionElimination = true;
+        both.fbCompressionRatio = 0.5;
+        variants.push_back({"LIBRA + TE + AFBC", both});
+    }
+
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        banner("Ablation: " + spec.title);
+        Table table({"variant", "cycles/frame", "speedup vs PTR",
+                     "dram MB/f", "dram lat"});
+        double ptr_cycles = 0.0;
+        for (const auto &variant : variants) {
+            const RunResult r = runBenchmark(
+                spec, sized(variant.cfg, opt), opt.frames);
+            const double cyc =
+                static_cast<double>(steadyCycles(r))
+                / static_cast<double>(r.frames.size() - 1);
+            if (variant.name == "PTR morton")
+                ptr_cycles = cyc;
+            const double mb = steadyMean(r, [](const FrameStats &fs) {
+                return static_cast<double>(fs.dramReads
+                                           + fs.dramWrites)
+                    * 64.0 / 1e6;
+            });
+            table.addRow({variant.name, Table::num(cyc, 0),
+                          ptr_cycles > 0
+                              ? Table::num(ptr_cycles / cyc, 3)
+                              : "(ref pending)",
+                          Table::num(mb, 2),
+                          Table::num(steadyMean(
+                                         r,
+                                         [](const FrameStats &fs) {
+                                             return fs
+                                                 .avgDramReadLatency;
+                                         }),
+                                     1)});
+        }
+        printTable(table, opt);
+    }
+    return 0;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries.
+ *
+ * Every bench accepts:
+ *   --frames N            frames per run (default 4; paper used 25)
+ *   --width W --height H  screen (default 960x544 for speed)
+ *   --benchmarks a,b,c    explicit benchmark subset
+ *   --full                paper-scale: FHD, 25 frames, whole suite
+ *   --csv                 emit CSV instead of aligned tables
+ *
+ * Default runs use a representative subset at reduced resolution so the
+ * whole bench directory executes in minutes; --full reproduces the
+ * paper-scale configuration (32 benchmarks, FHD, 25 frames).
+ */
+
+#ifndef LIBRA_BENCH_BENCH_COMMON_HH
+#define LIBRA_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/log.hh"
+#include "gpu/runner.hh"
+#include "trace/report.hh"
+#include "workload/benchmarks.hh"
+
+namespace libra::bench
+{
+
+struct BenchOptions
+{
+    std::uint32_t frames = 4;
+    std::uint32_t width = 960;
+    std::uint32_t height = 544;
+    std::vector<std::string> benchmarks;
+    bool csv = false;
+    bool full = false;
+};
+
+/** Reduced default subsets keeping the default runtime small. */
+inline std::vector<std::string>
+defaultMemorySubset()
+{
+    return {"AAt", "CCS", "CoC", "GrT", "HCR", "Jet", "RoK", "SuS"};
+}
+
+inline std::vector<std::string>
+defaultComputeSubset()
+{
+    return {"GDL", "CrS", "ArK", "MiN", "PoG", "ZuM"};
+}
+
+inline BenchOptions
+parseBenchOptions(int argc, char **argv,
+                  std::vector<std::string> default_benchmarks,
+                  std::vector<std::string> full_benchmarks,
+                  const std::vector<std::string> &extra_options = {})
+{
+    std::vector<std::string> known{"frames", "width", "height",
+                                   "benchmarks", "full", "csv"};
+    known.insert(known.end(), extra_options.begin(),
+                 extra_options.end());
+    const CliArgs args(argc, argv, known);
+
+    BenchOptions opt;
+    opt.full = args.getBool("full");
+    if (opt.full) {
+        opt.frames = 25;
+        opt.width = 1920;
+        opt.height = 1080;
+        opt.benchmarks = std::move(full_benchmarks);
+    } else {
+        opt.benchmarks = std::move(default_benchmarks);
+    }
+    opt.frames = static_cast<std::uint32_t>(
+        args.getInt("frames", opt.frames));
+    opt.width = static_cast<std::uint32_t>(
+        args.getInt("width", opt.width));
+    opt.height = static_cast<std::uint32_t>(
+        args.getInt("height", opt.height));
+    if (args.has("benchmarks"))
+        opt.benchmarks = args.getList("benchmarks");
+    opt.csv = args.getBool("csv");
+
+    libra_assert(opt.frames >= 2, "benches need at least 2 frames");
+    return opt;
+}
+
+/** Apply the bench's screen size to a config. */
+inline GpuConfig
+sized(GpuConfig cfg, const BenchOptions &opt)
+{
+    cfg.screenWidth = opt.width;
+    cfg.screenHeight = opt.height;
+    return cfg;
+}
+
+/**
+ * Sum of cycles over the steady frames (frame 0 is cold: caches empty,
+ * no scheduler history) — all configs are compared over the same set.
+ */
+inline std::uint64_t
+steadyCycles(const RunResult &r)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 1; i < r.frames.size(); ++i)
+        total += r.frames[i].totalCycles;
+    return total;
+}
+
+inline double
+steadySpeedup(const RunResult &base, const RunResult &other)
+{
+    return static_cast<double>(steadyCycles(base))
+        / static_cast<double>(steadyCycles(other));
+}
+
+/** Mean over steady frames of a per-frame metric. */
+template <typename Fn>
+double
+steadyMean(const RunResult &r, Fn &&metric)
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 1; i < r.frames.size(); ++i) {
+        sum += metric(r.frames[i]);
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+inline void
+printTable(const Table &table, const BenchOptions &opt)
+{
+    if (opt.csv)
+        std::fputs(table.csv().c_str(), stdout);
+    else
+        table.print();
+}
+
+/** Arithmetic mean (the paper reports arithmetic average speedups). */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace libra::bench
+
+#endif // LIBRA_BENCH_BENCH_COMMON_HH

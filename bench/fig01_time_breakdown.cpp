@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 1 reproduction: distribution of per-frame execution time
+ * between the Geometry and Raster phases (paper: ~88% raster on
+ * average).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> defaults = defaultMemorySubset();
+    const auto compute = defaultComputeSubset();
+    defaults.insert(defaults.end(), compute.begin(), compute.end());
+    std::vector<std::string> all;
+    for (const auto &spec : benchmarkSuite())
+        all.push_back(spec.abbrev);
+
+    const BenchOptions opt = parseBenchOptions(argc, argv, defaults, all);
+
+    banner("Figure 1: geometry vs raster time breakdown");
+    Table table({"bench", "geometry", "raster"});
+    std::vector<double> raster_shares;
+    for (const auto &name : opt.benchmarks) {
+        const RunResult r = runBenchmark(
+            findBenchmark(name), sized(GpuConfig::baseline(8), opt),
+            opt.frames);
+        const double geom = static_cast<double>(r.totalGeomCycles());
+        const double total = static_cast<double>(r.totalCycles());
+        const double raster_share = (total - geom) / total;
+        raster_shares.push_back(raster_share);
+        table.addRow({name, Table::pct(1.0 - raster_share),
+                      Table::pct(raster_share)});
+    }
+    printTable(table, opt);
+    std::printf("\naverage raster share: %s (paper: ~88%%)\n",
+                Table::pct(mean(raster_shares)).c_str());
+    return 0;
+}

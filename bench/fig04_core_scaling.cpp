@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 4 reproduction: speedup from doubling the cores of a single
+ * Raster Unit from 4 to 8. The paper reports that 16 of the 32
+ * benchmarks gain less than 1.5x, several below 1.1x — the observation
+ * motivating parallel tile rendering.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> defaults = defaultMemorySubset();
+    const auto compute = defaultComputeSubset();
+    defaults.insert(defaults.end(), compute.begin(), compute.end());
+    std::vector<std::string> all;
+    for (const auto &spec : benchmarkSuite())
+        all.push_back(spec.abbrev);
+
+    const BenchOptions opt = parseBenchOptions(argc, argv, defaults, all);
+
+    banner("Figure 4: speedup of 8 cores over 4 cores (one RU)");
+    Table table({"bench", "class", "4->8 core speedup"});
+    int below_150 = 0, below_110 = 0;
+    std::vector<double> speedups;
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        const RunResult four =
+            runBenchmark(spec, sized(GpuConfig::baseline(4), opt),
+                         opt.frames);
+        const RunResult eight =
+            runBenchmark(spec, sized(GpuConfig::baseline(8), opt),
+                         opt.frames);
+        const double s = steadySpeedup(four, eight);
+        speedups.push_back(s);
+        below_150 += s < 1.5;
+        below_110 += s < 1.1;
+        table.addRow({name,
+                      spec.memoryIntensive ? "memory" : "compute",
+                      Table::num(s, 3)});
+    }
+    printTable(table, opt);
+    std::printf("\n%d/%zu benchmarks below 1.50x, %d below 1.10x "
+                "(paper: 16/32 below 1.50, some below 1.10)\n",
+                below_150, speedups.size(), below_110);
+    std::printf("mean speedup: %.3f\n", mean(speedups));
+    return 0;
+}

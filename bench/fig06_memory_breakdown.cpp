@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 6 reproduction.
+ *
+ * 6a: fraction of execution time spent on memory, obtained exactly as
+ *     in the paper — run with a realistic memory system, re-run with an
+ *     ideal one (every access hits in L1), and attribute the difference
+ *     to memory.
+ * 6b: correlation between that memory fraction and the speedup of PTR
+ *     (2 RUs) over the baseline — the more memory-bound, the smaller
+ *     the PTR gain.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> defaults = defaultMemorySubset();
+    const auto compute = defaultComputeSubset();
+    defaults.insert(defaults.end(), compute.begin(), compute.end());
+    std::vector<std::string> all;
+    for (const auto &spec : benchmarkSuite())
+        all.push_back(spec.abbrev);
+
+    const BenchOptions opt = parseBenchOptions(argc, argv, defaults, all);
+
+    banner("Figure 6a/6b: memory intensity and PTR speedup");
+    Table table({"bench", "memory time", "class(measured)",
+                 "PTR speedup"});
+
+    std::vector<double> frac, ptr_speedup;
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        const GpuConfig base = sized(GpuConfig::baseline(8), opt);
+
+        const double f = memoryTimeFraction(spec, base, opt.frames);
+        const RunResult b = runBenchmark(spec, base, opt.frames);
+        const RunResult p = runBenchmark(
+            spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
+        const double s = steadySpeedup(b, p);
+        frac.push_back(f);
+        ptr_speedup.push_back(s);
+        table.addRow({name, Table::pct(f),
+                      f >= 0.25 ? "memory" : "compute",
+                      Table::num(s, 3)});
+    }
+    printTable(table, opt);
+
+    // Pearson correlation between memory fraction and PTR speedup
+    // (the paper observes a strong negative relationship).
+    const double mf = mean(frac);
+    const double ms = mean(ptr_speedup);
+    double cov = 0.0, vf = 0.0, vs = 0.0;
+    for (std::size_t i = 0; i < frac.size(); ++i) {
+        cov += (frac[i] - mf) * (ptr_speedup[i] - ms);
+        vf += (frac[i] - mf) * (frac[i] - mf);
+        vs += (ptr_speedup[i] - ms) * (ptr_speedup[i] - ms);
+    }
+    const double r = vf > 0 && vs > 0 ? cov / std::sqrt(vf * vs) : 0.0;
+    std::printf("\nmean memory fraction: %s; correlation(memory, PTR "
+                "speedup): %.2f (paper: strongly negative)\n",
+                Table::pct(mf).c_str(), r);
+    return 0;
+}

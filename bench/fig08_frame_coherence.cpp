@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 8 reproduction: cumulative distribution of the per-tile DRAM
+ * access difference between consecutive frames. The paper reports that
+ * more than 80% of tiles differ by less than 20% — the frame-to-frame
+ * coherence LIBRA's prediction relies on.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> all;
+    for (const auto &spec : benchmarkSuite())
+        all.push_back(spec.abbrev);
+    std::vector<std::string> defaults = defaultMemorySubset();
+
+    BenchOptions opt = parseBenchOptions(argc, argv, defaults, all);
+    opt.frames = std::max(opt.frames, 4u);
+
+    // Per-tile relative deltas pooled over all benchmarks and frame
+    // pairs.
+    std::vector<double> deltas;
+    for (const auto &name : opt.benchmarks) {
+        const RunResult r = runBenchmark(
+            findBenchmark(name), sized(GpuConfig::baseline(8), opt),
+            opt.frames);
+        for (std::size_t f = 2; f < r.frames.size(); ++f) {
+            const auto &prev = r.frames[f - 1].tileDram;
+            const auto &cur = r.frames[f].tileDram;
+            for (std::size_t t = 0; t < cur.size(); ++t) {
+                const double a = static_cast<double>(prev[t]);
+                const double b = static_cast<double>(cur[t]);
+                if (a == 0.0 && b == 0.0) {
+                    deltas.push_back(0.0);
+                } else {
+                    deltas.push_back(std::fabs(b - a)
+                                     / std::max(a, b));
+                }
+            }
+        }
+    }
+    std::sort(deltas.begin(), deltas.end());
+
+    banner("Figure 8: CDF of per-tile DRAM delta, consecutive frames");
+    Table table({"delta <=", "fraction of tiles"});
+    double frac_at_20 = 0.0;
+    for (const double cut : {0.05, 0.10, 0.20, 0.30, 0.50, 0.75, 1.0}) {
+        const auto it = std::upper_bound(deltas.begin(), deltas.end(),
+                                         cut);
+        const double frac = static_cast<double>(it - deltas.begin())
+            / static_cast<double>(deltas.size());
+        if (cut == 0.20)
+            frac_at_20 = frac;
+        table.addRow({Table::pct(cut, 0), Table::pct(frac)});
+    }
+    printTable(table, opt);
+    std::printf("\ntiles within 20%%: %s (paper: >80%%)\n",
+                Table::pct(frac_at_20).c_str());
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 11 reproduction: LIBRA speedup over the baseline GPU (same
+ * core count in a single Raster Unit) for the memory-intensive
+ * applications, split into the PTR contribution and the adaptive
+ * scheduler's extra contribution. Paper: PTR alone 13.2%, scheduler
+ * +7.7%, total 20.9% average; CCS up to 44.5%.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(
+        argc, argv, defaultMemorySubset(), memoryIntensiveSet());
+
+    banner("Figure 11: speedup w.r.t. baseline (memory-intensive)");
+    Table table({"bench", "PTR", "LIBRA", "scheduler extra"});
+    std::vector<double> ptr_s, libra_s;
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        const RunResult base = runBenchmark(
+            spec, sized(GpuConfig::baseline(8), opt), opt.frames);
+        const RunResult ptr = runBenchmark(
+            spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
+        const RunResult lib = runBenchmark(
+            spec, sized(GpuConfig::libra(2, 4), opt), opt.frames);
+
+        const double sp = steadySpeedup(base, ptr);
+        const double sl = steadySpeedup(base, lib);
+        ptr_s.push_back(sp);
+        libra_s.push_back(sl);
+        table.addRow({name, Table::num(sp, 3), Table::num(sl, 3),
+                      Table::pct(sl - sp)});
+    }
+    printTable(table, opt);
+    std::printf("\naverage: PTR %s, LIBRA %s, scheduler extra %s\n",
+                Table::pct(mean(ptr_s) - 1.0).c_str(),
+                Table::pct(mean(libra_s) - 1.0).c_str(),
+                Table::pct(mean(libra_s) - mean(ptr_s)).c_str());
+    std::printf("paper:   PTR 13.2%%, LIBRA 20.9%%, scheduler extra "
+                "7.7%%\n");
+
+    // FPS improvement (paper: +11.4% overall).
+    std::printf("\nFPS gain (LIBRA vs baseline): %s\n",
+                Table::pct(mean(libra_s) - 1.0).c_str());
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 13 reproduction: texture-L1 hit ratio increase w.r.t. the
+ * baseline for PTR alone and LIBRA, plus the block-replication
+ * reduction LIBRA's supertiles achieve versus PTR (paper: average hit
+ * ratio +10.6%, replication -32.5% vs PTR).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(
+        argc, argv, defaultMemorySubset(), memoryIntensiveSet());
+
+    banner("Figure 13: texture hit ratio and block replication");
+    Table table({"bench", "base hit", "PTR hit", "LIBRA hit",
+                 "PTR repl", "LIBRA repl"});
+    std::vector<double> hit_gain_ptr, hit_gain_libra, repl_red;
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        const RunResult base = runBenchmark(
+            spec, sized(GpuConfig::baseline(8), opt), opt.frames);
+        const RunResult ptr = runBenchmark(
+            spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
+        const RunResult lib = runBenchmark(
+            spec, sized(GpuConfig::libra(2, 4), opt), opt.frames);
+
+        hit_gain_ptr.push_back(ptr.textureHitRatio()
+                               - base.textureHitRatio());
+        hit_gain_libra.push_back(lib.textureHitRatio()
+                                 - base.textureHitRatio());
+        const double pr = ptr.avgReplicationRatio();
+        const double lr = lib.avgReplicationRatio();
+        repl_red.push_back(pr > 0 ? 1.0 - lr / pr : 0.0);
+        table.addRow({name, Table::pct(base.textureHitRatio()),
+                      Table::pct(ptr.textureHitRatio()),
+                      Table::pct(lib.textureHitRatio()),
+                      Table::pct(pr), Table::pct(lr)});
+    }
+    printTable(table, opt);
+    std::printf("\naverage hit-ratio change vs baseline: PTR %+.1f pp, "
+                "LIBRA %+.1f pp (paper: LIBRA +10.6%%)\n",
+                mean(hit_gain_ptr) * 100.0,
+                mean(hit_gain_libra) * 100.0);
+    std::printf("average replication reduction vs PTR: %s "
+                "(paper: 32.5%%)\n",
+                Table::pct(mean(repl_red)).c_str());
+    return 0;
+}

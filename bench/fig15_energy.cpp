@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 15 reproduction: total GPU energy decrease w.r.t. the
+ * baseline for PTR alone and for LIBRA. Paper: PTR alone saves 5.5%,
+ * the adaptive scheduler an extra 3.7%, 9.2% total; AAt/CCS reach
+ * ~20%.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(
+        argc, argv, defaultMemorySubset(), memoryIntensiveSet());
+
+    banner("Figure 15: total GPU energy decrease w.r.t. baseline");
+    Table table({"bench", "base mJ/f", "PTR dec", "LIBRA dec"});
+    std::vector<double> dec_ptr, dec_libra;
+    auto energy = [&](const RunResult &r) {
+        return steadyMean(r, [](const FrameStats &fs) {
+            return fs.energy.totalMj;
+        });
+    };
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        const double base = energy(runBenchmark(
+            spec, sized(GpuConfig::baseline(8), opt), opt.frames));
+        const double ptr = energy(runBenchmark(
+            spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames));
+        const double lib = energy(runBenchmark(
+            spec, sized(GpuConfig::libra(2, 4), opt), opt.frames));
+        const double dp = 1.0 - ptr / base;
+        const double dl = 1.0 - lib / base;
+        dec_ptr.push_back(dp);
+        dec_libra.push_back(dl);
+        table.addRow({name, Table::num(base, 3), Table::pct(dp),
+                      Table::pct(dl)});
+    }
+    printTable(table, opt);
+    std::printf("\naverage energy decrease: PTR %s, LIBRA %s "
+                "(scheduler extra %s)\n",
+                Table::pct(mean(dec_ptr)).c_str(),
+                Table::pct(mean(dec_libra)).c_str(),
+                Table::pct(mean(dec_libra) - mean(dec_ptr)).c_str());
+    std::printf("paper: PTR 5.5%%, LIBRA 9.2%% (scheduler extra "
+                "3.7%%)\n");
+    return 0;
+}

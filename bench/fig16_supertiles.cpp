@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 16 reproduction: static supertile sizes (2x2..16x16, Z-order,
+ * temperature ranking disabled) versus full LIBRA, both relative to
+ * PTR alone. Paper averages: 0.6% / 2.1% / 2.8% / 3.2% for the static
+ * sizes and ~7% for LIBRA's dynamic scheme.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(
+        argc, argv, defaultMemorySubset(), memoryIntensiveSet());
+
+    const std::vector<std::uint32_t> sizes{2, 4, 8, 16};
+
+    banner("Figure 16: static supertiles and LIBRA vs PTR alone");
+    Table table({"bench", "2x2", "4x4", "8x8", "16x16", "LIBRA"});
+    std::vector<std::vector<double>> static_gain(sizes.size());
+    std::vector<double> libra_gain;
+
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        const RunResult ptr = runBenchmark(
+            spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
+
+        std::vector<std::string> row{name};
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const RunResult st = runBenchmark(
+                spec, sized(GpuConfig::staticSupertile(sizes[i]), opt),
+                opt.frames);
+            const double gain = steadySpeedup(ptr, st) - 1.0;
+            static_gain[i].push_back(gain);
+            row.push_back(Table::pct(gain));
+        }
+        const RunResult lib = runBenchmark(
+            spec, sized(GpuConfig::libra(2, 4), opt), opt.frames);
+        const double lg = steadySpeedup(ptr, lib) - 1.0;
+        libra_gain.push_back(lg);
+        row.push_back(Table::pct(lg));
+        table.addRow(std::move(row));
+    }
+    printTable(table, opt);
+
+    std::printf("\naverage speedup over PTR: ");
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        std::printf("%ux%u=%s  ", sizes[i], sizes[i],
+                    Table::pct(mean(static_gain[i])).c_str());
+    }
+    std::printf("LIBRA=%s\n", Table::pct(mean(libra_gain)).c_str());
+    std::printf("paper: 2x2=0.6%% 4x4=2.1%% 8x8=2.8%% 16x16=3.2%% "
+                "LIBRA~7%%\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 17 reproduction: speedup on the compute-intensive half of the
+ * suite. Paper: PTR alone contributes 9.9%, the scheduler only +1.7%
+ * (11.6% total) — and crucially the scheduler must not hurt these
+ * applications.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(
+        argc, argv, defaultComputeSubset(), computeIntensiveSet());
+
+    banner("Figure 17: speedup w.r.t. baseline (compute-intensive)");
+    Table table({"bench", "PTR", "LIBRA", "scheduler extra"});
+    std::vector<double> ptr_s, libra_s;
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        const RunResult base = runBenchmark(
+            spec, sized(GpuConfig::baseline(8), opt), opt.frames);
+        const RunResult ptr = runBenchmark(
+            spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
+        const RunResult lib = runBenchmark(
+            spec, sized(GpuConfig::libra(2, 4), opt), opt.frames);
+        const double sp = steadySpeedup(base, ptr);
+        const double sl = steadySpeedup(base, lib);
+        ptr_s.push_back(sp);
+        libra_s.push_back(sl);
+        table.addRow({name, Table::num(sp, 3), Table::num(sl, 3),
+                      Table::pct(sl - sp)});
+    }
+    printTable(table, opt);
+    std::printf("\naverage: PTR %s, LIBRA %s, scheduler extra %s\n",
+                Table::pct(mean(ptr_s) - 1.0).c_str(),
+                Table::pct(mean(libra_s) - 1.0).c_str(),
+                Table::pct(mean(libra_s) - mean(ptr_s)).c_str());
+    std::printf("paper:   PTR 9.9%%, LIBRA 11.6%%, scheduler extra "
+                "1.7%%\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 18 reproduction: scaling the number of Raster Units. LIBRA
+ * with N RUs of 4 cores is compared against a baseline with one RU of
+ * 4N cores (equal total compute). Paper averages: 20.9% (2 RUs),
+ * 31.3% (3 RUs), 28.8% (4 RUs).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(
+        argc, argv, defaultMemorySubset(), memoryIntensiveSet());
+
+    const std::vector<std::uint32_t> ru_counts{2, 3, 4};
+
+    banner("Figure 18: LIBRA vs equal-core single-RU baseline");
+    Table table({"bench", "2 RUs", "3 RUs", "4 RUs"});
+    std::vector<std::vector<double>> gains(ru_counts.size());
+
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        std::vector<std::string> row{name};
+        for (std::size_t i = 0; i < ru_counts.size(); ++i) {
+            const std::uint32_t rus = ru_counts[i];
+            const RunResult base = runBenchmark(
+                spec, sized(GpuConfig::baseline(4 * rus), opt),
+                opt.frames);
+            const RunResult lib = runBenchmark(
+                spec, sized(GpuConfig::libra(rus, 4), opt), opt.frames);
+            const double gain = steadySpeedup(base, lib) - 1.0;
+            gains[i].push_back(gain);
+            row.push_back(Table::pct(gain));
+        }
+        table.addRow(std::move(row));
+    }
+    printTable(table, opt);
+
+    std::printf("\naverage speedup: ");
+    for (std::size_t i = 0; i < ru_counts.size(); ++i) {
+        std::printf("%u RUs=%s  ", ru_counts[i],
+                    Table::pct(mean(gains[i])).c_str());
+    }
+    std::printf("\npaper: 2 RUs=20.9%%, 3 RUs=31.3%%, 4 RUs=28.8%%\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 19 reproduction: sensitivity of LIBRA's speedup to the two
+ * scheduler thresholds.
+ *
+ * 19a: the supertile resize threshold (paper: 0.25% best; beyond ~15%
+ *      the size effectively never changes).
+ * 19b: the tile-ordering switch threshold (paper: 3% best; beyond ~4%
+ *      the ordering hardly ever changes).
+ */
+
+#include <cstdio>
+
+#include <map>
+
+#include "bench_common.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+namespace
+{
+
+/** Baselines are threshold-independent: run them once per benchmark. */
+std::map<std::string, std::uint64_t> baselineCycles;
+
+void
+primeBaselines(const BenchOptions &opt)
+{
+    for (const auto &name : opt.benchmarks) {
+        const RunResult base = runBenchmark(
+            findBenchmark(name), sized(GpuConfig::baseline(8), opt),
+            opt.frames);
+        baselineCycles[name] = steadyCycles(base);
+    }
+}
+
+double
+averageSpeedup(const BenchOptions &opt, const SchedulerConfig &sched)
+{
+    std::vector<double> speedups;
+    for (const auto &name : opt.benchmarks) {
+        GpuConfig cfg = sized(GpuConfig::libra(2, 4), opt);
+        cfg.sched = sched;
+        cfg.sched.policy = SchedulerPolicy::Libra;
+        const RunResult lib = runBenchmark(findBenchmark(name), cfg,
+                                           opt.frames);
+        speedups.push_back(static_cast<double>(baselineCycles[name])
+                           / static_cast<double>(steadyCycles(lib)));
+    }
+    return mean(speedups);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Sensitivity sweeps are expensive; default to a small subset.
+    const BenchOptions opt = parseBenchOptions(
+        argc, argv, {"CCS", "SuS", "GDL"}, defaultMemorySubset());
+    primeBaselines(opt);
+
+    banner("Figure 19a: supertile resize threshold sweep");
+    {
+        Table table({"threshold", "avg LIBRA speedup"});
+        for (const double thr : {0.0, 0.0025, 0.005, 0.01, 0.02, 0.05,
+                                 0.15, 0.30}) {
+            SchedulerConfig sched;
+            sched.resizeThreshold = thr;
+            table.addRow({Table::pct(thr),
+                          Table::num(averageSpeedup(opt, sched), 3)});
+        }
+        printTable(table, opt);
+        std::printf("paper: best at 0.25%%; flat beyond ~15%%\n");
+    }
+
+    banner("Figure 19b: tile-order switch threshold sweep");
+    {
+        Table table({"threshold", "avg LIBRA speedup"});
+        for (const double thr : {0.0, 0.01, 0.02, 0.03, 0.04, 0.06,
+                                 0.10}) {
+            SchedulerConfig sched;
+            sched.orderSwitchThreshold = thr;
+            table.addRow({Table::pct(thr),
+                          Table::num(averageSpeedup(opt, sched), 3)});
+        }
+        printTable(table, opt);
+        std::printf("paper: best at 3%%; flat beyond ~4%%\n");
+    }
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate: event
+ * queue throughput, cache access rate, DRAM scheduling, rasterization
+ * and binning speed. These guard the simulator's own performance (a
+ * full FHD frame is hundreds of thousands of events).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "dram/dram.hh"
+#include "gpu/raster/rasterizer.hh"
+#include "gpu/tiling/polygon_list_builder.hh"
+#include "sim/event_queue.hh"
+#include "workload/benchmarks.hh"
+#include "workload/scene.hh"
+
+using namespace libra;
+
+namespace
+{
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int counter = 0;
+        for (int i = 0; i < 10000; ++i) {
+            eq.schedule(static_cast<Tick>((i * 7919) % 100000),
+                        [&counter] { ++counter; });
+        }
+        eq.runUntil();
+        benchmark::DoNotOptimize(counter);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    EventQueue eq;
+    IdealMemory mem(eq, 10);
+    Cache cache(eq, CacheConfig{}, mem);
+    Rng rng(1);
+    for (auto _ : state) {
+        cache.access(MemReq{rng.below(1 << 20) * 64, 64, false,
+                            TrafficClass::Texture, 0, nullptr});
+        eq.runUntil();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_DramRandomAccess(benchmark::State &state)
+{
+    EventQueue eq;
+    Dram dram(eq, DramConfig{});
+    Rng rng(2);
+    for (auto _ : state) {
+        dram.access(MemReq{rng.below(1 << 22) * 64, 64, false,
+                           TrafficClass::Texture, 0, nullptr});
+        eq.runUntil();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramRandomAccess);
+
+void
+BM_RasterizeTile(benchmark::State &state)
+{
+    TexturePool pool;
+    const Texture &tex = pool.create(256, 256);
+    Triangle tri;
+    tri.v[0] = {{0, 0, 0.2f}, {0.0f, 0.0f}};
+    tri.v[1] = {{32, 0, 0.5f}, {1.0f, 0.0f}};
+    tri.v[2] = {{0, 32, 0.8f}, {0.0f, 1.0f}};
+    const IRect rect{0, 0, 32, 32};
+    for (auto _ : state) {
+        const TriangleSetup setup(tri, tex);
+        RasterOutput out;
+        setup.rasterize(rect, out);
+        benchmark::DoNotOptimize(out.quads.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RasterizeTile);
+
+void
+BM_BinFrame(benchmark::State &state)
+{
+    const Scene scene(findBenchmark("CCS"), 960, 544);
+    const TileGrid grid(960, 544, 32);
+    const FrameData frame = scene.frame(0);
+    for (auto _ : state) {
+        const BinnedFrame binned = binFrame(frame, grid);
+        benchmark::DoNotOptimize(binned.binEntries());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<int64_t>(
+                                frame.triangleCount()));
+}
+BENCHMARK(BM_BinFrame);
+
+void
+BM_SceneFrameGeneration(benchmark::State &state)
+{
+    const Scene scene(findBenchmark("SuS"), 1920, 1080);
+    std::uint32_t index = 0;
+    for (auto _ : state) {
+        const FrameData frame = scene.frame(index++);
+        benchmark::DoNotOptimize(frame.triangleCount());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SceneFrameGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

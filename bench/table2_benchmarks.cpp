@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table II reproduction: the benchmark suite with genres and measured
+ * per-frame memory footprints (the paper reports an average footprint
+ * above 4 MB per frame at FHD, with wide variation across titles).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "workload/scene.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> all;
+    for (const auto &spec : benchmarkSuite())
+        all.push_back(spec.abbrev);
+
+    BenchOptions opt = parseBenchOptions(argc, argv, all, all);
+    // Footprint measurement needs only a couple of frames.
+    const std::uint32_t frames = std::min(opt.frames, 3u);
+
+    banner("Table II: evaluated benchmarks");
+    Table table({"abbr", "title", "genre", "class", "draws", "tris",
+                 "footprint MB/frame"});
+
+    double footprint_sum = 0.0;
+    int measured = 0;
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        const Scene scene(spec, opt.width, opt.height);
+        const FrameData frame = scene.frame(0);
+
+        const RunResult r =
+            runBenchmark(spec, sized(GpuConfig::baseline(8), opt),
+                         frames);
+        // Footprint: DRAM bytes touched per frame (reads + writes),
+        // averaged over the steady frames.
+        const double mb = steadyMean(r, [](const FrameStats &fs) {
+            return static_cast<double>(fs.dramReads + fs.dramWrites)
+                * 64.0 / 1e6;
+        });
+        footprint_sum += mb;
+        ++measured;
+
+        table.addRow({spec.abbrev, spec.title, genreName(spec.genre),
+                      spec.memoryIntensive ? "memory" : "compute",
+                      std::to_string(frame.draws.size()),
+                      std::to_string(frame.triangleCount()),
+                      Table::num(mb, 2)});
+    }
+    printTable(table, opt);
+    std::printf("\naverage footprint: %.2f MB/frame "
+                "(paper: >4 MB at FHD)\n",
+                footprint_sum / std::max(measured, 1));
+    return 0;
+}

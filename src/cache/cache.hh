@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Set-associative, non-blocking, write-back timing cache.
+ *
+ * Used for all four cache types of the modeled TBR GPU (Table I): the
+ * Vertex cache, the Tile cache, the per-core L1 Texture caches and the
+ * shared L2. The model is timing-only (tags + LRU state, no data): on a
+ * miss it allocates an MSHR, forwards a line fill to the next MemSink and
+ * completes all coalesced requesters when the fill returns. Dirty
+ * evictions post write-backs downstream.
+ *
+ * Sharing discipline: texture and geometry data are read-only and writes
+ * from different producers target disjoint lines (parameter buffer,
+ * frame buffer), so no coherence protocol is modeled — matching the
+ * simple L1/L2 organization of mobile TBR GPUs the paper assumes.
+ */
+
+#ifndef LIBRA_CACHE_CACHE_HH
+#define LIBRA_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/mem_system.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace libra
+{
+
+/** Geometry and timing of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 4;
+    std::uint32_t lineBytes = 64;
+    Tick hitLatency = 2;
+    std::uint32_t mshrs = 16;          //!< distinct outstanding misses
+    std::uint32_t portsPerCycle = 1;   //!< accesses accepted per cycle
+    bool writeAllocate = true;
+    bool alwaysHit = false; //!< ideal-memory mode (Fig. 6a methodology)
+};
+
+/** One level of the cache hierarchy. */
+class Cache : public MemSink
+{
+  public:
+    Cache(EventQueue &eq, const CacheConfig &cfg, MemSink &next_level);
+
+    void access(MemReq req) override;
+
+    /** Drop every line (used between frames for the Tile cache, whose
+     *  backing parameter buffer is rewritten by the next binning pass).
+     *  Dirty lines are written back. */
+    void invalidateAll();
+
+    /** Fraction of accesses that hit since construction (or reset). */
+    double hitRatio() const;
+
+    const CacheConfig &cfg() const { return config; }
+    const StatGroup &stats() const { return statGroup; }
+    StatGroup &stats() { return statGroup; }
+
+    /** Install/evict hooks for cross-cache replication tracking. */
+    std::function<void(Addr)> onInstall;
+    std::function<void(Addr)> onEvict;
+
+    // Statistics.
+    Counter hits;
+    Counter misses;
+    Counter mshrCoalesced;  //!< miss merged into an in-flight fill
+    Counter mshrStalls;     //!< requests that waited for a free MSHR
+    Counter writebacks;
+    Counter readAccesses;
+    Counter writeAccesses;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    struct Mshr
+    {
+        Addr lineAddr;
+        bool anyWrite = false;
+        std::vector<MemCallback> waiters;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr & ~(Addr(config.lineBytes) - 1); }
+
+    /** Shared implementation; retried requests skip the counters. */
+    void accessImpl(MemReq req, bool is_retry);
+    std::size_t setIndex(Addr line_addr) const;
+
+    /** Probe the set; returns way index or -1. */
+    int findLine(Addr line_addr);
+
+    /** Choose a victim way in the set of @p line_addr (LRU). */
+    std::uint32_t victimWay(std::size_t set);
+
+    /** Install @p line_addr, evicting as needed. */
+    void installLine(Addr line_addr, bool dirty);
+
+    /** Port arbitration: first tick this access can start. */
+    Tick arbitratePort();
+
+    /** Start a fill for the MSHR at @p index. */
+    void issueFill(std::size_t index);
+
+    /** Fill returned: install, drain waiters, retry stalled requests. */
+    void handleFill(Addr line_addr, Tick when);
+
+    EventQueue &queue;
+    CacheConfig config;
+    MemSink &next;
+
+    std::uint32_t numSets;
+    std::vector<Line> lines;   //!< numSets * ways, set-major
+    std::uint64_t lruClock = 0;
+
+    std::unordered_map<Addr, std::size_t> mshrIndex; //!< lineAddr → slot
+    std::vector<Mshr> mshrSlots;
+    std::vector<TrafficClass> mshrCls; //!< class of the triggering miss
+    std::vector<std::uint32_t> mshrTag; //!< tile tag of the triggering miss
+    std::vector<std::size_t> freeMshrs;
+    std::deque<MemReq> stalledReqs; //!< waiting for an MSHR
+
+    Tick portTick = 0;
+    std::uint32_t portCount = 0;
+
+    StatGroup statGroup;
+};
+
+} // namespace libra
+
+#endif // LIBRA_CACHE_CACHE_HH

@@ -1,0 +1,44 @@
+#include "cache/mem_system.hh"
+
+#include "cache/cache.hh"
+
+namespace libra
+{
+
+void
+ReplicationTracker::attach(Cache &cache)
+{
+    // Chain behind any existing hooks so multiple observers compose.
+    auto prev_install = cache.onInstall;
+    cache.onInstall = [this, prev_install](Addr line) {
+        ++totalInstalls;
+        const auto count = ++refCount[line];
+        if (count > 1)
+            ++replicated;
+        if (prev_install)
+            prev_install(line);
+    };
+    auto prev_evict = cache.onEvict;
+    cache.onEvict = [this, prev_evict](Addr line) {
+        auto it = refCount.find(line);
+        if (it != refCount.end()) {
+            if (--it->second == 0)
+                refCount.erase(it);
+        }
+        if (prev_evict)
+            prev_evict(line);
+    };
+}
+
+std::uint64_t
+ReplicationTracker::currentReplicas() const
+{
+    std::uint64_t count = 0;
+    for (const auto &[line, refs] : refCount) {
+        if (refs > 1)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace libra

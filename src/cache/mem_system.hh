@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Common memory-request plumbing shared by caches and DRAM.
+ *
+ * Every level of the hierarchy implements MemSink: it accepts a MemReq
+ * and promises to invoke the request's completion callback at the tick
+ * the data is available (reads) or accepted (writes). Requests carry a
+ * TrafficClass for routing/statistics and a tile tag so DRAM traffic can
+ * be attributed to the screen tile that caused it — the raw signal the
+ * LIBRA temperature table (paper §III-B) is built from.
+ */
+
+#ifndef LIBRA_CACHE_MEM_SYSTEM_HH
+#define LIBRA_CACHE_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace libra
+{
+
+/**
+ * Physical address map of the modeled GPU. Regions are disjoint and far
+ * apart so the workload generator can lay out textures, geometry, the
+ * parameter buffer and the frame buffer without collisions.
+ */
+namespace addr_map
+{
+
+constexpr Addr vertexBase = 0x1000'0000ull;        //!< scene geometry
+constexpr Addr parameterBufferBase = 0x2000'0000ull; //!< per-tile lists
+constexpr Addr textureBase = 0x4000'0000ull;       //!< texture pool
+constexpr Addr frameBufferBase = 0x8000'0000ull;   //!< final image
+
+} // namespace addr_map
+
+/** Completion callback; argument is the completion tick. */
+using MemCallback = std::function<void(Tick)>;
+
+/** A memory request traveling down the hierarchy. */
+struct MemReq
+{
+    Addr addr = 0;
+    std::uint32_t size = 64;         //!< bytes; one cache line by default
+    bool write = false;
+    TrafficClass cls = TrafficClass::Texture;
+    std::uint32_t tileTag = invalidId; //!< originating screen tile
+    MemCallback onComplete;            //!< may be empty for posted writes
+};
+
+/** Anything that can accept memory requests. */
+class MemSink
+{
+  public:
+    virtual ~MemSink() = default;
+
+    /** Accept a request at the current tick. */
+    virtual void access(MemReq req) = 0;
+};
+
+/**
+ * Fixed-latency, infinite-bandwidth memory. With latency zero it builds
+ * the "ideal memory" configuration behind Figure 6a (every access
+ * completes instantly); it also serves as a test double for the caches.
+ */
+class IdealMemory : public MemSink
+{
+  public:
+    IdealMemory(EventQueue &eq, Tick latency = 0)
+        : queue(eq), lat(latency)
+    {}
+
+    void
+    access(MemReq req) override
+    {
+        ++accesses;
+        if (req.write)
+            ++writes;
+        if (!req.onComplete)
+            return;
+        if (lat == 0) {
+            req.onComplete(queue.now());
+        } else {
+            auto cb = std::move(req.onComplete);
+            const Tick done = queue.now() + lat;
+            queue.schedule(done, [cb = std::move(cb), done] { cb(done); });
+        }
+    }
+
+    std::uint64_t accesses = 0;
+    std::uint64_t writes = 0;
+
+  private:
+    EventQueue &queue;
+    Tick lat;
+};
+
+class Cache;
+
+/**
+ * Tracks line replication across a group of sibling caches (the per-core
+ * L1 texture caches of one or more Raster Units). A line installed while
+ * already resident in another sibling is a replicated install: the same
+ * 64 bytes occupy multiple L1s and the aggregate effective capacity
+ * shrinks. The paper reports LIBRA's supertile scheduling cuts this
+ * replication by 32.5% versus PTR alone (§V-A.3).
+ */
+class ReplicationTracker
+{
+  public:
+    /** Register a sibling cache's install/evict hooks. */
+    void attach(Cache &cache);
+
+    std::uint64_t installs() const { return totalInstalls; }
+    std::uint64_t replicatedInstalls() const { return replicated; }
+
+    /** Fraction of installs that duplicated a sibling-resident line. */
+    double
+    replicationRatio() const
+    {
+        return totalInstalls == 0
+            ? 0.0
+            : static_cast<double>(replicated) / totalInstalls;
+    }
+
+    /** Lines currently resident in more than one sibling. */
+    std::uint64_t currentReplicas() const;
+
+    void
+    reset()
+    {
+        totalInstalls = 0;
+        replicated = 0;
+    }
+
+  private:
+    std::unordered_map<Addr, std::uint32_t> refCount;
+    std::uint64_t totalInstalls = 0;
+    std::uint64_t replicated = 0;
+};
+
+} // namespace libra
+
+#endif // LIBRA_CACHE_MEM_SYSTEM_HH

@@ -1,0 +1,93 @@
+#include "common/cli.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 const std::vector<std::string> &known)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            pos.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        std::string value;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                   != 0) {
+            value = argv[++i];
+        } else {
+            value = "1"; // bare boolean flag
+        }
+        if (std::find(known.begin(), known.end(), arg) == known.end())
+            fatal("unknown option --", arg);
+        opts[arg] = value;
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return opts.count(name) != 0;
+}
+
+std::string
+CliArgs::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = opts.find(name);
+    return it == opts.end() ? fallback : it->second;
+}
+
+std::int64_t
+CliArgs::getInt(const std::string &name, std::int64_t fallback) const
+{
+    auto it = opts.find(name);
+    return it == opts.end() ? fallback : std::strtoll(it->second.c_str(),
+                                                      nullptr, 0);
+}
+
+double
+CliArgs::getDouble(const std::string &name, double fallback) const
+{
+    auto it = opts.find(name);
+    return it == opts.end() ? fallback : std::strtod(it->second.c_str(),
+                                                     nullptr);
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool fallback) const
+{
+    auto it = opts.find(name);
+    if (it == opts.end())
+        return fallback;
+    return it->second != "0" && it->second != "false";
+}
+
+std::vector<std::string>
+CliArgs::getList(const std::string &name) const
+{
+    std::vector<std::string> out;
+    auto it = opts.find(name);
+    if (it == opts.end())
+        return out;
+    std::stringstream ss(it->second);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+} // namespace libra

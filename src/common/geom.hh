@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Minimal screen-space geometry types used by the workload generator and
+ * the raster pipeline: 2-D/3-D vectors, axis-aligned boxes and triangles.
+ *
+ * All rasterization in libra-sim happens in screen space; the geometry
+ * pipeline is responsible for producing screen-space triangles (the
+ * projective transform itself is part of the vertex-shader cost model).
+ */
+
+#ifndef LIBRA_COMMON_GEOM_HH
+#define LIBRA_COMMON_GEOM_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace libra
+{
+
+/** 2-D float vector (screen-space position or texture coordinate). */
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(float s) const { return {x * s, y * s}; }
+    bool operator==(const Vec2 &o) const = default;
+};
+
+/** Cross product z-component of two 2-D vectors (signed parallelogram area). */
+inline float
+cross2(const Vec2 &a, const Vec2 &b)
+{
+    return a.x * b.y - a.y * b.x;
+}
+
+/** 3-D float vector (screen-space position plus depth). */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    Vec2 xy() const { return {x, y}; }
+    bool operator==(const Vec3 &o) const = default;
+};
+
+/** Integer rectangle, inclusive min, exclusive max. */
+struct IRect
+{
+    std::int32_t x0 = 0;
+    std::int32_t y0 = 0;
+    std::int32_t x1 = 0; //!< exclusive
+    std::int32_t y1 = 0; //!< exclusive
+
+    std::int32_t width() const { return x1 - x0; }
+    std::int32_t height() const { return y1 - y0; }
+    bool empty() const { return x1 <= x0 || y1 <= y0; }
+
+    /** Intersection of two rectangles (may be empty). */
+    IRect
+    intersect(const IRect &o) const
+    {
+        return {std::max(x0, o.x0), std::max(y0, o.y0),
+                std::min(x1, o.x1), std::min(y1, o.y1)};
+    }
+
+    bool
+    contains(std::int32_t px, std::int32_t py) const
+    {
+        return px >= x0 && px < x1 && py >= y0 && py < y1;
+    }
+
+    bool operator==(const IRect &o) const = default;
+};
+
+/**
+ * A screen-space vertex: position (x, y in pixels, z in [0,1] for the
+ * depth test) and a texture coordinate in texels of the bound texture.
+ */
+struct Vertex
+{
+    Vec3 pos;
+    Vec2 uv;
+};
+
+/**
+ * A screen-space triangle as delivered to the Tiling Engine.
+ *
+ * Triangles carry the state the raster pipeline needs: the bound texture,
+ * the fragment-shader cost (ALU instructions per fragment, a proxy for
+ * the user shader program), and whether blending is enabled (translucent
+ * geometry disables Early-Z's occlusion write in real hardware; here it
+ * selects the blend path).
+ */
+struct Triangle
+{
+    Vertex v[3];
+    std::uint32_t textureId = 0;
+    std::uint16_t shaderAluOps = 8;  //!< ALU instructions per fragment
+    std::uint8_t texSamples = 1;     //!< texture samples per fragment
+    bool blend = false;              //!< translucent: blend with dst color
+    bool useMips = true;             //!< false: always sample mip 0
+    std::uint32_t drawId = 0;        //!< draw call this triangle belongs to
+
+    /** Signed doubled area; positive for counter-clockwise winding. */
+    float
+    signedArea2() const
+    {
+        const Vec2 a = v[0].pos.xy();
+        const Vec2 b = v[1].pos.xy();
+        const Vec2 c = v[2].pos.xy();
+        return cross2(b - a, c - a);
+    }
+
+    /** Pixel-snapped bounding box, clamped to the given viewport. */
+    IRect
+    boundingBox(const IRect &viewport) const
+    {
+        const float min_x = std::min({v[0].pos.x, v[1].pos.x, v[2].pos.x});
+        const float min_y = std::min({v[0].pos.y, v[1].pos.y, v[2].pos.y});
+        const float max_x = std::max({v[0].pos.x, v[1].pos.x, v[2].pos.x});
+        const float max_y = std::max({v[0].pos.y, v[1].pos.y, v[2].pos.y});
+        IRect box{static_cast<std::int32_t>(std::floor(min_x)),
+                  static_cast<std::int32_t>(std::floor(min_y)),
+                  static_cast<std::int32_t>(std::ceil(max_x)) + 1,
+                  static_cast<std::int32_t>(std::ceil(max_y)) + 1};
+        return box.intersect(viewport);
+    }
+};
+
+} // namespace libra
+
+#endif // LIBRA_COMMON_GEOM_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Morton (Z-order) curve encoding/decoding.
+ *
+ * The baseline GPU traverses tiles in Morton order (paper §II-B): it is
+ * the cache-friendly traversal that the LIBRA scheduler falls back to, and
+ * the traversal used for tiles *inside* a supertile (§III-D).
+ */
+
+#ifndef LIBRA_COMMON_MORTON_HH
+#define LIBRA_COMMON_MORTON_HH
+
+#include <cstdint>
+
+namespace libra
+{
+
+/** Spread the low 16 bits of @p x so bit i lands at position 2*i. */
+constexpr std::uint32_t
+mortonSpread(std::uint32_t x)
+{
+    x &= 0x0000ffffu;
+    x = (x | (x << 8)) & 0x00ff00ffu;
+    x = (x | (x << 4)) & 0x0f0f0f0fu;
+    x = (x | (x << 2)) & 0x33333333u;
+    x = (x | (x << 1)) & 0x55555555u;
+    return x;
+}
+
+/** Inverse of mortonSpread: gather every other bit into the low half. */
+constexpr std::uint32_t
+mortonCompact(std::uint32_t x)
+{
+    x &= 0x55555555u;
+    x = (x | (x >> 1)) & 0x33333333u;
+    x = (x | (x >> 2)) & 0x0f0f0f0fu;
+    x = (x | (x >> 4)) & 0x00ff00ffu;
+    x = (x | (x >> 8)) & 0x0000ffffu;
+    return x;
+}
+
+/** Interleave (x, y) into a single Morton code (x in even bits). */
+constexpr std::uint32_t
+mortonEncode(std::uint32_t x, std::uint32_t y)
+{
+    return mortonSpread(x) | (mortonSpread(y) << 1);
+}
+
+/** Extract the x coordinate from a Morton code. */
+constexpr std::uint32_t
+mortonDecodeX(std::uint32_t code)
+{
+    return mortonCompact(code);
+}
+
+/** Extract the y coordinate from a Morton code. */
+constexpr std::uint32_t
+mortonDecodeY(std::uint32_t code)
+{
+    return mortonCompact(code >> 1);
+}
+
+} // namespace libra
+
+#endif // LIBRA_COMMON_MORTON_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The workload generator must be bit-reproducible across runs and
+ * platforms (the whole evaluation depends on comparing configurations on
+ * identical frames), so we use our own splitmix64/xoshiro256** rather
+ * than the implementation-defined std:: distributions.
+ */
+
+#ifndef LIBRA_COMMON_RNG_HH
+#define LIBRA_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace libra
+{
+
+/** splitmix64 step, used for seeding and hashing. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix of two values (for per-entity derived seeds). */
+constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+    return splitmix64(s);
+}
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough statistically for
+ * workload synthesis.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : s)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Returns 0 when n == 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return n == 0 ? 0 : next() % n;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        if (hi <= lo)
+            return lo;
+        return lo + static_cast<std::int64_t>(
+                below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Approximate standard normal via sum of uniforms (Irwin-Hall). */
+    double
+    gaussian()
+    {
+        double acc = 0.0;
+        for (int i = 0; i < 12; ++i)
+            acc += uniform();
+        return acc - 6.0;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace libra
+
+#endif // LIBRA_COMMON_RNG_HH

@@ -1,0 +1,68 @@
+#include "common/stats.hh"
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+void
+StatGroup::add(const std::string &stat_name, Counter *counter)
+{
+    libra_assert(counter != nullptr, "null counter for ", stat_name);
+    entries.emplace_back(_name + "." + stat_name, counter);
+}
+
+void
+StatGroup::addChild(const StatGroup &child)
+{
+    for (const auto &[name, counter] : child.entries)
+        entries.emplace_back(_name + "." + name, counter);
+}
+
+std::map<std::string, std::uint64_t>
+StatGroup::values() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, counter] : entries)
+        out[name] = counter->value();
+    return out;
+}
+
+std::uint64_t
+StatGroup::sumMatching(const std::string &needle) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, counter] : entries) {
+        if (name.find(needle) != std::string::npos)
+            total += counter->value();
+    }
+    return total;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, counter] : entries)
+        counter->reset();
+}
+
+std::map<std::string, std::uint64_t>
+StatSnapshot::deltaTo(const StatSnapshot &later) const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, value] : later.data) {
+        auto it = data.find(name);
+        const std::uint64_t before = it == data.end() ? 0 : it->second;
+        out[name] = value >= before ? value - before : 0;
+    }
+    return out;
+}
+
+std::uint64_t
+StatSnapshot::get(const std::string &full_name) const
+{
+    auto it = data.find(full_name);
+    return it == data.end() ? 0 : it->second;
+}
+
+} // namespace libra

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components declare named Counter members and register them with a
+ * StatGroup. The registry supports hierarchical naming
+ * ("gpu.ru0.texcache.hits"), full dumps, and snapshot/delta queries used
+ * by the per-frame adaptive controller and by the benches.
+ */
+
+#ifndef LIBRA_COMMON_STATS_HH
+#define LIBRA_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace libra
+{
+
+/** A monotonically increasing 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { _value += n; }
+    void set(std::uint64_t v) { _value = v; }
+    void reset() { _value = 0; }
+    std::uint64_t value() const { return _value; }
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t n) { _value += n; return *this; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/**
+ * A named collection of counters. Groups can nest by name prefix; the
+ * registry stores raw pointers, so counters must outlive the group (they
+ * are members of the owning component in practice).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** Register a counter under this group's prefix. */
+    void add(const std::string &stat_name, Counter *counter);
+
+    /** Register every counter of a child group under our prefix. */
+    void addChild(const StatGroup &child);
+
+    /** Flat name → value view of everything registered. */
+    std::map<std::string, std::uint64_t> values() const;
+
+    /** Sum of all counters whose full name contains @p needle. */
+    std::uint64_t sumMatching(const std::string &needle) const;
+
+    /** Reset every registered counter to zero. */
+    void resetAll();
+
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    std::vector<std::pair<std::string, Counter *>> entries;
+};
+
+/** Point-in-time copy of a StatGroup, for frame-delta computations. */
+class StatSnapshot
+{
+  public:
+    StatSnapshot() = default;
+    explicit StatSnapshot(const StatGroup &group) : data(group.values()) {}
+
+    /** Per-stat difference @p later - *this (counters never decrease). */
+    std::map<std::string, std::uint64_t>
+    deltaTo(const StatSnapshot &later) const;
+
+    std::uint64_t get(const std::string &full_name) const;
+
+  private:
+    std::map<std::string, std::uint64_t> data;
+};
+
+} // namespace libra
+
+#endif // LIBRA_COMMON_STATS_HH

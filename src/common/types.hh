@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of libra-sim.
+ *
+ * The simulator follows gem5 conventions: a global simulation time in
+ * "ticks" (here one tick == one GPU core cycle at 800 MHz, Table I of the
+ * paper), 64-bit physical addresses, and explicit integer widths.
+ */
+
+#ifndef LIBRA_COMMON_TYPES_HH
+#define LIBRA_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace libra
+{
+
+/** Simulation time. One tick is one GPU clock cycle. */
+using Tick = std::uint64_t;
+
+/** A tick value that is never reached. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Physical byte address in the GPU's memory space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a screen tile (index into the frame's tile grid). */
+using TileId = std::uint32_t;
+
+/** Identifier of a supertile (group of adjacent tiles, paper §III-C). */
+using SuperTileId = std::uint32_t;
+
+/** Invalid sentinel for tile-like identifiers. */
+constexpr std::uint32_t invalidId = std::numeric_limits<std::uint32_t>::max();
+
+/**
+ * Source of a memory request, used both for statistics attribution and
+ * for routing (paper §III-B enumerates the four DRAM traffic sources).
+ */
+enum class TrafficClass : std::uint8_t
+{
+    Geometry,        //!< vertex / index fetch during the Geometry Pipeline
+    ParameterBuffer, //!< polygon-list writes (binning) and reads (fetch)
+    Texture,         //!< texel reads from the Fragment stage
+    FrameBuffer,     //!< color-buffer flushes at end of tile
+    NumClasses
+};
+
+/** Printable name for a TrafficClass. */
+const char *trafficClassName(TrafficClass cls);
+
+inline const char *
+trafficClassName(TrafficClass cls)
+{
+    switch (cls) {
+      case TrafficClass::Geometry: return "geometry";
+      case TrafficClass::ParameterBuffer: return "parameter_buffer";
+      case TrafficClass::Texture: return "texture";
+      case TrafficClass::FrameBuffer: return "frame_buffer";
+      default: return "unknown";
+    }
+}
+
+} // namespace libra
+
+#endif // LIBRA_COMMON_TYPES_HH

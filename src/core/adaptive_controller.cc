@@ -1,0 +1,88 @@
+#include "core/adaptive_controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+AdaptiveController::AdaptiveController(const SchedulerConfig &cfg)
+    : config(cfg), stSize(cfg.initialSupertileSize)
+{
+    stSize = std::clamp(stSize, config.minSupertileSize,
+                        config.maxSupertileSize);
+}
+
+double
+AdaptiveController::relDelta(std::uint64_t earlier, std::uint64_t later)
+{
+    if (earlier == 0)
+        return 0.0;
+    return (static_cast<double>(later) - static_cast<double>(earlier))
+        / static_cast<double>(earlier);
+}
+
+ScheduleDecision
+AdaptiveController::decide(const FrameObservation &obs)
+{
+    if (!obs.valid) {
+        // First frame: no history, render in Z-order.
+        prevPrev = prev;
+        prev = obs;
+        return {false, stSize};
+    }
+
+    // perf_delta > 0 means the last frame got SLOWER than the one
+    // before it.
+    const bool have_history = prev.valid;
+    const double perf_delta = have_history
+        ? relDelta(prev.rasterCycles, obs.rasterCycles)
+        : 0.0;
+
+    // ---- Tile traversal order (Fig. 10) -------------------------------
+    if (!have_history) {
+        // Second frame: first chance to use profiled data; pick by the
+        // hit-ratio rule alone.
+        useTemperature = obs.textureHitRatio < config.hitRatioThreshold;
+    } else if (std::fabs(perf_delta) > config.orderSwitchThreshold) {
+        const bool hit_degraded =
+            obs.textureHitRatio < prev.textureHitRatio;
+        const bool perf_degraded = perf_delta > 0.0;
+        if (hit_degraded && perf_degraded) {
+            // Both metrics degraded: the current scheme is failing even
+            // if the hit-ratio rule would keep it — flip (§III-D).
+            useTemperature = !useTemperature;
+        } else {
+            useTemperature =
+                obs.textureHitRatio < config.hitRatioThreshold;
+        }
+    }
+    // else: performance stable — keep the current ordering.
+
+    // ---- Supertile size (hill climbing, §III-D) ------------------------
+    if (have_history) {
+        const bool improved = perf_delta < -config.resizeThreshold;
+        const bool degraded = perf_delta > config.resizeThreshold;
+        if (improved) {
+            // Keep moving in the current direction.
+            stSize = growing
+                ? std::min(stSize * 2, config.maxSupertileSize)
+                : std::max(stSize / 2, config.minSupertileSize);
+        } else if (degraded) {
+            // Reverse direction.
+            growing = !growing;
+            stSize = growing
+                ? std::min(stSize * 2, config.maxSupertileSize)
+                : std::max(stSize / 2, config.minSupertileSize);
+        }
+        // Inside the dead zone: keep the current size.
+    }
+
+    prevPrev = prev;
+    prev = obs;
+    return {useTemperature, stSize};
+}
+
+} // namespace libra

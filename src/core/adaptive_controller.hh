@@ -1,0 +1,77 @@
+/**
+ * @file
+ * LIBRA's adaptive per-frame controller (paper §III-D, Fig. 10).
+ *
+ * Once per frame, using only last-frame observables (frame-to-frame
+ * coherence makes them predictive), the controller decides:
+ *
+ *  1. the tile traversal order — conventional Z-order vs the
+ *     temperature-aware hot/cold order. Z-order is preferred while the
+ *     texture-L1 hit ratio stays above a threshold (80%: memory
+ *     congestion unlikely); decisions only change when performance
+ *     varied significantly (3%); and when both hit ratio and
+ *     performance degraded, the controller flips to the alternative
+ *     ordering regardless (the escape case of §III-D).
+ *
+ *  2. the supertile size — hill-climbing on frame time over
+ *     {2x2, 4x4, 8x8, 16x16}: keep growing while performance improves,
+ *     reverse direction when it degrades, with a 0.25% dead zone.
+ */
+
+#ifndef LIBRA_CORE_ADAPTIVE_CONTROLLER_HH
+#define LIBRA_CORE_ADAPTIVE_CONTROLLER_HH
+
+#include <cstdint>
+
+#include "core/scheduler_config.hh"
+
+namespace libra
+{
+
+/** Per-frame observables the controller consumes. */
+struct FrameObservation
+{
+    bool valid = false;
+    std::uint64_t rasterCycles = 0;
+    double textureHitRatio = 1.0;
+};
+
+/** The controller's decision for the coming frame. */
+struct ScheduleDecision
+{
+    bool temperatureOrder = false;
+    std::uint32_t supertileSize = 4;
+};
+
+class AdaptiveController
+{
+  public:
+    explicit AdaptiveController(const SchedulerConfig &cfg);
+
+    /**
+     * Consume the previous frame's observation and produce the decision
+     * for the next frame.
+     */
+    ScheduleDecision decide(const FrameObservation &obs);
+
+    /** Current state, for tests and reporting. */
+    bool temperatureOrder() const { return useTemperature; }
+    std::uint32_t supertileSize() const { return stSize; }
+
+  private:
+    /** Relative change later vs earlier; 0 when either is missing. */
+    static double relDelta(std::uint64_t earlier, std::uint64_t later);
+
+    SchedulerConfig config;
+
+    bool useTemperature = false;
+    std::uint32_t stSize;
+    bool growing = true;
+
+    FrameObservation prev;     //!< frame N-1 (most recent)
+    FrameObservation prevPrev; //!< frame N-2
+};
+
+} // namespace libra
+
+#endif // LIBRA_CORE_ADAPTIVE_CONTROLLER_HH

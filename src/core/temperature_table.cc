@@ -1,0 +1,109 @@
+#include "core/temperature_table.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+TemperatureTable::TemperatureTable(std::uint32_t tile_count)
+{
+    dram.resize(tile_count, 0);
+    instr.resize(tile_count, 0);
+}
+
+void
+TemperatureTable::reset()
+{
+    std::fill(dram.begin(), dram.end(), 0);
+    std::fill(instr.begin(), instr.end(), 0);
+}
+
+void
+TemperatureTable::addDramAccess(TileId tile, std::uint64_t n)
+{
+    libra_assert(tile < dram.size(), "tile id out of range");
+    dram[tile] += n;
+}
+
+void
+TemperatureTable::addInstructions(TileId tile, std::uint64_t n)
+{
+    libra_assert(tile < instr.size(), "tile id out of range");
+    instr[tile] += n;
+}
+
+void
+TemperatureTable::load(const std::vector<std::uint64_t> &dram_accesses,
+                       const std::vector<std::uint64_t> &instructions)
+{
+    libra_assert(dram_accesses.size() == dram.size()
+                     && instructions.size() == instr.size(),
+                 "feedback vector size mismatch");
+    dram = dram_accesses;
+    instr = instructions;
+}
+
+std::uint32_t
+TemperatureTable::quantizeTemperature(std::uint64_t accesses,
+                                      std::uint64_t instructions)
+{
+    // Saturate to the hardware counter widths first (§III-E).
+    const std::uint64_t a = std::min<std::uint64_t>(accesses,
+                                                    accessSaturation);
+    const std::uint64_t i = std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(instructions, instrSaturation));
+    // 15-bit fixed-point ratio, saturating.
+    const std::uint64_t q = (a * ratioScale) / i;
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(q, (1u << 15) - 1));
+}
+
+std::vector<SuperTileRank>
+TemperatureTable::rank(const TileGrid &grid, std::uint32_t st) const
+{
+    const std::uint32_t count = grid.superTileCount(st);
+    std::vector<SuperTileRank> ranks(count);
+    for (SuperTileId s = 0; s < count; ++s)
+        ranks[s].id = s;
+
+    for (TileId tile = 0; tile < grid.tileCount(); ++tile) {
+        SuperTileRank &r = ranks[grid.superTileOf(tile, st)];
+        r.accesses += dram[tile];
+        r.instructions += instr[tile];
+    }
+    for (auto &r : ranks)
+        r.temperature = quantizeTemperature(r.accesses, r.instructions);
+
+    std::stable_sort(ranks.begin(), ranks.end(),
+                     [](const SuperTileRank &a, const SuperTileRank &b) {
+                         if (a.temperature != b.temperature)
+                             return a.temperature > b.temperature;
+                         return a.id < b.id;
+                     });
+    return ranks;
+}
+
+HardwareCost
+TemperatureTable::hardwareCost(std::uint32_t supertile_entries)
+{
+    HardwareCost cost;
+    cost.entries = supertile_entries;
+    // 16b accesses + 24b instructions + 15b ratio + 9b id = 64 bits.
+    cost.entryBits = 16 + 24 + 15 + 9;
+    cost.storageBits = static_cast<std::uint64_t>(cost.entryBits)
+        * supertile_entries;
+    // O(n log n) compare-and-swap passes, 3 cycles each (2 reads, 1
+    // compare, writes overlapped) — the paper's conservative estimate.
+    const double n = std::max(1u, supertile_entries);
+    // Truncating n*log2(n) reproduces the paper's 4587 comparisons for
+    // n = 510.
+    const std::uint64_t comparisons =
+        static_cast<std::uint64_t>(n * std::log2(n));
+    cost.rankingCycles = 3 * comparisons;
+    return cost;
+}
+
+} // namespace libra

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * LIBRA's temperature table (paper §III-B, §III-E).
+ *
+ * Hardware counters accumulate, per screen tile, the number of DRAM
+ * accesses and the number of executed instructions during a frame. The
+ * "temperature" of a (super)tile is the ratio DRAM-accesses per
+ * instruction — a proxy for memory intensity. At the next frame's
+ * geometry phase the table is aggregated at the chosen supertile
+ * granularity and ranked hottest→coldest; the ranking latency hides
+ * completely under the Geometry Pipeline (§III-E), which this model
+ * checks explicitly.
+ *
+ * The hardware quantization of §III-E is modeled faithfully: 16-bit
+ * saturating access counters, 24-bit instruction counters, a 15-bit
+ * fixed-point ratio and a 9-bit supertile id, 64 bits per entry.
+ */
+
+#ifndef LIBRA_CORE_TEMPERATURE_TABLE_HH
+#define LIBRA_CORE_TEMPERATURE_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/tiling/tile_grid.hh"
+
+namespace libra
+{
+
+/** One ranked supertile. */
+struct SuperTileRank
+{
+    SuperTileId id = 0;
+    std::uint32_t temperature = 0; //!< 15-bit fixed-point accesses/instr
+    std::uint64_t accesses = 0;
+    std::uint64_t instructions = 0;
+};
+
+/** Hardware cost estimate for the table + ranking logic (§III-E). */
+struct HardwareCost
+{
+    std::uint32_t entryBits = 64;
+    std::uint32_t entries = 0;
+    std::uint64_t storageBits = 0;
+    std::uint64_t rankingCycles = 0; //!< 3 cycles per compare, n log2 n
+};
+
+class TemperatureTable
+{
+  public:
+    /** Fixed-point scale of the stored ratio (15-bit field). */
+    static constexpr std::uint32_t ratioScale = 1u << 15;
+    static constexpr std::uint32_t accessSaturation = 0xffffu;   // 16 bits
+    static constexpr std::uint32_t instrSaturation = 0xffffffu;  // 24 bits
+
+    explicit TemperatureTable(std::uint32_t tile_count);
+
+    /** Clear all per-tile counters (start of a frame). */
+    void reset();
+
+    void addDramAccess(TileId tile, std::uint64_t n = 1);
+    void addInstructions(TileId tile, std::uint64_t n);
+
+    std::uint64_t dramAccesses(TileId tile) const { return dram[tile]; }
+    std::uint64_t instructions(TileId tile) const { return instr[tile]; }
+
+    const std::vector<std::uint64_t> &dramVector() const { return dram; }
+    const std::vector<std::uint64_t> &instrVector() const { return instr; }
+
+    /** Load previously collected per-tile counters (frame feedback). */
+    void load(const std::vector<std::uint64_t> &dram_accesses,
+              const std::vector<std::uint64_t> &instructions);
+
+    /**
+     * Aggregate at supertile side @p st and rank hottest→coldest.
+     * Ties break by supertile id for determinism.
+     */
+    std::vector<SuperTileRank> rank(const TileGrid &grid,
+                                    std::uint32_t st) const;
+
+    /**
+     * Quantized temperature of one aggregated supertile, exactly as the
+     * 64-bit table entry would store it.
+     */
+    static std::uint32_t quantizeTemperature(std::uint64_t accesses,
+                                             std::uint64_t instructions);
+
+    /** §III-E cost model for @p supertile_entries table entries. */
+    static HardwareCost hardwareCost(std::uint32_t supertile_entries);
+
+  private:
+    std::vector<std::uint64_t> dram;
+    std::vector<std::uint64_t> instr;
+};
+
+} // namespace libra
+
+#endif // LIBRA_CORE_TEMPERATURE_TABLE_HH

@@ -1,0 +1,149 @@
+#include "core/tile_scheduler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+namespace
+{
+
+/**
+ * The adaptive resizer must keep enough supertiles for the hot/cold
+ * pairing to mean anything: with fewer than ~4 per Raster Unit the
+ * "hot end / cold end" split degenerates. At FHD this leaves the
+ * paper's 16x16 maximum intact for 2 RUs; at reduced resolutions (or
+ * many RUs) the maximum shrinks accordingly.
+ */
+SchedulerConfig
+clampToGrid(SchedulerConfig cfg, const TileGrid &grid,
+            std::uint32_t num_rus)
+{
+    while (cfg.maxSupertileSize > cfg.minSupertileSize
+           && grid.superTileCount(cfg.maxSupertileSize) < 4 * num_rus) {
+        cfg.maxSupertileSize /= 2;
+    }
+    cfg.initialSupertileSize = std::min(cfg.initialSupertileSize,
+                                        cfg.maxSupertileSize);
+    return cfg;
+}
+
+} // namespace
+
+TileScheduler::TileScheduler(const SchedulerConfig &cfg,
+                             const TileGrid &tile_grid,
+                             std::uint32_t num_rus)
+    : config(clampToGrid(cfg, tile_grid, num_rus)), grid(tile_grid),
+      numRus(num_rus), adaptive(config)
+{
+    libra_assert(num_rus > 0, "scheduler needs at least one RU");
+    cursors.resize(num_rus);
+}
+
+void
+TileScheduler::beginFrame(const FrameFeedback &prev)
+{
+    for (auto &cursor : cursors) {
+        libra_assert(cursor.idx == cursor.tiles.size(),
+                     "beginFrame with tiles still queued");
+        cursor.tiles.clear();
+        cursor.idx = 0;
+    }
+    buildQueue(prev);
+}
+
+void
+TileScheduler::buildQueue(const FrameFeedback &prev)
+{
+    stQueue.clear();
+    rankingCycles = 0;
+
+    switch (config.policy) {
+      case SchedulerPolicy::ZOrder:
+      case SchedulerPolicy::Scanline:
+        tempOrder = false;
+        stSize = 1;
+        break;
+      case SchedulerPolicy::StaticSupertile:
+        tempOrder = false;
+        stSize = config.staticSupertileSize;
+        break;
+      case SchedulerPolicy::TemperatureStatic:
+        tempOrder = prev.valid;
+        stSize = config.staticSupertileSize;
+        break;
+      case SchedulerPolicy::Libra: {
+        FrameObservation obs;
+        obs.valid = prev.valid;
+        obs.rasterCycles = prev.rasterCycles;
+        obs.textureHitRatio = prev.textureHitRatio;
+        const ScheduleDecision decision = adaptive.decide(obs);
+        tempOrder = decision.temperatureOrder && prev.valid;
+        stSize = decision.supertileSize;
+        break;
+      }
+    }
+
+    if (config.policy == SchedulerPolicy::Scanline) {
+        for (const TileId t : grid.scanlineOrder())
+            stQueue.push_back(t);
+        return;
+    }
+
+    if (tempOrder) {
+        libra_assert(prev.tileDramAccesses.size() == grid.tileCount(),
+                     "temperature order needs per-tile feedback");
+        TemperatureTable table(grid.tileCount());
+        table.load(prev.tileDramAccesses, prev.tileInstructions);
+        const auto ranks = table.rank(grid, stSize);
+        for (const auto &rank : ranks)
+            stQueue.push_back(rank.id);
+        rankingCycles = TemperatureTable::hardwareCost(
+            static_cast<std::uint32_t>(ranks.size())).rankingCycles;
+    } else {
+        for (SuperTileId s : grid.superTileZOrder(stSize))
+            stQueue.push_back(s);
+    }
+}
+
+std::optional<TileId>
+TileScheduler::nextTile(std::uint32_t ru)
+{
+    libra_assert(ru < numRus, "bad RU index");
+    RuCursor &cursor = cursors[ru];
+
+    while (cursor.idx == cursor.tiles.size()) {
+        if (stQueue.empty())
+            return std::nullopt;
+        SuperTileId s;
+        const bool cold_ru = ru >= config.hotRasterUnits;
+        if (tempOrder && cold_ru && numRus > config.hotRasterUnits) {
+            // Cold Raster Units pull from the cold end of the ranking;
+            // the first hotRasterUnits (paper: one) take the hot end
+            // (§III-D / §V-D).
+            s = stQueue.back();
+            stQueue.pop_back();
+        } else {
+            s = stQueue.front();
+            stQueue.pop_front();
+        }
+        cursor.tiles = grid.tilesInSuperTile(s, stSize);
+        cursor.idx = 0;
+    }
+    return cursor.tiles[cursor.idx++];
+}
+
+std::uint32_t
+TileScheduler::tilesRemaining() const
+{
+    std::uint64_t total = 0;
+    for (const SuperTileId s : stQueue)
+        total += grid.tilesInSuperTile(s, stSize).size();
+    for (const auto &cursor : cursors)
+        total += cursor.tiles.size() - cursor.idx;
+    return static_cast<std::uint32_t>(total);
+}
+
+} // namespace libra

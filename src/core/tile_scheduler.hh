@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The tile scheduler: decides which tile each Raster Unit renders next
+ * (paper §III-B/§III-D).
+ *
+ * The Tile Fetcher pulls tiles per Raster Unit. Depending on policy:
+ *
+ *  - ZOrder: one shared Z-order stream; any RU pulls the next tile —
+ *    the interleaved-assignment PTR baseline.
+ *  - StaticSupertile: a Z-order stream of fixed-size supertiles; a
+ *    whole supertile is pulled by one RU.
+ *  - TemperatureStatic: supertiles ranked hottest→coldest from the
+ *    previous frame's temperature table; RU 0 pulls from the hot end,
+ *    every other RU pulls from the cold end.
+ *  - Libra: TemperatureStatic/ZOrder chosen per frame by the
+ *    AdaptiveController, with dynamic supertile resizing.
+ */
+
+#ifndef LIBRA_CORE_TILE_SCHEDULER_HH
+#define LIBRA_CORE_TILE_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/adaptive_controller.hh"
+#include "core/scheduler_config.hh"
+#include "core/temperature_table.hh"
+#include "gpu/tiling/tile_grid.hh"
+
+namespace libra
+{
+
+/** Everything the scheduler may use from the previous frame. */
+struct FrameFeedback
+{
+    bool valid = false;
+    std::uint64_t rasterCycles = 0;
+    double textureHitRatio = 1.0;
+    std::vector<std::uint64_t> tileDramAccesses;
+    std::vector<std::uint64_t> tileInstructions;
+};
+
+class TileScheduler
+{
+  public:
+    TileScheduler(const SchedulerConfig &cfg, const TileGrid &grid,
+                  std::uint32_t num_rus);
+
+    /** Prepare the schedule for the coming frame. */
+    void beginFrame(const FrameFeedback &prev);
+
+    /**
+     * Next tile for Raster Unit @p ru, or nullopt when the frame's
+     * tiles are exhausted. Within a supertile, tiles come in Z-order.
+     */
+    std::optional<TileId> nextTile(std::uint32_t ru);
+
+    // --- Introspection (tests, benches, reports) -----------------------
+    bool temperatureOrderActive() const { return tempOrder; }
+    std::uint32_t supertileSize() const { return stSize; }
+    std::uint64_t lastRankingCycles() const { return rankingCycles; }
+    std::uint32_t tilesRemaining() const;
+
+  private:
+    void buildQueue(const FrameFeedback &prev);
+
+    SchedulerConfig config;
+    const TileGrid &grid;
+    std::uint32_t numRus;
+    AdaptiveController adaptive;
+
+    bool tempOrder = false;
+    std::uint32_t stSize = 1;
+    std::uint64_t rankingCycles = 0;
+
+    /** Supertiles to hand out: hot/front ... cold/back. */
+    std::deque<SuperTileId> stQueue;
+
+    /** Per-RU current supertile contents. */
+    struct RuCursor
+    {
+        std::vector<TileId> tiles;
+        std::size_t idx = 0;
+    };
+    std::vector<RuCursor> cursors;
+};
+
+} // namespace libra
+
+#endif // LIBRA_CORE_TILE_SCHEDULER_HH

@@ -1,0 +1,317 @@
+#include "dram/dram.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+Dram::Dram(EventQueue &eq, const DramConfig &cfg)
+    : queue(eq), config(cfg)
+{
+    libra_assert(config.channels > 0 && config.banksPerChannel > 0,
+                 "degenerate DRAM geometry");
+    channelState.resize(config.channels);
+    for (auto &channel : channelState)
+        channel.banks.resize(config.banksPerChannel);
+
+    statGroup.add("reads", &reads);
+    statGroup.add("writes", &writes);
+    statGroup.add("row_hits", &rowHits);
+    statGroup.add("row_misses", &rowMisses);
+    statGroup.add("row_conflicts", &rowConflicts);
+    statGroup.add("total_read_latency", &totalReadLatency);
+    statGroup.add("activates", &activates);
+    statGroup.add("precharges", &precharges);
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(TrafficClass::NumClasses); ++c) {
+        const auto cls = static_cast<TrafficClass>(c);
+        statGroup.add(std::string("reads_") + trafficClassName(cls),
+                      &classReads[c]);
+        statGroup.add(std::string("writes_") + trafficClassName(cls),
+                      &classWrites[c]);
+    }
+}
+
+void
+Dram::mapAddress(Addr addr, std::uint32_t &channel, std::uint32_t &bank,
+                 std::uint64_t &row) const
+{
+    // Chunk offset | channel | bank | row, with chunks of
+    // interleaveLines lines: sequential streams get several row hits in
+    // a bank before the stream hops to the next channel/bank, as with
+    // real controller address maps.
+    const Addr line = addr / config.lineBytes;
+    const std::uint32_t chunk_lines = std::max(1u, config.interleaveLines);
+    const Addr chunk = line / chunk_lines;
+    channel = static_cast<std::uint32_t>(chunk % config.channels);
+    const Addr per_channel = chunk / config.channels;
+    bank = static_cast<std::uint32_t>(per_channel % config.banksPerChannel);
+    const Addr per_bank = per_channel / config.banksPerChannel;
+    const Addr line_in_bank = per_bank * chunk_lines + line % chunk_lines;
+    row = line_in_bank / (config.rowBytes / config.lineBytes);
+}
+
+std::size_t
+Dram::channelBacklog(Addr addr) const
+{
+    std::uint32_t channel, bank;
+    std::uint64_t row;
+    mapAddress(addr, channel, bank, row);
+    return channelState[channel].readQ.size()
+        + channelState[channel].writeQ.size();
+}
+
+void
+Dram::enqueueLine(Addr addr, bool write, TrafficClass cls,
+                  std::uint32_t tile_tag, MemCallback cb)
+{
+    std::uint32_t channel_idx, bank;
+    std::uint64_t row;
+    mapAddress(addr, channel_idx, bank, row);
+
+    Request req;
+    req.addr = addr;
+    req.bank = bank;
+    req.row = row;
+    req.write = write;
+    req.arrival = queue.now();
+    req.cls = cls;
+    req.tileTag = tile_tag;
+    req.onComplete = std::move(cb);
+
+    // The controller/PHY pipeline delays visibility to the scheduler.
+    queue.scheduleAfter(config.ctrlLatency,
+                        [this, channel_idx,
+                         req = std::move(req)]() mutable {
+                            Channel &ch = channelState[channel_idx];
+                            auto &q = req.write ? ch.writeQ : ch.readQ;
+                            q.push_back(std::move(req));
+                            libra_assert(q.size() < 2'000'000,
+                                         "runaway DRAM queue");
+                            serviceChannel(channel_idx);
+                        });
+}
+
+Tick
+Dram::issue(Channel &channel, Request &req)
+{
+    Bank &bank = channel.banks[req.bank];
+    const Tick now = queue.now();
+    libra_assert(bank.readyAt <= now, "issue to a busy bank");
+
+    Tick cmd_start = now;
+    bool row_hit = false;
+    if (bank.rowOpen && bank.openRow == req.row) {
+        row_hit = true;
+        ++rowHits;
+    } else if (!bank.rowOpen) {
+        ++rowMisses;
+        ++activates;
+        cmd_start += config.tRcd;
+    } else {
+        ++rowConflicts;
+        ++precharges;
+        ++activates;
+        cmd_start += config.tRp + config.tRcd;
+    }
+    bank.rowOpen = true;
+    bank.openRow = req.row;
+
+    // Column access, then the burst occupies the channel's data bus.
+    const Tick data_ready = cmd_start + config.tCas;
+    const Tick bus_start = std::max(data_ready, channel.busReadyAt);
+    const Tick complete = bus_start + config.tBurst;
+    channel.busReadyAt = complete;
+    // Back-to-back column commands to the same bank are spaced by the
+    // burst slot (tCCD ~ burst length); the bank does not wait for the
+    // shared bus to drain, and writes add their recovery time.
+    bank.readyAt = cmd_start + config.tBurst
+        + (req.write ? config.tWr : 0);
+
+    const std::size_t cls_idx = static_cast<std::size_t>(req.cls);
+    if (req.write) {
+        ++writes;
+        ++classWrites[cls_idx];
+    } else {
+        ++reads;
+        ++classReads[cls_idx];
+        totalReadLatency += complete - req.arrival;
+    }
+
+    if (observer) {
+        observer(DramAccessInfo{req.addr, req.write, req.cls, req.tileTag,
+                                req.arrival, complete, row_hit});
+    }
+    if (req.onComplete) {
+        auto cb = std::move(req.onComplete);
+        queue.schedule(complete, [cb = std::move(cb), complete] {
+            cb(complete);
+        });
+    }
+    return complete;
+}
+
+int
+Dram::pickRequest(const Channel &channel, const std::deque<Request> &q,
+                  bool allow_starvation, Tick now, Tick &next_wake) const
+{
+    if (q.empty())
+        return -1;
+    const std::size_t window = std::min<std::size_t>(
+        q.size(), std::max(1u, config.schedulerWindow));
+
+    if (allow_starvation) {
+        // Age cap: the oldest request preempts row-hit reordering.
+        const Request &front = q.front();
+        if (now >= front.arrival
+            && now - front.arrival > config.starvationLimit) {
+            const Bank &bank = channel.banks[front.bank];
+            if (bank.readyAt <= now)
+                return 0;
+            next_wake = std::min(next_wake, bank.readyAt);
+            return -1;
+        }
+    }
+    // FR: first row hit on a ready bank.
+    for (std::size_t i = 0; i < window; ++i) {
+        const Request &req = q[i];
+        const Bank &bank = channel.banks[req.bank];
+        if (bank.readyAt <= now && bank.rowOpen && bank.openRow == req.row)
+            return static_cast<int>(i);
+    }
+    // FCFS: oldest request on a ready bank.
+    for (std::size_t i = 0; i < window; ++i) {
+        if (channel.banks[q[i].bank].readyAt <= now)
+            return static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < window; ++i)
+        next_wake = std::min(next_wake, channel.banks[q[i].bank].readyAt);
+    return -1;
+}
+
+void
+Dram::serviceChannel(std::uint32_t channel_idx)
+{
+    Channel &channel = channelState[channel_idx];
+    Tick next_wake = maxTick;
+
+    while (!channel.readQ.empty() || !channel.writeQ.empty()) {
+        const Tick now = queue.now();
+
+        // Only issue when the data bus will be consumable soon; keeping
+        // the decision point close to service time lets late arrivals
+        // take part in the FR-FCFS choice.
+        const Tick lookahead = config.tRp + config.tRcd + config.tCas;
+        if (channel.busReadyAt > now + lookahead) {
+            next_wake = std::min(next_wake,
+                                 channel.busReadyAt - lookahead);
+            break;
+        }
+
+        // Write-drain hysteresis.
+        if (channel.writeQ.size() >= config.writeHighWatermark)
+            channel.drainingWrites = true;
+        else if (channel.writeQ.size() <= config.writeLowWatermark)
+            channel.drainingWrites = false;
+
+        std::deque<Request> *source = nullptr;
+        int pick = -1;
+        // A starved read preempts even a write drain: posted writes can
+        // always wait a little longer, a blocked warp cannot.
+        if (!channel.readQ.empty()) {
+            const Request &front = channel.readQ.front();
+            if (now >= front.arrival
+                && now - front.arrival > config.starvationLimit
+                && channel.banks[front.bank].readyAt <= now) {
+                pick = 0;
+                source = &channel.readQ;
+            }
+        }
+        if (!source && channel.drainingWrites) {
+            pick = pickRequest(channel, channel.writeQ, false, now,
+                               next_wake);
+            if (pick >= 0)
+                source = &channel.writeQ;
+        }
+        if (!source) {
+            pick = pickRequest(channel, channel.readQ, true, now,
+                               next_wake);
+            if (pick >= 0) {
+                source = &channel.readQ;
+            } else if (!channel.drainingWrites) {
+                // Opportunistic write when no read can issue.
+                pick = pickRequest(channel, channel.writeQ, false, now,
+                                   next_wake);
+                if (pick >= 0)
+                    source = &channel.writeQ;
+            }
+        }
+        if (!source)
+            break;
+
+        Request req = std::move((*source)[static_cast<std::size_t>(pick)]);
+        source->erase(source->begin() + pick);
+        issue(channel, req);
+    }
+
+    armWakeup(channel_idx, next_wake);
+}
+
+void
+Dram::armWakeup(std::uint32_t channel_idx, Tick when)
+{
+    if (when == maxTick)
+        return;
+    Channel &channel = channelState[channel_idx];
+    if (channel.wakeupScheduled && channel.wakeupAt <= when)
+        return;
+    channel.wakeupScheduled = true;
+    channel.wakeupAt = when;
+    queue.schedule(when, [this, channel_idx, when] {
+        Channel &ch = channelState[channel_idx];
+        if (ch.wakeupAt == when) {
+            ch.wakeupScheduled = false;
+            ch.wakeupAt = maxTick;
+        }
+        serviceChannel(channel_idx);
+    });
+}
+
+void
+Dram::access(MemReq req)
+{
+    const Addr first_line = req.addr / config.lineBytes;
+    const Addr last_line = (req.addr + std::max(req.size, 1u) - 1)
+        / config.lineBytes;
+    const std::size_t count =
+        static_cast<std::size_t>(last_line - first_line) + 1;
+
+    if (count == 1) {
+        enqueueLine(first_line * config.lineBytes, req.write, req.cls,
+                    req.tileTag, std::move(req.onComplete));
+        return;
+    }
+
+    // Multi-line request: the caller's callback fires when the last
+    // beat completes.
+    auto remaining = std::make_shared<std::size_t>(count);
+    auto latest = std::make_shared<Tick>(0);
+    auto cb = std::make_shared<MemCallback>(std::move(req.onComplete));
+    for (Addr line = first_line; line <= last_line; ++line) {
+        MemCallback part;
+        if (*cb) {
+            part = [remaining, latest, cb](Tick when) {
+                *latest = std::max(*latest, when);
+                if (--*remaining == 0)
+                    (*cb)(*latest);
+            };
+        }
+        enqueueLine(line * config.lineBytes, req.write, req.cls,
+                    req.tileTag, std::move(part));
+    }
+}
+
+} // namespace libra

@@ -1,0 +1,32 @@
+#include "energy/energy_model.hh"
+
+namespace libra
+{
+
+EnergyBreakdown
+computeEnergy(const EnergyParams &params, const EnergyEvents &events)
+{
+    constexpr double pj_to_mj = 1e-9;
+
+    EnergyBreakdown out;
+    out.coreMj = pj_to_mj
+        * (static_cast<double>(events.warpInstructions) * params.aluOpPj
+           + static_cast<double>(events.vertices) * params.vertexPj);
+    out.cacheMj = pj_to_mj
+        * (static_cast<double>(events.l1Accesses) * params.l1AccessPj
+           + static_cast<double>(events.l2Accesses) * params.l2AccessPj);
+    out.dramMj = pj_to_mj
+        * (static_cast<double>(events.dramLines) * params.dramLinePj
+           + static_cast<double>(events.dramActivates)
+                 * params.dramActivatePj);
+    out.fixedFunctionMj = pj_to_mj
+        * (static_cast<double>(events.rasterQuads) * params.rasterQuadPj
+           + static_cast<double>(events.blendQuads) * params.blendQuadPj);
+    out.staticMj = pj_to_mj
+        * static_cast<double>(events.cycles) * params.staticPjPerCycle;
+    out.totalMj = out.coreMj + out.cacheMj + out.dramMj
+        + out.fixedFunctionMj + out.staticMj;
+    return out;
+}
+
+} // namespace libra

@@ -1,0 +1,134 @@
+#include "gpu/geometry/geometry_pipeline.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+GeometryPipeline::GeometryPipeline(EventQueue &eq,
+                                   const GeometryConfig &cfg,
+                                   Cache &vertex_cache, MemSink &l2_sink)
+    : queue(eq), config(cfg), vertexCache(vertex_cache), l2(l2_sink)
+{
+    libra_assert(config.vertexProcessors > 0, "no vertex processors");
+}
+
+void
+GeometryPipeline::run(const FrameData &frame, const BinnedFrame &binned,
+                      std::function<void(Tick)> on_done)
+{
+    curFrame = &frame;
+    curBinned = &binned;
+    onDone = std::move(on_done);
+    transformReadyAt = queue.now();
+    processDraw(frame, 0);
+}
+
+void
+GeometryPipeline::processDraw(const FrameData &frame, std::size_t draw_idx)
+{
+    if (draw_idx >= frame.draws.size()) {
+        startBinning();
+        return;
+    }
+
+    const DrawCall &draw = frame.draws[draw_idx];
+    ++drawsProcessed;
+    verticesProcessed += draw.vertexCount;
+
+    // Vertex fetch: stream the draw's vertex data through the Vertex
+    // cache; the transform phase starts when the data is in.
+    const std::uint32_t bytes =
+        std::max(1u, draw.vertexCount * config.vertexBytes);
+
+    vertexCache.access(MemReq{
+        draw.vertexAddr, bytes, false, TrafficClass::Geometry, invalidId,
+        [this, &frame, draw_idx](Tick fetched) {
+            const DrawCall &d = frame.draws[draw_idx];
+            // Transform: pipelined across the vertex processors, plus a
+            // fixed per-draw overhead (state changes, driver work).
+            const Tick cycles = config.drawOverheadCycles
+                + static_cast<Tick>(d.vertexCount) * d.vertexCostCycles
+                    / config.vertexProcessors;
+            transformReadyAt =
+                std::max(transformReadyAt, fetched) + cycles;
+            queue.schedule(transformReadyAt, [this, &frame, draw_idx] {
+                processDraw(frame, draw_idx + 1);
+            });
+        }});
+}
+
+void
+GeometryPipeline::startBinning()
+{
+    // The Polygon List Builder consumes assembled primitives and emits
+    // parameter-buffer traffic: one record per primitive plus one list
+    // entry per (primitive, tile) pair, written through the L2.
+    const BinnedFrame &binned = *curBinned;
+    const std::uint64_t entries = binned.binEntries();
+
+    // Collect every parameter-buffer write, then pace them evenly over
+    // the binning window — the Polygon List Builder emits entries as it
+    // consumes primitives, not as one burst.
+    std::vector<MemReq> pb_writes;
+    for (TileId tile = 0; tile < binned.tileLists.size(); ++tile) {
+        const auto &list = binned.tileLists[tile];
+        if (list.empty())
+            continue;
+        const std::uint32_t entries_per_line =
+            std::max(1u, 64u / binned.layout.listEntryBytes);
+        for (std::uint32_t first = 0; first < list.size();
+             first += entries_per_line) {
+            pb_writes.push_back(MemReq{
+                binned.layout.listEntryAddr(tile, first), 64, true,
+                TrafficClass::ParameterBuffer, invalidId, nullptr});
+        }
+    }
+    for (std::uint32_t prim = 0;
+         prim < static_cast<std::uint32_t>(binned.tris.size()); ++prim) {
+        pb_writes.push_back(MemReq{binned.layout.primRecordAddr(prim),
+                                   binned.layout.primRecordBytes, true,
+                                   TrafficClass::ParameterBuffer,
+                                   invalidId, nullptr});
+    }
+    binEntriesWritten += entries;
+    primRecordsWritten += binned.tris.size();
+
+    const Tick bin_cycles = std::max<std::uint64_t>(
+        1, entries / std::max(config.binEntriesPerCycle, 1u));
+    const Tick bin_start = std::max(transformReadyAt, queue.now());
+
+    constexpr std::size_t batch_size = 32;
+    const std::size_t batches =
+        (pb_writes.size() + batch_size - 1) / std::max<std::size_t>(
+            batch_size, 1);
+    if (batches > 0) {
+        const Tick spacing =
+            std::max<Tick>(1, bin_cycles / batches);
+        auto writes =
+            std::make_shared<std::vector<MemReq>>(std::move(pb_writes));
+        for (std::size_t b = 0; b < batches; ++b) {
+            queue.schedule(bin_start + b * spacing, [this, writes, b] {
+                const std::size_t begin = b * batch_size;
+                const std::size_t end = std::min(begin + batch_size,
+                                                 writes->size());
+                for (std::size_t i = begin; i < end; ++i)
+                    l2.access((*writes)[i]);
+            });
+        }
+    }
+
+    const Tick done = bin_start + bin_cycles;
+    queue.schedule(done, [this, done] {
+        auto cb = std::move(onDone);
+        curFrame = nullptr;
+        curBinned = nullptr;
+        if (cb)
+            cb(done);
+    });
+}
+
+} // namespace libra

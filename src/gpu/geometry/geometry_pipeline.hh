@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The Geometry Pipeline + Tiling Engine timing model (paper §II-A).
+ *
+ * Per draw call: the Vertex Fetcher streams vertex data through the
+ * Vertex cache, the Vertex Processors transform vertices at a
+ * user-shader-dependent rate, primitives are assembled and culled, and
+ * the Polygon List Builder writes the per-tile lists and primitive
+ * records into the Parameter Buffer (posted writes through the L2).
+ *
+ * The functional side of binning lives in polygon_list_builder.*; this
+ * class charges its time and memory traffic. Rasterization dominates
+ * frames by far (Fig. 1: ~88% raster), but the geometry phase matters to
+ * LIBRA because the temperature-table ranking must hide beneath it
+ * (§III-E) — the Gpu asserts that every frame.
+ */
+
+#ifndef LIBRA_GPU_GEOMETRY_GEOMETRY_PIPELINE_HH
+#define LIBRA_GPU_GEOMETRY_GEOMETRY_PIPELINE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "gpu/tiling/polygon_list_builder.hh"
+#include "sim/event_queue.hh"
+#include "workload/scene.hh"
+
+namespace libra
+{
+
+/** Geometry-pipeline configuration slice. */
+struct GeometryConfig
+{
+    std::uint32_t vertexProcessors = 2;
+    std::uint32_t vertexBytes = 32;
+    std::uint32_t binEntriesPerCycle = 2;
+    std::uint32_t drawOverheadCycles = 400; //!< per-draw-call setup
+};
+
+class GeometryPipeline
+{
+  public:
+    GeometryPipeline(EventQueue &eq, const GeometryConfig &cfg,
+                     Cache &vertex_cache, MemSink &l2);
+
+    /**
+     * Run the geometry + tiling phases for one frame; @p on_done fires
+     * at the tick the Parameter Buffer is complete and the Raster
+     * Pipeline may start.
+     */
+    void run(const FrameData &frame, const BinnedFrame &binned,
+             std::function<void(Tick)> on_done);
+
+    Counter verticesProcessed;
+    Counter drawsProcessed;
+    Counter binEntriesWritten;
+    Counter primRecordsWritten;
+
+  private:
+    void processDraw(const FrameData &frame, std::size_t draw_idx);
+    void startBinning();
+
+    EventQueue &queue;
+    GeometryConfig config;
+    Cache &vertexCache;
+    MemSink &l2;
+
+    const FrameData *curFrame = nullptr;
+    const BinnedFrame *curBinned = nullptr;
+    std::function<void(Tick)> onDone;
+    Tick transformReadyAt = 0;
+};
+
+} // namespace libra
+
+#endif // LIBRA_GPU_GEOMETRY_GEOMETRY_PIPELINE_HH

@@ -1,0 +1,355 @@
+#include "gpu/gpu.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+Gpu::Gpu(const GpuConfig &cfg)
+    : config(cfg),
+      grid(cfg.screenWidth, cfg.screenHeight, cfg.tileSize),
+      tempTable(grid.tileCount())
+{
+    libra_assert(config.rasterUnits > 0 && config.coresPerRu > 0,
+                 "GPU needs Raster Units and cores");
+
+    dramModel = std::make_unique<Dram>(queue, config.dram);
+    idealSink = std::make_unique<IdealMemory>(queue, 0);
+
+    CacheConfig l2_cfg = config.l2;
+    CacheConfig vtx_cfg = config.vertexCache;
+    CacheConfig tile_cfg = config.tileCache;
+    if (config.idealMemory) {
+        l2_cfg.alwaysHit = true;
+        vtx_cfg.alwaysHit = true;
+        tile_cfg.alwaysHit = true;
+    }
+
+    l2 = std::make_unique<Cache>(queue, l2_cfg, *dramModel);
+    vertexCache = std::make_unique<Cache>(queue, vtx_cfg, *l2);
+    tileCache = std::make_unique<Cache>(queue, tile_cfg, *l2);
+
+    MemSink &fb_sink = config.idealMemory
+        ? static_cast<MemSink &>(*idealSink)
+        : static_cast<MemSink &>(*dramModel);
+
+    // One private texture L1 per shader core, all behind the shared L2.
+    for (std::uint32_t ru = 0; ru < config.rasterUnits; ++ru) {
+        for (std::uint32_t c = 0; c < config.coresPerRu; ++c) {
+            CacheConfig tex_cfg = config.textureCache;
+            std::ostringstream name;
+            name << "tex_l1_ru" << ru << "_c" << c;
+            tex_cfg.name = name.str();
+            if (config.idealMemory)
+                tex_cfg.alwaysHit = true;
+            texL1s.push_back(
+                std::make_unique<Cache>(queue, tex_cfg, *l2));
+            replTracker.attach(*texL1s.back());
+        }
+    }
+
+    GeometryConfig geom_cfg;
+    geom_cfg.vertexProcessors = config.vertexProcessors;
+    geom_cfg.binEntriesPerCycle = config.binTilesPerCycle;
+    geometry = std::make_unique<GeometryPipeline>(queue, geom_cfg,
+                                                  *vertexCache, *l2);
+
+    for (std::uint32_t ru = 0; ru < config.rasterUnits; ++ru) {
+        RasterUnitConfig ru_cfg;
+        ru_cfg.index = ru;
+        ru_cfg.tileSize = config.tileSize;
+        ru_cfg.cores = config.coresPerRu;
+        ru_cfg.warpsPerCore = config.warpsPerCore;
+        ru_cfg.warpQuads = config.warpQuads;
+        ru_cfg.pendingWarpsPerCore = config.pendingWarpsPerCore;
+        ru_cfg.rasterQuadsPerCycle = config.rasterQuadsPerCycle;
+        ru_cfg.earlyZQuadsPerCycle = config.earlyZQuadsPerCycle;
+        ru_cfg.blendQuadsPerCycle = config.blendQuadsPerCycle;
+        ru_cfg.flushLinesPerCycle = config.flushLinesPerCycle;
+        ru_cfg.fifoDepth = config.fifoDepth;
+        ru_cfg.captureImage = config.captureImage;
+        ru_cfg.transactionElimination = config.transactionElimination;
+        ru_cfg.fbCompressionRatio = config.fbCompressionRatio;
+
+        std::vector<Cache *> l1s;
+        for (std::uint32_t c = 0; c < config.coresPerRu; ++c)
+            l1s.push_back(texL1s[ru * config.coresPerRu + c].get());
+
+        rus.push_back(std::make_unique<RasterUnit>(queue, ru_cfg, grid,
+                                                   fb_sink, l1s));
+        RasterUnit *unit = rus.back().get();
+        unit->flushNeeded = [this](TileId tile, std::uint64_t sig) {
+            const bool changed = tileSignatures[tile] != sig;
+            tileSignatures[tile] = sig;
+            return changed;
+        };
+        unit->onTileDone = [this](const TileDoneInfo &info) {
+            ++tilesFlushed;
+            tileInstr[info.tile] += info.instructions;
+            tempTable.addInstructions(info.tile, info.instructions);
+            frameInstructions += info.instructions;
+            frameFragments += info.fragments;
+            frameWarps += info.warps;
+            if (config.captureImage && info.colorBuffer) {
+                const IRect &r = info.rect;
+                for (std::int32_t y = r.y0; y < r.y1; ++y) {
+                    for (std::int32_t x = r.x0; x < r.x1; ++x) {
+                        image[static_cast<std::size_t>(y)
+                                  * config.screenWidth
+                              + static_cast<std::size_t>(x)] =
+                            (*info.colorBuffer)
+                                [static_cast<std::size_t>(y - r.y0)
+                                     * config.tileSize
+                                 + static_cast<std::size_t>(x - r.x0)];
+                    }
+                }
+            }
+        };
+    }
+
+    tileSched = std::make_unique<TileScheduler>(config.sched, grid,
+                                                config.rasterUnits);
+    std::vector<RasterSink *> ru_ptrs;
+    for (auto &unit : rus)
+        ru_ptrs.push_back(unit.get());
+    fetcher = std::make_unique<TileFetcher>(queue, *tileCache, ru_ptrs,
+                                            *tileSched);
+
+    // DRAM observer: attribute accesses to tiles (temperature table) and
+    // build the Fig. 7 timeline during the raster phase.
+    dramModel->setObserver([this](const DramAccessInfo &info) {
+        if (info.tileTag != invalidId
+            && info.tileTag < grid.tileCount()) {
+            tempTable.addDramAccess(info.tileTag);
+        }
+        if (rasterActive && info.queued >= rasterStartTick) {
+            const auto bucket = static_cast<std::size_t>(
+                (info.queued - rasterStartTick) / 5000);
+            if (timeline.size() <= bucket)
+                timeline.resize(bucket + 1, 0);
+            ++timeline[bucket];
+        }
+    });
+
+    // Register the full stat tree.
+    statGroup.addChild(dramModel->stats());
+    statGroup.addChild(l2->stats());
+    statGroup.addChild(vertexCache->stats());
+    statGroup.addChild(tileCache->stats());
+    for (auto &tex : texL1s)
+        statGroup.addChild(tex->stats());
+    for (auto &unit : rus)
+        statGroup.addChild(unit->stats());
+
+    tileInstr.resize(grid.tileCount(), 0);
+    // Seed with a sentinel so every tile flushes on the first frame.
+    tileSignatures.resize(grid.tileCount(),
+                          0xfeedfacecafebeefull);
+    if (config.captureImage) {
+        image.resize(static_cast<std::size_t>(config.screenWidth)
+                     * config.screenHeight, 0);
+    }
+}
+
+Gpu::~Gpu() = default;
+
+Gpu::RawTotals
+Gpu::collectTotals() const
+{
+    RawTotals t;
+    for (const auto &tex : texL1s) {
+        // Secondary misses (coalesced into an in-flight fill) count as
+        // hits: they are texture-unit request merging, not extra DRAM
+        // pressure, matching how trace-driven GPU models report the
+        // texture-cache hit ratio.
+        t.texHits += tex->hits.value() + tex->mshrCoalesced.value();
+        t.texMisses += tex->misses.value();
+        t.l1Accesses += tex->readAccesses.value()
+            + tex->writeAccesses.value();
+    }
+    t.l1Accesses += vertexCache->readAccesses.value()
+        + vertexCache->writeAccesses.value()
+        + tileCache->readAccesses.value()
+        + tileCache->writeAccesses.value();
+    t.l2Accesses = l2->readAccesses.value() + l2->writeAccesses.value();
+    t.l2Hits = l2->hits.value();
+    t.l2Misses = l2->misses.value();
+    t.dramReads = dramModel->reads.value();
+    t.dramWrites = dramModel->writes.value();
+    t.dramActs = dramModel->activates.value();
+    t.dramReadLatSum = dramModel->totalReadLatency.value();
+    for (const auto &unit : rus) {
+        t.texLatSum += unit->texLatencySum.value();
+        t.texReqs += unit->texRequests.value();
+        t.quads += unit->quadsProduced.value();
+    }
+    t.vertices = geometry->verticesProcessed.value();
+    t.replInstalls = replTracker.installs();
+    t.replReplicated = replTracker.replicatedInstalls();
+    return t;
+}
+
+double
+Gpu::textureHitRatio() const
+{
+    const RawTotals t = collectTotals();
+    const std::uint64_t total = t.texHits + t.texMisses;
+    return total == 0 ? 1.0
+                      : static_cast<double>(t.texHits) / total;
+}
+
+FrameStats
+Gpu::renderFrame(const FrameData &frame, const TexturePool &pool)
+{
+    const Tick frame_start = queue.now();
+    const RawTotals before = collectTotals();
+
+    // Functional binning (the timing is charged by GeometryPipeline).
+    const BinnedFrame binned = binFrame(frame, grid);
+
+    // Scheduler decision for this frame, from last frame's feedback —
+    // the ranking happens in parallel with the geometry phase (§III-E).
+    tileSched->beginFrame(feedback);
+
+    // The parameter buffer is rewritten every frame: stale Tile-cache
+    // lines from the previous frame must not hit.
+    tileCache->invalidateAll();
+
+    tempTable.reset();
+    std::fill(tileInstr.begin(), tileInstr.end(), 0);
+    if (config.captureImage)
+        std::fill(image.begin(), image.end(), 0);
+    tilesFlushed = 0;
+    timeline.clear();
+    frameInstructions = 0;
+    frameFragments = 0;
+    frameWarps = 0;
+
+    // --- Geometry phase ------------------------------------------------
+    bool geom_done = false;
+    Tick geom_end = frame_start;
+    geometry->run(frame, binned, [&](Tick when) {
+        geom_done = true;
+        geom_end = when;
+    });
+    while (!geom_done) {
+        const bool progressed = queue.runOne();
+        libra_assert(progressed, "geometry phase deadlocked");
+    }
+
+    // The temperature ranking must hide under the geometry phase
+    // (§III-E). Warn if a configuration ever violates that.
+    if (tileSched->lastRankingCycles() > geom_end - frame_start) {
+        warn("ranking (", tileSched->lastRankingCycles(),
+             " cycles) exceeds the geometry phase (",
+             geom_end - frame_start, " cycles)");
+    }
+
+    // --- Raster phase ----------------------------------------------------
+    rasterStartTick = queue.now();
+    rasterActive = true;
+    for (auto &unit : rus)
+        unit->beginFrame(binned, pool);
+    fetcher->beginFrame(binned);
+
+    while (tilesFlushed < grid.tileCount()) {
+        const bool progressed = queue.runOne();
+        libra_assert(progressed, "raster phase deadlocked with ",
+                     grid.tileCount() - tilesFlushed, " tiles pending");
+    }
+    // Drain stragglers (in-flight write-backs, bookkeeping events).
+    queue.runUntil(maxTick);
+    rasterActive = false;
+
+    for (auto &unit : rus)
+        libra_assert(unit->idle(), "Raster Unit not idle at frame end");
+
+    const Tick frame_end = queue.now();
+    const RawTotals after = collectTotals();
+
+    // --- Package the stats ----------------------------------------------
+    FrameStats fs;
+    fs.frameIndex = framesRendered++;
+    fs.totalCycles = frame_end - frame_start;
+    fs.geomCycles = geom_end - frame_start;
+    fs.rasterCycles = frame_end - rasterStartTick;
+
+    fs.dramReads = after.dramReads - before.dramReads;
+    fs.dramWrites = after.dramWrites - before.dramWrites;
+    fs.dramActivates = after.dramActs - before.dramActs;
+    fs.avgDramReadLatency = fs.dramReads == 0
+        ? 0.0
+        : static_cast<double>(after.dramReadLatSum
+                              - before.dramReadLatSum)
+            / static_cast<double>(fs.dramReads);
+
+    const std::uint64_t tex_hits = after.texHits - before.texHits;
+    const std::uint64_t tex_misses = after.texMisses - before.texMisses;
+    fs.textureHitRatio = tex_hits + tex_misses == 0
+        ? 1.0
+        : static_cast<double>(tex_hits) / (tex_hits + tex_misses);
+    fs.textureMisses = tex_misses;
+    fs.textureL1Accesses = tex_hits + tex_misses;
+    fs.textureRequests = after.texReqs - before.texReqs;
+    fs.avgTextureLatency = fs.textureRequests == 0
+        ? 0.0
+        : static_cast<double>(after.texLatSum - before.texLatSum)
+            / static_cast<double>(fs.textureRequests);
+
+    const std::uint64_t l2_hits = after.l2Hits - before.l2Hits;
+    const std::uint64_t l2_misses = after.l2Misses - before.l2Misses;
+    fs.l2HitRatio = l2_hits + l2_misses == 0
+        ? 1.0
+        : static_cast<double>(l2_hits) / (l2_hits + l2_misses);
+
+    const std::uint64_t repl_installs =
+        after.replInstalls - before.replInstalls;
+    const std::uint64_t repl_repl =
+        after.replReplicated - before.replReplicated;
+    fs.replicationRatio = repl_installs == 0
+        ? 0.0
+        : static_cast<double>(repl_repl)
+            / static_cast<double>(repl_installs);
+
+    fs.instructions = frameInstructions;
+    fs.fragments = frameFragments;
+    fs.warps = frameWarps;
+    fs.quads = after.quads - before.quads;
+
+    fs.tileDram = tempTable.dramVector();
+    fs.tileInstr = tileInstr;
+    fs.dramTimeline = timeline;
+
+    fs.temperatureOrder = tileSched->temperatureOrderActive();
+    fs.supertileSize = tileSched->supertileSize();
+    fs.rankingCycles = tileSched->lastRankingCycles();
+
+    EnergyEvents ev;
+    ev.warpInstructions = frameInstructions;
+    ev.l1Accesses = after.l1Accesses - before.l1Accesses;
+    ev.l2Accesses = after.l2Accesses - before.l2Accesses;
+    ev.dramLines = fs.dramReads + fs.dramWrites;
+    ev.dramActivates = fs.dramActivates;
+    ev.rasterQuads = fs.quads;
+    ev.blendQuads = fs.quads;
+    ev.vertices = after.vertices - before.vertices;
+    ev.cycles = fs.totalCycles;
+    fs.energy = computeEnergy(energyParams, ev);
+
+    if (config.captureImage)
+        fs.image = image;
+
+    // Feedback for the next frame's scheduling decisions.
+    feedback.valid = true;
+    feedback.rasterCycles = fs.rasterCycles;
+    feedback.textureHitRatio = fs.textureHitRatio;
+    feedback.tileDramAccesses = fs.tileDram;
+    feedback.tileInstructions = fs.tileInstr;
+
+    return fs;
+}
+
+} // namespace libra

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The complete modeled GPU: geometry pipeline, tiling engine, one or
+ * more Raster Units, the cache hierarchy and DRAM, the LIBRA tile
+ * scheduler and the per-frame statistics plumbing (paper Fig. 3/Fig. 5).
+ */
+
+#ifndef LIBRA_GPU_GPU_HH
+#define LIBRA_GPU_GPU_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/mem_system.hh"
+#include "core/temperature_table.hh"
+#include "core/tile_scheduler.hh"
+#include "dram/dram.hh"
+#include "energy/energy_model.hh"
+#include "gpu/geometry/geometry_pipeline.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/raster/raster_unit.hh"
+#include "gpu/tiling/tile_fetcher.hh"
+#include "gpu/tiling/tile_grid.hh"
+#include "sim/event_queue.hh"
+#include "workload/scene.hh"
+
+namespace libra
+{
+
+/** Everything measured while rendering one frame. */
+struct FrameStats
+{
+    std::uint32_t frameIndex = 0;
+    Tick totalCycles = 0;
+    Tick geomCycles = 0;
+    Tick rasterCycles = 0;
+
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t dramActivates = 0;
+    double avgDramReadLatency = 0.0;
+
+    double textureHitRatio = 1.0;
+    double avgTextureLatency = 0.0;
+    std::uint64_t textureRequests = 0;
+    std::uint64_t textureMisses = 0;
+    std::uint64_t textureL1Accesses = 0; //!< texture-L1 hits + misses
+    double l2HitRatio = 1.0;
+    double replicationRatio = 0.0;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t fragments = 0;
+    std::uint64_t warps = 0;
+    std::uint64_t quads = 0;
+
+    /** Per-tile DRAM accesses / instructions (temperature inputs). */
+    std::vector<std::uint64_t> tileDram;
+    std::vector<std::uint64_t> tileInstr;
+
+    /** DRAM requests per interval of the raster phase (Fig. 7). */
+    std::vector<std::uint32_t> dramTimeline;
+    std::uint32_t dramTimelineInterval = 5000;
+
+    EnergyBreakdown energy;
+
+    /** Scheduler decisions taken for this frame. */
+    bool temperatureOrder = false;
+    std::uint32_t supertileSize = 1;
+    std::uint64_t rankingCycles = 0;
+
+    /** Final per-pixel hash image (only with captureImage). */
+    std::vector<std::uint64_t> image;
+};
+
+class Gpu
+{
+  public:
+    explicit Gpu(const GpuConfig &cfg);
+    ~Gpu();
+
+    Gpu(const Gpu &) = delete;
+    Gpu &operator=(const Gpu &) = delete;
+
+    /** Render one frame; the pool must own every referenced texture. */
+    FrameStats renderFrame(const FrameData &frame,
+                           const TexturePool &pool);
+
+    const GpuConfig &cfg() const { return config; }
+    const TileGrid &tileGrid() const { return grid; }
+    EventQueue &eventQueue() { return queue; }
+    Dram &dram() { return *dramModel; }
+    TileScheduler &scheduler() { return *tileSched; }
+
+    /** Cumulative (run-lifetime) counters of every component. */
+    const StatGroup &stats() const { return statGroup; }
+
+    /** Texture-L1 aggregate hit ratio since construction. */
+    double textureHitRatio() const;
+
+    EnergyParams energyParams; //!< tweakable before rendering
+
+  private:
+    struct RawTotals
+    {
+        std::uint64_t texHits = 0;      //!< includes coalesced requests
+        std::uint64_t texMisses = 0;
+        std::uint64_t texLatSum = 0;
+        std::uint64_t texReqs = 0;
+        std::uint64_t l1Accesses = 0;
+        std::uint64_t l2Accesses = 0;
+        std::uint64_t l2Hits = 0;
+        std::uint64_t l2Misses = 0;
+        std::uint64_t dramReads = 0;
+        std::uint64_t dramWrites = 0;
+        std::uint64_t dramActs = 0;
+        std::uint64_t dramReadLatSum = 0;
+        std::uint64_t quads = 0;
+        std::uint64_t vertices = 0;
+        std::uint64_t replInstalls = 0;
+        std::uint64_t replReplicated = 0;
+    };
+    RawTotals collectTotals() const;
+
+    GpuConfig config;
+    TileGrid grid;
+    EventQueue queue;
+
+    std::unique_ptr<Dram> dramModel;
+    std::unique_ptr<IdealMemory> idealSink; //!< idealMemory mode
+    std::unique_ptr<Cache> l2;
+    std::unique_ptr<Cache> vertexCache;
+    std::unique_ptr<Cache> tileCache;
+    std::vector<std::unique_ptr<Cache>> texL1s;
+    ReplicationTracker replTracker;
+
+    std::unique_ptr<GeometryPipeline> geometry;
+    std::vector<std::unique_ptr<RasterUnit>> rus;
+    std::unique_ptr<TileScheduler> tileSched;
+    std::unique_ptr<TileFetcher> fetcher;
+
+    TemperatureTable tempTable;
+    FrameFeedback feedback;
+
+    // Per-frame collection state.
+    bool rasterActive = false;
+    Tick rasterStartTick = 0;
+    std::uint32_t tilesFlushed = 0;
+    std::vector<std::uint32_t> timeline;
+    std::vector<std::uint64_t> tileInstr;
+    std::vector<std::uint64_t> tileSignatures; //!< transaction elim.
+    std::vector<std::uint64_t> image;
+    std::uint64_t frameInstructions = 0;
+    std::uint64_t frameFragments = 0;
+    std::uint64_t frameWarps = 0;
+    std::uint32_t framesRendered = 0;
+
+    StatGroup statGroup{"gpu"};
+};
+
+} // namespace libra
+
+#endif // LIBRA_GPU_GPU_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Blending Unit and on-chip Color Buffer (paper §II-A).
+ *
+ * Output colors are combined into the tile-sized on-chip Color Buffer at
+ * a fixed quad rate; no DRAM traffic happens here. The unit also keeps
+ * an optional functional "image": a per-pixel order-sensitive hash of
+ * the fragments written, used by the tests to prove that tile scheduling
+ * never changes the rendered output.
+ */
+
+#ifndef LIBRA_GPU_RASTER_BLEND_UNIT_HH
+#define LIBRA_GPU_RASTER_BLEND_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geom.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "gpu/raster/rasterizer.hh"
+
+namespace libra
+{
+
+/** Per-tile blender with a busy-until throughput model. */
+class BlendUnit
+{
+  public:
+    BlendUnit(std::uint32_t tile_size, std::uint32_t quads_per_cycle);
+
+    /** Start a new tile at @p rect; clears the color buffer. */
+    void beginTile(const IRect &rect);
+
+    /**
+     * Accept @p quads quads that became ready at @p ready.
+     * @return the tick blending of this batch completes.
+     */
+    Tick acceptQuads(Tick ready, std::uint32_t quads);
+
+    /** Functionally blend a quad into the hash image. */
+    void blendQuad(const Quad &quad, std::uint32_t prim_id);
+
+    /** Color-buffer contents for the current tile (pixel hashes). */
+    const std::vector<std::uint64_t> &colorBuffer() const { return color; }
+
+    const IRect &tileRect() const { return rect; }
+
+    Counter quadsBlended;
+    Counter fragmentsWritten;
+
+  private:
+    std::uint32_t tileSize;
+    std::uint32_t quadsPerCycle;
+    IRect rect;
+    Tick readyAt = 0;
+    std::vector<std::uint64_t> color;
+};
+
+} // namespace libra
+
+#endif // LIBRA_GPU_RASTER_BLEND_UNIT_HH

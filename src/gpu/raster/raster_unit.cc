@@ -1,0 +1,466 @@
+#include "gpu/raster/raster_unit.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include <bit>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace libra
+{
+
+RasterUnit::RasterUnit(EventQueue &eq, const RasterUnitConfig &cfg,
+                       const TileGrid &tile_grid,
+                       MemSink &frame_buffer_sink,
+                       std::vector<Cache *> texture_l1s)
+    : queue(eq), config(cfg), grid(tile_grid), fbSink(frame_buffer_sink),
+      statGroup("ru" + std::to_string(cfg.index))
+{
+    libra_assert(texture_l1s.size() == cfg.cores,
+                 "need one texture L1 per core");
+    for (std::uint32_t i = 0; i < cfg.cores; ++i) {
+        std::ostringstream name;
+        name << "ru" << cfg.index << ".core" << i;
+        cores.push_back(std::make_unique<ShaderCore>(
+            eq, cfg.warpsPerCore, *texture_l1s[i], name.str()));
+    }
+    maxPendingWarps = cfg.pendingWarpsPerCore * cfg.cores;
+
+    statGroup.add("prims_rasterized", &primsRasterized);
+    statGroup.add("quads_produced", &quadsProduced);
+    statGroup.add("warps_launched", &warpsLaunched);
+    statGroup.add("tiles_rendered", &tilesRendered);
+    statGroup.add("flush_bytes", &flushBytes);
+    statGroup.add("tex_latency_sum", &texLatencySum);
+    statGroup.add("tex_requests", &texRequests);
+    statGroup.add("fragments_shaded", &fragmentsShaded);
+    statGroup.add("flushes_elided", &flushesElided);
+}
+
+void
+RasterUnit::beginFrame(const BinnedFrame &binned, const TexturePool &pool)
+{
+    libra_assert(idle(), "beginFrame on a busy Raster Unit");
+    frame = &binned;
+    texPool = &pool;
+}
+
+void
+RasterUnit::push(const RasterWork &work)
+{
+    libra_assert(canPush(), "push to a full FIFO");
+    fifo.push_back(work);
+    tryAdvance();
+}
+
+bool
+RasterUnit::idle() const
+{
+    return !frag && !ahead && fifo.empty() && pendingWarps.empty();
+}
+
+void
+RasterUnit::tryAdvance()
+{
+    if (inAdvance)
+        return;
+    inAdvance = true;
+
+    while (true) {
+        const Tick now = queue.now();
+        if (now < frontReadyAt) {
+            if (!advanceScheduled) {
+                advanceScheduled = true;
+                queue.schedule(frontReadyAt, [this] {
+                    advanceScheduled = false;
+                    tryAdvance();
+                });
+            }
+            break;
+        }
+        if (fifo.empty())
+            break;
+
+        const RasterWork &head = fifo.front();
+        if (head.kind == RasterWork::Kind::TileBegin && frag && ahead) {
+            // No free tile context; resumed when the fragment-stage
+            // tile completes.
+            break;
+        }
+        if (head.kind == RasterWork::Kind::Prim
+            && pendingWarps.size() >= maxPendingWarps) {
+            // Warp backlog full; resumed by dispatchPending().
+            break;
+        }
+
+        const RasterWork work = head;
+        fifo.pop_front();
+        processWork(work);
+        if (onSpaceFreed)
+            onSpaceFreed();
+    }
+
+    inAdvance = false;
+}
+
+void
+RasterUnit::processWork(const RasterWork &work)
+{
+    const Tick now = queue.now();
+    switch (work.kind) {
+      case RasterWork::Kind::TileBegin: {
+        auto ctx = std::make_unique<TileCtx>(config.tileSize,
+                                             config.blendQuadsPerCycle);
+        ctx->tile = work.tile;
+        ctx->rect = grid.tileRect(work.tile);
+        ctx->zbuf.beginTile(ctx->rect);
+        ctx->blender.beginTile(ctx->rect);
+        if (!frag)
+            frag = std::move(ctx);
+        else
+            ahead = std::move(ctx);
+        frontReadyAt = now + 1;
+        break;
+      }
+      case RasterWork::Kind::Prim:
+        rasterizePrim(work.primIndex);
+        break;
+      case RasterWork::Kind::TileEnd: {
+        TileCtx *ctx = rasterCtx();
+        libra_assert(ctx && ctx->tile == work.tile,
+                     "TileEnd without a matching TileBegin");
+        ctx->endSeen = true;
+        frontReadyAt = now + 1;
+        maybeCompleteTile();
+        break;
+      }
+    }
+}
+
+void
+RasterUnit::rasterizePrim(std::uint32_t prim_index)
+{
+    TileCtx *ctx = rasterCtx();
+    libra_assert(ctx, "primitive outside any tile");
+    libra_assert(frame && prim_index < frame->tris.size(),
+                 "bad primitive index");
+    const Triangle &tri = frame->tris[prim_index];
+    const Texture &tex = texPool->get(tri.textureId);
+
+    const TriangleSetup setup(tri, tex);
+    RasterOutput out;
+    setup.rasterize(ctx->rect, out);
+    ++primsRasterized;
+
+    // Early-Z: opaque primitives write depth, blended ones only test.
+    std::vector<Quad> survivors;
+    survivors.reserve(out.quads.size());
+    for (Quad &quad : out.quads) {
+        if (ctx->zbuf.testQuad(quad, !tri.blend) != 0)
+            survivors.push_back(quad);
+    }
+    quadsProduced += survivors.size();
+
+    // Front-end occupancy: block scan rate plus Early-Z rate.
+    const Tick raster_cycles = std::max<Tick>(
+        1, out.blocksScanned / std::max(config.rasterQuadsPerCycle, 1u));
+    const Tick z_cycles =
+        out.quads.size() / std::max(config.earlyZQuadsPerCycle, 1u);
+    frontReadyAt = queue.now() + raster_cycles + z_cycles;
+
+    // Assemble surviving quads into warps (one primitive per warp,
+    // uniform shader state).
+    std::size_t i = 0;
+    while (i < survivors.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(config.warpQuads, survivors.size() - i);
+        std::vector<Quad> group(survivors.begin()
+                                    + static_cast<std::ptrdiff_t>(i),
+                                survivors.begin()
+                                    + static_cast<std::ptrdiff_t>(i + n));
+        emitWarp(*ctx, tri, prim_index, std::move(group));
+        i += n;
+    }
+}
+
+namespace
+{
+
+/**
+ * Frame-independent content hash of a primitive: identical geometry
+ * with identical state hashes identically even when its index in the
+ * frame's triangle list changes (used by transaction elimination).
+ */
+std::uint64_t
+primContentHash(const Triangle &tri)
+{
+    std::uint64_t h = tri.textureId;
+    h = hashCombine(h, (static_cast<std::uint64_t>(tri.shaderAluOps)
+                        << 2)
+                           ^ (tri.blend ? 1 : 0)
+                           ^ (tri.useMips ? 2 : 0));
+    for (const auto &v : tri.v) {
+        h = hashCombine(h, std::bit_cast<std::uint32_t>(v.pos.x));
+        h = hashCombine(h, std::bit_cast<std::uint32_t>(v.pos.y));
+        h = hashCombine(h, std::bit_cast<std::uint32_t>(v.pos.z));
+        h = hashCombine(h, std::bit_cast<std::uint32_t>(v.uv.x));
+        h = hashCombine(h, std::bit_cast<std::uint32_t>(v.uv.y));
+    }
+    return h;
+}
+
+} // namespace
+
+void
+RasterUnit::emitWarp(TileCtx &ctx, const Triangle &tri,
+                     std::uint32_t prim_index, std::vector<Quad> quads)
+{
+    const Texture &tex = texPool->get(tri.textureId);
+
+    WarpTask task;
+    task.tile = ctx.tile;
+    task.quadCount = static_cast<std::uint32_t>(quads.size());
+    task.aluOps = tri.shaderAluOps;
+    task.blend = tri.blend;
+    for (const Quad &quad : quads) {
+        task.fragments += static_cast<std::uint32_t>(quad.coveredCount());
+        for (std::uint8_t s = 0; s < tri.texSamples; ++s) {
+            // Sample 0 reads the interpolated uv; additional samples
+            // model secondary maps in another region of the sheet.
+            const Vec2 uv = s == 0
+                ? quad.uv
+                : Vec2{quad.uv.x * 0.5f + 0.27f,
+                       quad.uv.y * 0.5f + 0.61f};
+            task.texLines.push_back(tex.lineAddr(uv.x, uv.y, quad.mip));
+        }
+    }
+    task.instructions = static_cast<std::uint64_t>(task.aluOps)
+        + task.texLines.size() + ShaderCore::tailOps;
+
+    PendingWarp pending;
+    pending.ctx = &ctx;
+    pending.seq = ctx.nextSeq++;
+    pending.primId = prim_index;
+    pending.primSig = config.transactionElimination
+        ? primContentHash(tri)
+        : 0;
+    pending.task = std::move(task);
+    pending.quads = std::move(quads);
+    ++ctx.warps;
+    pendingWarps.push_back(std::move(pending));
+    dispatchPending();
+}
+
+void
+RasterUnit::dispatchPending()
+{
+    bool dispatched = false;
+    while (!pendingWarps.empty()) {
+        PendingWarp &head = pendingWarps.front();
+        if (head.ctx != frag.get())
+            break; // fragment-stage barrier (paper §III-A)
+
+        // Prefer a screen-space-banded core assignment: quads from the
+        // same 4-pixel row band go to the same core, so spatially
+        // adjacent warps (which share texture lines) share an L1. Real
+        // GPUs use static screen-space interleaving for the same
+        // reason. Fall back to any free core to keep the load balanced.
+        ShaderCore *target = nullptr;
+        if (!head.quads.empty()) {
+            const std::uint32_t band = head.quads.front().py / 4;
+            ShaderCore *preferred =
+                cores[band % cores.size()].get();
+            if (preferred->hasFreeSlot())
+                target = preferred;
+        }
+        if (!target) {
+            for (std::uint32_t i = 0; i < cores.size(); ++i) {
+                ShaderCore *candidate =
+                    cores[(nextCore + i) % cores.size()].get();
+                if (candidate->hasFreeSlot()) {
+                    target = candidate;
+                    nextCore = (nextCore + i + 1)
+                        % static_cast<std::uint32_t>(cores.size());
+                    break;
+                }
+            }
+        }
+        if (!target)
+            break; // resumed on warp retire
+
+        PendingWarp pending = std::move(pendingWarps.front());
+        pendingWarps.pop_front();
+        ++warpsLaunched;
+        TileCtx *ctx = pending.ctx;
+        const std::uint32_t seq = pending.seq;
+        const std::uint32_t prim_id = pending.primId;
+        const std::uint64_t prim_sig = pending.primSig;
+        auto quads = std::make_shared<std::vector<Quad>>(
+            std::move(pending.quads));
+        target->dispatch(std::move(pending.task),
+                         [this, ctx, seq, prim_id, prim_sig, quads](
+                             const WarpRetireInfo &info) {
+                             onWarpRetired(ctx, seq, prim_id, prim_sig,
+                                           std::move(*quads), info);
+                         });
+        dispatched = true;
+    }
+    if (dispatched)
+        tryAdvance(); // raster front may have been stalled on backlog
+}
+
+void
+RasterUnit::onWarpRetired(TileCtx *ctx, std::uint32_t seq,
+                          std::uint32_t prim_id, std::uint64_t prim_sig,
+                          std::vector<Quad> quads,
+                          const WarpRetireInfo &info)
+{
+    libra_assert(frag && ctx == frag.get(),
+                 "warp retired for a non-fragment-stage tile");
+    texLatencySum += info.texLatencySum;
+    texRequests += info.texRequests;
+    fragmentsShaded += info.fragments;
+
+    ctx->retired.emplace(seq,
+                         TileCtx::RetiredWarp{info, std::move(quads),
+                                              prim_id, prim_sig});
+    commitReadyWarps(*ctx);
+    dispatchPending();
+    maybeCompleteTile();
+}
+
+void
+RasterUnit::commitReadyWarps(TileCtx &ctx)
+{
+    // Blending commits strictly in warp-assembly (program) order, as a
+    // real ROP reorder queue does — overlapping primitives must blend
+    // in submission order for the output to be schedule-independent.
+    auto it = ctx.retired.find(ctx.nextCommit);
+    while (it != ctx.retired.end()) {
+        const TileCtx::RetiredWarp &rw = it->second;
+        const Tick ready = std::max(queue.now(), rw.info.shadedAt);
+        const Tick blend_done =
+            ctx.blender.acceptQuads(ready, rw.info.quadCount);
+        ctx.lastBlendDone = std::max(ctx.lastBlendDone, blend_done);
+        ctx.instructions += rw.info.instructions;
+        ctx.fragments += rw.info.fragments;
+        if (config.transactionElimination) {
+            // Order-sensitive content hash over frame-independent
+            // primitive signatures: identical primitive streams with
+            // identical coverage produce identical tile contents.
+            ctx.signature = hashCombine(ctx.signature, rw.primSig);
+            for (const Quad &quad : rw.quads) {
+                ctx.signature = hashCombine(
+                    ctx.signature,
+                    (static_cast<std::uint64_t>(quad.px) << 17)
+                        ^ (static_cast<std::uint64_t>(quad.py) << 2)
+                        ^ quad.mask);
+            }
+        }
+        if (config.captureImage) {
+            for (const Quad &quad : rw.quads)
+                ctx.blender.blendQuad(quad, rw.primId);
+        }
+        ctx.retired.erase(it);
+        ++ctx.nextCommit;
+        it = ctx.retired.find(ctx.nextCommit);
+    }
+}
+
+void
+RasterUnit::maybeCompleteTile()
+{
+    TileCtx *ctx = frag.get();
+    if (!ctx || ctx->completing || !ctx->endSeen
+        || ctx->nextCommit != ctx->nextSeq) {
+        return;
+    }
+    // All warps of the fragment-stage tile have committed.
+    ctx->completing = true;
+    const Tick done = std::max(queue.now(), ctx->lastBlendDone);
+    queue.schedule(done, [this] { startFlush(); });
+}
+
+void
+RasterUnit::startFlush()
+{
+    libra_assert(frag && frag->completing, "flush without a ready tile");
+
+    // Snapshot everything the flush and the done-callback need, then
+    // free the Fragment stage for the run-ahead tile (double-buffered
+    // color buffer).
+    auto ctx = std::move(frag);
+    frag = std::move(ahead);
+
+    const Tick now = queue.now();
+    const IRect rect = ctx->rect;
+    const std::uint32_t bytes = static_cast<std::uint32_t>(
+        static_cast<double>(rect.width() * rect.height() * 4)
+        * std::clamp(config.fbCompressionRatio, 0.05, 1.0));
+    const TileId tile = ctx->tile;
+
+    // Transaction elimination: when enabled and the content signature
+    // matches the previous frame's, the frame buffer already holds
+    // these bytes — skip the write entirely.
+    const bool elide = config.transactionElimination && flushNeeded
+        && !flushNeeded(tile, ctx->signature);
+
+    // DMA engine occupancy: one engine per RU, serialized flushes.
+    const Tick start = std::max(now, flushReadyAt);
+    const std::uint32_t lines = (bytes + 63) / 64;
+    flushReadyAt = start
+        + lines / std::max(config.flushLinesPerCycle, 1u);
+
+    flushBytes += elide ? 0 : bytes;
+    ++tilesRendered;
+
+    auto color = config.captureImage
+        ? std::make_shared<std::vector<std::uint64_t>>(
+              ctx->blender.colorBuffer())
+        : nullptr;
+
+    TileDoneInfo done;
+    done.tile = tile;
+    done.instructions = ctx->instructions;
+    done.warps = ctx->warps;
+    done.fragments = ctx->fragments;
+    done.signature = ctx->signature;
+    done.flushElided = elide;
+    done.rect = rect;
+
+    const Addr fb_addr = addr_map::frameBufferBase
+        + static_cast<Addr>(tile) * config.tileSize * config.tileSize * 4;
+
+    if (elide) {
+        ++flushesElided;
+        queue.schedule(start, [this, done, color] {
+            TileDoneInfo info = done;
+            info.flushedAt = queue.now();
+            info.colorBuffer = color ? color.get() : nullptr;
+            if (onTileDone)
+                onTileDone(info);
+        });
+    } else {
+        queue.schedule(start, [this, fb_addr, bytes, tile, done, color] {
+            fbSink.access(MemReq{
+                fb_addr, bytes, true, TrafficClass::FrameBuffer, tile,
+                [this, done, color](Tick when) {
+                    TileDoneInfo info = done;
+                    info.flushedAt = when;
+                    info.colorBuffer = color ? color.get() : nullptr;
+                    if (onTileDone)
+                        onTileDone(info);
+                }});
+        });
+    }
+
+    // The Fragment stage is free: dispatch the run-ahead tile's warps
+    // and wake the raster front (it may be stalled on a TileBegin).
+    dispatchPending();
+    maybeCompleteTile(); // the promoted tile may already be finished
+    tryAdvance();
+}
+
+} // namespace libra

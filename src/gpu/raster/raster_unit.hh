@@ -1,0 +1,269 @@
+/**
+ * @file
+ * One Raster Unit: the private rasterization/shading slice of the GPU
+ * that renders one tile at a time (paper Fig. 5).
+ *
+ * A Raster Unit owns a rasterizer front-end, an Early-Z stage with a
+ * tile-sized Z-buffer, a set of multithreaded shader cores (each with a
+ * private L1 texture cache), a blending unit with the on-chip Color
+ * Buffer, and the flush DMA that writes finished tiles to the Frame
+ * Buffer in DRAM. Parallel tile rendering instantiates several Raster
+ * Units, each fed by its own FIFO of primitives (§III-A).
+ *
+ * Stage barriers follow the paper: a tile may be rasterized while the
+ * previous tile is still in the Fragment stage (double-buffered Z and
+ * Color buffers), but its warps only dispatch once the previous tile has
+ * completely left the Fragment stage, blend commits are in program
+ * order, and flushes serialize on the DMA engine. These barriers are
+ * what keep small tiles from filling many cores (Fig. 4).
+ */
+
+#ifndef LIBRA_GPU_RASTER_RASTER_UNIT_HH
+#define LIBRA_GPU_RASTER_RASTER_UNIT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "gpu/raster/blend_unit.hh"
+#include "gpu/raster/early_z.hh"
+#include "gpu/raster/rasterizer.hh"
+#include "gpu/raster/shader_core.hh"
+#include "gpu/tiling/polygon_list_builder.hh"
+#include "gpu/tiling/tile_grid.hh"
+#include "sim/event_queue.hh"
+#include "workload/texture.hh"
+
+namespace libra
+{
+
+/** One entry of a Raster Unit's input FIFO. */
+struct RasterWork
+{
+    enum class Kind
+    {
+        TileBegin,
+        Prim,
+        TileEnd
+    };
+
+    Kind kind = Kind::Prim;
+    TileId tile = 0;
+    std::uint32_t primIndex = 0; //!< index into the binned frame
+};
+
+/**
+ * Consumer interface of the Tile Fetcher: a Raster Unit's input FIFO.
+ * Extracted so the fetcher can be unit-tested against a mock consumer.
+ */
+class RasterSink
+{
+  public:
+    virtual ~RasterSink() = default;
+
+    /** True when the FIFO can accept one more entry. */
+    virtual bool canPush() const = 0;
+
+    /** Push one entry; only legal when canPush(). */
+    virtual void push(const RasterWork &work) = 0;
+
+    /** Invoked by the consumer whenever FIFO space frees up. */
+    std::function<void()> onSpaceFreed;
+};
+
+/** Per-tile result reported when a tile's flush completes. */
+struct TileDoneInfo
+{
+    TileId tile = 0;
+    Tick flushedAt = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t warps = 0;
+    std::uint64_t fragments = 0;
+    std::uint64_t signature = 0; //!< content hash (transaction elim.)
+    bool flushElided = false;    //!< write skipped: content unchanged
+    const std::vector<std::uint64_t> *colorBuffer = nullptr;
+    IRect rect;
+};
+
+/** Raster Unit configuration slice. */
+struct RasterUnitConfig
+{
+    std::uint32_t index = 0;
+    std::uint32_t tileSize = 32;
+    std::uint32_t cores = 4;
+    std::uint32_t warpsPerCore = 12;
+    std::uint32_t warpQuads = 8;
+    std::uint32_t pendingWarpsPerCore = 4;
+    std::uint32_t rasterQuadsPerCycle = 4;
+    std::uint32_t earlyZQuadsPerCycle = 4;
+    std::uint32_t blendQuadsPerCycle = 4;
+    std::uint32_t flushLinesPerCycle = 1;
+    std::uint32_t fifoDepth = 64;
+    bool captureImage = false;
+
+    /**
+     * Extensions beyond the paper's baseline TBR model (both default
+     * off so the reproduction matches the paper):
+     *
+     * - transactionElimination: skip the frame-buffer flush when the
+     *   tile's content signature matches the previous frame's (ARM
+     *   Transaction Elimination).
+     * - fbCompressionRatio: fraction of the color buffer actually
+     *   written on flush (ARM AFBC-style framebuffer compression);
+     *   1.0 = uncompressed.
+     */
+    bool transactionElimination = false;
+    double fbCompressionRatio = 1.0;
+};
+
+class RasterUnit : public RasterSink
+{
+  public:
+    /**
+     * @param texture_l1s one private L1 per core, owned by the caller
+     *        (they connect to the shared L2).
+     */
+    RasterUnit(EventQueue &eq, const RasterUnitConfig &cfg,
+               const TileGrid &tile_grid, MemSink &frame_buffer_sink,
+               std::vector<Cache *> texture_l1s);
+
+    /** Arm the unit for a frame (must be idle). */
+    void beginFrame(const BinnedFrame &binned, const TexturePool &pool);
+
+    // --- FIFO interface used by the Tile Fetcher (RasterSink) ----------
+    bool canPush() const override
+    {
+        return fifo.size() < config.fifoDepth;
+    }
+    void push(const RasterWork &work) override;
+
+    /** Invoked when a tile has been flushed to the Frame Buffer. */
+    std::function<void(const TileDoneInfo &)> onTileDone;
+
+    /** True when no tile is in flight and the FIFO is empty. */
+    bool idle() const;
+
+    const RasterUnitConfig &cfg() const { return config; }
+    ShaderCore &core(std::uint32_t i) { return *cores[i]; }
+    std::uint32_t coreCount() const
+    {
+        return static_cast<std::uint32_t>(cores.size());
+    }
+
+    // Statistics.
+    Counter primsRasterized;
+    Counter quadsProduced;   //!< quads surviving Early-Z
+    Counter warpsLaunched;
+    Counter tilesRendered;
+    Counter flushBytes;
+    Counter texLatencySum;   //!< summed L1-to-data latencies
+    Counter texRequests;
+    Counter fragmentsShaded;
+    Counter flushesElided; //!< tiles whose FB write was eliminated
+
+    /**
+     * Transaction-elimination hook, installed by the GPU: returns true
+     * when @p signature differs from the tile's previous-frame content
+     * (i.e. the flush must happen) and records the new signature.
+     */
+    std::function<bool(TileId, std::uint64_t)> flushNeeded;
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    /** All state for one tile being processed. */
+    struct TileCtx
+    {
+        TileCtx(std::uint32_t tile_size, std::uint32_t blend_rate)
+            : zbuf(tile_size), blender(tile_size, blend_rate)
+        {}
+
+        TileId tile = 0;
+        IRect rect;
+        bool endSeen = false;
+        bool completing = false;      //!< completion event scheduled
+        std::uint32_t nextSeq = 0;    //!< warps assembled so far
+        std::uint32_t nextCommit = 0; //!< warps blended so far
+        std::uint64_t instructions = 0;
+        std::uint64_t fragments = 0;
+        std::uint64_t warps = 0;
+        std::uint64_t signature = 0; //!< order-sensitive content hash
+        Tick lastBlendDone = 0;
+        EarlyZ zbuf;
+        BlendUnit blender;
+
+        /** Retired warps waiting for in-order blend commit. */
+        struct RetiredWarp
+        {
+            WarpRetireInfo info;
+            std::vector<Quad> quads;
+            std::uint32_t primId;
+            std::uint64_t primSig;
+        };
+        std::map<std::uint32_t, RetiredWarp> retired;
+    };
+
+    /** A warp assembled but not yet dispatched to a core. */
+    struct PendingWarp
+    {
+        TileCtx *ctx;
+        std::uint32_t seq;
+        std::uint32_t primId;
+        std::uint64_t primSig; //!< content hash (frame-independent)
+        WarpTask task;
+        std::vector<Quad> quads;
+    };
+
+    void tryAdvance();
+    void processWork(const RasterWork &work);
+    void rasterizePrim(std::uint32_t prim_index);
+    void emitWarp(TileCtx &ctx, const Triangle &tri,
+                  std::uint32_t prim_index, std::vector<Quad> quads);
+    void dispatchPending();
+    void onWarpRetired(TileCtx *ctx, std::uint32_t seq,
+                       std::uint32_t prim_id, std::uint64_t prim_sig,
+                       std::vector<Quad> quads,
+                       const WarpRetireInfo &info);
+    void commitReadyWarps(TileCtx &ctx);
+    void maybeCompleteTile();
+    void startFlush();
+
+    /** Tile ctx the rasterizer front currently fills. */
+    TileCtx *rasterCtx() { return ahead ? ahead.get() : frag.get(); }
+
+    EventQueue &queue;
+    RasterUnitConfig config;
+    const TileGrid &grid;
+    MemSink &fbSink;
+
+    std::vector<std::unique_ptr<ShaderCore>> cores;
+    std::uint32_t nextCore = 0;
+
+    const BinnedFrame *frame = nullptr;
+    const TexturePool *texPool = nullptr;
+
+    std::deque<RasterWork> fifo;
+    Tick frontReadyAt = 0;
+    bool advanceScheduled = false;
+    bool inAdvance = false;
+
+    std::unique_ptr<TileCtx> frag;  //!< tile owning the Fragment stage
+    std::unique_ptr<TileCtx> ahead; //!< tile being rasterized ahead
+
+    std::deque<PendingWarp> pendingWarps;
+    std::uint32_t maxPendingWarps;
+
+    Tick flushReadyAt = 0;
+
+    StatGroup statGroup;
+};
+
+} // namespace libra
+
+#endif // LIBRA_GPU_RASTER_RASTER_UNIT_HH

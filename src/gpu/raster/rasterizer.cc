@@ -1,0 +1,146 @@
+#include "gpu/raster/rasterizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+TriangleSetup::TriangleSetup(const Triangle &tri, const Texture &tex)
+{
+    v[0] = tri.v[0].pos.xy();
+    v[1] = tri.v[1].pos.xy();
+    v[2] = tri.v[2].pos.xy();
+    uvs[0] = tri.v[0].uv;
+    uvs[1] = tri.v[1].uv;
+    uvs[2] = tri.v[2].uv;
+    zs[0] = tri.v[0].pos.z;
+    zs[1] = tri.v[1].pos.z;
+    zs[2] = tri.v[2].pos.z;
+
+    area2 = cross2(v[1] - v[0], v[2] - v[0]);
+    if (area2 < 0.0f) {
+        // Normalize winding so the interior is the positive side of
+        // every edge function.
+        std::swap(v[1], v[2]);
+        std::swap(uvs[1], uvs[2]);
+        std::swap(zs[1], zs[2]);
+        area2 = -area2;
+    }
+
+    for (int i = 0; i < 3; ++i) {
+        const Vec2 e = v[(i + 1) % 3] - v[i];
+        edgeVec[i] = e;
+        // Tie-break rule for pixels exactly on an edge: a boundary pixel
+        // belongs to exactly one of the two triangles sharing the edge
+        // (the shared edge is traversed in opposite directions, and the
+        // predicate below differs under e → -e).
+        edgeAccepts[i] = e.y < 0.0f || (e.y == 0.0f && e.x > 0.0f);
+    }
+
+    // Affine attribute gradients from the vertex deltas.
+    const float inv_det = 1.0f / area2;
+    const Vec2 d1 = v[1] - v[0];
+    const Vec2 d2 = v[2] - v[0];
+    auto gradient = [&](float a0, float a1, float a2, float &ddx,
+                        float &ddy) {
+        ddx = ((a1 - a0) * d2.y - (a2 - a0) * d1.y) * inv_det;
+        ddy = ((a2 - a0) * d1.x - (a1 - a0) * d2.x) * inv_det;
+    };
+    gradient(zs[0], zs[1], zs[2], dzdx, dzdy);
+    z0 = zs[0];
+    float du_dx, du_dy, dv_dx, dv_dy;
+    gradient(uvs[0].x, uvs[1].x, uvs[2].x, du_dx, du_dy);
+    gradient(uvs[0].y, uvs[1].y, uvs[2].y, dv_dx, dv_dy);
+    dudx = {du_dx, dv_dx};
+    dudy = {du_dy, dv_dy};
+    uv0 = uvs[0];
+
+    // LOD from the larger of the two screen-axis texel footprints.
+    const float w = static_cast<float>(tex.width());
+    const float h = static_cast<float>(tex.height());
+    const float fx = std::sqrt(du_dx * w * du_dx * w
+                               + dv_dx * h * dv_dx * h);
+    const float fy = std::sqrt(du_dy * w * du_dy * w
+                               + dv_dy * h * dv_dy * h);
+    _texelsPerPixel = std::max(fx, fy);
+    _mip = tri.useMips
+        ? static_cast<std::uint8_t>(
+              std::min<std::uint32_t>(tex.selectMip(_texelsPerPixel), 255))
+        : 0;
+}
+
+float
+TriangleSetup::edgeAt(int i, float x, float y) const
+{
+    const Vec2 p{x, y};
+    return cross2(edgeVec[i], p - v[i]);
+}
+
+void
+TriangleSetup::rasterize(const IRect &rect, RasterOutput &out) const
+{
+    // Clip the triangle bbox to the target rectangle.
+    const float min_xf = std::min({v[0].x, v[1].x, v[2].x});
+    const float max_xf = std::max({v[0].x, v[1].x, v[2].x});
+    const float min_yf = std::min({v[0].y, v[1].y, v[2].y});
+    const float max_yf = std::max({v[0].y, v[1].y, v[2].y});
+    IRect box{std::max(rect.x0,
+                       static_cast<std::int32_t>(std::floor(min_xf))),
+              std::max(rect.y0,
+                       static_cast<std::int32_t>(std::floor(min_yf))),
+              std::min(rect.x1,
+                       static_cast<std::int32_t>(std::ceil(max_xf))),
+              std::min(rect.y1,
+                       static_cast<std::int32_t>(std::ceil(max_yf)))};
+    if (box.empty())
+        return;
+
+    // Snap to even coordinates: quads are 2x2-aligned in screen space.
+    const std::int32_t qx0 = box.x0 & ~1;
+    const std::int32_t qy0 = box.y0 & ~1;
+
+    for (std::int32_t qy = qy0; qy < box.y1; qy += 2) {
+        for (std::int32_t qx = qx0; qx < box.x1; qx += 2) {
+            ++out.blocksScanned;
+            Quad quad;
+            quad.px = static_cast<std::uint16_t>(qx);
+            quad.py = static_cast<std::uint16_t>(qy);
+            quad.mip = _mip;
+
+            for (int bit = 0; bit < 4; ++bit) {
+                const std::int32_t px = qx + (bit & 1);
+                const std::int32_t py = qy + (bit >> 1);
+                if (!rect.contains(px, py))
+                    continue;
+                const float cx = static_cast<float>(px) + 0.5f;
+                const float cy = static_cast<float>(py) + 0.5f;
+                bool inside = true;
+                for (int e = 0; e < 3 && inside; ++e) {
+                    const float w = edgeAt(e, cx, cy);
+                    if (w < 0.0f || (w == 0.0f && !edgeAccepts[e]))
+                        inside = false;
+                }
+                if (!inside)
+                    continue;
+                quad.mask |= static_cast<std::uint8_t>(1 << bit);
+                quad.z[bit] = z0 + dzdx * (cx - v[0].x)
+                    + dzdy * (cy - v[0].y);
+            }
+
+            if (quad.mask != 0) {
+                const float cx = static_cast<float>(qx) + 1.0f;
+                const float cy = static_cast<float>(qy) + 1.0f;
+                quad.uv = {uv0.x + dudx.x * (cx - v[0].x)
+                               + dudy.x * (cy - v[0].y),
+                           uv0.y + dudx.y * (cx - v[0].x)
+                               + dudy.y * (cy - v[0].y)};
+                out.quads.push_back(quad);
+            }
+        }
+    }
+}
+
+} // namespace libra

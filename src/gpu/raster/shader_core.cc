@@ -1,0 +1,103 @@
+#include "gpu/raster/shader_core.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+ShaderCore::ShaderCore(EventQueue &eq, std::uint32_t warp_slots,
+                       Cache &texture_l1, const std::string &name)
+    : queue(eq), warpSlots(warp_slots), texL1(texture_l1)
+{
+    libra_assert(warp_slots > 0, name, ": core needs warp slots");
+}
+
+Tick
+ShaderCore::reserveIssue(Tick earliest, Tick cycles)
+{
+    const Tick start = std::max(earliest, issueReadyAt);
+    issueReadyAt = start + cycles;
+    issueBusy += cycles;
+    return issueReadyAt;
+}
+
+void
+ShaderCore::dispatch(WarpTask task,
+                     std::function<void(const WarpRetireInfo &)> on_retire)
+{
+    libra_assert(hasFreeSlot(), "dispatch to a full core");
+    ++residentWarps;
+    ++warpsExecuted;
+
+    const Tick now = queue.now();
+
+    // Main ALU block: the warp single-issues one instruction per cycle,
+    // arbitrating the issue port with the other resident warps.
+    const Tick alu_done = reserveIssue(now, std::max<Tick>(1, task.aluOps));
+
+    // Shared mutable state for the in-flight texture phase.
+    struct Flight
+    {
+        WarpTask task;
+        std::function<void(const WarpRetireInfo &)> onRetire;
+        std::uint64_t outstanding = 0;
+        Tick lastData = 0;
+        std::uint64_t latencySum = 0;
+    };
+    auto flight = std::make_shared<Flight>();
+    flight->task = std::move(task);
+    flight->onRetire = std::move(on_retire);
+
+    auto finish = [this, flight](Tick data_ready) {
+        // Tail block (color computation/export) re-arbitrates issue.
+        const Tick done = reserveIssue(data_ready, tailOps);
+        texRequests += flight->task.texLines.size();
+        texLatencySum += flight->latencySum;
+
+        WarpRetireInfo info;
+        info.tile = flight->task.tile;
+        info.shadedAt = done;
+        info.instructions = flight->task.instructions;
+        info.texRequests = flight->task.texLines.size();
+        info.texLatencySum = flight->latencySum;
+        info.quadCount = flight->task.quadCount;
+        info.fragments = flight->task.fragments;
+        info.blend = flight->task.blend;
+
+        queue.schedule(done, [this, flight, info] {
+            libra_assert(residentWarps > 0, "slot underflow");
+            --residentWarps;
+            flight->onRetire(info);
+        });
+    };
+
+    if (flight->task.texLines.empty()) {
+        // Pure-ALU warp: no texture phase.
+        queue.schedule(alu_done, [finish, alu_done]() mutable {
+            finish(alu_done);
+        });
+        return;
+    }
+
+    // Texture phase: issue every sample when the ALU block completes,
+    // then block until the last one returns.
+    flight->outstanding = flight->task.texLines.size();
+    queue.schedule(alu_done, [this, flight, finish] {
+        const Tick issue_tick = queue.now();
+        for (const Addr line : flight->task.texLines) {
+            texL1.access(MemReq{
+                line, 64, false, TrafficClass::Texture, flight->task.tile,
+                [flight, finish, issue_tick](Tick when) {
+                    flight->latencySum += when - issue_tick;
+                    flight->lastData = std::max(flight->lastData, when);
+                    if (--flight->outstanding == 0)
+                        finish(flight->lastData);
+                }});
+        }
+    });
+}
+
+} // namespace libra

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Multithreaded shader core executing fragment-shader warps.
+ *
+ * Each core keeps several warps (32 threads = 8 quads) resident and
+ * single-issues among them: a warp runs its ALU block, issues its
+ * texture samples to the core's private L1 Texture cache, blocks until
+ * the data returns, runs a short tail (color export) and retires. Memory
+ * latency is hidden exactly as far as other resident warps have issue
+ * work — when every warp is blocked on textures the core idles, which is
+ * how DRAM congestion becomes lost performance (paper Fig. 4 / Fig. 6).
+ */
+
+#ifndef LIBRA_GPU_RASTER_SHADER_CORE_HH
+#define LIBRA_GPU_RASTER_SHADER_CORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace libra
+{
+
+/** A warp's worth of fragment work, assembled by the Raster Unit. */
+struct WarpTask
+{
+    TileId tile = 0;
+    std::uint32_t quadCount = 0;   //!< quads packed into the warp
+    std::uint32_t fragments = 0;   //!< covered fragments (color writes)
+    std::uint16_t aluOps = 8;      //!< main ALU block, cycles per warp
+    bool blend = false;
+    std::vector<Addr> texLines;    //!< texture lines to sample
+    std::uint64_t instructions = 0; //!< counted for the temperature table
+};
+
+/** Data handed back when a warp finishes shading (pre-blend). */
+struct WarpRetireInfo
+{
+    TileId tile;
+    Tick shadedAt;              //!< tick the tail block finished
+    std::uint64_t instructions;
+    std::uint64_t texRequests;
+    std::uint64_t texLatencySum; //!< sum of per-request L1 latencies
+    std::uint32_t quadCount;
+    std::uint32_t fragments;
+    bool blend;
+};
+
+/** One shader core with a private L1 texture cache. */
+class ShaderCore
+{
+  public:
+    /** Cycles of tail work (attribute export etc.) per warp. */
+    static constexpr Tick tailOps = 2;
+
+    ShaderCore(EventQueue &eq, std::uint32_t warp_slots,
+               Cache &texture_l1, const std::string &name);
+
+    /** True when a new warp can become resident. */
+    bool hasFreeSlot() const { return residentWarps < warpSlots; }
+
+    std::uint32_t freeSlots() const { return warpSlots - residentWarps; }
+    std::uint32_t resident() const { return residentWarps; }
+
+    /**
+     * Make @p task resident and start executing it. @p on_retire fires
+     * once, at the tick the warp's shading completes; the slot is freed
+     * just before the callback runs (blending happens downstream in the
+     * Raster Unit's export queue and does not hold the slot).
+     */
+    void dispatch(WarpTask task,
+                  std::function<void(const WarpRetireInfo &)> on_retire);
+
+    Cache &textureL1() { return texL1; }
+    const Cache &textureL1() const { return texL1; }
+
+    /** Issue cycles consumed — core utilization numerator. */
+    std::uint64_t busyCycles() const { return issueBusy.value(); }
+
+    Counter warpsExecuted;
+    Counter issueBusy;
+    Counter texRequests;
+    Counter texLatencySum;
+
+  private:
+    /** Reserve @p cycles of the issue port; returns completion tick. */
+    Tick reserveIssue(Tick earliest, Tick cycles);
+
+    EventQueue &queue;
+    std::uint32_t warpSlots;
+    Cache &texL1;
+    std::uint32_t residentWarps = 0;
+    Tick issueReadyAt = 0;
+};
+
+} // namespace libra
+
+#endif // LIBRA_GPU_RASTER_SHADER_CORE_HH

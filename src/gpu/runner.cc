@@ -1,0 +1,181 @@
+#include "gpu/runner.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+std::uint64_t
+RunResult::totalCycles() const
+{
+    std::uint64_t total = 0;
+    for (const auto &fs : frames)
+        total += fs.totalCycles;
+    return total;
+}
+
+std::uint64_t
+RunResult::totalRasterCycles() const
+{
+    std::uint64_t total = 0;
+    for (const auto &fs : frames)
+        total += fs.rasterCycles;
+    return total;
+}
+
+std::uint64_t
+RunResult::totalGeomCycles() const
+{
+    std::uint64_t total = 0;
+    for (const auto &fs : frames)
+        total += fs.geomCycles;
+    return total;
+}
+
+std::uint64_t
+RunResult::dramAccesses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &fs : frames)
+        total += fs.dramReads + fs.dramWrites;
+    return total;
+}
+
+std::uint64_t
+RunResult::textureRequests() const
+{
+    std::uint64_t total = 0;
+    for (const auto &fs : frames)
+        total += fs.textureRequests;
+    return total;
+}
+
+double
+RunResult::avgTextureLatency() const
+{
+    double weighted = 0.0;
+    std::uint64_t reqs = 0;
+    for (const auto &fs : frames) {
+        weighted += fs.avgTextureLatency
+            * static_cast<double>(fs.textureRequests);
+        reqs += fs.textureRequests;
+    }
+    return reqs == 0 ? 0.0 : weighted / static_cast<double>(reqs);
+}
+
+double
+RunResult::textureHitRatio() const
+{
+    std::uint64_t misses = 0;
+    std::uint64_t accesses = 0;
+    for (const auto &fs : frames) {
+        misses += fs.textureMisses;
+        accesses += fs.textureL1Accesses;
+    }
+    if (accesses == 0)
+        return 1.0;
+    return 1.0
+        - static_cast<double>(misses) / static_cast<double>(accesses);
+}
+
+double
+RunResult::avgDramReadLatency() const
+{
+    double weighted = 0.0;
+    std::uint64_t reads = 0;
+    for (const auto &fs : frames) {
+        weighted += fs.avgDramReadLatency
+            * static_cast<double>(fs.dramReads);
+        reads += fs.dramReads;
+    }
+    return reads == 0 ? 0.0 : weighted / static_cast<double>(reads);
+}
+
+double
+RunResult::totalEnergyMj() const
+{
+    double total = 0.0;
+    for (const auto &fs : frames)
+        total += fs.energy.totalMj;
+    return total;
+}
+
+double
+RunResult::avgReplicationRatio() const
+{
+    if (frames.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &fs : frames)
+        total += fs.replicationRatio;
+    return total / static_cast<double>(frames.size());
+}
+
+double
+RunResult::fps(double clock_hz) const
+{
+    const std::uint64_t cycles = totalCycles();
+    if (cycles == 0 || frames.empty())
+        return 0.0;
+    const double seconds = static_cast<double>(cycles) / clock_hz;
+    return static_cast<double>(frames.size()) / seconds;
+}
+
+RunResult
+runBenchmark(const BenchmarkSpec &spec, const GpuConfig &cfg,
+             std::uint32_t frames, std::uint32_t first_frame)
+{
+    RunResult result;
+    result.benchmark = spec.abbrev;
+    result.config = cfg;
+
+    Scene scene(spec, cfg.screenWidth, cfg.screenHeight);
+    Gpu gpu(cfg);
+    result.frames.reserve(frames);
+    for (std::uint32_t f = 0; f < frames; ++f) {
+        const FrameData frame = scene.frame(first_frame + f);
+        result.frames.push_back(gpu.renderFrame(frame, scene.textures()));
+    }
+    return result;
+}
+
+double
+memoryTimeFraction(const BenchmarkSpec &spec, const GpuConfig &cfg,
+                   std::uint32_t frames)
+{
+    GpuConfig ideal = cfg;
+    ideal.idealMemory = true;
+    const RunResult real = runBenchmark(spec, cfg, frames);
+    const RunResult perfect = runBenchmark(spec, ideal, frames);
+    const auto real_cycles = static_cast<double>(real.totalCycles());
+    const auto ideal_cycles = static_cast<double>(perfect.totalCycles());
+    if (real_cycles <= 0.0)
+        return 0.0;
+    return std::max(0.0, 1.0 - ideal_cycles / real_cycles);
+}
+
+double
+speedup(const RunResult &a, const RunResult &b)
+{
+    const auto b_cycles = static_cast<double>(b.totalCycles());
+    return b_cycles == 0.0
+        ? 0.0
+        : static_cast<double>(a.totalCycles()) / b_cycles;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values) {
+        libra_assert(v > 0.0, "geomean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace libra

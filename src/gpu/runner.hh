@@ -1,0 +1,67 @@
+/**
+ * @file
+ * High-level harness: run a benchmark for N frames on a GPU
+ * configuration and aggregate the per-frame statistics. This is the
+ * entry point the examples and all the bench binaries share.
+ */
+
+#ifndef LIBRA_GPU_RUNNER_HH
+#define LIBRA_GPU_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "gpu/gpu_config.hh"
+#include "workload/benchmarks.hh"
+#include "workload/scene.hh"
+
+namespace libra
+{
+
+/** Aggregated result of one (benchmark, config) run. */
+struct RunResult
+{
+    std::string benchmark;
+    GpuConfig config;
+    std::vector<FrameStats> frames;
+
+    std::uint64_t totalCycles() const;
+    std::uint64_t totalRasterCycles() const;
+    std::uint64_t totalGeomCycles() const;
+    std::uint64_t dramAccesses() const;
+    std::uint64_t textureRequests() const;
+    double avgTextureLatency() const;   //!< request-weighted
+    double textureHitRatio() const;     //!< over all frames
+    double avgDramReadLatency() const;  //!< read-weighted
+    double totalEnergyMj() const;
+    double avgReplicationRatio() const;
+
+    /** Frames per second at @p clock_hz (Table I: 800 MHz). */
+    double fps(double clock_hz = 800e6) const;
+};
+
+/** Render @p frames frames of @p spec under @p cfg. */
+RunResult runBenchmark(const BenchmarkSpec &spec, const GpuConfig &cfg,
+                       std::uint32_t frames,
+                       std::uint32_t first_frame = 0);
+
+/**
+ * Fraction of execution time attributable to memory: 1 - ideal/real,
+ * where "ideal" re-runs the same frames with every access hitting in L1
+ * — the Fig. 6a methodology. The paper calls a benchmark
+ * memory-intensive when this is >= 0.25.
+ */
+double memoryTimeFraction(const BenchmarkSpec &spec, const GpuConfig &cfg,
+                          std::uint32_t frames);
+
+/** speedup of b over a: cycles(a)/cycles(b). */
+double speedup(const RunResult &a, const RunResult &b);
+
+/** Geometric mean of a positive series (paper-style averages). */
+double geomean(const std::vector<double> &values);
+
+} // namespace libra
+
+#endif // LIBRA_GPU_RUNNER_HH

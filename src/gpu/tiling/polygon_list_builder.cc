@@ -1,0 +1,136 @@
+#include "gpu/tiling/polygon_list_builder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+namespace
+{
+
+/** Do all four rect corners lie strictly outside edge (a→b)? */
+bool
+rectOutsideEdge(const Vec2 &a, const Vec2 &b, const IRect &rect,
+                float winding)
+{
+    const Vec2 e = b - a;
+    const float x0 = static_cast<float>(rect.x0);
+    const float y0 = static_cast<float>(rect.y0);
+    const float x1 = static_cast<float>(rect.x1);
+    const float y1 = static_cast<float>(rect.y1);
+    const Vec2 corners[4] = {{x0, y0}, {x1, y0}, {x0, y1}, {x1, y1}};
+    for (const Vec2 &c : corners) {
+        // Inside (or on) the edge for the triangle's winding.
+        if (winding * cross2(e, c - a) >= 0.0f)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+triangleOverlapsRect(const Triangle &tri, const IRect &rect)
+{
+    if (rect.empty())
+        return false;
+
+    // Quick reject: disjoint bounding boxes.
+    const float min_x = std::min({tri.v[0].pos.x, tri.v[1].pos.x,
+                                  tri.v[2].pos.x});
+    const float max_x = std::max({tri.v[0].pos.x, tri.v[1].pos.x,
+                                  tri.v[2].pos.x});
+    const float min_y = std::min({tri.v[0].pos.y, tri.v[1].pos.y,
+                                  tri.v[2].pos.y});
+    const float max_y = std::max({tri.v[0].pos.y, tri.v[1].pos.y,
+                                  tri.v[2].pos.y});
+    if (max_x <= static_cast<float>(rect.x0)
+        || min_x >= static_cast<float>(rect.x1)
+        || max_y <= static_cast<float>(rect.y0)
+        || min_y >= static_cast<float>(rect.y1)) {
+        return false;
+    }
+
+    // Separating-axis test on the three triangle edges.
+    const float area2 = tri.signedArea2();
+    if (area2 == 0.0f)
+        return false;
+    const float winding = area2 > 0.0f ? 1.0f : -1.0f;
+    for (int i = 0; i < 3; ++i) {
+        const Vec2 a = tri.v[i].pos.xy();
+        const Vec2 b = tri.v[(i + 1) % 3].pos.xy();
+        if (rectOutsideEdge(a, b, rect, winding))
+            return false;
+    }
+    return true;
+}
+
+BinnedFrame
+binFrame(const FrameData &frame, const TileGrid &grid)
+{
+    BinnedFrame out;
+    out.tileLists.resize(grid.tileCount());
+
+    const IRect viewport{0, 0,
+                         static_cast<std::int32_t>(grid.screenWidth()),
+                         static_cast<std::int32_t>(grid.screenHeight())};
+
+    std::uint32_t draw_id = 0;
+    for (const auto &draw : frame.draws) {
+        for (const Triangle &src : draw.tris) {
+            Triangle tri = src;
+            tri.drawId = draw_id;
+
+            // Culling: degenerate or fully outside the viewport.
+            if (tri.signedArea2() == 0.0f)
+                continue;
+            const IRect bbox = tri.boundingBox(viewport);
+            if (bbox.empty())
+                continue;
+
+            const auto index =
+                static_cast<std::uint32_t>(out.tris.size());
+            bool binned = false;
+
+            const std::uint32_t ts = grid.tileSize();
+            const std::uint32_t tx0 =
+                static_cast<std::uint32_t>(bbox.x0) / ts;
+            const std::uint32_t ty0 =
+                static_cast<std::uint32_t>(bbox.y0) / ts;
+            const std::uint32_t tx1 = std::min(
+                grid.tilesX() - 1,
+                static_cast<std::uint32_t>(bbox.x1 - 1) / ts);
+            const std::uint32_t ty1 = std::min(
+                grid.tilesY() - 1,
+                static_cast<std::uint32_t>(bbox.y1 - 1) / ts);
+
+            for (std::uint32_t ty = ty0; ty <= ty1; ++ty) {
+                for (std::uint32_t tx = tx0; tx <= tx1; ++tx) {
+                    const TileId tile = grid.tileAt(tx, ty);
+                    if (!triangleOverlapsRect(tri, grid.tileRect(tile)))
+                        continue;
+                    auto &list = out.tileLists[tile];
+                    if (list.size()
+                        >= out.layout.maxEntriesPerTile) {
+                        warn("tile ", tile,
+                             " overflows its parameter-buffer list");
+                        continue;
+                    }
+                    list.push_back(index);
+                    binned = true;
+                }
+            }
+            if (binned) {
+                out.tris.push_back(tri);
+                out.triVertexCost.push_back(draw.vertexCostCycles);
+            }
+        }
+        ++draw_id;
+    }
+    return out;
+}
+
+} // namespace libra

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The Polygon List Builder: bins screen-space primitives into per-tile
+ * lists (paper §II-A), the sort-middle step that makes TBR possible.
+ *
+ * The functional result is a BinnedFrame: the frame's triangles in
+ * program order plus, for every tile, the indices of the triangles that
+ * overlap it (still in program order — required for correctness, §II-B).
+ * The structure also defines the Parameter Buffer address layout so the
+ * timing model can charge binning writes and tile-fetch reads to real
+ * addresses.
+ */
+
+#ifndef LIBRA_GPU_TILING_POLYGON_LIST_BUILDER_HH
+#define LIBRA_GPU_TILING_POLYGON_LIST_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/mem_system.hh"
+#include "common/geom.hh"
+#include "common/types.hh"
+#include "gpu/tiling/tile_grid.hh"
+#include "workload/scene.hh"
+
+namespace libra
+{
+
+/** Parameter-buffer layout constants. */
+struct ParameterBufferLayout
+{
+    std::uint32_t listEntryBytes = 16;
+    std::uint32_t primRecordBytes = 64;
+    std::uint32_t maxEntriesPerTile = 4096;
+
+    /** Address of tile @p tile's k-th list entry. */
+    Addr
+    listEntryAddr(TileId tile, std::uint32_t k) const
+    {
+        return addr_map::parameterBufferBase
+            + static_cast<Addr>(tile) * maxEntriesPerTile * listEntryBytes
+            + static_cast<Addr>(k) * listEntryBytes;
+    }
+
+    /** Address of the shared record of primitive @p index. */
+    Addr
+    primRecordAddr(std::uint32_t index) const
+    {
+        // Records live past the largest possible list region.
+        constexpr Addr record_base = addr_map::parameterBufferBase
+            + 0x1000'0000ull;
+        return record_base + static_cast<Addr>(index) * 64;
+    }
+};
+
+/** A frame after binning. */
+struct BinnedFrame
+{
+    /** All visible triangles, program order, drawId preserved. */
+    std::vector<Triangle> tris;
+
+    /** Vertex-shader cycles for each triangle's draw call. */
+    std::vector<std::uint16_t> triVertexCost;
+
+    /** Per tile: indices into tris, in program order. */
+    std::vector<std::vector<std::uint32_t>> tileLists;
+
+    ParameterBufferLayout layout;
+
+    /** Number of (triangle, tile) pairs — binning write volume. */
+    std::uint64_t
+    binEntries() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &list : tileLists)
+            n += list.size();
+        return n;
+    }
+};
+
+/**
+ * Exact triangle/rectangle overlap test (separating axis). Exposed for
+ * unit testing; bbox-only binning would overbin long thin triangles.
+ */
+bool triangleOverlapsRect(const Triangle &tri, const IRect &rect);
+
+/**
+ * Bin a frame. Degenerate (zero-area) and fully off-screen triangles
+ * are culled here, mirroring the Culling stage of the geometry pipeline.
+ */
+BinnedFrame binFrame(const FrameData &frame, const TileGrid &grid);
+
+} // namespace libra
+
+#endif // LIBRA_GPU_TILING_POLYGON_LIST_BUILDER_HH

@@ -1,0 +1,169 @@
+#include "gpu/tiling/tile_fetcher.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+TileFetcher::TileFetcher(EventQueue &eq, Cache &tile_cache,
+                         std::vector<RasterSink *> raster_units,
+                         TileScheduler &scheduler)
+    : queue(eq), tileCache(tile_cache), rus(std::move(raster_units)),
+      sched(scheduler)
+{
+    libra_assert(!rus.empty(), "fetcher needs Raster Units");
+    streams.resize(rus.size());
+    for (std::size_t ru = 0; ru < rus.size(); ++ru) {
+        rus[ru]->onSpaceFreed = [this, ru] {
+            pump(static_cast<std::uint32_t>(ru));
+        };
+    }
+}
+
+void
+TileFetcher::beginFrame(const BinnedFrame &binned)
+{
+    frame = &binned;
+    for (auto &stream : streams)
+        stream = Stream{};
+    for (std::uint32_t ru = 0; ru < rus.size(); ++ru)
+        pump(ru);
+}
+
+bool
+TileFetcher::drained() const
+{
+    return std::all_of(streams.begin(), streams.end(),
+                       [](const Stream &s) { return s.done; });
+}
+
+void
+TileFetcher::pump(std::uint32_t ru)
+{
+    Stream &stream = streams[ru];
+    if (!frame || stream.done || stream.fetching || stream.pumping)
+        return;
+
+    // Pushing into the RU FIFO can synchronously re-enter pump() via
+    // onSpaceFreed; the guard makes those calls no-ops.
+    stream.pumping = true;
+    struct Unguard
+    {
+        bool &flag;
+        ~Unguard() { flag = false; }
+    } unguard{stream.pumping};
+
+    while (true) {
+        // Push any fetched primitives first.
+        drainReady(ru);
+        if (!stream.ready.empty())
+            return; // FIFO full; resumed by onSpaceFreed
+
+        if (stream.endPending) {
+            if (!rus[ru]->canPush())
+                return;
+            rus[ru]->push({RasterWork::Kind::TileEnd, stream.tile, 0});
+            stream.endPending = false;
+            stream.active = false;
+        }
+
+        if (!stream.active) {
+            const auto tile = sched.nextTile(ru);
+            if (!tile) {
+                stream.done = true;
+                return;
+            }
+            stream.tile = *tile;
+            stream.idx = 0;
+            stream.active = true;
+            stream.beginPending = true;
+            ++tilesFetched;
+        }
+
+        if (stream.beginPending) {
+            if (!rus[ru]->canPush())
+                return;
+            rus[ru]->push({RasterWork::Kind::TileBegin, stream.tile, 0});
+            stream.beginPending = false;
+        }
+
+        const auto &list = frame->tileLists[stream.tile];
+        if (stream.idx >= list.size()) {
+            stream.endPending = true;
+            continue;
+        }
+
+        // Fetch the next batch of list entries (one Parameter-Buffer
+        // line) plus the referenced primitive records.
+        issueBatch(ru);
+        return; // resumed when the batch completes
+    }
+}
+
+void
+TileFetcher::drainReady(std::uint32_t ru)
+{
+    Stream &stream = streams[ru];
+    while (!stream.ready.empty() && rus[ru]->canPush()) {
+        const std::uint32_t prim = stream.ready.front();
+        stream.ready.pop_front();
+        rus[ru]->push({RasterWork::Kind::Prim, stream.tile, prim});
+        ++primsFetched;
+    }
+}
+
+void
+TileFetcher::issueBatch(std::uint32_t ru)
+{
+    Stream &stream = streams[ru];
+    const auto &list = frame->tileLists[stream.tile];
+    const auto &layout = frame->layout;
+
+    const std::uint32_t entries_per_line =
+        std::max(1u, 64u / layout.listEntryBytes);
+    const std::uint32_t batch = std::min<std::uint32_t>(
+        entries_per_line - (stream.idx % entries_per_line),
+        static_cast<std::uint32_t>(list.size()) - stream.idx);
+
+    stream.fetching = true;
+
+    struct Batch
+    {
+        std::uint32_t outstanding = 0;
+        std::vector<std::uint32_t> prims;
+    };
+    auto state = std::make_shared<Batch>();
+    state->prims.assign(list.begin() + stream.idx,
+                        list.begin() + stream.idx + batch);
+    state->outstanding = 1 + batch; // list line + one record per prim
+    stream.idx += batch;
+
+    auto on_part = [this, ru, state](Tick) {
+        if (--state->outstanding != 0)
+            return;
+        Stream &s = streams[ru];
+        s.fetching = false;
+        for (const std::uint32_t prim : state->prims)
+            s.ready.push_back(prim);
+        pump(ru);
+    };
+
+    ++listLineReads;
+    tileCache.access(MemReq{
+        layout.listEntryAddr(stream.tile,
+                             stream.idx - batch),
+        layout.listEntryBytes * batch, false,
+        TrafficClass::ParameterBuffer, stream.tile, on_part});
+    for (const std::uint32_t prim : state->prims) {
+        ++recordReads;
+        tileCache.access(MemReq{layout.primRecordAddr(prim),
+                                layout.primRecordBytes, false,
+                                TrafficClass::ParameterBuffer,
+                                stream.tile, on_part});
+    }
+}
+
+} // namespace libra

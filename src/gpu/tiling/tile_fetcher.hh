@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The Tile Fetcher: walks the tile schedule, reads each tile's primitive
+ * list from the Parameter Buffer through the Tile cache, and streams
+ * primitives into the per-Raster-Unit FIFOs (paper §II-B, Fig. 5).
+ *
+ * One fetch stream per Raster Unit: each stream asks the TileScheduler
+ * for its next tile (this is where LIBRA's hot/cold assignment happens),
+ * fetches list entries a cache line at a time (four 16-byte entries per
+ * 64-byte line) plus the shared primitive records, and pushes
+ * TileBegin / Prim... / TileEnd into the RU's FIFO, stalling on FIFO
+ * back-pressure. The paper notes the fetcher sustains the RUs without
+ * becoming a bottleneck (§V-A.3); the batched, pipelined reads here keep
+ * that property.
+ */
+
+#ifndef LIBRA_GPU_TILING_TILE_FETCHER_HH
+#define LIBRA_GPU_TILING_TILE_FETCHER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "core/tile_scheduler.hh"
+#include "gpu/raster/raster_unit.hh"
+#include "gpu/tiling/polygon_list_builder.hh"
+#include "sim/event_queue.hh"
+
+namespace libra
+{
+
+class TileFetcher
+{
+  public:
+    TileFetcher(EventQueue &eq, Cache &tile_cache,
+                std::vector<RasterSink *> raster_units,
+                TileScheduler &scheduler);
+
+    /**
+     * Start streaming a binned frame. The fetcher registers itself on
+     * each RU's onSpaceFreed hook for the duration of the frame.
+     */
+    void beginFrame(const BinnedFrame &binned);
+
+    /** True when every stream has delivered its last tile. */
+    bool drained() const;
+
+    Counter tilesFetched;
+    Counter primsFetched;
+    Counter listLineReads;
+    Counter recordReads;
+
+  private:
+    struct Stream
+    {
+        bool active = false;      //!< a tile is being streamed
+        bool done = false;        //!< scheduler has no more tiles
+        bool fetching = false;    //!< a batch read is in flight
+        bool pumping = false;     //!< reentrancy guard
+        bool beginPending = false; //!< TileBegin not yet pushed
+        bool endPending = false;   //!< TileEnd not yet pushed
+        TileId tile = 0;
+        std::uint32_t idx = 0;     //!< next list entry to fetch
+        std::deque<std::uint32_t> ready; //!< fetched prims to push
+    };
+
+    /** Make progress on stream @p ru until it blocks. */
+    void pump(std::uint32_t ru);
+
+    /** Push fetched primitives while the FIFO accepts them. */
+    void drainReady(std::uint32_t ru);
+
+    /** Issue the next batched list/record fetch for stream @p ru. */
+    void issueBatch(std::uint32_t ru);
+
+    EventQueue &queue;
+    Cache &tileCache;
+    std::vector<RasterSink *> rus;
+    TileScheduler &sched;
+
+    const BinnedFrame *frame = nullptr;
+    std::vector<Stream> streams;
+};
+
+} // namespace libra
+
+#endif // LIBRA_GPU_TILING_TILE_FETCHER_HH

@@ -1,0 +1,115 @@
+#include "gpu/tiling/tile_grid.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/morton.hh"
+
+namespace libra
+{
+
+TileGrid::TileGrid(std::uint32_t screen_w, std::uint32_t screen_h,
+                   std::uint32_t tile_size)
+    : screenW(screen_w), screenH(screen_h), tilePx(tile_size)
+{
+    libra_assert(tile_size > 0, "zero tile size");
+    nx = (screen_w + tile_size - 1) / tile_size;
+    ny = (screen_h + tile_size - 1) / tile_size;
+    libra_assert(nx > 0 && ny > 0, "empty tile grid");
+
+    // Build the Z-order traversal once: enumerate Morton codes over the
+    // enclosing power-of-two square and keep the in-grid ones.
+    std::uint32_t side = 1;
+    while (side < std::max(nx, ny))
+        side <<= 1;
+    zOrderTiles.reserve(static_cast<std::size_t>(nx) * ny);
+    for (std::uint32_t code = 0; code < side * side; ++code) {
+        const std::uint32_t tx = mortonDecodeX(code);
+        const std::uint32_t ty = mortonDecodeY(code);
+        if (tx < nx && ty < ny)
+            zOrderTiles.push_back(tileAt(tx, ty));
+    }
+    libra_assert(zOrderTiles.size()
+                     == static_cast<std::size_t>(nx) * ny,
+                 "Z-order enumeration missed tiles");
+}
+
+IRect
+TileGrid::tileRect(TileId id) const
+{
+    const std::uint32_t tx = tileX(id);
+    const std::uint32_t ty = tileY(id);
+    IRect rect;
+    rect.x0 = static_cast<std::int32_t>(tx * tilePx);
+    rect.y0 = static_cast<std::int32_t>(ty * tilePx);
+    rect.x1 = static_cast<std::int32_t>(
+        std::min((tx + 1) * tilePx, screenW));
+    rect.y1 = static_cast<std::int32_t>(
+        std::min((ty + 1) * tilePx, screenH));
+    return rect;
+}
+
+std::vector<TileId>
+TileGrid::scanlineOrder() const
+{
+    std::vector<TileId> order(tileCount());
+    for (TileId id = 0; id < tileCount(); ++id)
+        order[id] = id;
+    return order;
+}
+
+std::uint32_t
+TileGrid::superTileCount(std::uint32_t st) const
+{
+    libra_assert(st > 0, "zero supertile size");
+    return superTilesX(st) * superTilesY(st);
+}
+
+SuperTileId
+TileGrid::superTileOf(TileId tile, std::uint32_t st) const
+{
+    const std::uint32_t sx = tileX(tile) / st;
+    const std::uint32_t sy = tileY(tile) / st;
+    return sy * superTilesX(st) + sx;
+}
+
+std::vector<TileId>
+TileGrid::tilesInSuperTile(SuperTileId s, std::uint32_t st) const
+{
+    const std::uint32_t sx = s % superTilesX(st);
+    const std::uint32_t sy = s / superTilesX(st);
+    const std::uint32_t x0 = sx * st;
+    const std::uint32_t y0 = sy * st;
+
+    // Tiles within a supertile are always traversed in Z-order (§III-D).
+    std::vector<TileId> tiles;
+    tiles.reserve(static_cast<std::size_t>(st) * st);
+    for (std::uint32_t code = 0; code < st * st; ++code) {
+        const std::uint32_t tx = x0 + mortonDecodeX(code);
+        const std::uint32_t ty = y0 + mortonDecodeY(code);
+        if (tx < nx && ty < ny)
+            tiles.push_back(tileAt(tx, ty));
+    }
+    return tiles;
+}
+
+std::vector<SuperTileId>
+TileGrid::superTileZOrder(std::uint32_t st) const
+{
+    const std::uint32_t snx = superTilesX(st);
+    const std::uint32_t sny = superTilesY(st);
+    std::uint32_t side = 1;
+    while (side < std::max(snx, sny))
+        side <<= 1;
+    std::vector<SuperTileId> order;
+    order.reserve(static_cast<std::size_t>(snx) * sny);
+    for (std::uint32_t code = 0; code < side * side; ++code) {
+        const std::uint32_t sx = mortonDecodeX(code);
+        const std::uint32_t sy = mortonDecodeY(code);
+        if (sx < snx && sy < sny)
+            order.push_back(sy * snx + sx);
+    }
+    return order;
+}
+
+} // namespace libra

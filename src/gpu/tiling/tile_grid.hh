@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The frame's tile grid: tile/supertile indexing and traversal orders.
+ *
+ * A FHD frame at 32x32-pixel tiles is a 60x34 grid (2040 tiles); LIBRA
+ * groups tiles into square supertiles of 2x2..16x16 tiles (§III-C). The
+ * grid provides the Morton (Z-order) traversals used by the baseline and
+ * inside supertiles, and the tile↔supertile mappings the scheduler and
+ * the temperature table aggregate over.
+ */
+
+#ifndef LIBRA_GPU_TILING_TILE_GRID_HH
+#define LIBRA_GPU_TILING_TILE_GRID_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geom.hh"
+#include "common/types.hh"
+
+namespace libra
+{
+
+/** Tile/supertile geometry for one screen configuration. */
+class TileGrid
+{
+  public:
+    TileGrid(std::uint32_t screen_w, std::uint32_t screen_h,
+             std::uint32_t tile_size);
+
+    std::uint32_t tileSize() const { return tilePx; }
+    std::uint32_t tilesX() const { return nx; }
+    std::uint32_t tilesY() const { return ny; }
+    std::uint32_t tileCount() const { return nx * ny; }
+    std::uint32_t screenWidth() const { return screenW; }
+    std::uint32_t screenHeight() const { return screenH; }
+
+    TileId
+    tileAt(std::uint32_t tx, std::uint32_t ty) const
+    {
+        return ty * nx + tx;
+    }
+
+    std::uint32_t tileX(TileId id) const { return id % nx; }
+    std::uint32_t tileY(TileId id) const { return id / nx; }
+
+    /** Pixel rectangle covered by a tile (clipped to the screen). */
+    IRect tileRect(TileId id) const;
+
+    /** Tile ids in Morton (Z) order — the baseline traversal. */
+    const std::vector<TileId> &zOrder() const { return zOrderTiles; }
+
+    /** Tile ids in scanline (row-major) order. */
+    std::vector<TileId> scanlineOrder() const;
+
+    // --- Supertiles ----------------------------------------------------
+
+    /** Number of supertiles for side length @p st (tiles per side). */
+    std::uint32_t superTileCount(std::uint32_t st) const;
+
+    /** Supertile that contains @p tile at side length @p st. */
+    SuperTileId superTileOf(TileId tile, std::uint32_t st) const;
+
+    /**
+     * Tiles inside supertile @p s (side @p st) in Z-order, clipped to
+     * the grid (border supertiles may be partial).
+     */
+    std::vector<TileId> tilesInSuperTile(SuperTileId s,
+                                         std::uint32_t st) const;
+
+    /** Supertile ids in Z-order over the supertile grid. */
+    std::vector<SuperTileId> superTileZOrder(std::uint32_t st) const;
+
+    /** Supertile grid width for side @p st. */
+    std::uint32_t
+    superTilesX(std::uint32_t st) const
+    {
+        return (nx + st - 1) / st;
+    }
+
+    std::uint32_t
+    superTilesY(std::uint32_t st) const
+    {
+        return (ny + st - 1) / st;
+    }
+
+  private:
+    std::uint32_t screenW;
+    std::uint32_t screenH;
+    std::uint32_t tilePx;
+    std::uint32_t nx;
+    std::uint32_t ny;
+    std::vector<TileId> zOrderTiles;
+};
+
+} // namespace libra
+
+#endif // LIBRA_GPU_TILING_TILE_GRID_HH

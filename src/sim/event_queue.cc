@@ -1,0 +1,42 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+void
+EventQueue::schedule(Tick when, EventCallback cb)
+{
+    libra_assert(when >= curTick,
+                 "scheduling in the past: ", when, " < ", curTick);
+    heap.push(Event{when, nextSeq++, std::move(cb)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap.empty())
+        return false;
+    Event e = heap.pop();
+    libra_assert(e.when >= curTick, "heap returned a past event");
+    curTick = e.when;
+    ++executed;
+    e.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t count = 0;
+    while (!heap.empty() && heap.top().when <= limit) {
+        runOne();
+        ++count;
+    }
+    return count;
+}
+
+} // namespace libra

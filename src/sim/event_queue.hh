@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Global event queue driving the timing simulation.
+ *
+ * libra-sim is event-driven: every latency-bearing resource schedules a
+ * callback at the tick where its state changes, instead of being ticked
+ * every cycle. Events scheduled for the same tick execute in scheduling
+ * order (a stable sequence number breaks ties) so simulations are fully
+ * deterministic.
+ */
+
+#ifndef LIBRA_SIM_EVENT_QUEUE_HH
+#define LIBRA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace libra
+{
+
+/** Deferred work item. */
+using EventCallback = std::function<void()>;
+
+/**
+ * Deterministic min-heap event queue.
+ *
+ * A simulation owns exactly one EventQueue; components keep a reference
+ * and schedule callbacks against it. Time only moves forward: scheduling
+ * in the past is a simulator bug.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulation time. */
+    Tick now() const { return curTick; }
+
+    /** Schedule @p cb to run at absolute tick @p when (>= now()). */
+    void schedule(Tick when, EventCallback cb);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void scheduleAfter(Tick delta, EventCallback cb)
+    {
+        schedule(curTick + delta, std::move(cb));
+    }
+
+    bool empty() const { return heap.empty(); }
+    std::size_t pending() const { return heap.size(); }
+
+    /** Tick of the earliest pending event (maxTick when empty). */
+    Tick nextEventTick() const
+    {
+        return heap.empty() ? maxTick : heap.top().when;
+    }
+
+    /**
+     * Pop and execute the earliest event, advancing now().
+     * @return false when the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run until the queue drains or the next event is past @p limit.
+     * @return the number of events executed.
+     */
+    std::uint64_t runUntil(Tick limit = maxTick);
+
+    /** Total events executed since construction. */
+    std::uint64_t eventsExecuted() const { return executed; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventCallback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    // priority_queue's top() is const; we need to move the callback out,
+    // so manage the heap manually over a vector.
+    struct Heap
+    {
+        std::vector<Event> v;
+        bool empty() const { return v.empty(); }
+        std::size_t size() const { return v.size(); }
+        const Event &top() const { return v.front(); }
+        void
+        push(Event e)
+        {
+            v.push_back(std::move(e));
+            std::push_heap(v.begin(), v.end(), Later{});
+        }
+        Event
+        pop()
+        {
+            std::pop_heap(v.begin(), v.end(), Later{});
+            Event e = std::move(v.back());
+            v.pop_back();
+            return e;
+        }
+    };
+
+    Heap heap;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+};
+
+} // namespace libra
+
+#endif // LIBRA_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,223 @@
+#include "trace/frame_trace.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+namespace
+{
+
+constexpr char magic[4] = {'L', 'T', 'R', 'C'};
+constexpr std::uint32_t version = 1;
+
+/** RAII FILE handle. */
+struct File
+{
+    explicit File(std::FILE *fp) : fp(fp) {}
+    ~File()
+    {
+        if (fp)
+            std::fclose(fp);
+    }
+    File(const File &) = delete;
+    File &operator=(const File &) = delete;
+    std::FILE *fp;
+};
+
+template <typename T>
+bool
+put(std::FILE *fp, const T &value)
+{
+    return std::fwrite(&value, sizeof(T), 1, fp) == 1;
+}
+
+template <typename T>
+bool
+get(std::FILE *fp, T &value)
+{
+    return std::fread(&value, sizeof(T), 1, fp) == 1;
+}
+
+bool
+putTriangle(std::FILE *fp, const Triangle &tri)
+{
+    for (const auto &v : tri.v) {
+        if (!put(fp, v.pos.x) || !put(fp, v.pos.y) || !put(fp, v.pos.z)
+            || !put(fp, v.uv.x) || !put(fp, v.uv.y)) {
+            return false;
+        }
+    }
+    const std::uint8_t flags = (tri.blend ? 1u : 0u)
+        | (tri.useMips ? 2u : 0u);
+    return put(fp, tri.textureId) && put(fp, tri.shaderAluOps)
+        && put(fp, tri.texSamples) && put(fp, flags);
+}
+
+bool
+getTriangle(std::FILE *fp, Triangle &tri)
+{
+    for (auto &v : tri.v) {
+        if (!get(fp, v.pos.x) || !get(fp, v.pos.y) || !get(fp, v.pos.z)
+            || !get(fp, v.uv.x) || !get(fp, v.uv.y)) {
+            return false;
+        }
+    }
+    std::uint8_t flags = 0;
+    if (!get(fp, tri.textureId) || !get(fp, tri.shaderAluOps)
+        || !get(fp, tri.texSamples) || !get(fp, flags)) {
+        return false;
+    }
+    tri.blend = (flags & 1) != 0;
+    tri.useMips = (flags & 2) != 0;
+    return true;
+}
+
+} // namespace
+
+bool
+writeTrace(const std::string &path, std::uint32_t screen_w,
+           std::uint32_t screen_h,
+           const std::vector<std::pair<std::uint32_t,
+                                       std::uint32_t>> &texture_dims,
+           const std::vector<FrameData> &frames)
+{
+    File file(std::fopen(path.c_str(), "wb"));
+    if (!file.fp) {
+        warn("cannot open trace file ", path);
+        return false;
+    }
+    std::FILE *fp = file.fp;
+
+    if (std::fwrite(magic, 1, 4, fp) != 4 || !put(fp, version)
+        || !put(fp, screen_w) || !put(fp, screen_h)
+        || !put(fp, static_cast<std::uint32_t>(texture_dims.size()))
+        || !put(fp, static_cast<std::uint32_t>(frames.size()))) {
+        return false;
+    }
+    for (const auto &[w, h] : texture_dims) {
+        if (!put(fp, w) || !put(fp, h))
+            return false;
+    }
+    for (const auto &frame : frames) {
+        if (!put(fp, static_cast<std::uint32_t>(frame.draws.size())))
+            return false;
+        for (const auto &draw : frame.draws) {
+            if (!put(fp, draw.vertexAddr) || !put(fp, draw.vertexCount)
+                || !put(fp, draw.vertexCostCycles)
+                || !put(fp,
+                        static_cast<std::uint32_t>(draw.tris.size()))) {
+                return false;
+            }
+            for (const auto &tri : draw.tris) {
+                if (!putTriangle(fp, tri))
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+writeTrace(const std::string &path, const Scene &scene,
+           std::uint32_t first_frame, std::uint32_t count)
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> dims;
+    for (std::uint32_t i = 0; i < scene.textures().count(); ++i) {
+        const Texture &tex = scene.textures().get(i);
+        dims.emplace_back(tex.width(), tex.height());
+    }
+    std::vector<FrameData> frames;
+    frames.reserve(count);
+    for (std::uint32_t f = 0; f < count; ++f)
+        frames.push_back(scene.frame(first_frame + f));
+    return writeTrace(path, scene.screenWidth(), scene.screenHeight(),
+                      dims, frames);
+}
+
+bool
+FrameTrace::load(const std::string &path)
+{
+    File file(std::fopen(path.c_str(), "rb"));
+    if (!file.fp) {
+        warn("cannot open trace file ", path);
+        return false;
+    }
+    std::FILE *fp = file.fp;
+
+    char m[4];
+    std::uint32_t ver = 0, tex_count = 0, frame_count = 0;
+    if (std::fread(m, 1, 4, fp) != 4 || std::memcmp(m, magic, 4) != 0) {
+        warn(path, ": not a LTRC trace");
+        return false;
+    }
+    if (!get(fp, ver) || ver != version) {
+        warn(path, ": unsupported trace version ", ver);
+        return false;
+    }
+    if (!get(fp, screenW) || !get(fp, screenH) || !get(fp, tex_count)
+        || !get(fp, frame_count)) {
+        return false;
+    }
+
+    pool = TexturePool();
+    for (std::uint32_t i = 0; i < tex_count; ++i) {
+        std::uint32_t w = 0, h = 0;
+        if (!get(fp, w) || !get(fp, h))
+            return false;
+        pool.create(w, h);
+    }
+
+    frames.clear();
+    frames.reserve(frame_count);
+    for (std::uint32_t f = 0; f < frame_count; ++f) {
+        FrameData frame;
+        frame.frameIndex = f;
+        std::uint32_t draw_count = 0;
+        if (!get(fp, draw_count))
+            return false;
+        frame.draws.resize(draw_count);
+        for (auto &draw : frame.draws) {
+            std::uint32_t tri_count = 0;
+            if (!get(fp, draw.vertexAddr) || !get(fp, draw.vertexCount)
+                || !get(fp, draw.vertexCostCycles)
+                || !get(fp, tri_count)) {
+                return false;
+            }
+            draw.tris.resize(tri_count);
+            for (auto &tri : draw.tris) {
+                if (!getTriangle(fp, tri))
+                    return false;
+            }
+        }
+        frames.push_back(std::move(frame));
+    }
+    return true;
+}
+
+const FrameData &
+FrameTrace::frame(std::size_t index) const
+{
+    libra_assert(index < frames.size(), "trace frame out of range");
+    return frames[index];
+}
+
+void
+FrameTrace::set(std::uint32_t screen_w, std::uint32_t screen_h,
+                std::vector<std::pair<std::uint32_t,
+                                      std::uint32_t>> texture_dims,
+                std::vector<FrameData> frame_data)
+{
+    screenW = screen_w;
+    screenH = screen_h;
+    pool = TexturePool();
+    for (const auto &[w, h] : texture_dims)
+        pool.create(w, h);
+    frames = std::move(frame_data);
+}
+
+} // namespace libra

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Frame trace capture and replay.
+ *
+ * The evaluation methodology of the paper replays GPU traces captured
+ * from commercial games. This module provides the equivalent workflow
+ * for libra-sim: serialize a sequence of frames (the screen-space draw
+ * stream plus the texture pool geometry) into a compact binary ".ltrc"
+ * file, and replay it later — decoupling workload generation from
+ * timing simulation, enabling trace sharing, and guaranteeing that two
+ * experiments consumed byte-identical inputs.
+ *
+ * Format (little-endian):
+ *   header:  magic "LTRC", u32 version, u32 screenW, u32 screenH,
+ *            u32 textureCount, u32 frameCount
+ *   texture: u32 width, u32 height                  (xtextureCount)
+ *   frame:   u32 drawCount                          (xframeCount)
+ *     draw:  u64 vertexAddr, u32 vertexCount, u16 vertexCost,
+ *            u32 triCount
+ *       tri: 3 x (f32 x,y,z, f32 u,v), u32 textureId, u16 aluOps,
+ *            u8 texSamples, u8 flags (bit0 blend, bit1 useMips)
+ */
+
+#ifndef LIBRA_TRACE_FRAME_TRACE_HH
+#define LIBRA_TRACE_FRAME_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/scene.hh"
+#include "workload/texture.hh"
+
+namespace libra
+{
+
+/** A loaded trace: everything needed to drive Gpu::renderFrame. */
+class FrameTrace
+{
+  public:
+    FrameTrace() = default;
+
+    /** Load a trace file. @return false (with a warning) on failure. */
+    bool load(const std::string &path);
+
+    std::uint32_t screenWidth() const { return screenW; }
+    std::uint32_t screenHeight() const { return screenH; }
+    std::size_t frameCount() const { return frames.size(); }
+
+    const FrameData &frame(std::size_t index) const;
+    const TexturePool &textures() const { return pool; }
+
+    /** In-memory construction (used by the writer and the tests). */
+    void
+    set(std::uint32_t screen_w, std::uint32_t screen_h,
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> texture_dims,
+        std::vector<FrameData> frame_data);
+
+  private:
+    std::uint32_t screenW = 0;
+    std::uint32_t screenH = 0;
+    TexturePool pool;
+    std::vector<FrameData> frames;
+};
+
+/**
+ * Capture @p count frames of @p scene starting at @p first_frame into
+ * @p path. @return false on I/O failure.
+ */
+bool writeTrace(const std::string &path, const Scene &scene,
+                std::uint32_t first_frame, std::uint32_t count);
+
+/** Serialize an in-memory trace (lower-level entry point). */
+bool writeTrace(const std::string &path, std::uint32_t screen_w,
+                std::uint32_t screen_h,
+                const std::vector<std::pair<std::uint32_t,
+                                            std::uint32_t>> &texture_dims,
+                const std::vector<FrameData> &frames);
+
+} // namespace libra
+
+#endif // LIBRA_TRACE_FRAME_TRACE_HH

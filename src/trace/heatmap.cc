@@ -1,0 +1,98 @@
+#include "trace/heatmap.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+namespace
+{
+
+/** Cold(blue) → hot(red) ramp for t in [0, 1]. */
+void
+ramp(double t, std::uint8_t &r, std::uint8_t &g, std::uint8_t &b)
+{
+    t = std::clamp(t, 0.0, 1.0);
+    // Piecewise blue → cyan → yellow → red.
+    double rr, gg, bb;
+    if (t < 0.33) {
+        const double u = t / 0.33;
+        rr = 0.0; gg = u; bb = 1.0;
+    } else if (t < 0.66) {
+        const double u = (t - 0.33) / 0.33;
+        rr = u; gg = 1.0; bb = 1.0 - u;
+    } else {
+        const double u = (t - 0.66) / 0.34;
+        rr = 1.0; gg = 1.0 - u; bb = 0.0;
+    }
+    r = static_cast<std::uint8_t>(rr * 255.0);
+    g = static_cast<std::uint8_t>(gg * 255.0);
+    b = static_cast<std::uint8_t>(bb * 255.0);
+}
+
+} // namespace
+
+bool
+writeHeatmapPpm(const std::string &path, const TileGrid &grid,
+                const std::vector<std::uint64_t> &values,
+                std::uint32_t cell)
+{
+    libra_assert(values.size() == grid.tileCount(),
+                 "heatmap needs one value per tile");
+    std::FILE *fp = std::fopen(path.c_str(), "wb");
+    if (!fp) {
+        warn("cannot open ", path);
+        return false;
+    }
+    const std::uint64_t max_value =
+        std::max<std::uint64_t>(1, *std::max_element(values.begin(),
+                                                     values.end()));
+    const std::uint32_t w = grid.tilesX() * cell;
+    const std::uint32_t h = grid.tilesY() * cell;
+    std::fprintf(fp, "P6\n%u %u\n255\n", w, h);
+    std::vector<std::uint8_t> row(static_cast<std::size_t>(w) * 3);
+    for (std::uint32_t y = 0; y < h; ++y) {
+        for (std::uint32_t x = 0; x < w; ++x) {
+            const TileId tile = grid.tileAt(x / cell, y / cell);
+            const double t = static_cast<double>(values[tile])
+                / static_cast<double>(max_value);
+            ramp(t, row[x * 3], row[x * 3 + 1], row[x * 3 + 2]);
+        }
+        std::fwrite(row.data(), 1, row.size(), fp);
+    }
+    std::fclose(fp);
+    return true;
+}
+
+std::string
+heatmapAscii(const TileGrid &grid,
+             const std::vector<std::uint64_t> &values)
+{
+    libra_assert(values.size() == grid.tileCount(),
+                 "heatmap needs one value per tile");
+    static const char ramp_chars[] = " .:-=+*#%@";
+    const std::uint64_t max_value =
+        std::max<std::uint64_t>(1, *std::max_element(values.begin(),
+                                                     values.end()));
+    std::string out;
+    out.reserve(static_cast<std::size_t>(grid.tileCount())
+                + grid.tilesY());
+    for (std::uint32_t y = 0; y < grid.tilesY(); ++y) {
+        for (std::uint32_t x = 0; x < grid.tilesX(); ++x) {
+            const double t =
+                static_cast<double>(values[grid.tileAt(x, y)])
+                / static_cast<double>(max_value);
+            const auto idx = static_cast<std::size_t>(
+                t * (sizeof(ramp_chars) - 2));
+            out.push_back(ramp_chars[std::min<std::size_t>(
+                idx, sizeof(ramp_chars) - 2)]);
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace libra

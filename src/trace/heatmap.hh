@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Heatmap output: renders per-tile scalar fields (e.g. DRAM accesses per
+ * tile, Fig. 2/Fig. 9 of the paper) as PPM images, one pixel block per
+ * tile, using a cold-to-hot color ramp.
+ */
+
+#ifndef LIBRA_TRACE_HEATMAP_HH
+#define LIBRA_TRACE_HEATMAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/tiling/tile_grid.hh"
+
+namespace libra
+{
+
+/**
+ * Write @p values (one per tile, row-major by tile id) as a PPM file.
+ * Each tile becomes a @p cell x @p cell pixel block. Values are
+ * normalized to the observed max.
+ * @return true on success.
+ */
+bool writeHeatmapPpm(const std::string &path, const TileGrid &grid,
+                     const std::vector<std::uint64_t> &values,
+                     std::uint32_t cell = 8);
+
+/** ASCII-art variant for quick terminal inspection (rows of 0-9/#). */
+std::string heatmapAscii(const TileGrid &grid,
+                         const std::vector<std::uint64_t> &values);
+
+} // namespace libra
+
+#endif // LIBRA_TRACE_HEATMAP_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table/CSV reporting used by every bench binary so the
+ * regenerated "figures" print in a consistent, diffable format.
+ */
+
+#ifndef LIBRA_TRACE_REPORT_HH
+#define LIBRA_TRACE_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace libra
+{
+
+/** Fixed-width text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render with aligned columns. */
+    std::string str() const;
+
+    /** Render as CSV. */
+    std::string csv() const;
+
+    void print() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Print a section banner ("==== Figure 11 ... ===="). */
+void banner(const std::string &title);
+
+} // namespace libra
+
+#endif // LIBRA_TRACE_REPORT_HH

@@ -1,0 +1,475 @@
+#include "workload/benchmarks.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace libra
+{
+
+const char *
+genreName(Genre genre)
+{
+    switch (genre) {
+      case Genre::G2D: return "2D";
+      case Genre::G25D: return "2.5D";
+      case Genre::G3D: return "3D";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * Archetype bases. Individual titles below start from one of these and
+ * perturb the knobs so the suite covers the spread of Table II: casual
+ * 2D puzzlers, 2.5D strategy/base-builders and 3D runners/racers, half
+ * memory-intensive and half compute-intensive.
+ */
+BenchmarkSpec
+base2dCasual()
+{
+    BenchmarkSpec spec;
+    spec.genre = Genre::G2D;
+    spec.bgLayers = 2;
+    spec.bgDetail = 0.55f;
+    spec.bgUseMips = false;
+    spec.bgScrollX = 0.0f;
+    spec.spriteCount = 90;
+    spec.spriteMinSize = 40.0f;
+    spec.spriteMaxSize = 120.0f;
+    spec.spriteDetail = 1.05f;
+    spec.spriteUseMips = false;
+    spec.spriteAluOps = 6;
+    spec.spriteBlendFraction = 0.8f;
+    spec.spriteTextures = 8;
+    spec.spriteRegionsPerSheet = 8;
+    spec.spriteSpeed = 1.0f;
+    spec.hotspots = 4;
+    spec.hotspotSpread = 220.0f;
+    spec.hotspotDrift = 0.6f;
+    spec.hudBars = 2;
+    spec.hudDetail = 1.2f;
+    spec.vertexCostCycles = 6;
+    return spec;
+}
+
+BenchmarkSpec
+base25dStrategy()
+{
+    BenchmarkSpec spec;
+    spec.genre = Genre::G25D;
+    spec.bgLayers = 1;
+    spec.bgDetail = 0.5f;
+    spec.bgUseMips = false;
+    spec.meshCols = 24;
+    spec.meshRows = 16;
+    spec.meshDetail = 1.0f;
+    spec.meshAluOps = 10;
+    spec.meshScroll = 0.002f;
+    spec.spriteCount = 110;
+    spec.spriteMinSize = 28.0f;
+    spec.spriteMaxSize = 80.0f;
+    spec.spriteDetail = 1.0f;
+    spec.spriteUseMips = false;
+    spec.spriteAluOps = 8;
+    spec.spriteBlendFraction = 0.5f;
+    spec.spriteTextures = 9;
+    spec.spriteRegionsPerSheet = 8;
+    spec.spriteSpeed = 0.6f;
+    spec.hotspots = 5;
+    spec.hotspotSpread = 170.0f;
+    spec.hotspotDrift = 0.4f;
+    spec.hudBars = 3;
+    spec.hudDetail = 1.6f;
+    spec.vertexCostCycles = 8;
+    return spec;
+}
+
+BenchmarkSpec
+base3dRunner()
+{
+    BenchmarkSpec spec;
+    spec.genre = Genre::G3D;
+    spec.bgLayers = 1;
+    spec.bgDetail = 0.4f;
+    spec.bgUseMips = true;
+    spec.meshCols = 30;
+    spec.meshRows = 22;
+    spec.meshDetail = 1.1f;
+    spec.meshAluOps = 22;
+    spec.meshTexSamples = 2;
+    spec.meshScroll = 0.015f;
+    spec.spriteCount = 70;
+    spec.spriteMinSize = 32.0f;
+    spec.spriteMaxSize = 140.0f;
+    spec.spriteDetail = 0.9f;
+    spec.spriteUseMips = true;
+    spec.spriteAluOps = 18;
+    spec.spriteBlendFraction = 0.25f;
+    spec.spriteTextures = 7;
+    spec.spriteRegionsPerSheet = 8;
+    spec.spriteSpeed = 3.0f;
+    spec.hotspots = 3;
+    spec.hotspotSpread = 200.0f;
+    spec.hotspotDrift = 1.2f;
+    spec.hudBars = 3;
+    spec.hudDetail = 1.4f;
+    spec.vertexCostCycles = 12;
+    return spec;
+}
+
+BenchmarkSpec
+baseComputeHeavy(Genre genre)
+{
+    BenchmarkSpec spec = genre == Genre::G3D ? base3dRunner()
+        : genre == Genre::G25D ? base25dStrategy()
+        : base2dCasual();
+    // Compute-bound: mipmapped modest textures with heavy asset reuse,
+    // and heavy fragment shaders.
+    spec.bgDetail = 0.25f;
+    spec.bgUseMips = true;
+    spec.bgAluOps = 24;
+    spec.meshDetail = 0.6f;
+    spec.meshAluOps = 48;
+    spec.spriteDetail = 0.55f;
+    spec.spriteUseMips = true;
+    spec.spriteAluOps = 40;
+    spec.spriteBlendFraction = 0.2f;
+    spec.spriteTextures = 6;
+    spec.spriteRegionsPerSheet = 4;
+    spec.hudDetail = 0.7f;
+    spec.hudAluOps = 16;
+    return spec;
+}
+
+/** Deterministically jitter the continuous knobs so titles differ. */
+void
+individualize(BenchmarkSpec &spec, std::uint64_t salt)
+{
+    Rng rng(hashCombine(0xb19a5eedull, salt));
+    auto scale = [&rng](float &v, double lo, double hi) {
+        v *= static_cast<float>(rng.uniform(lo, hi));
+    };
+    scale(spec.bgDetail, 0.85, 1.2);
+    scale(spec.spriteDetail, 0.85, 1.25);
+    scale(spec.meshDetail, 0.85, 1.2);
+    scale(spec.hotspotSpread, 0.8, 1.3);
+    scale(spec.spriteSpeed, 0.7, 1.4);
+    scale(spec.hotspotDrift, 0.7, 1.4);
+    spec.spriteCount = static_cast<std::uint32_t>(
+        spec.spriteCount * rng.uniform(0.8, 1.3));
+    spec.hotspots = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(spec.hotspots
+                                      * rng.uniform(0.7, 1.5)));
+    spec.seed = hashCombine(salt, 0x5eedull);
+}
+
+std::vector<BenchmarkSpec>
+buildSuite()
+{
+    std::vector<BenchmarkSpec> suite;
+    std::uint64_t salt = 1;
+
+    auto add = [&suite, &salt](BenchmarkSpec spec, const char *abbrev,
+                               const char *title, bool memory) {
+        spec.abbrev = abbrev;
+        spec.title = title;
+        spec.memoryIntensive = memory;
+        individualize(spec, salt++);
+        suite.push_back(std::move(spec));
+    };
+
+    // ---- Memory-intensive half (16 titles) ---------------------------
+    {
+        BenchmarkSpec s = base2dCasual();
+        s.bgScrollX = 6.0f;
+        s.bgLayers = 3;
+        s.spriteDetail = 1.0f;
+        add(s, "AAt", "Alto's Ascent", true);
+    }
+    {
+        BenchmarkSpec s = base2dCasual();
+        s.spriteCount = 70;
+        s.spriteMaxSize = 90.0f;
+        s.hotspots = 6;
+        add(s, "AmU", "Among Us", true);
+    }
+    {
+        BenchmarkSpec s = base3dRunner();
+        s.meshDetail = 1.2f;
+        s.meshAluOps = 14;
+        s.spriteDetail = 1.1f;
+        s.spriteUseMips = false;
+        s.particleCount = 25;
+        add(s, "BBR", "Beach Buggy Racing", true);
+    }
+    {
+        BenchmarkSpec s = base2dCasual();
+        s.spriteCount = 130;
+        s.spriteBlendFraction = 0.9f;
+        s.spriteDetail = 1.05f;
+        add(s, "BlB", "Block Blast", true);
+    }
+    {
+        BenchmarkSpec s = base2dCasual();
+        s.spriteCount = 140;
+        s.spriteMinSize = 56.0f;
+        s.spriteMaxSize = 110.0f;
+        s.spriteDetail = 1.05f;
+        s.spriteTextures = 12;
+        s.spriteRegionsPerSheet = 8;
+        s.spriteBlendFraction = 0.95f;
+        s.hotspots = 5;
+        s.hotspotSpread = 320.0f;
+        s.particleCount = 20;
+        add(s, "CCS", "Candy Crush Saga", true);
+    }
+    {
+        BenchmarkSpec s = base25dStrategy();
+        s.spriteCount = 150;
+        s.meshCols = 28;
+        s.meshRows = 20;
+        add(s, "CoC", "Clash of Clans", true);
+    }
+    {
+        BenchmarkSpec s = base2dCasual();
+        s.bgLayers = 3;
+        s.bgScrollX = 3.0f;
+        s.spriteDetail = 1.1f;
+        add(s, "Gra", "Gardenscapes", true);
+    }
+    {
+        BenchmarkSpec s = base3dRunner();
+        s.meshDetail = 1.25f;
+        s.meshTexSamples = 2;
+        s.spriteDetail = 1.1f;
+        s.spriteUseMips = false;
+        s.meshScroll = 0.02f;
+        s.particleCount = 20;
+        add(s, "GrT", "Grand Truck Driver", true);
+    }
+    {
+        BenchmarkSpec s = base25dStrategy();
+        s.genre = Genre::G25D;
+        s.bgScrollX = 4.0f;
+        s.meshScroll = 0.012f;
+        s.spriteCount = 60;
+        s.spriteDetail = 1.15f;
+        add(s, "HCR", "Hill Climb Racing", true);
+    }
+    {
+        BenchmarkSpec s = base25dStrategy();
+        s.spriteCount = 170;
+        s.spriteTextures = 12;
+        s.spriteRegionsPerSheet = 10;
+        s.spriteDetail = 1.0f;
+        s.meshDetail = 1.1f;
+        add(s, "HoW", "Heroes of War", true);
+    }
+    {
+        BenchmarkSpec s = base2dCasual();
+        s.bgLayers = 2;
+        s.bgScrollX = 10.0f;
+        s.spriteCount = 55;
+        s.spriteDetail = 1.0f;
+        s.particleCount = 35;
+        add(s, "Jet", "Jetpack Joyride", true);
+    }
+    {
+        BenchmarkSpec s = base25dStrategy();
+        s.spriteCount = 160;
+        s.meshCols = 30;
+        s.meshRows = 22;
+        s.meshDetail = 1.15f;
+        add(s, "RoK", "Rise of Kingdoms", true);
+    }
+    {
+        BenchmarkSpec s = base25dStrategy();
+        s.spriteCount = 180;
+        s.spriteDetail = 1.0f;
+        s.spriteTextures = 14;
+        s.spriteRegionsPerSheet = 10;
+        add(s, "RoM", "Realm of Mages", true);
+    }
+    {
+        BenchmarkSpec s = base3dRunner();
+        s.meshScroll = 0.025f;
+        s.spriteCount = 80;
+        s.particleCount = 30;
+        s.spriteDetail = 1.05f;
+        s.spriteUseMips = false;
+        s.hudBars = 4;
+        add(s, "SuS", "Subway Surfers", true);
+    }
+    {
+        BenchmarkSpec s = base3dRunner();
+        s.meshScroll = 0.022f;
+        s.meshDetail = 1.15f;
+        s.spriteCount = 60;
+        add(s, "TeR", "Temple Rush", true);
+    }
+    {
+        BenchmarkSpec s = base3dRunner();
+        s.meshCols = 36;
+        s.meshRows = 26;
+        s.meshDetail = 1.2f;
+        s.meshTexSamples = 2;
+        s.spriteCount = 90;
+        add(s, "WoT", "World of Tanks Blitz", true);
+    }
+
+    // ---- Compute-intensive half (16 titles) --------------------------
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G2D);
+        s.spriteAluOps = 56;
+        s.spriteCount = 50;
+        add(s, "GDL", "Geometry Dash Lite", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G2D);
+        s.spriteCount = 45;
+        s.spriteSpeed = 4.0f;
+        add(s, "CrS", "Crossy Street", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G2D);
+        s.spriteCount = 35;
+        s.spriteMaxSize = 160.0f;
+        add(s, "AnB", "Angry Birds Reloaded", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G25D);
+        s.spriteCount = 90;
+        s.spriteAluOps = 48;
+        add(s, "ArK", "Arknights", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G2D);
+        s.spriteCount = 75;
+        s.spriteBlendFraction = 0.4f;
+        add(s, "BaB", "Bubble Blaze", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G2D);
+        s.spriteCount = 20;
+        s.spriteAluOps = 64;
+        s.hudBars = 1;
+        add(s, "ChE", "Chess Elite", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G2D);
+        s.spriteCount = 30;
+        s.spriteMaxSize = 130.0f;
+        add(s, "CuT", "Cut the Rope Remastered", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G3D);
+        s.meshAluOps = 56;
+        s.spriteAluOps = 44;
+        s.particleCount = 15;
+        add(s, "DrR", "Dragon Racers", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G2D);
+        s.spriteCount = 85;
+        s.spriteSpeed = 2.5f;
+        s.particleCount = 20;
+        add(s, "FrF", "Fruit Frenzy", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G2D);
+        s.spriteCount = 40;
+        s.hotspots = 2;
+        add(s, "LuD", "Ludo King", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G3D);
+        s.meshCols = 34;
+        s.meshRows = 24;
+        s.meshAluOps = 52;
+        s.spriteCount = 40;
+        add(s, "MiN", "MineNow", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G3D);
+        s.meshAluOps = 44;
+        s.spriteCount = 25;
+        s.hudBars = 2;
+        add(s, "PoG", "Polygon Golf", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G2D);
+        s.spriteCount = 60;
+        s.spriteSpeed = 5.0f;
+        add(s, "SnK", "Snake Rush", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G3D);
+        s.meshCols = 28;
+        s.meshRows = 20;
+        s.spriteCount = 55;
+        s.spriteAluOps = 36;
+        add(s, "SoC", "Soccer Clash", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G25D);
+        s.spriteCount = 70;
+        s.meshAluOps = 40;
+        add(s, "StV", "Star Valley", false);
+    }
+    {
+        BenchmarkSpec s = baseComputeHeavy(Genre::G2D);
+        s.spriteCount = 65;
+        s.spriteBlendFraction = 0.35f;
+        add(s, "ZuM", "Zuma Blitz", false);
+    }
+
+    libra_assert(suite.size() == 32, "suite must have 32 entries");
+    return suite;
+}
+
+} // namespace
+
+const std::vector<BenchmarkSpec> &
+benchmarkSuite()
+{
+    static const std::vector<BenchmarkSpec> suite = buildSuite();
+    return suite;
+}
+
+const BenchmarkSpec &
+findBenchmark(const std::string &abbrev)
+{
+    for (const auto &spec : benchmarkSuite()) {
+        if (spec.abbrev == abbrev)
+            return spec;
+    }
+    fatal("unknown benchmark: ", abbrev);
+}
+
+std::vector<std::string>
+memoryIntensiveSet()
+{
+    std::vector<std::string> out;
+    for (const auto &spec : benchmarkSuite()) {
+        if (spec.memoryIntensive)
+            out.push_back(spec.abbrev);
+    }
+    return out;
+}
+
+std::vector<std::string>
+computeIntensiveSet()
+{
+    std::vector<std::string> out;
+    for (const auto &spec : benchmarkSuite()) {
+        if (!spec.memoryIntensive)
+            out.push_back(spec.abbrev);
+    }
+    return out;
+}
+
+} // namespace libra

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The benchmark suite: 32 synthetic game archetypes standing in for the
+ * commercial Android titles of the paper's Table II.
+ *
+ * Abbreviations that the paper's figures name explicitly (CCS, SuS, HCR,
+ * CoC, AAt, BlB, GrT, Gra, RoK, BBR, AmU, CrS, Jet, HoW, RoM, GDL) keep
+ * those abbreviations here; the remaining titles are plausible fillers.
+ * Per the paper, 16 of the 32 are memory-intensive (>= 25% of execution
+ * time on memory accesses) and 16 are compute-intensive.
+ */
+
+#ifndef LIBRA_WORKLOAD_BENCHMARKS_HH
+#define LIBRA_WORKLOAD_BENCHMARKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace libra
+{
+
+/** Visual style, matching Table II's 2D / 2.5D / 3D classification. */
+enum class Genre
+{
+    G2D,
+    G25D,
+    G3D
+};
+
+const char *genreName(Genre genre);
+
+/** Tunable description of one synthetic game. */
+struct BenchmarkSpec
+{
+    std::string abbrev;  //!< e.g. "CCS"
+    std::string title;   //!< e.g. "Candy Crush Saga"
+    Genre genre = Genre::G2D;
+    std::uint64_t seed = 1;
+
+    /**
+     * Whether the archetype targets the paper's memory-intensive class.
+     * Used only for reporting/grouping; the actual classification in the
+     * benches is measured, as in the paper (>= 25% time on memory).
+     */
+    bool memoryIntensive = false;
+
+    // --- Background layers -------------------------------------------
+    std::uint32_t bgLayers = 1;        //!< full-screen layers
+    float bgDetail = 1.0f;             //!< texels per pixel, base level
+    bool bgUseMips = true;
+    float bgScrollX = 0.0f;            //!< uv scroll, pixels per frame
+    float bgScrollY = 0.0f;
+    std::uint16_t bgAluOps = 4;
+
+    // --- Terrain / world mesh ----------------------------------------
+    std::uint32_t meshCols = 0;        //!< 0 disables the mesh
+    std::uint32_t meshRows = 0;
+    float meshDetail = 1.0f;
+    std::uint16_t meshAluOps = 16;
+    std::uint8_t meshTexSamples = 1;
+    float meshScroll = 0.0f;           //!< world scroll, uv per frame
+
+    // --- Sprites -----------------------------------------------------
+    std::uint32_t spriteCount = 40;
+    float spriteMinSize = 24.0f;
+    float spriteMaxSize = 96.0f;
+    float spriteDetail = 1.0f;
+    bool spriteUseMips = true;
+    std::uint16_t spriteAluOps = 8;
+    std::uint8_t spriteTexSamples = 1;
+    float spriteBlendFraction = 0.3f;  //!< translucent fraction
+    std::uint32_t spriteTextures = 8;  //!< distinct sprite sheets
+    /**
+     * Distinct art regions per sheet. Real games draw many instances of
+     * the same asset (candies, coins, tiles); sprites pick one of these
+     * shared regions, which bounds the per-frame texture footprint.
+     */
+    std::uint32_t spriteRegionsPerSheet = 6;
+    float spriteSpeed = 2.0f;          //!< pixels per frame drift
+
+    // --- Hotspot clustering ------------------------------------------
+    std::uint32_t hotspots = 3;
+    float hotspotSpread = 180.0f;      //!< sprite scatter radius, px
+    float hotspotDrift = 1.0f;         //!< hotspot motion, px per frame
+
+    // --- Particles -----------------------------------------------------
+    /**
+     * Effect particles (sparkles, debris, exhaust) with fully random
+     * per-frame positions: the incoherent component of real frames
+     * that caps how predictable per-tile memory pressure can be
+     * (Fig. 8's CDF does not reach 100%).
+     */
+    std::uint32_t particleCount = 0;
+    float particleSize = 14.0f;
+    std::uint16_t particleAluOps = 4;
+
+    // --- HUD ---------------------------------------------------------
+    std::uint32_t hudBars = 2;
+    float hudDetail = 1.5f;
+    std::uint16_t hudAluOps = 4;
+
+    // --- Geometry-pipeline weight -------------------------------------
+    std::uint16_t vertexCostCycles = 8;
+
+    // --- Animation ----------------------------------------------------
+    std::uint32_t epochFrames = 240;   //!< frames between scene cuts
+};
+
+/** The full 32-entry suite, in suite order. */
+const std::vector<BenchmarkSpec> &benchmarkSuite();
+
+/** Look up one spec by abbreviation; fatal when unknown. */
+const BenchmarkSpec &findBenchmark(const std::string &abbrev);
+
+/** Abbreviations of the archetypes designed as memory-intensive. */
+std::vector<std::string> memoryIntensiveSet();
+
+/** Abbreviations of the archetypes designed as compute-intensive. */
+std::vector<std::string> computeIntensiveSet();
+
+} // namespace libra
+
+#endif // LIBRA_WORKLOAD_BENCHMARKS_HH

@@ -1,0 +1,472 @@
+#include "workload/scene.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cache/mem_system.hh"
+#include "common/log.hh"
+
+namespace libra
+{
+
+namespace
+{
+
+constexpr float pi = 3.14159265358979f;
+
+/** Clamp texture dimensions to keep footprints plausible for mobile. */
+std::uint32_t
+clampTexDim(float v)
+{
+    return static_cast<std::uint32_t>(
+        std::clamp(v, 16.0f, 2048.0f));
+}
+
+} // namespace
+
+Scene::Scene(const BenchmarkSpec &spec, std::uint32_t screen_w,
+             std::uint32_t screen_h)
+    : benchSpec(spec), screenW(screen_w), screenH(screen_h)
+{
+    libra_assert(screen_w > 0 && screen_h > 0, "empty screen");
+    epochLength = std::max(1u, spec.epochFrames);
+
+    Rng rng(spec.seed);
+
+    // --- Textures -----------------------------------------------------
+    std::vector<std::uint32_t> bg_tex;
+    for (std::uint32_t i = 0; i < spec.bgLayers; ++i) {
+        const float scale = spec.bgDetail * (i == 0 ? 1.0f : 0.6f);
+        bg_tex.push_back(pool.create(clampTexDim(screenW * scale),
+                                     clampTexDim(screenH * scale)).id());
+    }
+
+    std::uint32_t mesh_tex = 0;
+    if (spec.meshCols > 0 && spec.meshRows > 0) {
+        const std::uint32_t dim =
+            clampTexDim(512.0f * std::max(spec.meshDetail, 0.5f));
+        mesh_tex = pool.create(dim, dim).id();
+    }
+
+    std::vector<std::uint32_t> sprite_tex;
+    for (std::uint32_t i = 0; i < std::max(spec.spriteTextures, 1u); ++i) {
+        const std::uint32_t dim =
+            clampTexDim(256.0f * std::max(spec.spriteDetail, 0.5f));
+        sprite_tex.push_back(pool.create(dim, dim).id());
+    }
+
+    std::uint32_t particle_tex = 0;
+    if (spec.particleCount > 0)
+        particle_tex = pool.create(64, 64).id();
+
+    std::uint32_t hud_tex = 0;
+    if (spec.hudBars > 0) {
+        hud_tex = pool.create(clampTexDim(screenW * spec.hudDetail),
+                              clampTexDim(96.0f * spec.hudDetail)).id();
+    }
+
+    // --- Objects (construction order; draw order fixed below) ---------
+    std::vector<Object> opaque;
+    std::vector<Object> blended;
+    std::vector<Object> hud;
+
+    for (std::uint32_t i = 0; i < spec.bgLayers; ++i) {
+        Object obj;
+        obj.kind = Object::Kind::Background;
+        obj.textureId = bg_tex[i];
+        obj.sizeX = static_cast<float>(screenW);
+        obj.sizeY = static_cast<float>(screenH);
+        obj.depth = 0.95f - 0.02f * static_cast<float>(i);
+        obj.aluOps = spec.bgAluOps;
+        obj.blend = i > 0; // parallax layers blend over the base
+        obj.useMips = spec.bgUseMips;
+        obj.detail = spec.bgDetail;
+        obj.anchor = {0.0f, 0.0f};
+        obj.uvScrollX = spec.bgScrollX / static_cast<float>(screenW)
+            * (1.0f + 0.35f * static_cast<float>(i));
+        obj.uvScrollY = spec.bgScrollY / static_cast<float>(screenH);
+        obj.vertexCost = spec.vertexCostCycles;
+        (obj.blend ? blended : opaque).push_back(obj);
+    }
+
+    if (spec.meshCols > 0 && spec.meshRows > 0) {
+        Object obj;
+        obj.kind = Object::Kind::Mesh;
+        obj.textureId = mesh_tex;
+        obj.meshCols = spec.meshCols;
+        obj.meshRows = spec.meshRows;
+        obj.sizeX = static_cast<float>(screenW);
+        obj.sizeY = static_cast<float>(screenH) * 0.7f;
+        obj.anchor = {0.0f, static_cast<float>(screenH) * 0.3f};
+        obj.depth = 0.6f; // per-row gradient applied at emission
+        obj.aluOps = spec.meshAluOps;
+        obj.texSamples = spec.meshTexSamples;
+        obj.blend = false;
+        obj.useMips = true;
+        obj.detail = spec.meshDetail;
+        obj.uvScrollY = spec.meshScroll;
+        obj.vertexCost = spec.vertexCostCycles;
+        opaque.push_back(obj);
+    }
+
+    for (std::uint32_t i = 0; i < spec.spriteCount; ++i) {
+        Object obj;
+        obj.kind = Object::Kind::Sprite;
+        obj.textureId =
+            sprite_tex[rng.below(sprite_tex.size())];
+        const float size = static_cast<float>(
+            rng.uniform(spec.spriteMinSize, spec.spriteMaxSize));
+        obj.sizeX = size;
+        obj.sizeY = size * static_cast<float>(rng.uniform(0.8, 1.25));
+        obj.depth = 0.2f + 0.25f * static_cast<float>(rng.uniform());
+        obj.aluOps = spec.spriteAluOps;
+        obj.texSamples = spec.spriteTexSamples;
+        obj.blend = rng.chance(spec.spriteBlendFraction);
+        obj.useMips = spec.spriteUseMips;
+        obj.detail = spec.spriteDetail;
+        obj.hotspot = spec.hotspots == 0
+            ? -1
+            : static_cast<int>(i % spec.hotspots);
+        obj.anchor = {static_cast<float>(rng.gaussian())
+                          * spec.hotspotSpread,
+                      static_cast<float>(rng.gaussian())
+                          * spec.hotspotSpread * 0.7f};
+        obj.wobbleAmp = static_cast<float>(rng.uniform(0.0, 12.0));
+        obj.wobbleFreq = static_cast<float>(rng.uniform(0.05, 0.3));
+        obj.wobblePhase = static_cast<float>(rng.uniform(0.0, 2.0 * pi));
+        obj.drift = {static_cast<float>(rng.uniform(-1.0, 1.0))
+                         * spec.spriteSpeed,
+                     static_cast<float>(rng.uniform(-0.4, 0.4))
+                         * spec.spriteSpeed};
+        obj.vertexCost = spec.vertexCostCycles;
+        (obj.blend ? blended : opaque).push_back(obj);
+    }
+
+    for (std::uint32_t i = 0; i < spec.particleCount; ++i) {
+        Object obj;
+        obj.kind = Object::Kind::Particle;
+        obj.textureId = particle_tex;
+        obj.particleIndex = i;
+        obj.sizeX = spec.particleSize;
+        obj.sizeY = spec.particleSize;
+        obj.depth = 0.12f;
+        obj.aluOps = spec.particleAluOps;
+        obj.blend = true;
+        obj.useMips = false;
+        obj.detail = 1.0f;
+        obj.vertexCost = spec.vertexCostCycles;
+        blended.push_back(obj);
+    }
+
+    for (std::uint32_t i = 0; i < spec.hudBars; ++i) {
+        Object obj;
+        obj.kind = Object::Kind::Hud;
+        obj.textureId = hud_tex;
+        obj.sizeX = static_cast<float>(screenW)
+            * (i < 2 ? 1.0f : 0.25f);
+        obj.sizeY = i < 2 ? 84.0f : 120.0f;
+        obj.depth = 0.05f;
+        obj.aluOps = spec.hudAluOps;
+        obj.blend = true;
+        obj.useMips = false;
+        obj.detail = spec.hudDetail;
+        switch (i % 4) {
+          case 0: obj.anchor = {0.0f, 0.0f}; break;
+          case 1:
+            obj.anchor = {0.0f, static_cast<float>(screenH) - obj.sizeY};
+            break;
+          case 2: obj.anchor = {12.0f, 100.0f}; break;
+          default:
+            obj.anchor = {static_cast<float>(screenW) - obj.sizeX - 12.0f,
+                          100.0f};
+            break;
+        }
+        obj.vertexCost = spec.vertexCostCycles;
+        hud.push_back(obj);
+    }
+
+    // Draw order. 3D engines submit opaque geometry front-to-back so
+    // Early-Z can kill occluded fragments; 2D/2.5D games paint
+    // back-to-front with blending. Translucent geometry and the HUD
+    // always come last, back-to-front.
+    if (spec.genre == Genre::G3D) {
+        std::stable_sort(opaque.begin(), opaque.end(),
+                         [](const Object &a, const Object &b) {
+                             return a.depth < b.depth;
+                         });
+    } else {
+        std::stable_sort(opaque.begin(), opaque.end(),
+                         [](const Object &a, const Object &b) {
+                             return a.depth > b.depth;
+                         });
+    }
+    std::stable_sort(blended.begin(), blended.end(),
+                     [](const Object &a, const Object &b) {
+                         return a.depth > b.depth;
+                     });
+
+    objects.reserve(opaque.size() + blended.size() + hud.size());
+    for (auto &obj : opaque)
+        objects.push_back(obj);
+    for (auto &obj : blended)
+        objects.push_back(obj);
+    for (auto &obj : hud)
+        objects.push_back(obj);
+
+    // Assign per-object uv origins (stable sprite-sheet regions) and
+    // vertex storage.
+    Rng uv_rng(hashCombine(spec.seed, 0x75764f52ull)); // "uvOR"
+    Addr vertex_cursor = addr_map::vertexBase;
+    drawVertexAddr.reserve(objects.size());
+    for (const auto &obj : objects) {
+        drawVertexAddr.push_back(vertex_cursor);
+        const std::uint32_t verts = obj.kind == Object::Kind::Mesh
+            ? (obj.meshCols + 1) * (obj.meshRows + 1)
+            : 4;
+        vertex_cursor += static_cast<Addr>(verts) * 32;
+    }
+    // Sprites sample one of a small palette of shared art regions per
+    // sheet: real games draw many instances of the same asset (candies,
+    // coins, track tiles), so the per-frame unique-texel footprint is
+    // bounded by the art set, not by the instance count. Every instance
+    // of a region samples the SAME fixed texel extent — sprites stretch
+    // the art to their own screen size, exactly like real 2D engines.
+    uvOrigins.resize(objects.size());
+    uvSpans.resize(objects.size());
+    const std::uint32_t regions =
+        std::max(1u, benchSpec.spriteRegionsPerSheet);
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+        if (objects[i].kind != Object::Kind::Sprite) {
+            uvOrigins[i] = {0.0f, 0.0f};
+            uvSpans[i] = {0.0f, 0.0f};
+            continue;
+        }
+        const Texture &tex = pool.get(objects[i].textureId);
+        const float region_texels = std::clamp(
+            64.0f * objects[i].detail, 16.0f,
+            static_cast<float>(tex.width()) * 0.45f);
+        // The sprite samples the region at its own screen size; the
+        // effective texel:pixel ratio is region_texels / sizeX.
+        const Vec2 span{region_texels / static_cast<float>(tex.width()),
+                        region_texels / static_cast<float>(tex.height())};
+        const auto r = static_cast<float>(uv_rng.below(regions));
+        const float fx = r * 0.381966f - std::floor(r * 0.381966f);
+        const float fy = r * 0.618034f - std::floor(r * 0.618034f);
+        uvOrigins[i] = {fx * (1.0f - span.x), fy * (1.0f - span.y)};
+        uvSpans[i] = span;
+    }
+}
+
+std::uint32_t
+Scene::epochOf(std::uint32_t frame_index) const
+{
+    return frame_index / epochLength;
+}
+
+std::uint32_t
+Scene::epochStart(std::uint32_t epoch) const
+{
+    return epoch * epochLength;
+}
+
+Vec2
+Scene::hotspotCenter(int hotspot, std::uint32_t frame_index) const
+{
+    const std::uint32_t epoch = epochOf(frame_index);
+    const float t = static_cast<float>(frame_index - epochStart(epoch));
+
+    // Epoch-stable base position plus slow drift: coherent within an
+    // epoch, discontinuous across scene cuts.
+    std::uint64_t h = hashCombine(benchSpec.seed,
+                                  hashCombine(epoch + 1,
+                                              static_cast<std::uint64_t>(
+                                                  hotspot + 17)));
+    const float base_x = 0.15f + 0.7f * static_cast<float>(
+        (h & 0xffff) / 65536.0);
+    const float base_y = 0.2f + 0.6f * static_cast<float>(
+        ((h >> 16) & 0xffff) / 65536.0);
+    const float dir = 2.0f * pi * static_cast<float>(
+        ((h >> 32) & 0xffff) / 65536.0);
+
+    return {base_x * static_cast<float>(screenW)
+                + std::cos(dir) * benchSpec.hotspotDrift * t,
+            base_y * static_cast<float>(screenH)
+                + std::sin(dir) * benchSpec.hotspotDrift * t * 0.5f};
+}
+
+Vec2
+Scene::objectPos(const Object &obj, std::uint32_t frame_index) const
+{
+    const float t = static_cast<float>(frame_index);
+    switch (obj.kind) {
+      case Object::Kind::Background:
+      case Object::Kind::Hud:
+      case Object::Kind::Mesh:
+        return obj.anchor;
+      case Object::Kind::Particle: {
+        // Fully random per frame: effects flash anywhere on screen.
+        const std::uint64_t h = hashCombine(
+            benchSpec.seed,
+            hashCombine(frame_index + 1, obj.particleIndex + 101));
+        return {static_cast<float>(h & 0xffff) / 65536.0f
+                    * static_cast<float>(screenW),
+                static_cast<float>((h >> 16) & 0xffff) / 65536.0f
+                    * static_cast<float>(screenH)};
+      }
+      case Object::Kind::Sprite: {
+        Vec2 pos = obj.hotspot >= 0
+            ? hotspotCenter(obj.hotspot, frame_index) + obj.anchor
+            : obj.anchor;
+        pos = pos + obj.drift * t;
+        pos.x += obj.wobbleAmp
+            * std::sin(obj.wobbleFreq * t + obj.wobblePhase);
+        pos.y += obj.wobbleAmp * 0.6f
+            * std::cos(obj.wobbleFreq * t + obj.wobblePhase * 1.3f);
+        // Keep drifting sprites on screen by reflecting off the borders.
+        const float w = static_cast<float>(screenW);
+        const float h = static_cast<float>(screenH);
+        pos.x = std::fabs(std::remainder(pos.x, 2.0f * w));
+        pos.y = std::fabs(std::remainder(pos.y, 2.0f * h));
+        if (pos.x > w)
+            pos.x = 2.0f * w - pos.x;
+        if (pos.y > h)
+            pos.y = 2.0f * h - pos.y;
+        return pos - Vec2{obj.sizeX * 0.5f, obj.sizeY * 0.5f};
+      }
+    }
+    return obj.anchor;
+}
+
+void
+Scene::emitQuad(DrawCall &draw, Vec2 top_left, Vec2 size, float depth,
+                const Object &obj, Vec2 uv0, Vec2 uv1) const
+{
+    const Vec3 p00{top_left.x, top_left.y, depth};
+    const Vec3 p10{top_left.x + size.x, top_left.y, depth};
+    const Vec3 p01{top_left.x, top_left.y + size.y, depth};
+    const Vec3 p11{top_left.x + size.x, top_left.y + size.y, depth};
+
+    Triangle tri;
+    tri.textureId = obj.textureId;
+    tri.shaderAluOps = obj.aluOps;
+    tri.texSamples = obj.texSamples;
+    tri.blend = obj.blend;
+    tri.useMips = obj.useMips;
+
+    tri.v[0] = {p00, {uv0.x, uv0.y}};
+    tri.v[1] = {p10, {uv1.x, uv0.y}};
+    tri.v[2] = {p11, {uv1.x, uv1.y}};
+    draw.tris.push_back(tri);
+
+    tri.v[0] = {p00, {uv0.x, uv0.y}};
+    tri.v[1] = {p11, {uv1.x, uv1.y}};
+    tri.v[2] = {p01, {uv0.x, uv1.y}};
+    draw.tris.push_back(tri);
+}
+
+void
+Scene::emitMesh(DrawCall &draw, const Object &obj,
+                std::uint32_t frame_index) const
+{
+    const Texture &tex = pool.get(obj.textureId);
+    const float cell_w = obj.sizeX / static_cast<float>(obj.meshCols);
+    const float cell_h = obj.sizeY / static_cast<float>(obj.meshRows);
+
+    // uv span per cell so the base level supplies obj.detail texels per
+    // pixel; the world scrolls via a v offset.
+    const float cell_u = cell_w * obj.detail
+        / static_cast<float>(tex.width());
+    const float cell_v = cell_h * obj.detail
+        / static_cast<float>(tex.height());
+    const float v_offset = obj.uvScrollY * static_cast<float>(frame_index);
+
+    for (std::uint32_t r = 0; r < obj.meshRows; ++r) {
+        // Depth gradient: nearer rows (bottom of screen) are closer.
+        const float row_frac = static_cast<float>(r)
+            / static_cast<float>(obj.meshRows);
+        const float depth = 0.85f - 0.35f * row_frac;
+        for (std::uint32_t c = 0; c < obj.meshCols; ++c) {
+            const Vec2 top_left{obj.anchor.x
+                                    + cell_w * static_cast<float>(c),
+                                obj.anchor.y
+                                    + cell_h * static_cast<float>(r)};
+            const Vec2 uv0{cell_u * static_cast<float>(c),
+                           cell_v * static_cast<float>(r) + v_offset};
+            const Vec2 uv1{uv0.x + cell_u, uv0.y + cell_v};
+            emitQuad(draw, top_left, {cell_w, cell_h}, depth, obj, uv0,
+                     uv1);
+        }
+    }
+}
+
+FrameData
+Scene::frame(std::uint32_t index) const
+{
+    FrameData out;
+    out.frameIndex = index;
+    out.draws.reserve(objects.size());
+
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+        const Object &obj = objects[i];
+        DrawCall draw;
+        draw.vertexAddr = drawVertexAddr[i];
+        draw.vertexCostCycles = obj.vertexCost;
+
+        const Texture &tex = pool.get(obj.textureId);
+        const Vec2 pos = objectPos(obj, index);
+
+        switch (obj.kind) {
+          case Object::Kind::Mesh:
+            emitMesh(draw, obj, index);
+            draw.vertexCount = (obj.meshCols + 1) * (obj.meshRows + 1);
+            break;
+          case Object::Kind::Background: {
+            const float span_u = obj.sizeX * obj.detail
+                / static_cast<float>(tex.width());
+            const float span_v = obj.sizeY * obj.detail
+                / static_cast<float>(tex.height());
+            const float scroll_u = obj.uvScrollX
+                * static_cast<float>(index);
+            const float scroll_v = obj.uvScrollY
+                * static_cast<float>(index);
+            emitQuad(draw, pos, {obj.sizeX, obj.sizeY}, obj.depth, obj,
+                     {scroll_u, scroll_v},
+                     {scroll_u + span_u, scroll_v + span_v});
+            draw.vertexCount = 4;
+            break;
+          }
+          case Object::Kind::Particle: {
+            // Particles share one small sheet; sample its center.
+            const float span = 32.0f / static_cast<float>(tex.width());
+            emitQuad(draw, pos, {obj.sizeX, obj.sizeY}, obj.depth, obj,
+                     {0.25f, 0.25f}, {0.25f + span, 0.25f + span});
+            draw.vertexCount = 4;
+            break;
+          }
+          case Object::Kind::Sprite: {
+            // Fixed shared art region, stretched to the sprite size.
+            const Vec2 origin = uvOrigins[i];
+            const Vec2 span = uvSpans[i];
+            emitQuad(draw, pos, {obj.sizeX, obj.sizeY}, obj.depth, obj,
+                     origin, {origin.x + span.x, origin.y + span.y});
+            draw.vertexCount = 4;
+            break;
+          }
+          case Object::Kind::Hud: {
+            const Vec2 origin = uvOrigins[i];
+            const float span_u = obj.sizeX * obj.detail
+                / static_cast<float>(tex.width());
+            const float span_v = obj.sizeY * obj.detail
+                / static_cast<float>(tex.height());
+            emitQuad(draw, pos, {obj.sizeX, obj.sizeY}, obj.depth, obj,
+                     origin, {origin.x + span_u, origin.y + span_v});
+            draw.vertexCount = 4;
+            break;
+          }
+        }
+        out.draws.push_back(std::move(draw));
+    }
+    return out;
+}
+
+} // namespace libra

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Synthetic scene model standing in for the commercial Android game
+ * traces of the paper's evaluation (Table II).
+ *
+ * A Scene is a deterministic pure function from frame index to a list of
+ * draw calls of screen-space triangles. It is constructed from a
+ * BenchmarkSpec (see benchmarks.hh) and reproduces the workload
+ * properties the paper's mechanisms depend on:
+ *
+ *  - frame-to-frame coherence: object positions evolve smoothly, so
+ *    consecutive frames touch nearly the same per-tile footprints
+ *    (Fig. 8); occasional "scene cuts" rebase the animation.
+ *  - spatial hot/cold clustering: sprites gather around a few moving
+ *    hotspots, HUD bars pin hot rows at the screen edges, backgrounds
+ *    and simple terrain leave cold areas (Fig. 2 / Fig. 9).
+ *  - genre-dependent intensity: 2D games draw back-to-front with
+ *    blending and mip-less high-detail art (memory-bound); 3D games
+ *    draw mostly opaque, mipmapped geometry front-to-back with heavier
+ *    fragment shaders (compute-bound).
+ */
+
+#ifndef LIBRA_WORKLOAD_SCENE_HH
+#define LIBRA_WORKLOAD_SCENE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geom.hh"
+#include "common/rng.hh"
+#include "workload/benchmarks.hh"
+#include "workload/texture.hh"
+
+namespace libra
+{
+
+/** One draw call: shared state plus a triangle batch. */
+struct DrawCall
+{
+    std::vector<Triangle> tris;
+    Addr vertexAddr = 0;        //!< first vertex in the geometry region
+    std::uint32_t vertexCount = 0;
+    std::uint16_t vertexCostCycles = 8; //!< vertex-shader cycles/vertex
+};
+
+/** Everything the GPU needs to render one frame. */
+struct FrameData
+{
+    std::uint32_t frameIndex = 0;
+    std::vector<DrawCall> draws;
+
+    std::size_t
+    triangleCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &draw : draws)
+            n += draw.tris.size();
+        return n;
+    }
+
+    std::size_t
+    vertexCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &draw : draws)
+            n += draw.vertexCount;
+        return n;
+    }
+};
+
+/** Deterministic animated scene for one benchmark. */
+class Scene
+{
+  public:
+    Scene(const BenchmarkSpec &spec, std::uint32_t screen_w,
+          std::uint32_t screen_h);
+
+    /** Generate frame @p index (pure: same index → same frame). */
+    FrameData frame(std::uint32_t index) const;
+
+    const TexturePool &textures() const { return pool; }
+    const BenchmarkSpec &spec() const { return benchSpec; }
+    std::uint32_t screenWidth() const { return screenW; }
+    std::uint32_t screenHeight() const { return screenH; }
+
+  private:
+    /** A renderable entity with its animation parameters. */
+    struct Object
+    {
+        enum class Kind
+        {
+            Background, //!< full-screen layer, optional scrolling
+            Mesh,       //!< terrain/building grid with depth gradient
+            Sprite,     //!< small quad clustered around a hotspot
+            Particle,   //!< effect quad, random position every frame
+            Hud         //!< screen-edge overlay bar
+        };
+
+        Kind kind = Kind::Sprite;
+        std::uint32_t textureId = 0;
+        float sizeX = 64.0f;
+        float sizeY = 64.0f;
+        float depth = 0.5f;
+        std::uint16_t aluOps = 8;
+        std::uint8_t texSamples = 1;
+        bool blend = false;
+        bool useMips = true;
+        float detail = 1.0f;     //!< base-level texels per pixel
+
+        Vec2 anchor;             //!< base position (or top-left for bars)
+        Vec2 drift;              //!< pixels per frame
+        float wobbleAmp = 0.0f;
+        float wobbleFreq = 0.1f;
+        float wobblePhase = 0.0f;
+        int hotspot = -1;        //!< cluster this sprite orbits, or -1
+        std::uint32_t particleIndex = 0; //!< Particle: hash stream id
+        float uvScrollX = 0.0f;  //!< normalized uv scroll per frame
+        float uvScrollY = 0.0f;
+        std::uint32_t meshCols = 0;
+        std::uint32_t meshRows = 0;
+        std::uint16_t vertexCost = 8;
+    };
+
+    /** Epoch = animation segment between scene cuts. */
+    std::uint32_t epochOf(std::uint32_t frame_index) const;
+    std::uint32_t epochStart(std::uint32_t epoch) const;
+
+    /** Hotspot center at a given frame (drifts within an epoch). */
+    Vec2 hotspotCenter(int hotspot, std::uint32_t frame_index) const;
+
+    /** Object position at a frame. */
+    Vec2 objectPos(const Object &obj, std::uint32_t frame_index) const;
+
+    /** Emit a textured quad as two triangles. */
+    void emitQuad(DrawCall &draw, Vec2 top_left, Vec2 size, float depth,
+                  const Object &obj, Vec2 uv0, Vec2 uv1) const;
+
+    /** Emit a terrain mesh. */
+    void emitMesh(DrawCall &draw, const Object &obj,
+                  std::uint32_t frame_index) const;
+
+    BenchmarkSpec benchSpec;
+    std::uint32_t screenW;
+    std::uint32_t screenH;
+    TexturePool pool;
+    std::vector<Object> objects; //!< in draw order
+    std::uint32_t epochLength;
+    std::vector<Addr> drawVertexAddr; //!< per-object vertex base
+    std::vector<Vec2> uvOrigins;      //!< per-object sprite-sheet region
+    std::vector<Vec2> uvSpans;        //!< fixed region extent (sprites)
+};
+
+} // namespace libra
+
+#endif // LIBRA_WORKLOAD_SCENE_HH

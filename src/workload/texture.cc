@@ -1,0 +1,106 @@
+#include "workload/texture.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cache/mem_system.hh"
+#include "common/log.hh"
+
+namespace libra
+{
+
+namespace
+{
+
+std::uint32_t
+roundUpPow2(std::uint32_t v)
+{
+    std::uint32_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+Texture::Texture(std::uint32_t id, std::uint32_t width, std::uint32_t height,
+                 Addr base)
+    : _id(id), _width(width), _height(height)
+{
+    libra_assert(width > 0 && height > 0, "degenerate texture");
+    // Lay out the mip chain contiguously, each level block-tiled.
+    Addr offset = base;
+    std::uint32_t w = width;
+    std::uint32_t h = height;
+    while (true) {
+        mipBase.push_back(offset);
+        const std::uint64_t blocks_x = (w + blockDim - 1) / blockDim;
+        const std::uint64_t blocks_y = (h + blockDim - 1) / blockDim;
+        offset += blocks_x * blocks_y * blockDim * blockDim * bytesPerTexel;
+        if (w == 1 && h == 1)
+            break;
+        w = std::max(1u, w >> 1);
+        h = std::max(1u, h >> 1);
+    }
+    _footprint = offset - base;
+}
+
+Addr
+Texture::lineAddr(float u, float v, std::uint32_t mip) const
+{
+    mip = std::min(mip, mipLevels() - 1);
+    const std::uint32_t w = mipWidth(mip);
+    const std::uint32_t h = mipHeight(mip);
+
+    // Repeat addressing: wrap into [0, 1).
+    u -= std::floor(u);
+    v -= std::floor(v);
+
+    const std::uint32_t tx = std::min(
+        w - 1, static_cast<std::uint32_t>(u * static_cast<float>(w)));
+    const std::uint32_t ty = std::min(
+        h - 1, static_cast<std::uint32_t>(v * static_cast<float>(h)));
+
+    const std::uint32_t blocks_x = (w + blockDim - 1) / blockDim;
+    const std::uint32_t bx = tx / blockDim;
+    const std::uint32_t by = ty / blockDim;
+    const std::uint64_t block = static_cast<std::uint64_t>(by) * blocks_x
+        + bx;
+    return mipBase[mip]
+        + block * blockDim * blockDim * bytesPerTexel;
+}
+
+std::uint32_t
+Texture::selectMip(float texels_per_pixel) const
+{
+    if (texels_per_pixel <= 1.0f)
+        return 0;
+    const float lod = std::log2(texels_per_pixel);
+    const auto mip = static_cast<std::uint32_t>(lod + 0.5f);
+    return std::min(mip, mipLevels() - 1);
+}
+
+TexturePool::TexturePool() = default;
+
+const Texture &
+TexturePool::create(std::uint32_t width, std::uint32_t height)
+{
+    width = roundUpPow2(std::max(width, 1u));
+    height = roundUpPow2(std::max(height, 1u));
+    const auto id = static_cast<std::uint32_t>(textures.size());
+    textures.emplace_back(id, width, height,
+                          addr_map::textureBase + nextOffset);
+    nextOffset += textures.back().footprintBytes();
+    // Keep every texture line-aligned.
+    nextOffset = (nextOffset + 63) & ~std::uint64_t(63);
+    return textures.back();
+}
+
+const Texture &
+TexturePool::get(std::uint32_t id) const
+{
+    libra_assert(id < textures.size(), "texture id out of range: ", id);
+    return textures[id];
+}
+
+} // namespace libra

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Texture objects and the texture memory pool.
+ *
+ * Textures are the dominant DRAM consumers in the raster pipeline (paper
+ * §III-B), so their memory layout matters: we store each mip level in
+ * 4x4-texel blocks (64 bytes at 4 B/texel, exactly one cache line) so
+ * spatially adjacent samples land in the same line — the locality that
+ * tile-based traversal, and LIBRA's supertiles, exist to exploit.
+ */
+
+#ifndef LIBRA_WORKLOAD_TEXTURE_HH
+#define LIBRA_WORKLOAD_TEXTURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace libra
+{
+
+/** An immutable 2-D texture with a full mip chain. */
+class Texture
+{
+  public:
+    static constexpr std::uint32_t bytesPerTexel = 4;
+    static constexpr std::uint32_t blockDim = 4; //!< 4x4 texels per line
+
+    Texture(std::uint32_t id, std::uint32_t width, std::uint32_t height,
+            Addr base);
+
+    std::uint32_t id() const { return _id; }
+    std::uint32_t width() const { return _width; }
+    std::uint32_t height() const { return _height; }
+    std::uint32_t mipLevels() const
+    {
+        return static_cast<std::uint32_t>(mipBase.size());
+    }
+
+    /** Total bytes including the mip chain. */
+    std::uint64_t footprintBytes() const { return _footprint; }
+
+    /**
+     * Address of the cache line holding texel (u, v) of @p mip.
+     * u and v are normalized [0, 1) and wrap (repeat addressing).
+     */
+    Addr lineAddr(float u, float v, std::uint32_t mip) const;
+
+    /**
+     * Pick the mip level for a sampling density of @p texels_per_pixel
+     * at the base level (standard log2 LOD selection, clamped).
+     */
+    std::uint32_t selectMip(float texels_per_pixel) const;
+
+    /** Base-level dimensions of @p mip. */
+    std::uint32_t mipWidth(std::uint32_t mip) const
+    {
+        return std::max(1u, _width >> mip);
+    }
+    std::uint32_t mipHeight(std::uint32_t mip) const
+    {
+        return std::max(1u, _height >> mip);
+    }
+
+  private:
+    std::uint32_t _id;
+    std::uint32_t _width;
+    std::uint32_t _height;
+    std::vector<Addr> mipBase;
+    std::uint64_t _footprint = 0;
+};
+
+/**
+ * Allocates textures in the GPU address map's texture region. One pool
+ * per benchmark scene; the pool owns the textures and hands out stable
+ * ids that triangles reference.
+ */
+class TexturePool
+{
+  public:
+    TexturePool();
+
+    /** Create a texture; dimensions are rounded up to powers of two. */
+    const Texture &create(std::uint32_t width, std::uint32_t height);
+
+    const Texture &get(std::uint32_t id) const;
+    std::size_t count() const { return textures.size(); }
+
+    /** Total allocated texture bytes (mips included). */
+    std::uint64_t totalBytes() const { return nextOffset; }
+
+  private:
+    std::vector<Texture> textures;
+    std::uint64_t nextOffset = 0;
+};
+
+} // namespace libra
+
+#endif // LIBRA_WORKLOAD_TEXTURE_HH

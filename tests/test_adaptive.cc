@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the adaptive per-frame controller (paper §III-D, Fig. 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_controller.hh"
+
+using namespace libra;
+
+namespace
+{
+
+FrameObservation
+obs(std::uint64_t cycles, double hit_ratio)
+{
+    FrameObservation o;
+    o.valid = true;
+    o.rasterCycles = cycles;
+    o.textureHitRatio = hit_ratio;
+    return o;
+}
+
+SchedulerConfig
+defaults()
+{
+    return SchedulerConfig{};
+}
+
+} // namespace
+
+TEST(Adaptive, FirstFrameUsesZOrder)
+{
+    AdaptiveController ctrl(defaults());
+    const auto d = ctrl.decide(FrameObservation{});
+    EXPECT_FALSE(d.temperatureOrder);
+    EXPECT_EQ(d.supertileSize, defaults().initialSupertileSize);
+}
+
+TEST(Adaptive, SecondFramePicksByHitRatio)
+{
+    {
+        AdaptiveController ctrl(defaults());
+        ctrl.decide(FrameObservation{});
+        EXPECT_TRUE(ctrl.decide(obs(1000, 0.5)).temperatureOrder);
+    }
+    {
+        AdaptiveController ctrl(defaults());
+        ctrl.decide(FrameObservation{});
+        EXPECT_FALSE(ctrl.decide(obs(1000, 0.95)).temperatureOrder);
+    }
+}
+
+TEST(Adaptive, StablePerformanceKeepsOrdering)
+{
+    AdaptiveController ctrl(defaults());
+    ctrl.decide(FrameObservation{});
+    ctrl.decide(obs(1000, 0.5)); // → temperature
+    // Hit ratio recovers above the threshold but performance is stable
+    // (< 3% variation): the ordering must NOT switch.
+    const auto d = ctrl.decide(obs(1010, 0.9));
+    EXPECT_TRUE(d.temperatureOrder);
+}
+
+TEST(Adaptive, SignificantVariationReevaluatesByHitRatio)
+{
+    AdaptiveController ctrl(defaults());
+    ctrl.decide(FrameObservation{});
+    ctrl.decide(obs(1000, 0.5)); // → temperature
+    // Perf improved a lot AND hit ratio now high → Z-order chosen.
+    const auto d = ctrl.decide(obs(800, 0.9));
+    EXPECT_FALSE(d.temperatureOrder);
+}
+
+TEST(Adaptive, BothDegradedFlipsOrdering)
+{
+    AdaptiveController ctrl(defaults());
+    ctrl.decide(FrameObservation{});
+    // High hit ratio → Z-order.
+    ctrl.decide(obs(1000, 0.9));
+    EXPECT_FALSE(ctrl.temperatureOrder());
+    // Perf degrades >3% AND hit ratio degrades, although still above
+    // the 80% threshold: the escape rule flips to temperature order.
+    const auto d = ctrl.decide(obs(1100, 0.85));
+    EXPECT_TRUE(d.temperatureOrder);
+}
+
+TEST(Adaptive, BothDegradedFlipsBackToo)
+{
+    AdaptiveController ctrl(defaults());
+    ctrl.decide(FrameObservation{});
+    ctrl.decide(obs(1000, 0.5)); // temperature
+    // Degrading under temperature order with degrading (low) hit ratio
+    // flips back to Z despite the hit-ratio rule preferring temp.
+    const auto d = ctrl.decide(obs(1100, 0.4));
+    EXPECT_FALSE(d.temperatureOrder);
+}
+
+TEST(Adaptive, SupertileGrowsWhileImproving)
+{
+    SchedulerConfig cfg = defaults();
+    cfg.initialSupertileSize = 2;
+    AdaptiveController ctrl(cfg);
+    ctrl.decide(FrameObservation{});
+    ctrl.decide(obs(1000, 0.5));
+    EXPECT_EQ(ctrl.decide(obs(900, 0.5)).supertileSize, 4u);
+    EXPECT_EQ(ctrl.decide(obs(800, 0.5)).supertileSize, 8u);
+    EXPECT_EQ(ctrl.decide(obs(700, 0.5)).supertileSize, 16u);
+    // Capped at 16.
+    EXPECT_EQ(ctrl.decide(obs(600, 0.5)).supertileSize, 16u);
+}
+
+TEST(Adaptive, SupertileReversesOnDegradation)
+{
+    SchedulerConfig cfg = defaults();
+    cfg.initialSupertileSize = 4;
+    AdaptiveController ctrl(cfg);
+    ctrl.decide(FrameObservation{});
+    ctrl.decide(obs(1000, 0.5));
+    EXPECT_EQ(ctrl.decide(obs(900, 0.5)).supertileSize, 8u);  // grow
+    EXPECT_EQ(ctrl.decide(obs(1000, 0.5)).supertileSize, 4u); // reverse
+    EXPECT_EQ(ctrl.decide(obs(900, 0.5)).supertileSize, 2u);  // shrink on
+    EXPECT_EQ(ctrl.decide(obs(850, 0.5)).supertileSize, 2u);  // floor
+}
+
+TEST(Adaptive, DeadZoneFreezesSize)
+{
+    SchedulerConfig cfg = defaults();
+    cfg.initialSupertileSize = 4;
+    AdaptiveController ctrl(cfg);
+    ctrl.decide(FrameObservation{});
+    ctrl.decide(obs(1000000, 0.5));
+    // 0.1% variation < 0.25% threshold: size unchanged.
+    EXPECT_EQ(ctrl.decide(obs(1001000, 0.5)).supertileSize, 4u);
+    EXPECT_EQ(ctrl.decide(obs(1000500, 0.5)).supertileSize, 4u);
+}
+
+TEST(Adaptive, LargeResizeThresholdActsStatic)
+{
+    // Fig. 19a: beyond ~15% the size almost never changes.
+    SchedulerConfig cfg = defaults();
+    cfg.resizeThreshold = 0.5;
+    cfg.initialSupertileSize = 4;
+    AdaptiveController ctrl(cfg);
+    ctrl.decide(FrameObservation{});
+    std::uint64_t cycles = 1000000;
+    for (int i = 0; i < 20; ++i) {
+        cycles = cycles * 98 / 100; // steady 2% improvements
+        EXPECT_EQ(ctrl.decide(obs(cycles, 0.5)).supertileSize, 4u);
+    }
+}
+
+TEST(Adaptive, RespectsSizeBounds)
+{
+    SchedulerConfig cfg = defaults();
+    cfg.minSupertileSize = 4;
+    cfg.maxSupertileSize = 8;
+    cfg.initialSupertileSize = 2; // below min: clamped up
+    AdaptiveController ctrl(cfg);
+    EXPECT_GE(ctrl.supertileSize(), 4u);
+    ctrl.decide(FrameObservation{});
+    ctrl.decide(obs(1000, 0.5));
+    for (int i = 0; i < 10; ++i) {
+        const auto d = ctrl.decide(obs(900 - i, 0.5));
+        EXPECT_GE(d.supertileSize, 4u);
+        EXPECT_LE(d.supertileSize, 8u);
+    }
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the 32-entry benchmark suite definition (Table II stand-in).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/benchmarks.hh"
+
+using namespace libra;
+
+TEST(Benchmarks, SuiteHas32Entries)
+{
+    EXPECT_EQ(benchmarkSuite().size(), 32u);
+}
+
+TEST(Benchmarks, HalfMemoryHalfCompute)
+{
+    // Paper §III-A: 16 of the 32 are memory-intensive.
+    EXPECT_EQ(memoryIntensiveSet().size(), 16u);
+    EXPECT_EQ(computeIntensiveSet().size(), 16u);
+}
+
+TEST(Benchmarks, AbbreviationsUnique)
+{
+    std::set<std::string> seen;
+    for (const auto &spec : benchmarkSuite())
+        EXPECT_TRUE(seen.insert(spec.abbrev).second) << spec.abbrev;
+}
+
+TEST(Benchmarks, SeedsUnique)
+{
+    std::set<std::uint64_t> seen;
+    for (const auto &spec : benchmarkSuite())
+        EXPECT_TRUE(seen.insert(spec.seed).second) << spec.abbrev;
+}
+
+TEST(Benchmarks, PaperNamedTitlesPresent)
+{
+    // Every abbreviation the paper's figures mention must exist.
+    for (const char *abbrev :
+         {"AAt", "AmU", "BBR", "BlB", "CCS", "CoC", "Gra", "GrT", "HCR",
+          "HoW", "Jet", "RoK", "RoM", "SuS", "GDL", "CrS"}) {
+        EXPECT_NO_FATAL_FAILURE(findBenchmark(abbrev)) << abbrev;
+    }
+}
+
+TEST(Benchmarks, GenreCoverage)
+{
+    // Table II covers 2D, 2.5D and 3D titles.
+    int g2d = 0, g25d = 0, g3d = 0;
+    for (const auto &spec : benchmarkSuite()) {
+        g2d += spec.genre == Genre::G2D;
+        g25d += spec.genre == Genre::G25D;
+        g3d += spec.genre == Genre::G3D;
+    }
+    EXPECT_GT(g2d, 4);
+    EXPECT_GT(g25d, 4);
+    EXPECT_GT(g3d, 4);
+}
+
+TEST(Benchmarks, MemoryIntensiveHaveHeavierTextures)
+{
+    // The designed-memory-intensive half uses denser, mip-less art on
+    // average — the knob that drives DRAM pressure.
+    double mem_detail = 0.0, cmp_detail = 0.0;
+    int mem_mips = 0, cmp_mips = 0;
+    for (const auto &spec : benchmarkSuite()) {
+        if (spec.memoryIntensive) {
+            mem_detail += spec.spriteDetail;
+            mem_mips += spec.spriteUseMips;
+        } else {
+            cmp_detail += spec.spriteDetail;
+            cmp_mips += spec.spriteUseMips;
+        }
+    }
+    EXPECT_GT(mem_detail, cmp_detail);
+    EXPECT_LT(mem_mips, cmp_mips);
+}
+
+TEST(Benchmarks, ComputeIntensiveHaveHeavierShaders)
+{
+    double mem_alu = 0.0, cmp_alu = 0.0;
+    for (const auto &spec : benchmarkSuite()) {
+        (spec.memoryIntensive ? mem_alu : cmp_alu) += spec.spriteAluOps;
+    }
+    EXPECT_GT(cmp_alu, mem_alu * 2.0);
+}
+
+TEST(Benchmarks, GenreNames)
+{
+    EXPECT_STREQ(genreName(Genre::G2D), "2D");
+    EXPECT_STREQ(genreName(Genre::G25D), "2.5D");
+    EXPECT_STREQ(genreName(Genre::G3D), "3D");
+}
+
+TEST(BenchmarksDeathTest, UnknownAbbrevIsFatal)
+{
+    EXPECT_EXIT(findBenchmark("nope"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}

@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Unit and property tests for the non-blocking cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/mem_system.hh"
+#include "sim/event_queue.hh"
+#include "common/rng.hh"
+
+using namespace libra;
+
+namespace
+{
+
+/** Memory that records every request it receives. */
+class RecordingMemory : public MemSink
+{
+  public:
+    RecordingMemory(EventQueue &eq, Tick latency)
+        : queue(eq), lat(latency)
+    {}
+
+    void
+    access(MemReq req) override
+    {
+        reads += !req.write;
+        writes += req.write;
+        addrs.push_back(req.addr);
+        if (req.onComplete) {
+            const Tick done = queue.now() + lat;
+            auto cb = std::move(req.onComplete);
+            queue.schedule(done, [cb = std::move(cb), done] { cb(done); });
+        }
+    }
+
+    EventQueue &queue;
+    Tick lat;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::vector<Addr> addrs;
+};
+
+CacheConfig
+smallCache()
+{
+    CacheConfig cfg;
+    cfg.name = "test";
+    cfg.sizeBytes = 1024; // 16 lines
+    cfg.ways = 4;         // 4 sets
+    cfg.lineBytes = 64;
+    cfg.hitLatency = 2;
+    cfg.mshrs = 4;
+    cfg.portsPerCycle = 1;
+    return cfg;
+}
+
+/** Functional set-associative LRU reference model. */
+class RefCache
+{
+  public:
+    RefCache(std::uint32_t sets, std::uint32_t ways)
+        : numSets(sets), numWays(ways), lru(sets)
+    {}
+
+    /** @return true on hit; updates state like the real cache. */
+    bool
+    touch(Addr line)
+    {
+        auto &set = lru[(line / 64) % numSets];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == line) {
+                set.erase(it);
+                set.push_front(line);
+                return true;
+            }
+        }
+        set.push_front(line);
+        if (set.size() > numWays)
+            set.pop_back();
+        return false;
+    }
+
+  private:
+    std::uint32_t numSets;
+    std::uint32_t numWays;
+    std::vector<std::list<Addr>> lru;
+};
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 50);
+    Cache cache(eq, smallCache(), mem);
+
+    Tick first_done = 0, second_done = 0;
+    cache.access(MemReq{0x1000, 64, false, TrafficClass::Texture, 0,
+                        [&](Tick t) { first_done = t; }});
+    eq.runUntil();
+    cache.access(MemReq{0x1000, 64, false, TrafficClass::Texture, 0,
+                        [&](Tick t) { second_done = t; }});
+    eq.runUntil();
+
+    EXPECT_EQ(cache.misses.value(), 1u);
+    EXPECT_EQ(cache.hits.value(), 1u);
+    EXPECT_EQ(mem.reads, 1u);
+    // Miss: port(0) + next-level 50 + fill-to-use hitLatency.
+    EXPECT_GE(first_done, 50u);
+    // Hit completes after hit latency only.
+    EXPECT_EQ(second_done, first_done + smallCache().hitLatency);
+}
+
+TEST(Cache, HitLatencyTiming)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 50);
+    Cache cache(eq, smallCache(), mem);
+    cache.access(MemReq{0, 64, false, TrafficClass::Texture, 0, nullptr});
+    eq.runUntil();
+
+    Tick done = 0;
+    cache.access(MemReq{0, 64, false, TrafficClass::Texture, 0,
+                        [&](Tick t) { done = t; }});
+    const Tick start = eq.now();
+    eq.runUntil();
+    EXPECT_EQ(done, start + smallCache().hitLatency);
+}
+
+TEST(Cache, MshrCoalescesSameLine)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 100);
+    Cache cache(eq, smallCache(), mem);
+
+    int completed = 0;
+    for (int i = 0; i < 5; ++i) {
+        cache.access(MemReq{0x2000, 64, false, TrafficClass::Texture, 0,
+                            [&](Tick) { ++completed; }});
+    }
+    eq.runUntil();
+    EXPECT_EQ(completed, 5);
+    EXPECT_EQ(cache.misses.value(), 1u);
+    EXPECT_EQ(cache.mshrCoalesced.value(), 4u);
+    EXPECT_EQ(mem.reads, 1u); // one fill serves all
+}
+
+TEST(Cache, MshrExhaustionStallsAndRecovers)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 100);
+    Cache cache(eq, smallCache(), mem); // 4 MSHRs
+
+    int completed = 0;
+    for (int i = 0; i < 8; ++i) {
+        cache.access(MemReq{static_cast<Addr>(0x10000 + i * 64), 64,
+                            false, TrafficClass::Texture, 0,
+                            [&](Tick) { ++completed; }});
+    }
+    EXPECT_EQ(cache.mshrStalls.value(), 4u);
+    eq.runUntil();
+    EXPECT_EQ(completed, 8);
+    EXPECT_EQ(mem.reads, 8u);
+    // Stalled requests were counted once each (as misses), not again on
+    // retry.
+    EXPECT_EQ(cache.misses.value(), 8u);
+    EXPECT_EQ(cache.readAccesses.value(), 8u);
+}
+
+TEST(Cache, LruEviction)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 10);
+    Cache cache(eq, smallCache(), mem); // 4 ways per set
+
+    // Five lines mapping to the same set (stride = sets * lineBytes).
+    const Addr stride = 4 * 64;
+    for (Addr i = 0; i < 5; ++i) {
+        cache.access(MemReq{i * stride, 64, false, TrafficClass::Texture,
+                            0, nullptr});
+        eq.runUntil();
+    }
+    EXPECT_EQ(cache.misses.value(), 5u);
+
+    // Line 0 was LRU and must have been evicted; lines 1..4 resident.
+    cache.access(MemReq{1 * stride, 64, false, TrafficClass::Texture, 0,
+                        nullptr});
+    eq.runUntil();
+    EXPECT_EQ(cache.hits.value(), 1u);
+    cache.access(MemReq{0, 64, false, TrafficClass::Texture, 0, nullptr});
+    eq.runUntil();
+    EXPECT_EQ(cache.misses.value(), 6u);
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 10);
+    Cache cache(eq, smallCache(), mem);
+
+    const Addr stride = 4 * 64;
+    cache.access(MemReq{0, 64, true, TrafficClass::ParameterBuffer, 0,
+                        nullptr});
+    eq.runUntil();
+    // Fill conflicting lines until line 0 is evicted.
+    for (Addr i = 1; i <= 4; ++i) {
+        cache.access(MemReq{i * stride, 64, false,
+                            TrafficClass::Texture, 0, nullptr});
+        eq.runUntil();
+    }
+    EXPECT_EQ(cache.writebacks.value(), 1u);
+    EXPECT_EQ(mem.writes, 1u);
+}
+
+TEST(Cache, WriteHitMarksDirtyWithoutTraffic)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 10);
+    Cache cache(eq, smallCache(), mem);
+    cache.access(MemReq{0, 64, false, TrafficClass::Texture, 0, nullptr});
+    eq.runUntil();
+    const auto reads_before = mem.reads;
+    cache.access(MemReq{0, 64, true, TrafficClass::Texture, 0, nullptr});
+    eq.runUntil();
+    EXPECT_EQ(mem.reads, reads_before);
+    EXPECT_EQ(mem.writes, 0u); // dirty, not written through
+    EXPECT_EQ(cache.hits.value(), 1u);
+}
+
+TEST(Cache, NoWriteAllocateForwardsWrites)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 10);
+    CacheConfig cfg = smallCache();
+    cfg.writeAllocate = false;
+    Cache cache(eq, cfg, mem);
+    cache.access(MemReq{0x5000, 64, true, TrafficClass::FrameBuffer, 0,
+                        nullptr});
+    eq.runUntil();
+    EXPECT_EQ(mem.writes, 1u);
+    // A later read to the same line still misses (it was not allocated).
+    cache.access(MemReq{0x5000, 64, false, TrafficClass::Texture, 0,
+                        nullptr});
+    eq.runUntil();
+    EXPECT_EQ(cache.misses.value(), 2u);
+}
+
+TEST(Cache, MultiLineRequestSplitsAndCompletesOnce)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 20);
+    Cache cache(eq, smallCache(), mem);
+    int completions = 0;
+    cache.access(MemReq{0x100, 256, false, TrafficClass::Geometry, 0,
+                        [&](Tick) { ++completions; }});
+    eq.runUntil();
+    EXPECT_EQ(completions, 1);
+    // 0x100..0x1ff spans lines 0x100,0x140,0x180,0x1c0.
+    EXPECT_EQ(cache.misses.value(), 4u);
+}
+
+TEST(Cache, InvalidateAllDropsCleanWritesBackDirty)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 10);
+    Cache cache(eq, smallCache(), mem);
+    cache.access(MemReq{0, 64, false, TrafficClass::Texture, 0, nullptr});
+    cache.access(MemReq{64, 64, true, TrafficClass::ParameterBuffer, 0,
+                        nullptr});
+    eq.runUntil();
+    cache.invalidateAll();
+    EXPECT_EQ(mem.writes, 1u); // only the dirty line
+    cache.access(MemReq{0, 64, false, TrafficClass::Texture, 0, nullptr});
+    eq.runUntil();
+    EXPECT_EQ(cache.misses.value(), 3u); // cold again
+}
+
+TEST(Cache, AlwaysHitNeverForwards)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 10);
+    CacheConfig cfg = smallCache();
+    cfg.alwaysHit = true;
+    Cache cache(eq, cfg, mem);
+    Tick done = 0;
+    cache.access(MemReq{0x7780, 64, false, TrafficClass::Texture, 0,
+                        [&](Tick t) { done = t; }});
+    eq.runUntil();
+    EXPECT_EQ(mem.reads, 0u);
+    EXPECT_EQ(cache.hits.value(), 1u);
+    EXPECT_EQ(done, cfg.hitLatency);
+}
+
+TEST(Cache, PortArbitrationSerializesAccesses)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 0);
+    CacheConfig cfg = smallCache();
+    cfg.portsPerCycle = 1;
+    Cache cache(eq, cfg, mem);
+    // Warm two lines.
+    cache.access(MemReq{0, 64, false, TrafficClass::Texture, 0, nullptr});
+    cache.access(MemReq{64, 64, false, TrafficClass::Texture, 0,
+                        nullptr});
+    eq.runUntil();
+    const Tick start = eq.now();
+    std::vector<Tick> done;
+    for (int i = 0; i < 4; ++i) {
+        cache.access(MemReq{static_cast<Addr>((i % 2) * 64), 64, false,
+                            TrafficClass::Texture, 0,
+                            [&](Tick t) { done.push_back(t); }});
+    }
+    eq.runUntil();
+    ASSERT_EQ(done.size(), 4u);
+    // One access per cycle: completions one cycle apart, the first no
+    // earlier than the hit latency.
+    EXPECT_GE(done[0], start + cfg.hitLatency);
+    for (int i = 1; i < 4; ++i) {
+        EXPECT_EQ(done[static_cast<std::size_t>(i)],
+                  done[static_cast<std::size_t>(i - 1)] + 1);
+    }
+}
+
+TEST(Cache, HitRatioAccessor)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 1);
+    Cache cache(eq, smallCache(), mem);
+    EXPECT_DOUBLE_EQ(cache.hitRatio(), 1.0); // vacuous
+    cache.access(MemReq{0, 64, false, TrafficClass::Texture, 0, nullptr});
+    eq.runUntil();
+    cache.access(MemReq{0, 64, false, TrafficClass::Texture, 0, nullptr});
+    eq.runUntil();
+    EXPECT_DOUBLE_EQ(cache.hitRatio(), 0.5);
+}
+
+/**
+ * Property test: with accesses fully drained between requests, the
+ * timing cache's hit/miss sequence must match a functional LRU
+ * reference model exactly.
+ */
+TEST(CacheProperty, MatchesReferenceLruModel)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 5);
+    Cache cache(eq, smallCache(), mem); // 4 sets x 4 ways
+    RefCache ref(4, 4);
+    Rng rng(2024);
+
+    for (int i = 0; i < 5000; ++i) {
+        // Cluster addresses so hits actually happen.
+        const Addr line = rng.below(40) * 64;
+        const auto hits_before = cache.hits.value();
+        cache.access(MemReq{line, 64, false, TrafficClass::Texture, 0,
+                            nullptr});
+        eq.runUntil();
+        const bool cache_hit = cache.hits.value() > hits_before;
+        const bool ref_hit = ref.touch(line);
+        ASSERT_EQ(cache_hit, ref_hit) << "access " << i << " line "
+                                      << line;
+    }
+}
+
+/** Parameterized sweep: geometry combinations behave sanely. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint32_t>>
+{};
+
+TEST_P(CacheGeometry, FillsWholeCapacityWithoutEviction)
+{
+    const auto [size_kb, ways] = GetParam();
+    EventQueue eq;
+    RecordingMemory mem(eq, 3);
+    CacheConfig cfg = smallCache();
+    cfg.sizeBytes = size_kb * 1024;
+    cfg.ways = ways;
+    Cache cache(eq, cfg, mem);
+
+    const std::uint32_t lines = cfg.sizeBytes / cfg.lineBytes;
+    for (std::uint32_t i = 0; i < lines; ++i) {
+        cache.access(MemReq{static_cast<Addr>(i) * 64, 64, false,
+                            TrafficClass::Texture, 0, nullptr});
+        eq.runUntil();
+    }
+    EXPECT_EQ(cache.misses.value(), lines);
+    EXPECT_EQ(cache.writebacks.value(), 0u);
+    // Re-touch everything: all hits, capacity exactly holds the set.
+    for (std::uint32_t i = 0; i < lines; ++i) {
+        cache.access(MemReq{static_cast<Addr>(i) * 64, 64, false,
+                            TrafficClass::Texture, 0, nullptr});
+        eq.runUntil();
+    }
+    EXPECT_EQ(cache.hits.value(), lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Combine(::testing::Values(1u, 4u, 32u),
+                       ::testing::Values(1u, 2u, 4u, 8u)));

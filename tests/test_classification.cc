@@ -1,0 +1,75 @@
+/**
+ * @file
+ * End-to-end validation of the suite's memory-/compute-intensive
+ * design: the paper's measured classification (fraction of execution
+ * time on memory, Fig. 6a methodology) must separate the archetypes the
+ * way they were designed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/runner.hh"
+#include "workload/benchmarks.hh"
+
+using namespace libra;
+
+namespace
+{
+
+GpuConfig
+smallBaseline()
+{
+    GpuConfig cfg = GpuConfig::baseline(8);
+    cfg.screenWidth = 512;
+    cfg.screenHeight = 288;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Classification, MemoryHeavyBeatsComputeHeavy)
+{
+    // Representative pair: the flagship memory-intensive title versus
+    // the flagship compute-intensive one.
+    const double ccs = memoryTimeFraction(findBenchmark("CCS"),
+                                          smallBaseline(), 2);
+    const double gdl = memoryTimeFraction(findBenchmark("GDL"),
+                                          smallBaseline(), 2);
+    EXPECT_GT(ccs, gdl);
+    // The paper's >=25% cut applies at FHD; at this reduced test
+    // resolution the fixed art set fits caches better, so only the
+    // ordering and a loose floor are asserted here (the FHD-scale
+    // classification is exercised by bench/fig06_memory_breakdown).
+    EXPECT_GT(ccs, 0.05);
+}
+
+TEST(Classification, DesignClassesSeparateOnAverage)
+{
+    // A small sample from each half: the designed-memory mean fraction
+    // must exceed the designed-compute mean.
+    double mem_sum = 0.0, cmp_sum = 0.0;
+    for (const char *name : {"SuS", "CoC"})
+        mem_sum += memoryTimeFraction(findBenchmark(name),
+                                      smallBaseline(), 2);
+    for (const char *name : {"CrS", "PoG"})
+        cmp_sum += memoryTimeFraction(findBenchmark(name),
+                                      smallBaseline(), 2);
+    EXPECT_GT(mem_sum / 2.0, cmp_sum / 2.0);
+}
+
+TEST(Classification, ComputeAppsScaleWithCores)
+{
+    // The Fig. 4 signature at test scale: a compute app gains much
+    // more from 4→8 cores than a memory app.
+    auto scaling = [](const char *name) {
+        GpuConfig four = smallBaseline();
+        four.coresPerRu = 4;
+        GpuConfig eight = smallBaseline();
+        const BenchmarkSpec &spec = findBenchmark(name);
+        const RunResult r4 = runBenchmark(spec, four, 2);
+        const RunResult r8 = runBenchmark(spec, eight, 2);
+        return static_cast<double>(r4.totalCycles())
+            / static_cast<double>(r8.totalCycles());
+    };
+    EXPECT_GT(scaling("GDL"), scaling("CCS") + 0.1);
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the command-line parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+
+using namespace libra;
+
+namespace
+{
+
+CliArgs
+parse(std::vector<const char *> argv, std::vector<std::string> known)
+{
+    argv.insert(argv.begin(), "prog");
+    return CliArgs(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+} // namespace
+
+TEST(Cli, SpaceSeparatedValue)
+{
+    const auto args = parse({"--frames", "12"}, {"frames"});
+    EXPECT_EQ(args.getInt("frames", 0), 12);
+}
+
+TEST(Cli, EqualsValue)
+{
+    const auto args = parse({"--frames=25"}, {"frames"});
+    EXPECT_EQ(args.getInt("frames", 0), 25);
+}
+
+TEST(Cli, BareBooleanFlag)
+{
+    const auto args = parse({"--full"}, {"full"});
+    EXPECT_TRUE(args.getBool("full"));
+    EXPECT_TRUE(args.has("full"));
+}
+
+TEST(Cli, MissingUsesFallback)
+{
+    const auto args = parse({}, {"frames"});
+    EXPECT_EQ(args.getInt("frames", 8), 8);
+    EXPECT_EQ(args.get("frames", "x"), "x");
+    EXPECT_DOUBLE_EQ(args.getDouble("frames", 2.5), 2.5);
+    EXPECT_FALSE(args.getBool("frames"));
+}
+
+TEST(Cli, ListParsing)
+{
+    const auto args = parse({"--benchmarks", "CCS,SuS,GDL"},
+                            {"benchmarks"});
+    const auto list = args.getList("benchmarks");
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_EQ(list[0], "CCS");
+    EXPECT_EQ(list[2], "GDL");
+}
+
+TEST(Cli, EmptyListWhenAbsent)
+{
+    const auto args = parse({}, {"benchmarks"});
+    EXPECT_TRUE(args.getList("benchmarks").empty());
+}
+
+TEST(Cli, PositionalArguments)
+{
+    const auto args = parse({"hello", "--frames", "3", "world"},
+                            {"frames"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "hello");
+    EXPECT_EQ(args.positional()[1], "world");
+}
+
+TEST(Cli, BoolFalseValues)
+{
+    const auto args = parse({"--a", "0", "--b", "false", "--c", "1"},
+                            {"a", "b", "c"});
+    EXPECT_FALSE(args.getBool("a"));
+    EXPECT_FALSE(args.getBool("b"));
+    EXPECT_TRUE(args.getBool("c"));
+}
+
+TEST(Cli, DoubleParsing)
+{
+    const auto args = parse({"--threshold", "0.25"}, {"threshold"});
+    EXPECT_DOUBLE_EQ(args.getDouble("threshold", 0.0), 0.25);
+}
+
+TEST(CliDeathTest, UnknownOptionIsFatal)
+{
+    EXPECT_EXIT(parse({"--bogus", "1"}, {"frames"}),
+                ::testing::ExitedWithCode(1), "unknown option");
+}

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the LPDDR4 timing model and its FR-FCFS controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/dram.hh"
+#include "sim/event_queue.hh"
+
+using namespace libra;
+
+namespace
+{
+
+DramConfig
+testConfig()
+{
+    DramConfig cfg; // library defaults
+    return cfg;
+}
+
+/** Issue a read and return its completion tick (drains the queue). */
+Tick
+readLine(EventQueue &eq, Dram &dram, Addr addr)
+{
+    Tick done = 0;
+    dram.access(MemReq{addr, 64, false, TrafficClass::Texture, 0,
+                       [&](Tick t) { done = t; }});
+    eq.runUntil();
+    return done;
+}
+
+} // namespace
+
+TEST(Dram, UnloadedLatencyInPaperRange)
+{
+    // Table I quotes 50-100 cycles for main memory.
+    EventQueue eq;
+    Dram dram(eq, testConfig());
+    const Tick t0 = eq.now();
+    const Tick done = readLine(eq, dram, 0x1000);
+    const Tick latency = done - t0;
+    EXPECT_GE(latency, 30u);
+    EXPECT_LE(latency, 100u);
+}
+
+TEST(Dram, RowHitFasterThanConflict)
+{
+    const DramConfig cfg = testConfig();
+    EventQueue eq;
+    Dram dram(eq, cfg);
+
+    // Open a row, then hit it.
+    readLine(eq, dram, 0);
+    const Tick h0 = eq.now();
+    readLine(eq, dram, 64); // same chunk → same bank/row
+    const Tick hit_latency = eq.now() - h0;
+
+    // Conflict: same bank, different row. Same bank repeats every
+    // channels*banks chunks; a row spans rowBytes within the bank.
+    const Addr bank_stride = static_cast<Addr>(cfg.interleaveLines) * 64
+        * cfg.channels * cfg.banksPerChannel;
+    const Addr same_bank_other_row = bank_stride
+        * (cfg.rowBytes / (cfg.interleaveLines * 64)) ;
+    const Tick c0 = eq.now();
+    readLine(eq, dram, same_bank_other_row);
+    const Tick conflict_latency = eq.now() - c0;
+
+    EXPECT_GT(conflict_latency, hit_latency);
+    EXPECT_GE(conflict_latency - hit_latency, cfg.tRp);
+}
+
+TEST(Dram, CountsRowHitsAndConflicts)
+{
+    EventQueue eq;
+    Dram dram(eq, testConfig());
+    readLine(eq, dram, 0);
+    readLine(eq, dram, 64);
+    readLine(eq, dram, 128);
+    EXPECT_EQ(dram.reads.value(), 3u);
+    EXPECT_EQ(dram.rowMisses.value(), 1u); // first access opens the row
+    EXPECT_EQ(dram.rowHits.value(), 2u);
+    EXPECT_EQ(dram.rowConflicts.value(), 0u);
+}
+
+TEST(Dram, SequentialThroughputNearBusLimit)
+{
+    const DramConfig cfg = testConfig();
+    EventQueue eq;
+    Dram dram(eq, cfg);
+
+    const int n = 512;
+    int completed = 0;
+    Tick last = 0;
+    for (int i = 0; i < n; ++i) {
+        dram.access(MemReq{static_cast<Addr>(i) * 64, 64, false,
+                           TrafficClass::Texture, 0, [&](Tick t) {
+                               ++completed;
+                               last = std::max(last, t);
+                           }});
+    }
+    eq.runUntil();
+    EXPECT_EQ(completed, n);
+    // Peak: one line per tBurst per channel. Allow 60% efficiency.
+    const double ideal = static_cast<double>(n) * cfg.tBurst
+        / cfg.channels;
+    EXPECT_LT(static_cast<double>(last), ideal / 0.6);
+}
+
+TEST(Dram, LatencyRisesWithBurstDepth)
+{
+    // The core congestion property the LIBRA scheduler exploits: the
+    // deeper the instantaneous burst, the longer the mean latency.
+    auto mean_latency = [](int burst) {
+        EventQueue eq;
+        Dram dram(eq, testConfig());
+        std::vector<Tick> done;
+        const Tick t0 = eq.now();
+        for (int i = 0; i < burst; ++i) {
+            dram.access(MemReq{static_cast<Addr>(i) * 4096, 64, false,
+                               TrafficClass::Texture, 0,
+                               [&](Tick t) { done.push_back(t); }});
+        }
+        eq.runUntil();
+        double sum = 0.0;
+        for (const Tick t : done)
+            sum += static_cast<double>(t - t0);
+        return sum / static_cast<double>(done.size());
+    };
+    const double shallow = mean_latency(4);
+    const double deep = mean_latency(256);
+    EXPECT_GT(deep, shallow * 3.0);
+}
+
+TEST(Dram, ReadsPrioritizedOverWrites)
+{
+    EventQueue eq;
+    Dram dram(eq, testConfig());
+
+    // Post a pile of writes, then one read; the read must not wait for
+    // the whole write queue.
+    Tick write_done = 0;
+    for (int i = 0; i < 128; ++i) {
+        dram.access(MemReq{static_cast<Addr>(i) * 4096, 64, true,
+                           TrafficClass::FrameBuffer, 0,
+                           [&](Tick t) { write_done = std::max(write_done, t); }});
+    }
+    Tick read_done = 0;
+    dram.access(MemReq{0x100000, 64, false, TrafficClass::Texture, 0,
+                       [&](Tick t) { read_done = t; }});
+    eq.runUntil();
+    EXPECT_GT(read_done, 0u);
+    EXPECT_LT(read_done, write_done);
+}
+
+TEST(Dram, WritesEventuallyDrain)
+{
+    EventQueue eq;
+    Dram dram(eq, testConfig());
+    int done = 0;
+    for (int i = 0; i < 300; ++i) {
+        dram.access(MemReq{static_cast<Addr>(i) * 64, 64, true,
+                           TrafficClass::FrameBuffer, 0,
+                           [&](Tick) { ++done; }});
+    }
+    eq.runUntil();
+    EXPECT_EQ(done, 300);
+    EXPECT_EQ(dram.writes.value(), 300u);
+}
+
+TEST(Dram, MultiLineRequestCompletesOnLastBeat)
+{
+    EventQueue eq;
+    Dram dram(eq, testConfig());
+    int completions = 0;
+    Tick done = 0;
+    dram.access(MemReq{0, 4096, true, TrafficClass::FrameBuffer, 7,
+                       [&](Tick t) {
+                           ++completions;
+                           done = t;
+                       }});
+    eq.runUntil();
+    EXPECT_EQ(completions, 1);
+    EXPECT_EQ(dram.writes.value(), 64u); // 4 KB = 64 lines
+    EXPECT_GE(done, 64u * testConfig().tBurst / testConfig().channels);
+}
+
+TEST(Dram, ObserverSeesEveryLineWithAttributes)
+{
+    EventQueue eq;
+    Dram dram(eq, testConfig());
+    int observed = 0;
+    dram.setObserver([&](const DramAccessInfo &info) {
+        ++observed;
+        EXPECT_EQ(info.cls, TrafficClass::Texture);
+        EXPECT_EQ(info.tileTag, 42u);
+        EXPECT_GE(info.complete, info.queued);
+    });
+    dram.access(MemReq{0, 256, false, TrafficClass::Texture, 42,
+                       nullptr});
+    eq.runUntil();
+    EXPECT_EQ(observed, 4);
+}
+
+TEST(Dram, PerClassCounters)
+{
+    EventQueue eq;
+    Dram dram(eq, testConfig());
+    dram.access(MemReq{0, 64, false, TrafficClass::Texture, 0, nullptr});
+    dram.access(MemReq{4096, 64, true, TrafficClass::FrameBuffer, 0,
+                       nullptr});
+    eq.runUntil();
+    EXPECT_EQ(dram.classReads[static_cast<std::size_t>(
+                  TrafficClass::Texture)].value(), 1u);
+    EXPECT_EQ(dram.classWrites[static_cast<std::size_t>(
+                  TrafficClass::FrameBuffer)].value(), 1u);
+    EXPECT_EQ(dram.bytesTransferred(), 128u);
+}
+
+TEST(Dram, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        EventQueue eq;
+        Dram dram(eq, testConfig());
+        Tick last = 0;
+        for (int i = 0; i < 200; ++i) {
+            dram.access(MemReq{static_cast<Addr>(i * 1337) % 0x100000
+                                   * 64,
+                               64, i % 3 == 0, TrafficClass::Texture, 0,
+                               [&](Tick t) { last = std::max(last, t); }});
+        }
+        eq.runUntil();
+        return last;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Dram, StarvationCapBoundsReadLatencyUnderRowHitStream)
+{
+    // A continuous row-hit stream to one bank must not starve an old
+    // conflicting read indefinitely.
+    const DramConfig cfg = testConfig();
+    EventQueue eq;
+    Dram dram(eq, cfg);
+
+    // Conflicting read to bank 0, row far away.
+    Tick victim_done = 0;
+    const Addr bank_stride = static_cast<Addr>(cfg.interleaveLines) * 64
+        * cfg.channels * cfg.banksPerChannel;
+    const Addr victim = bank_stride * 1024;
+    // First open row 0 on bank 0.
+    readLine(eq, dram, 0);
+    const Tick start = eq.now();
+    dram.access(MemReq{victim, 64, false, TrafficClass::Texture, 0,
+                       [&](Tick t) { victim_done = t; }});
+    // Then hammer row hits at the open row (same chunk lines + stride
+    // rows that stay in row 0 region).
+    for (int i = 0; i < 64; ++i) {
+        dram.access(MemReq{static_cast<Addr>(i % 8) * 64, 64, false,
+                           TrafficClass::Texture, 0, nullptr});
+    }
+    eq.runUntil();
+    EXPECT_GT(victim_done, 0u);
+    EXPECT_LT(victim_done - start,
+              cfg.starvationLimit + 10 * (cfg.tRp + cfg.tRcd + cfg.tCas
+                                          + cfg.tBurst));
+}
+
+class DramChannelSweep : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(DramChannelSweep, MoreChannelsMoreThroughput)
+{
+    DramConfig cfg = testConfig();
+    cfg.channels = GetParam();
+    EventQueue eq;
+    Dram dram(eq, cfg);
+    Tick last = 0;
+    const int n = 256;
+    for (int i = 0; i < n; ++i) {
+        dram.access(MemReq{static_cast<Addr>(i) * 64, 64, false,
+                           TrafficClass::Texture, 0,
+                           [&](Tick t) { last = std::max(last, t); }});
+    }
+    eq.runUntil();
+    // Finish time scales roughly with 1/channels for streaming reads.
+    const double per_line = static_cast<double>(last) / n;
+    EXPECT_LT(per_line, 1.8 * cfg.tBurst / GetParam() + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, DramChannelSweep,
+                         ::testing::Values(1u, 2u, 4u));

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the Early-Z stage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/raster/early_z.hh"
+
+using namespace libra;
+
+namespace
+{
+
+Quad
+fullQuad(int px, int py, float z)
+{
+    Quad q;
+    q.px = static_cast<std::uint16_t>(px);
+    q.py = static_cast<std::uint16_t>(py);
+    q.mask = 0xf;
+    for (float &zi : q.z)
+        zi = z;
+    return q;
+}
+
+} // namespace
+
+TEST(EarlyZ, FirstQuadAlwaysPasses)
+{
+    EarlyZ z(32);
+    z.beginTile({0, 0, 32, 32});
+    Quad q = fullQuad(0, 0, 0.5f);
+    EXPECT_EQ(z.testQuad(q, true), 0xf);
+    EXPECT_EQ(z.quadsKilled.value(), 0u);
+}
+
+TEST(EarlyZ, NearerQuadKillsFarther)
+{
+    EarlyZ z(32);
+    z.beginTile({0, 0, 32, 32});
+    Quad near_q = fullQuad(4, 4, 0.2f);
+    z.testQuad(near_q, true);
+    Quad far_q = fullQuad(4, 4, 0.8f);
+    EXPECT_EQ(z.testQuad(far_q, true), 0u);
+    EXPECT_EQ(z.quadsKilled.value(), 1u);
+    EXPECT_EQ(z.fragmentsKilled.value(), 4u);
+}
+
+TEST(EarlyZ, FartherFirstThenNearerBothPass)
+{
+    EarlyZ z(32);
+    z.beginTile({0, 0, 32, 32});
+    Quad far_q = fullQuad(4, 4, 0.8f);
+    EXPECT_EQ(z.testQuad(far_q, true), 0xf);
+    Quad near_q = fullQuad(4, 4, 0.2f);
+    EXPECT_EQ(z.testQuad(near_q, true), 0xf);
+    EXPECT_EQ(z.quadsKilled.value(), 0u);
+}
+
+TEST(EarlyZ, EqualDepthFails)
+{
+    // LESS, not LESS-EQUAL: resubmitting the same surface is culled.
+    EarlyZ z(32);
+    z.beginTile({0, 0, 32, 32});
+    Quad a = fullQuad(0, 0, 0.5f);
+    z.testQuad(a, true);
+    Quad b = fullQuad(0, 0, 0.5f);
+    EXPECT_EQ(z.testQuad(b, true), 0u);
+}
+
+TEST(EarlyZ, BlendedQuadTestsButDoesNotWrite)
+{
+    EarlyZ z(32);
+    z.beginTile({0, 0, 32, 32});
+    Quad translucent = fullQuad(0, 0, 0.3f);
+    EXPECT_EQ(z.testQuad(translucent, false), 0xf); // no depth write
+    // An opaque quad behind the translucent one still passes, because
+    // the translucent one did not write depth.
+    Quad opaque = fullQuad(0, 0, 0.6f);
+    EXPECT_EQ(z.testQuad(opaque, true), 0xf);
+}
+
+TEST(EarlyZ, PartialMaskRespected)
+{
+    EarlyZ z(32);
+    z.beginTile({0, 0, 32, 32});
+    Quad q = fullQuad(0, 0, 0.4f);
+    q.mask = 0b0101;
+    EXPECT_EQ(z.testQuad(q, true), 0b0101);
+    // The uncovered pixels still hold far depth.
+    Quad fill = fullQuad(0, 0, 0.6f);
+    EXPECT_EQ(z.testQuad(fill, true), 0b1010);
+}
+
+TEST(EarlyZ, PerPixelIndependence)
+{
+    EarlyZ z(32);
+    z.beginTile({0, 0, 32, 32});
+    Quad q = fullQuad(2, 2, 0.5f);
+    q.z[0] = 0.1f;
+    q.z[1] = 0.2f;
+    q.z[2] = 0.3f;
+    q.z[3] = 0.4f;
+    z.testQuad(q, true);
+    Quad probe = fullQuad(2, 2, 0.25f);
+    // Pixels 0 and 1 hold depths 0.1/0.2 < 0.25 → killed; 2,3 pass.
+    EXPECT_EQ(z.testQuad(probe, true), 0b1100);
+}
+
+TEST(EarlyZ, BeginTileResetsDepth)
+{
+    EarlyZ z(32);
+    z.beginTile({0, 0, 32, 32});
+    Quad q = fullQuad(0, 0, 0.1f);
+    z.testQuad(q, true);
+    z.beginTile({0, 0, 32, 32});
+    Quad again = fullQuad(0, 0, 0.9f);
+    EXPECT_EQ(z.testQuad(again, true), 0xf);
+}
+
+TEST(EarlyZ, WorksWithNonZeroTileOrigin)
+{
+    EarlyZ z(32);
+    z.beginTile({64, 96, 96, 128});
+    Quad q = fullQuad(70, 100, 0.5f);
+    EXPECT_EQ(z.testQuad(q, true), 0xf);
+    Quad behind = fullQuad(70, 100, 0.9f);
+    EXPECT_EQ(z.testQuad(behind, true), 0u);
+}
+
+TEST(EarlyZDeathTest, OutsideTilePanics)
+{
+    EarlyZ z(32);
+    z.beginTile({0, 0, 32, 32});
+    Quad q = fullQuad(40, 0, 0.5f);
+    EXPECT_DEATH(z.testQuad(q, true), "outside the current tile");
+}

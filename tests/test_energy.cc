@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the event-energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+using namespace libra;
+
+TEST(Energy, ZeroEventsZeroEnergy)
+{
+    const EnergyBreakdown e = computeEnergy(EnergyParams{},
+                                            EnergyEvents{});
+    EXPECT_DOUBLE_EQ(e.totalMj, 0.0);
+}
+
+TEST(Energy, StaticEnergyScalesWithCycles)
+{
+    EnergyParams p;
+    EnergyEvents ev;
+    ev.cycles = 800000; // 1 ms at 800 MHz
+    const auto e = computeEnergy(p, ev);
+    // 0.4 W for 1 ms → 0.4 mJ with the default 500 pJ/cycle.
+    EXPECT_NEAR(e.staticMj, 0.4, 1e-9);
+    EXPECT_DOUBLE_EQ(e.totalMj, e.staticMj);
+}
+
+TEST(Energy, DramDominatesPerEvent)
+{
+    // One DRAM line burst costs orders of magnitude more than one L1
+    // access — the reason TBR exists (paper §II).
+    const EnergyParams p;
+    EXPECT_GT(p.dramLinePj, 50.0 * p.l1AccessPj);
+    EXPECT_GT(p.l2AccessPj, p.l1AccessPj);
+}
+
+TEST(Energy, BreakdownSumsToTotal)
+{
+    EnergyParams p;
+    EnergyEvents ev;
+    ev.warpInstructions = 1000;
+    ev.l1Accesses = 2000;
+    ev.l2Accesses = 300;
+    ev.dramLines = 100;
+    ev.dramActivates = 20;
+    ev.rasterQuads = 500;
+    ev.blendQuads = 500;
+    ev.vertices = 50;
+    ev.cycles = 10000;
+    const auto e = computeEnergy(p, ev);
+    EXPECT_NEAR(e.totalMj,
+                e.coreMj + e.cacheMj + e.dramMj + e.fixedFunctionMj
+                    + e.staticMj,
+                1e-12);
+    EXPECT_GT(e.coreMj, 0.0);
+    EXPECT_GT(e.cacheMj, 0.0);
+    EXPECT_GT(e.dramMj, 0.0);
+    EXPECT_GT(e.fixedFunctionMj, 0.0);
+}
+
+TEST(Energy, LinearInEventCounts)
+{
+    EnergyParams p;
+    EnergyEvents ev;
+    ev.dramLines = 100;
+    const auto e1 = computeEnergy(p, ev);
+    ev.dramLines = 200;
+    const auto e2 = computeEnergy(p, ev);
+    EXPECT_NEAR(e2.dramMj, 2.0 * e1.dramMj, 1e-12);
+}
+
+TEST(Energy, ParamsAreTweakable)
+{
+    EnergyParams p;
+    p.dramLinePj = 0.0;
+    p.dramActivatePj = 0.0;
+    EnergyEvents ev;
+    ev.dramLines = 1000;
+    ev.dramActivates = 1000;
+    EXPECT_DOUBLE_EQ(computeEnergy(p, ev).dramMj, 0.0);
+}

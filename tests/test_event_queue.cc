@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the deterministic event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace libra;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextEventTick(), maxTick);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runUntil();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickEventsRunInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.runUntil();
+    ASSERT_EQ(order.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NowAdvancesToEventTick)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(42, [&] { seen = eq.now(); });
+    eq.runOne();
+    EXPECT_EQ(seen, 42u);
+    EXPECT_EQ(eq.now(), 42u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(10, [&] {
+        eq.scheduleAfter(5, [&] { seen = eq.now(); });
+    });
+    eq.runUntil();
+    EXPECT_EQ(seen, 15u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 10)
+            eq.scheduleAfter(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.runUntil();
+    EXPECT_EQ(count, 10);
+    EXPECT_EQ(eq.now(), 9u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 0; t < 10; ++t)
+        eq.schedule(t * 10, [&] { ++count; });
+    const auto ran = eq.runUntil(45);
+    EXPECT_EQ(ran, 5u); // ticks 0,10,20,30,40
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.nextEventTick(), 50u);
+}
+
+TEST(EventQueue, SchedulingAtCurrentTickAllowed)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(7, [&] {
+        eq.schedule(7, [&] { ran = true; });
+    });
+    eq.runUntil();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.runOne();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "scheduling in the past");
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 17; ++i)
+        eq.schedule(static_cast<Tick>(i), [] {});
+    eq.runUntil();
+    EXPECT_EQ(eq.eventsExecuted(), 17u);
+}
+
+TEST(EventQueue, PendingReflectsQueueSize)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.runOne();
+    EXPECT_EQ(eq.pending(), 1u);
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the TBR extensions beyond the paper's baseline:
+ * transaction elimination, framebuffer compression and the scanline
+ * traversal ablation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+#include "gpu/runner.hh"
+#include "workload/benchmarks.hh"
+#include "workload/scene.hh"
+
+using namespace libra;
+
+namespace
+{
+
+constexpr std::uint32_t W = 512;
+constexpr std::uint32_t H = 288;
+
+GpuConfig
+sized(GpuConfig cfg)
+{
+    cfg.screenWidth = W;
+    cfg.screenHeight = H;
+    return cfg;
+}
+
+/** A scene with NO animation: every frame is identical. */
+BenchmarkSpec
+staticSpec()
+{
+    BenchmarkSpec spec = findBenchmark("CCS");
+    spec.spriteSpeed = 0.0f;
+    spec.hotspotDrift = 0.0f;
+    spec.bgScrollX = 0.0f;
+    spec.bgScrollY = 0.0f;
+    spec.epochFrames = 100000;
+    return spec;
+}
+
+} // namespace
+
+TEST(TransactionElimination, StaticFramesElideAllFlushes)
+{
+    const BenchmarkSpec spec = staticSpec();
+    GpuConfig cfg = sized(GpuConfig::baseline(4));
+    cfg.transactionElimination = true;
+    const Scene scene(spec, W, H);
+    Gpu gpu(cfg);
+
+    const FrameStats f0 = gpu.renderFrame(scene.frame(0),
+                                          scene.textures());
+    // First frame: nothing to compare against, all tiles flush.
+    const std::uint64_t fb_lines = static_cast<std::uint64_t>(W) * H * 4
+        / 64;
+    EXPECT_GE(f0.dramWrites, fb_lines);
+
+    // Wobble animations are frozen but sprites still use per-frame
+    // sine phases at t=0 vs t=1... the scene is a pure function of the
+    // frame index, so rendering index 0 twice gives identical content.
+    const FrameStats f1 = gpu.renderFrame(scene.frame(0),
+                                          scene.textures());
+    // Every tile's content matches: frame-buffer writes collapse.
+    EXPECT_LT(f1.dramWrites, fb_lines / 4);
+}
+
+TEST(TransactionElimination, ChangedTilesStillFlush)
+{
+    // A sparsely animated scene: a handful of moving sprites dirty
+    // their tiles, while tiles covered only by the static background
+    // elide their flush. (Dense suite entries like CCS touch nearly
+    // every tile each frame at this resolution, so build a sparse one.)
+    BenchmarkSpec spec = findBenchmark("CCS");
+    spec.spriteCount = 10;
+    spec.bgScrollX = 0.0f;
+    spec.bgScrollY = 0.0f;
+    GpuConfig cfg = sized(GpuConfig::baseline(4));
+    cfg.transactionElimination = true;
+
+    const Scene scene(spec, W, H);
+    const TileGrid grid(W, H, cfg.tileSize);
+    Gpu gpu(cfg);
+    const FrameStats f0 = gpu.renderFrame(scene.frame(0),
+                                          scene.textures());
+    const std::uint64_t writes_frame0 = f0.dramWrites;
+    const FrameStats f1 = gpu.renderFrame(scene.frame(1),
+                                          scene.textures());
+    // Some flushes happen (animated tiles), but fewer bytes than the
+    // cold first frame, which flushed everything.
+    EXPECT_GT(f1.dramWrites, 0u);
+    EXPECT_LT(f1.dramWrites, writes_frame0);
+    (void)grid;
+}
+
+TEST(TransactionElimination, OutputUnaffected)
+{
+    const BenchmarkSpec &spec = findBenchmark("SuS");
+    auto image_of = [&](bool te) {
+        GpuConfig cfg = sized(GpuConfig::libra(2, 4));
+        cfg.transactionElimination = te;
+        cfg.captureImage = true;
+        const Scene scene(spec, W, H);
+        Gpu gpu(cfg);
+        gpu.renderFrame(scene.frame(0), scene.textures());
+        return gpu.renderFrame(scene.frame(1), scene.textures()).image;
+    };
+    EXPECT_EQ(image_of(false), image_of(true));
+}
+
+TEST(FbCompression, ReducesFrameBufferTraffic)
+{
+    const BenchmarkSpec &spec = findBenchmark("CCS");
+    auto writes_of = [&](double ratio) {
+        GpuConfig cfg = sized(GpuConfig::baseline(4));
+        cfg.fbCompressionRatio = ratio;
+        const RunResult r = runBenchmark(spec, cfg, 2);
+        return r.frames.back().dramWrites;
+    };
+    const auto full = writes_of(1.0);
+    const auto half = writes_of(0.5);
+    EXPECT_LT(half, full * 3 / 4);
+    EXPECT_GT(half, full / 4);
+}
+
+TEST(Scanline, PolicyRendersCorrectly)
+{
+    const BenchmarkSpec &spec = findBenchmark("CoC");
+    GpuConfig morton = sized(GpuConfig::ptr(2, 4));
+    GpuConfig scan = morton;
+    scan.sched.policy = SchedulerPolicy::Scanline;
+    morton.captureImage = true;
+    scan.captureImage = true;
+
+    const Scene scene(spec, W, H);
+    Gpu gm(morton), gs(scan);
+    const auto im = gm.renderFrame(scene.frame(0), scene.textures());
+    const auto is = gs.renderFrame(scene.frame(0), scene.textures());
+    EXPECT_EQ(im.image, is.image);
+    EXPECT_EQ(im.fragments, is.fragments);
+}
+
+TEST(Scanline, MortonAtLeastAsCacheFriendly)
+{
+    // The reason the baseline uses Morton order (§II-B): traversal
+    // locality. Scanline must not beat Morton's texture hit ratio by
+    // any meaningful margin on a texture-heavy scene.
+    const BenchmarkSpec &spec = findBenchmark("CCS");
+    GpuConfig morton = sized(GpuConfig::ptr(2, 4));
+    GpuConfig scan = morton;
+    scan.sched.policy = SchedulerPolicy::Scanline;
+    const RunResult rm = runBenchmark(spec, morton, 3);
+    const RunResult rs = runBenchmark(spec, scan, 3);
+    EXPECT_GE(rm.textureHitRatio() + 0.02, rs.textureHitRatio());
+}

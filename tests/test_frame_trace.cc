@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for trace capture/replay: lossless round trips and replay
+ * equivalence with direct simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gpu/gpu.hh"
+#include "trace/frame_trace.hh"
+#include "workload/benchmarks.hh"
+
+using namespace libra;
+
+namespace
+{
+
+/**
+ * ctest runs each test as its own process, possibly in parallel, so
+ * every test needs a private trace path.
+ */
+class TracePath
+{
+  public:
+    TracePath()
+        : path_(std::string("/tmp/libra_trace_")
+                + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name()
+                + ".ltrc")
+    {}
+    ~TracePath() { std::remove(path_.c_str()); }
+    const char *c_str() const { return path_.c_str(); }
+    operator const std::string &() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+TEST(FrameTrace, RoundTripIsLossless)
+{
+    const TracePath path;
+    const Scene scene(findBenchmark("CCS"), 640, 384);
+    ASSERT_TRUE(writeTrace(path, scene, 3, 2));
+
+    FrameTrace trace;
+    ASSERT_TRUE(trace.load(path));
+    EXPECT_EQ(trace.screenWidth(), 640u);
+    EXPECT_EQ(trace.screenHeight(), 384u);
+    EXPECT_EQ(trace.frameCount(), 2u);
+    EXPECT_EQ(trace.textures().count(), scene.textures().count());
+
+    for (std::uint32_t f = 0; f < 2; ++f) {
+        const FrameData orig = scene.frame(3 + f);
+        const FrameData &loaded = trace.frame(f);
+        ASSERT_EQ(loaded.draws.size(), orig.draws.size());
+        for (std::size_t d = 0; d < orig.draws.size(); ++d) {
+            const auto &od = orig.draws[d];
+            const auto &ld = loaded.draws[d];
+            EXPECT_EQ(ld.vertexAddr, od.vertexAddr);
+            EXPECT_EQ(ld.vertexCount, od.vertexCount);
+            EXPECT_EQ(ld.vertexCostCycles, od.vertexCostCycles);
+            ASSERT_EQ(ld.tris.size(), od.tris.size());
+            for (std::size_t t = 0; t < od.tris.size(); ++t) {
+                const auto &ot = od.tris[t];
+                const auto &lt = ld.tris[t];
+                for (int v = 0; v < 3; ++v) {
+                    EXPECT_EQ(lt.v[v].pos, ot.v[v].pos);
+                    EXPECT_EQ(lt.v[v].uv, ot.v[v].uv);
+                }
+                EXPECT_EQ(lt.textureId, ot.textureId);
+                EXPECT_EQ(lt.shaderAluOps, ot.shaderAluOps);
+                EXPECT_EQ(lt.texSamples, ot.texSamples);
+                EXPECT_EQ(lt.blend, ot.blend);
+                EXPECT_EQ(lt.useMips, ot.useMips);
+            }
+        }
+    }
+}
+
+TEST(FrameTrace, TexturePoolReconstructedIdentically)
+{
+    const TracePath path;
+    const Scene scene(findBenchmark("SuS"), 640, 384);
+    ASSERT_TRUE(writeTrace(path, scene, 0, 1));
+    FrameTrace trace;
+    ASSERT_TRUE(trace.load(path));
+    for (std::uint32_t i = 0; i < scene.textures().count(); ++i) {
+        const Texture &a = scene.textures().get(i);
+        const Texture &b = trace.textures().get(i);
+        EXPECT_EQ(a.width(), b.width());
+        EXPECT_EQ(a.height(), b.height());
+        // Identical creation order → identical base addresses, so
+        // every texel address replays exactly.
+        EXPECT_EQ(a.lineAddr(0.37f, 0.71f, 0),
+                  b.lineAddr(0.37f, 0.71f, 0));
+    }
+}
+
+TEST(FrameTrace, ReplayMatchesDirectSimulation)
+{
+    const TracePath path;
+    const Scene scene(findBenchmark("CoC"), 512, 288);
+    ASSERT_TRUE(writeTrace(path, scene, 0, 2));
+    FrameTrace trace;
+    ASSERT_TRUE(trace.load(path));
+
+    GpuConfig cfg = GpuConfig::libra(2, 4);
+    cfg.screenWidth = 512;
+    cfg.screenHeight = 288;
+
+    Gpu direct(cfg);
+    Gpu replay(cfg);
+    for (std::uint32_t f = 0; f < 2; ++f) {
+        const FrameStats a = direct.renderFrame(scene.frame(f),
+                                                scene.textures());
+        const FrameStats b = replay.renderFrame(trace.frame(f),
+                                                trace.textures());
+        EXPECT_EQ(a.totalCycles, b.totalCycles) << "frame " << f;
+        EXPECT_EQ(a.dramReads, b.dramReads);
+        EXPECT_EQ(a.instructions, b.instructions);
+        EXPECT_EQ(a.fragments, b.fragments);
+    }
+}
+
+TEST(FrameTrace, MissingFileFailsGracefully)
+{
+    FrameTrace trace;
+    EXPECT_FALSE(trace.load("/tmp/nonexistent_libra_trace.ltrc"));
+}
+
+TEST(FrameTrace, RejectsGarbage)
+{
+    const TracePath path;
+    std::FILE *fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    std::fputs("definitely not a trace file", fp);
+    std::fclose(fp);
+    FrameTrace trace;
+    EXPECT_FALSE(trace.load(std::string(path)));
+}
+
+TEST(FrameTrace, InMemorySetWorks)
+{
+    FrameTrace trace;
+    FrameData frame;
+    frame.draws.resize(1);
+    trace.set(320, 240, {{64, 64}}, {frame});
+    EXPECT_EQ(trace.frameCount(), 1u);
+    EXPECT_EQ(trace.textures().count(), 1u);
+    EXPECT_EQ(trace.screenWidth(), 320u);
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the geometry primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/geom.hh"
+
+using namespace libra;
+
+TEST(IRect, BasicProperties)
+{
+    const IRect r{2, 3, 10, 8};
+    EXPECT_EQ(r.width(), 8);
+    EXPECT_EQ(r.height(), 5);
+    EXPECT_FALSE(r.empty());
+    EXPECT_TRUE(r.contains(2, 3));
+    EXPECT_TRUE(r.contains(9, 7));
+    EXPECT_FALSE(r.contains(10, 7)); // exclusive max
+    EXPECT_FALSE(r.contains(1, 5));
+}
+
+TEST(IRect, EmptyWhenDegenerate)
+{
+    EXPECT_TRUE((IRect{5, 5, 5, 10}).empty());
+    EXPECT_TRUE((IRect{5, 5, 10, 5}).empty());
+    EXPECT_TRUE((IRect{5, 5, 2, 10}).empty());
+}
+
+TEST(IRect, Intersection)
+{
+    const IRect a{0, 0, 10, 10};
+    const IRect b{5, 5, 15, 15};
+    const IRect c = a.intersect(b);
+    EXPECT_EQ(c, (IRect{5, 5, 10, 10}));
+    const IRect d = a.intersect({20, 20, 30, 30});
+    EXPECT_TRUE(d.empty());
+}
+
+TEST(Vec2, Arithmetic)
+{
+    const Vec2 a{1.0f, 2.0f};
+    const Vec2 b{3.0f, -1.0f};
+    EXPECT_EQ(a + b, (Vec2{4.0f, 1.0f}));
+    EXPECT_EQ(a - b, (Vec2{-2.0f, 3.0f}));
+    EXPECT_EQ(a * 2.0f, (Vec2{2.0f, 4.0f}));
+}
+
+TEST(Cross2, SignConvention)
+{
+    // x-axis cross y-axis is positive.
+    EXPECT_GT(cross2({1.0f, 0.0f}, {0.0f, 1.0f}), 0.0f);
+    EXPECT_LT(cross2({0.0f, 1.0f}, {1.0f, 0.0f}), 0.0f);
+    EXPECT_EQ(cross2({2.0f, 2.0f}, {4.0f, 4.0f}), 0.0f);
+}
+
+TEST(Triangle, SignedArea)
+{
+    Triangle t;
+    t.v[0].pos = {0.0f, 0.0f, 0.0f};
+    t.v[1].pos = {4.0f, 0.0f, 0.0f};
+    t.v[2].pos = {0.0f, 3.0f, 0.0f};
+    EXPECT_FLOAT_EQ(t.signedArea2(), 12.0f);
+    std::swap(t.v[1], t.v[2]);
+    EXPECT_FLOAT_EQ(t.signedArea2(), -12.0f);
+}
+
+TEST(Triangle, BoundingBoxClampsToViewport)
+{
+    Triangle t;
+    t.v[0].pos = {-5.0f, -5.0f, 0.0f};
+    t.v[1].pos = {50.0f, 10.0f, 0.0f};
+    t.v[2].pos = {10.0f, 50.0f, 0.0f};
+    const IRect vp{0, 0, 32, 32};
+    const IRect box = t.boundingBox(vp);
+    EXPECT_GE(box.x0, 0);
+    EXPECT_GE(box.y0, 0);
+    EXPECT_LE(box.x1, 32);
+    EXPECT_LE(box.y1, 32);
+    EXPECT_FALSE(box.empty());
+}
+
+TEST(Triangle, BoundingBoxCoversVertices)
+{
+    Triangle t;
+    t.v[0].pos = {1.5f, 2.5f, 0.0f};
+    t.v[1].pos = {7.2f, 3.1f, 0.0f};
+    t.v[2].pos = {4.0f, 9.9f, 0.0f};
+    const IRect box = t.boundingBox({0, 0, 100, 100});
+    EXPECT_LE(box.x0, 1);
+    EXPECT_GE(box.x1, 8);
+    EXPECT_LE(box.y0, 2);
+    EXPECT_GE(box.y1, 10);
+}
+
+TEST(Triangle, OffscreenBoundingBoxEmpty)
+{
+    Triangle t;
+    t.v[0].pos = {-10.0f, -10.0f, 0.0f};
+    t.v[1].pos = {-5.0f, -10.0f, 0.0f};
+    t.v[2].pos = {-5.0f, -5.0f, 0.0f};
+    EXPECT_TRUE(t.boundingBox({0, 0, 32, 32}).empty());
+}

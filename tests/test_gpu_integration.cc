@@ -1,0 +1,226 @@
+/**
+ * @file
+ * End-to-end integration tests: whole frames through the full GPU.
+ *
+ * Uses a reduced screen so each test renders in well under a second;
+ * the correctness properties (schedule-invariant output, determinism,
+ * conservation of tiles/fragments) are resolution-independent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+#include "gpu/runner.hh"
+#include "workload/benchmarks.hh"
+#include "workload/scene.hh"
+
+using namespace libra;
+
+namespace
+{
+
+constexpr std::uint32_t W = 512;
+constexpr std::uint32_t H = 288;
+
+GpuConfig
+sized(GpuConfig cfg)
+{
+    cfg.screenWidth = W;
+    cfg.screenHeight = H;
+    return cfg;
+}
+
+FrameStats
+renderOne(const GpuConfig &cfg, const char *bench = "CCS",
+          std::uint32_t frame = 0)
+{
+    const Scene scene(findBenchmark(bench), cfg.screenWidth,
+                      cfg.screenHeight);
+    Gpu gpu(cfg);
+    FrameStats fs;
+    for (std::uint32_t f = 0; f <= frame; ++f)
+        fs = gpu.renderFrame(scene.frame(f), scene.textures());
+    return fs;
+}
+
+} // namespace
+
+TEST(GpuIntegration, RendersAllTiles)
+{
+    const GpuConfig cfg = sized(GpuConfig::baseline(8));
+    const Scene scene(findBenchmark("CCS"), W, H);
+    Gpu gpu(cfg);
+    const FrameStats fs = gpu.renderFrame(scene.frame(0),
+                                          scene.textures());
+    EXPECT_GT(fs.totalCycles, 0u);
+    EXPECT_GT(fs.rasterCycles, 0u);
+    EXPECT_GT(fs.geomCycles, 0u);
+    EXPECT_GT(fs.fragments, 0u);
+    EXPECT_GT(fs.dramReads + fs.dramWrites, 0u);
+    EXPECT_EQ(fs.tileDram.size(), gpu.tileGrid().tileCount());
+}
+
+TEST(GpuIntegration, ImageIdenticalAcrossSchedulers)
+{
+    // The defining correctness property: tile scheduling must never
+    // change the rendered image.
+    auto image_of = [](GpuConfig cfg) {
+        cfg.captureImage = true;
+        const Scene scene(findBenchmark("CCS"), W, H);
+        Gpu gpu(cfg);
+        gpu.renderFrame(scene.frame(0), scene.textures());
+        return gpu.renderFrame(scene.frame(1), scene.textures()).image;
+    };
+    const auto base = image_of(sized(GpuConfig::baseline(8)));
+    const auto ptr = image_of(sized(GpuConfig::ptr(2, 4)));
+    const auto libra_img = image_of(sized(GpuConfig::libra(2, 4)));
+    const auto st = image_of(sized(GpuConfig::staticSupertile(4)));
+    ASSERT_EQ(base.size(), static_cast<std::size_t>(W) * H);
+    EXPECT_EQ(base, ptr);
+    EXPECT_EQ(base, libra_img);
+    EXPECT_EQ(base, st);
+}
+
+TEST(GpuIntegration, ImageNonTrivial)
+{
+    GpuConfig cfg = sized(GpuConfig::baseline(4));
+    cfg.captureImage = true;
+    const Scene scene(findBenchmark("SuS"), W, H);
+    Gpu gpu(cfg);
+    const auto image = gpu.renderFrame(scene.frame(0),
+                                       scene.textures()).image;
+    std::size_t written = 0;
+    for (const auto px : image)
+        written += px != 0;
+    // Backgrounds cover the screen: nearly every pixel was shaded.
+    EXPECT_GT(written, image.size() * 9 / 10);
+}
+
+TEST(GpuIntegration, DeterministicAcrossRuns)
+{
+    const auto a = renderOne(sized(GpuConfig::libra(2, 4)), "CoC", 1);
+    const auto b = renderOne(sized(GpuConfig::libra(2, 4)), "CoC", 1);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.tileDram, b.tileDram);
+}
+
+TEST(GpuIntegration, IdealMemoryIsFaster)
+{
+    GpuConfig real = sized(GpuConfig::baseline(8));
+    GpuConfig ideal = real;
+    ideal.idealMemory = true;
+    const auto r = renderOne(real);
+    const auto i = renderOne(ideal);
+    EXPECT_LT(i.totalCycles, r.totalCycles);
+    EXPECT_EQ(i.dramReads, 0u);
+}
+
+TEST(GpuIntegration, MemoryTimeFractionSane)
+{
+    const double frac = memoryTimeFraction(findBenchmark("CCS"),
+                                           sized(GpuConfig::baseline(8)),
+                                           2);
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LT(frac, 1.0);
+}
+
+TEST(GpuIntegration, InstructionsConservedAcrossSchedulers)
+{
+    // Scheduling changes timing, never the work itself.
+    const auto a = renderOne(sized(GpuConfig::baseline(8)));
+    const auto b = renderOne(sized(GpuConfig::libra(2, 4)));
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.fragments, b.fragments);
+    EXPECT_EQ(a.quads, b.quads);
+}
+
+TEST(GpuIntegration, PerTileCountersPopulated)
+{
+    const auto fs = renderOne(sized(GpuConfig::baseline(8)));
+    std::uint64_t instr = 0, dram = 0;
+    for (const auto v : fs.tileInstr)
+        instr += v;
+    for (const auto v : fs.tileDram)
+        dram += v;
+    EXPECT_EQ(instr, fs.instructions);
+    EXPECT_GT(dram, 0u);
+    // Tile-attributed DRAM accesses can not exceed the frame total.
+    EXPECT_LE(dram, fs.dramReads + fs.dramWrites);
+}
+
+TEST(GpuIntegration, DramTimelineCoversRasterPhase)
+{
+    const auto fs = renderOne(sized(GpuConfig::baseline(8)));
+    ASSERT_FALSE(fs.dramTimeline.empty());
+    std::uint64_t binned = 0;
+    for (const auto v : fs.dramTimeline)
+        binned += v;
+    EXPECT_GT(binned, 0u);
+    EXPECT_LE(fs.dramTimeline.size(),
+              fs.rasterCycles / fs.dramTimelineInterval + 2);
+}
+
+TEST(GpuIntegration, EnergyPositiveAndDominatedByKnownParts)
+{
+    const auto fs = renderOne(sized(GpuConfig::baseline(8)));
+    EXPECT_GT(fs.energy.totalMj, 0.0);
+    EXPECT_GT(fs.energy.dramMj, 0.0);
+    EXPECT_GT(fs.energy.staticMj, 0.0);
+    EXPECT_NEAR(fs.energy.totalMj,
+                fs.energy.coreMj + fs.energy.cacheMj + fs.energy.dramMj
+                    + fs.energy.fixedFunctionMj + fs.energy.staticMj,
+                1e-9);
+}
+
+TEST(GpuIntegration, LibraSchedulerEngagesOnMemoryBoundWorkload)
+{
+    const Scene scene(findBenchmark("CCS"), W, H);
+    Gpu gpu(sized(GpuConfig::libra(2, 4)));
+    const auto f0 = gpu.renderFrame(scene.frame(0), scene.textures());
+    EXPECT_FALSE(f0.temperatureOrder); // no history yet
+    const auto f1 = gpu.renderFrame(scene.frame(1), scene.textures());
+    // CCS is memory-intensive: hit ratio below 80% → temperature order.
+    EXPECT_TRUE(f1.temperatureOrder);
+    EXPECT_GT(f1.rankingCycles, 0u);
+    // §III-E: the ranking hides under the geometry phase.
+    EXPECT_LT(f1.rankingCycles, f1.geomCycles);
+}
+
+TEST(GpuIntegration, RasterDominatesFrameTime)
+{
+    // Fig. 1: the raster phase takes the lion's share (~88%).
+    const auto fs = renderOne(sized(GpuConfig::baseline(8)), "SuS");
+    const double raster_share = static_cast<double>(fs.rasterCycles)
+        / static_cast<double>(fs.totalCycles);
+    EXPECT_GT(raster_share, 0.6);
+}
+
+TEST(GpuIntegration, MoreRasterUnitsStillCorrect)
+{
+    for (const std::uint32_t rus : {3u, 4u}) {
+        GpuConfig cfg = sized(GpuConfig::libra(rus, 2));
+        const auto fs = renderOne(cfg, "CCS", 1);
+        EXPECT_GT(fs.totalCycles, 0u);
+    }
+}
+
+TEST(GpuIntegration, FrameBufferTrafficMatchesResolution)
+{
+    const auto fs = renderOne(sized(GpuConfig::baseline(8)));
+    // Color flush writes the whole screen once: W*H*4 bytes in lines.
+    const std::uint64_t fb_lines = static_cast<std::uint64_t>(W) * H * 4
+        / 64;
+    EXPECT_GE(fs.dramWrites, fb_lines);
+    EXPECT_LE(fs.dramWrites, fb_lines * 2);
+}
+
+TEST(GpuIntegration, TextureLatencyTracked)
+{
+    const auto fs = renderOne(sized(GpuConfig::baseline(8)));
+    EXPECT_GT(fs.textureRequests, 0u);
+    EXPECT_GT(fs.avgTextureLatency, 0.0);
+    EXPECT_GE(fs.textureHitRatio, 0.0);
+    EXPECT_LE(fs.textureHitRatio, 1.0);
+}

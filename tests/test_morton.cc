@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Property tests for Morton (Z-order) encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/morton.hh"
+#include "common/rng.hh"
+
+using namespace libra;
+
+TEST(Morton, KnownValues)
+{
+    EXPECT_EQ(mortonEncode(0, 0), 0u);
+    EXPECT_EQ(mortonEncode(1, 0), 1u);
+    EXPECT_EQ(mortonEncode(0, 1), 2u);
+    EXPECT_EQ(mortonEncode(1, 1), 3u);
+    EXPECT_EQ(mortonEncode(2, 0), 4u);
+    EXPECT_EQ(mortonEncode(7, 7), 63u);
+}
+
+TEST(Morton, RoundTripExhaustiveSmall)
+{
+    for (std::uint32_t x = 0; x < 64; ++x) {
+        for (std::uint32_t y = 0; y < 64; ++y) {
+            const std::uint32_t code = mortonEncode(x, y);
+            EXPECT_EQ(mortonDecodeX(code), x);
+            EXPECT_EQ(mortonDecodeY(code), y);
+        }
+    }
+}
+
+TEST(Morton, RoundTripRandom16Bit)
+{
+    Rng rng(123);
+    for (int i = 0; i < 10000; ++i) {
+        const auto x = static_cast<std::uint32_t>(rng.below(1u << 16));
+        const auto y = static_cast<std::uint32_t>(rng.below(1u << 16));
+        const std::uint32_t code = mortonEncode(x, y);
+        EXPECT_EQ(mortonDecodeX(code), x);
+        EXPECT_EQ(mortonDecodeY(code), y);
+    }
+}
+
+TEST(Morton, CodesAreUniqueOnGrid)
+{
+    // Bijectivity on a 32x32 grid.
+    std::vector<bool> seen(32 * 32, false);
+    for (std::uint32_t x = 0; x < 32; ++x) {
+        for (std::uint32_t y = 0; y < 32; ++y) {
+            const std::uint32_t code = mortonEncode(x, y);
+            ASSERT_LT(code, seen.size());
+            EXPECT_FALSE(seen[code]);
+            seen[code] = true;
+        }
+    }
+}
+
+TEST(Morton, ConsecutiveCodesAreSpatiallyAdjacentOften)
+{
+    // The Z curve's locality: consecutive codes differ by a small
+    // Manhattan distance most of the time (this is why it is the
+    // cache-friendly baseline traversal).
+    int close = 0;
+    const int total = 1023;
+    for (std::uint32_t code = 0; code < static_cast<std::uint32_t>(total);
+         ++code) {
+        const int x0 = static_cast<int>(mortonDecodeX(code));
+        const int y0 = static_cast<int>(mortonDecodeY(code));
+        const int x1 = static_cast<int>(mortonDecodeX(code + 1));
+        const int y1 = static_cast<int>(mortonDecodeY(code + 1));
+        if (std::abs(x0 - x1) + std::abs(y0 - y1) <= 2)
+            ++close;
+    }
+    EXPECT_GT(close, total * 3 / 4);
+}
+
+TEST(Morton, SpreadCompactInverse)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = static_cast<std::uint32_t>(rng.below(1u << 16));
+        EXPECT_EQ(mortonCompact(mortonSpread(v)), v);
+    }
+}

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit tests for one Raster Unit, driven directly through its FIFO
+ * interface with hand-built binned frames and ideal memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "cache/mem_system.hh"
+#include "gpu/raster/raster_unit.hh"
+#include "sim/event_queue.hh"
+
+using namespace libra;
+
+namespace
+{
+
+struct Rig
+{
+    explicit Rig(std::uint32_t cores = 2, bool capture = true,
+                 Tick mem_latency = 5)
+        : grid(64, 64, 32), mem(eq, mem_latency)
+    {
+        tex_id = pool.create(64, 64).id();
+
+        CacheConfig l1_cfg{"tex", 32 * 1024, 4, 64, 2, 16, 2, true,
+                           false};
+        for (std::uint32_t i = 0; i < cores; ++i) {
+            l1s.push_back(std::make_unique<Cache>(eq, l1_cfg, mem));
+        }
+        std::vector<Cache *> l1_ptrs;
+        for (auto &l1 : l1s)
+            l1_ptrs.push_back(l1.get());
+
+        RasterUnitConfig cfg;
+        cfg.cores = cores;
+        cfg.tileSize = 32;
+        cfg.fifoDepth = 64;
+        cfg.captureImage = capture;
+        ru = std::make_unique<RasterUnit>(eq, cfg, grid, mem, l1_ptrs);
+        ru->onTileDone = [this](const TileDoneInfo &info) {
+            done.push_back(info);
+            if (info.colorBuffer)
+                images.push_back(*info.colorBuffer);
+        };
+    }
+
+    /** Add a right triangle covering the top-left of tile @p tile. */
+    void
+    addTriangle(TileId tile, float depth = 0.5f, bool blend = false,
+                float size = 24.0f)
+    {
+        const IRect r = grid.tileRect(tile);
+        Triangle tri;
+        tri.textureId = tex_id;
+        tri.blend = blend;
+        tri.shaderAluOps = 4;
+        tri.v[0] = {{static_cast<float>(r.x0), static_cast<float>(r.y0),
+                     depth},
+                    {0.0f, 0.0f}};
+        tri.v[1] = {{static_cast<float>(r.x0) + size,
+                     static_cast<float>(r.y0), depth},
+                    {1.0f, 0.0f}};
+        tri.v[2] = {{static_cast<float>(r.x0),
+                     static_cast<float>(r.y0) + size, depth},
+                    {0.0f, 1.0f}};
+        const auto index = static_cast<std::uint32_t>(frame.tris.size());
+        frame.tris.push_back(tri);
+        frame.triVertexCost.push_back(8);
+        if (frame.tileLists.empty())
+            frame.tileLists.resize(grid.tileCount());
+        frame.tileLists[tile].push_back(index);
+    }
+
+    /** Stream a full tile through the FIFO. */
+    void
+    streamTile(TileId tile)
+    {
+        ru->push({RasterWork::Kind::TileBegin, tile, 0});
+        if (!frame.tileLists.empty()) {
+            for (const auto prim : frame.tileLists[tile])
+                ru->push({RasterWork::Kind::Prim, tile, prim});
+        }
+        ru->push({RasterWork::Kind::TileEnd, tile, 0});
+    }
+
+    void
+    begin()
+    {
+        if (frame.tileLists.empty())
+            frame.tileLists.resize(grid.tileCount());
+        ru->beginFrame(frame, pool);
+    }
+
+    EventQueue eq;
+    TileGrid grid;
+    IdealMemory mem;
+    TexturePool pool;
+    std::uint32_t tex_id;
+    std::vector<std::unique_ptr<Cache>> l1s;
+    std::unique_ptr<RasterUnit> ru;
+    BinnedFrame frame;
+    std::vector<TileDoneInfo> done;
+    std::vector<std::vector<std::uint64_t>> images;
+};
+
+} // namespace
+
+TEST(RasterUnit, EmptyTileCompletesAndFlushes)
+{
+    Rig rig;
+    rig.begin();
+    rig.streamTile(0);
+    rig.eq.runUntil();
+    ASSERT_EQ(rig.done.size(), 1u);
+    EXPECT_EQ(rig.done[0].tile, 0u);
+    EXPECT_EQ(rig.done[0].instructions, 0u);
+    EXPECT_EQ(rig.done[0].warps, 0u);
+    // Flush still writes the (clear-color) tile: 32*32*4 B.
+    EXPECT_EQ(rig.ru->flushBytes.value(), 32u * 32u * 4u);
+    EXPECT_TRUE(rig.ru->idle());
+}
+
+TEST(RasterUnit, SingleTriangleTileProducesWork)
+{
+    Rig rig;
+    rig.addTriangle(0);
+    rig.begin();
+    rig.streamTile(0);
+    rig.eq.runUntil();
+    ASSERT_EQ(rig.done.size(), 1u);
+    EXPECT_GT(rig.done[0].instructions, 0u);
+    EXPECT_GT(rig.done[0].fragments, 0u);
+    EXPECT_EQ(rig.ru->primsRasterized.value(), 1u);
+    EXPECT_GT(rig.ru->warpsLaunched.value(), 0u);
+    // A 24x24 right triangle at pixel centers covers
+    // sum_{y=0}^{22}(23-y) = 276 fragments (the hypotenuse's centers
+    // land exactly on the edge and are excluded by the fill rule).
+    EXPECT_EQ(rig.done[0].fragments, 276u);
+}
+
+TEST(RasterUnit, EarlyZKillsOccludedOpaque)
+{
+    Rig near_first;
+    near_first.addTriangle(0, 0.2f);
+    near_first.addTriangle(0, 0.8f); // behind, same footprint
+    near_first.begin();
+    near_first.streamTile(0);
+    near_first.eq.runUntil();
+
+    Rig far_first;
+    far_first.addTriangle(0, 0.8f);
+    far_first.addTriangle(0, 0.2f); // in front, drawn second
+    far_first.begin();
+    far_first.streamTile(0);
+    far_first.eq.runUntil();
+
+    // Front-to-back order shades half the fragments of back-to-front.
+    EXPECT_EQ(near_first.done[0].fragments, 276u);
+    EXPECT_EQ(far_first.done[0].fragments, 552u);
+}
+
+TEST(RasterUnit, BlendedDoesNotWriteDepth)
+{
+    Rig rig;
+    rig.addTriangle(0, 0.2f, true);  // translucent in front
+    rig.addTriangle(0, 0.8f, false); // opaque behind, drawn later
+    rig.begin();
+    rig.streamTile(0);
+    rig.eq.runUntil();
+    // Both layers shade: the translucent one must not occlude.
+    EXPECT_EQ(rig.done[0].fragments, 552u);
+}
+
+TEST(RasterUnit, ImageHashDependsOnPrimitiveOrder)
+{
+    // Blending is order-sensitive; swapping two translucent layers
+    // must change the image (and our in-order commit must therefore
+    // preserve program order even when warps retire out of order).
+    auto run_order = [](std::uint32_t first, std::uint32_t second) {
+        Rig rig;
+        rig.addTriangle(0, 0.5f, true);
+        rig.addTriangle(0, 0.4f, true);
+        rig.begin();
+        rig.ru->push({RasterWork::Kind::TileBegin, 0, 0});
+        rig.ru->push({RasterWork::Kind::Prim, 0, first});
+        rig.ru->push({RasterWork::Kind::Prim, 0, second});
+        rig.ru->push({RasterWork::Kind::TileEnd, 0, 0});
+        rig.eq.runUntil();
+        EXPECT_EQ(rig.images.size(), 1u);
+        return rig.images.at(0);
+    };
+    EXPECT_NE(run_order(0, 1), run_order(1, 0));
+}
+
+TEST(RasterUnit, MultipleTilesCompleteInSubmissionOrder)
+{
+    Rig rig;
+    for (TileId t = 0; t < 4; ++t)
+        rig.addTriangle(t);
+    rig.begin();
+    for (TileId t = 0; t < 4; ++t)
+        rig.streamTile(t);
+    rig.eq.runUntil();
+    ASSERT_EQ(rig.done.size(), 4u);
+    for (TileId t = 0; t < 4; ++t)
+        EXPECT_EQ(rig.done[t].tile, t);
+    for (std::size_t i = 1; i < rig.done.size(); ++i)
+        EXPECT_GE(rig.done[i].flushedAt, rig.done[i - 1].flushedAt);
+}
+
+TEST(RasterUnit, RunAheadOverlapsTiles)
+{
+    // With slow memory, two tiles back-to-back must finish faster than
+    // twice a single tile (tile 1 rasterizes under tile 0's shading).
+    auto run_tiles = [](int n) {
+        Rig rig(2, false, 200);
+        for (TileId t = 0; t < static_cast<TileId>(n); ++t) {
+            rig.addTriangle(t, 0.5f, false, 32.0f);
+        }
+        rig.begin();
+        for (TileId t = 0; t < static_cast<TileId>(n); ++t)
+            rig.streamTile(t);
+        rig.eq.runUntil();
+        return rig.eq.now();
+    };
+    const Tick one = run_tiles(1);
+    const Tick two = run_tiles(2);
+    EXPECT_LT(two, 2 * one);
+}
+
+TEST(RasterUnit, FifoBackpressureExposed)
+{
+    Rig rig;
+    rig.begin();
+    int freed = 0;
+    rig.ru->onSpaceFreed = [&] { ++freed; };
+    rig.streamTile(0);
+    EXPECT_TRUE(rig.ru->canPush());
+    rig.eq.runUntil();
+    EXPECT_GT(freed, 0);
+}
+
+TEST(RasterUnit, InstructionCountMatchesWarpMath)
+{
+    Rig rig;
+    rig.addTriangle(0);
+    rig.begin();
+    rig.streamTile(0);
+    rig.eq.runUntil();
+    // 300 fragments in quads of up to 8 per warp with aluOps=4,
+    // 1 sample per quad, tail 2: instructions = sum over warps of
+    // (4 + quads + 2). Cross-check against the RU counters.
+    const std::uint64_t warps = rig.done[0].warps;
+    const std::uint64_t quads = rig.ru->quadsProduced.value();
+    EXPECT_EQ(rig.done[0].instructions, warps * (4 + 2) + quads);
+}
+
+TEST(RasterUnitDeathTest, PushWithoutTilePanics)
+{
+    Rig rig;
+    rig.addTriangle(0);
+    rig.begin();
+    // push() advances the front synchronously, so the panic fires
+    // inside the push itself.
+    EXPECT_DEATH(rig.ru->push({RasterWork::Kind::Prim, 0, 0}),
+                 "primitive outside any tile");
+}

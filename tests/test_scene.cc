@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the synthetic scene generator: determinism, frame-to-frame
+ * coherence, screen coverage and genre properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/benchmarks.hh"
+#include "workload/scene.hh"
+
+using namespace libra;
+
+namespace
+{
+
+const std::uint32_t W = 960;
+const std::uint32_t H = 544;
+
+/** Centroid of all triangles of a draw. */
+Vec2
+centroid(const DrawCall &draw)
+{
+    Vec2 sum{0, 0};
+    int n = 0;
+    for (const auto &tri : draw.tris) {
+        for (const auto &v : tri.v) {
+            sum = sum + v.pos.xy();
+            ++n;
+        }
+    }
+    return n == 0 ? sum : sum * (1.0f / static_cast<float>(n));
+}
+
+} // namespace
+
+TEST(Scene, FrameIsPureFunctionOfIndex)
+{
+    const Scene scene(findBenchmark("CCS"), W, H);
+    const FrameData a = scene.frame(7);
+    const FrameData b = scene.frame(7);
+    ASSERT_EQ(a.draws.size(), b.draws.size());
+    for (std::size_t d = 0; d < a.draws.size(); ++d) {
+        ASSERT_EQ(a.draws[d].tris.size(), b.draws[d].tris.size());
+        for (std::size_t t = 0; t < a.draws[d].tris.size(); ++t) {
+            for (int v = 0; v < 3; ++v) {
+                EXPECT_EQ(a.draws[d].tris[t].v[v].pos,
+                          b.draws[d].tris[t].v[v].pos);
+                EXPECT_EQ(a.draws[d].tris[t].v[v].uv,
+                          b.draws[d].tris[t].v[v].uv);
+            }
+        }
+    }
+}
+
+TEST(Scene, IdenticalAcrossInstances)
+{
+    const Scene a(findBenchmark("SuS"), W, H);
+    const Scene b(findBenchmark("SuS"), W, H);
+    const FrameData fa = a.frame(3);
+    const FrameData fb = b.frame(3);
+    ASSERT_EQ(fa.triangleCount(), fb.triangleCount());
+    EXPECT_EQ(fa.draws[5].tris[0].v[0].pos.x,
+              fb.draws[5].tris[0].v[0].pos.x);
+}
+
+TEST(Scene, StructureStableAcrossFrames)
+{
+    const Scene scene(findBenchmark("HCR"), W, H);
+    const FrameData f0 = scene.frame(0);
+    const FrameData f5 = scene.frame(5);
+    EXPECT_EQ(f0.draws.size(), f5.draws.size());
+    EXPECT_EQ(f0.triangleCount(), f5.triangleCount());
+    EXPECT_EQ(f0.vertexCount(), f5.vertexCount());
+}
+
+TEST(Scene, FrameToFrameCoherence)
+{
+    // Consecutive frames: object centroids move by small deltas (the
+    // property Fig. 8 depends on).
+    const Scene scene(findBenchmark("CCS"), W, H);
+    const FrameData f0 = scene.frame(10);
+    const FrameData f1 = scene.frame(11);
+    ASSERT_EQ(f0.draws.size(), f1.draws.size());
+    // Particles teleport every frame by design; everything else moves
+    // smoothly. Require the vast majority of draws to be coherent.
+    int coherent = 0, total = 0;
+    for (std::size_t d = 0; d < f0.draws.size(); ++d) {
+        if (f0.draws[d].tris.empty())
+            continue;
+        const Vec2 c0 = centroid(f0.draws[d]);
+        const Vec2 c1 = centroid(f1.draws[d]);
+        const float dist = std::hypot(c1.x - c0.x, c1.y - c0.y);
+        ++total;
+        coherent += dist < 40.0f;
+    }
+    const BenchmarkSpec &spec = findBenchmark("CCS");
+    EXPECT_GE(coherent,
+              total - static_cast<int>(spec.particleCount));
+}
+
+TEST(Scene, MostTrianglesOnScreen)
+{
+    const Scene scene(findBenchmark("CoC"), W, H);
+    const FrameData frame = scene.frame(2);
+    int on = 0, total = 0;
+    const IRect vp{0, 0, static_cast<std::int32_t>(W),
+                   static_cast<std::int32_t>(H)};
+    for (const auto &draw : frame.draws) {
+        for (const auto &tri : draw.tris) {
+            ++total;
+            on += !tri.boundingBox(vp).empty();
+        }
+    }
+    EXPECT_GT(on, total * 3 / 4);
+}
+
+TEST(Scene, DepthsWithinUnitRange)
+{
+    const Scene scene(findBenchmark("SuS"), W, H);
+    const FrameData frame = scene.frame(0);
+    for (const auto &draw : frame.draws) {
+        for (const auto &tri : draw.tris) {
+            for (const auto &v : tri.v) {
+                EXPECT_GE(v.pos.z, 0.0f);
+                EXPECT_LE(v.pos.z, 1.0f);
+            }
+        }
+    }
+}
+
+TEST(Scene, TextureIdsValid)
+{
+    const Scene scene(findBenchmark("RoM"), W, H);
+    const FrameData frame = scene.frame(1);
+    for (const auto &draw : frame.draws) {
+        for (const auto &tri : draw.tris)
+            EXPECT_LT(tri.textureId, scene.textures().count());
+    }
+}
+
+TEST(Scene, HudDrawnLastAndBlended)
+{
+    const BenchmarkSpec &spec = findBenchmark("SuS");
+    ASSERT_GT(spec.hudBars, 0u);
+    const Scene scene(spec, W, H);
+    const FrameData frame = scene.frame(0);
+    // The last hudBars draws are the HUD: translucent, near depth.
+    for (std::uint32_t i = 0; i < spec.hudBars; ++i) {
+        const auto &draw = frame.draws[frame.draws.size() - 1 - i];
+        ASSERT_FALSE(draw.tris.empty());
+        EXPECT_TRUE(draw.tris[0].blend);
+        EXPECT_LT(draw.tris[0].v[0].pos.z, 0.1f);
+    }
+}
+
+TEST(Scene, G3dOpaqueFrontToBack)
+{
+    const BenchmarkSpec &spec = findBenchmark("SuS"); // 3D runner
+    ASSERT_EQ(spec.genre, Genre::G3D);
+    const Scene scene(spec, W, H);
+    const FrameData frame = scene.frame(0);
+    // Opaque prefix must have non-decreasing depth (front-to-back).
+    float last_depth = -1.0f;
+    for (const auto &draw : frame.draws) {
+        if (draw.tris.empty() || draw.tris[0].blend)
+            break;
+        const float z = draw.tris[0].v[0].pos.z;
+        EXPECT_GE(z + 0.36f, last_depth); // mesh rows span ~0.35 depth
+        last_depth = z;
+    }
+}
+
+TEST(Scene, SpritesShareArtRegions)
+{
+    // With few regions per sheet, at least two sprites must sample the
+    // identical uv rectangle (the footprint-bounding property).
+    const BenchmarkSpec &spec = findBenchmark("CCS");
+    const Scene scene(spec, W, H);
+    const FrameData frame = scene.frame(0);
+    std::map<std::pair<float, float>, int> region_use;
+    for (const auto &draw : frame.draws) {
+        if (draw.tris.size() != 2)
+            continue;
+        const auto &uv = draw.tris[0].v[0].uv;
+        region_use[{uv.x, uv.y}]++;
+    }
+    int shared = 0;
+    for (const auto &[region, uses] : region_use)
+        shared += uses > 1;
+    EXPECT_GT(shared, 0);
+}
+
+TEST(Scene, SceneCutChangesHotspotsAbruptly)
+{
+    const BenchmarkSpec &spec = findBenchmark("CCS");
+    const Scene scene(spec, W, H);
+    const std::uint32_t e = spec.epochFrames;
+    // Across the epoch boundary the layout changes far more than
+    // within an epoch.
+    const FrameData before = scene.frame(e - 1);
+    const FrameData after = scene.frame(e);
+    const FrameData within = scene.frame(e - 2);
+    double cut_delta = 0.0, smooth_delta = 0.0;
+    for (std::size_t d = 0; d < before.draws.size(); ++d) {
+        if (before.draws[d].tris.empty())
+            continue;
+        const Vec2 b = centroid(before.draws[d]);
+        const Vec2 a = centroid(after.draws[d]);
+        const Vec2 w = centroid(within.draws[d]);
+        cut_delta += std::hypot(a.x - b.x, a.y - b.y);
+        smooth_delta += std::hypot(b.x - w.x, b.y - w.y);
+    }
+    EXPECT_GT(cut_delta, smooth_delta * 3.0);
+}
+
+TEST(Scene, AllSuiteEntriesGenerate)
+{
+    for (const auto &spec : benchmarkSuite()) {
+        const Scene scene(spec, 640, 360);
+        const FrameData frame = scene.frame(0);
+        EXPECT_GT(frame.triangleCount(), 10u) << spec.abbrev;
+        EXPECT_GT(scene.textures().count(), 0u) << spec.abbrev;
+        EXPECT_GT(scene.textures().totalBytes(), 0u) << spec.abbrev;
+    }
+}

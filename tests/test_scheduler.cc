@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the tile scheduler: dispatch completeness, hot/cold RU
+ * pairing, policy behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/tile_scheduler.hh"
+
+using namespace libra;
+
+namespace
+{
+
+const TileGrid &
+grid()
+{
+    static const TileGrid g(1920, 1080, 32);
+    return g;
+}
+
+FrameFeedback
+gradientFeedback()
+{
+    // Hot at the top of the screen, cold at the bottom.
+    FrameFeedback fb;
+    fb.valid = true;
+    fb.rasterCycles = 1000000;
+    fb.textureHitRatio = 0.5;
+    fb.tileDramAccesses.resize(grid().tileCount());
+    fb.tileInstructions.resize(grid().tileCount(), 1000);
+    for (TileId t = 0; t < grid().tileCount(); ++t) {
+        fb.tileDramAccesses[t] =
+            (grid().tilesY() - grid().tileY(t)) * 10;
+    }
+    return fb;
+}
+
+/** Drain the whole frame; returns tiles per RU in dispatch order. */
+std::vector<std::vector<TileId>>
+drain(TileScheduler &sched, std::uint32_t rus)
+{
+    std::vector<std::vector<TileId>> out(rus);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::uint32_t ru = 0; ru < rus; ++ru) {
+            if (const auto tile = sched.nextTile(ru)) {
+                out[ru].push_back(*tile);
+                progress = true;
+            }
+        }
+    }
+    return out;
+}
+
+SchedulerConfig
+policy(SchedulerPolicy p, std::uint32_t st = 4)
+{
+    SchedulerConfig cfg;
+    cfg.policy = p;
+    cfg.staticSupertileSize = st;
+    return cfg;
+}
+
+} // namespace
+
+class SchedulerPolicySweep
+    : public ::testing::TestWithParam<SchedulerPolicy>
+{};
+
+TEST_P(SchedulerPolicySweep, EveryTileDispatchedExactlyOnce)
+{
+    for (const std::uint32_t rus : {1u, 2u, 3u, 4u}) {
+        TileScheduler sched(policy(GetParam()), grid(), rus);
+        sched.beginFrame(gradientFeedback());
+        const auto dispatch = drain(sched, rus);
+        std::set<TileId> seen;
+        for (const auto &per_ru : dispatch) {
+            for (const TileId t : per_ru)
+                EXPECT_TRUE(seen.insert(t).second) << "dup tile " << t;
+        }
+        EXPECT_EQ(seen.size(), grid().tileCount()) << "rus=" << rus;
+        EXPECT_EQ(sched.tilesRemaining(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SchedulerPolicySweep,
+    ::testing::Values(SchedulerPolicy::ZOrder,
+                      SchedulerPolicy::StaticSupertile,
+                      SchedulerPolicy::TemperatureStatic,
+                      SchedulerPolicy::Libra));
+
+TEST(Scheduler, ZOrderSingleRuFollowsMorton)
+{
+    TileScheduler sched(policy(SchedulerPolicy::ZOrder), grid(), 1);
+    sched.beginFrame(FrameFeedback{});
+    const auto dispatch = drain(sched, 1);
+    EXPECT_EQ(dispatch[0], grid().zOrder());
+    EXPECT_FALSE(sched.temperatureOrderActive());
+    EXPECT_EQ(sched.supertileSize(), 1u);
+}
+
+TEST(Scheduler, StaticSupertileKeepsSuperTilesWhole)
+{
+    const std::uint32_t st = 4;
+    TileScheduler sched(policy(SchedulerPolicy::StaticSupertile, st),
+                        grid(), 2);
+    sched.beginFrame(gradientFeedback());
+    const auto dispatch = drain(sched, 2);
+    // Every supertile's tiles all landed on the same RU.
+    std::map<SuperTileId, int> owner;
+    for (int ru = 0; ru < 2; ++ru) {
+        for (const TileId t : dispatch[static_cast<std::size_t>(ru)]) {
+            const SuperTileId s = grid().superTileOf(t, st);
+            auto it = owner.find(s);
+            if (it == owner.end())
+                owner[s] = ru;
+            else
+                EXPECT_EQ(it->second, ru) << "supertile " << s;
+        }
+    }
+}
+
+TEST(Scheduler, TemperatureOrderHotRuGetsHotterTiles)
+{
+    TileScheduler sched(policy(SchedulerPolicy::TemperatureStatic, 2),
+                        grid(), 2);
+    const auto fb = gradientFeedback();
+    sched.beginFrame(fb);
+    EXPECT_TRUE(sched.temperatureOrderActive());
+    const auto dispatch = drain(sched, 2);
+
+    auto mean_heat = [&](const std::vector<TileId> &tiles) {
+        double sum = 0.0;
+        for (const TileId t : tiles)
+            sum += static_cast<double>(fb.tileDramAccesses[t]);
+        return sum / static_cast<double>(tiles.size());
+    };
+    // RU 0 is the hot unit (§III-D).
+    EXPECT_GT(mean_heat(dispatch[0]), mean_heat(dispatch[1]) * 1.5);
+}
+
+TEST(Scheduler, TemperatureNeedsHistory)
+{
+    TileScheduler sched(policy(SchedulerPolicy::TemperatureStatic, 2),
+                        grid(), 2);
+    sched.beginFrame(FrameFeedback{}); // no history
+    EXPECT_FALSE(sched.temperatureOrderActive());
+    drain(sched, 2);
+}
+
+TEST(Scheduler, HotRuPullsFromHotEndDynamically)
+{
+    // With one hot RU and three cold RUs, the hot RU must receive the
+    // hottest supertile first.
+    TileScheduler sched(policy(SchedulerPolicy::TemperatureStatic, 2),
+                        grid(), 4);
+    const auto fb = gradientFeedback();
+    sched.beginFrame(fb);
+
+    const auto hot_first = sched.nextTile(0);
+    ASSERT_TRUE(hot_first.has_value());
+    // Hottest row is y=0.
+    EXPECT_EQ(grid().tileY(*hot_first), 0u);
+    const auto cold_first = sched.nextTile(1);
+    ASSERT_TRUE(cold_first.has_value());
+    EXPECT_GT(grid().tileY(*cold_first), grid().tilesY() / 2);
+    drain(sched, 4);
+}
+
+TEST(Scheduler, LibraFirstFrameZOrder)
+{
+    TileScheduler sched(policy(SchedulerPolicy::Libra), grid(), 2);
+    sched.beginFrame(FrameFeedback{});
+    EXPECT_FALSE(sched.temperatureOrderActive());
+    EXPECT_EQ(sched.lastRankingCycles(), 0u);
+    drain(sched, 2);
+}
+
+TEST(Scheduler, LibraAdoptsTemperatureOrderWhenMemoryBound)
+{
+    TileScheduler sched(policy(SchedulerPolicy::Libra), grid(), 2);
+    sched.beginFrame(FrameFeedback{});
+    drain(sched, 2);
+    sched.beginFrame(gradientFeedback()); // low hit ratio
+    EXPECT_TRUE(sched.temperatureOrderActive());
+    EXPECT_GT(sched.lastRankingCycles(), 0u);
+    drain(sched, 2);
+}
+
+TEST(Scheduler, RankingCostMatchesTableSize)
+{
+    TileScheduler sched(policy(SchedulerPolicy::TemperatureStatic, 2),
+                        grid(), 2);
+    sched.beginFrame(gradientFeedback());
+    const auto expected = TemperatureTable::hardwareCost(
+        grid().superTileCount(2)).rankingCycles;
+    EXPECT_EQ(sched.lastRankingCycles(), expected);
+    drain(sched, 2);
+}
+
+TEST(Scheduler, TilesRemainingCountsDown)
+{
+    TileScheduler sched(policy(SchedulerPolicy::ZOrder), grid(), 1);
+    sched.beginFrame(FrameFeedback{});
+    EXPECT_EQ(sched.tilesRemaining(), grid().tileCount());
+    sched.nextTile(0);
+    EXPECT_EQ(sched.tilesRemaining(), grid().tileCount() - 1);
+    drain(sched, 1);
+    EXPECT_EQ(sched.tilesRemaining(), 0u);
+}
+
+TEST(Scheduler, SupertilesServedContiguouslyPerRu)
+{
+    // Within one RU's stream, all tiles of a supertile appear as one
+    // contiguous run (locality inside the RU, §III-C).
+    const std::uint32_t st = 4;
+    TileScheduler sched(policy(SchedulerPolicy::StaticSupertile, st),
+                        grid(), 2);
+    sched.beginFrame(gradientFeedback());
+    const auto dispatch = drain(sched, 2);
+    for (const auto &stream : dispatch) {
+        std::set<SuperTileId> closed;
+        SuperTileId current = invalidId;
+        for (const TileId t : stream) {
+            const SuperTileId s = grid().superTileOf(t, st);
+            if (s != current) {
+                EXPECT_TRUE(closed.insert(s).second)
+                    << "supertile " << s << " revisited";
+                current = s;
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the statistics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace libra;
+
+TEST(Counter, BasicOps)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 4;
+    c.inc();
+    c.inc(10);
+    EXPECT_EQ(c.value(), 16u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.set(99);
+    EXPECT_EQ(c.value(), 99u);
+}
+
+TEST(StatGroup, PrefixesNames)
+{
+    Counter hits;
+    StatGroup group("cache");
+    group.add("hits", &hits);
+    hits += 3;
+    const auto values = group.values();
+    ASSERT_EQ(values.size(), 1u);
+    EXPECT_EQ(values.at("cache.hits"), 3u);
+}
+
+TEST(StatGroup, ChildrenNestPrefixes)
+{
+    Counter a, b;
+    StatGroup child("l1");
+    child.add("misses", &a);
+    StatGroup parent("gpu");
+    parent.add("cycles", &b);
+    parent.addChild(child);
+    a += 7;
+    b += 2;
+    const auto values = parent.values();
+    EXPECT_EQ(values.at("gpu.l1.misses"), 7u);
+    EXPECT_EQ(values.at("gpu.cycles"), 2u);
+}
+
+TEST(StatGroup, SumMatching)
+{
+    Counter a, b, c;
+    StatGroup group("g");
+    group.add("ru0.tex.hits", &a);
+    group.add("ru1.tex.hits", &b);
+    group.add("ru0.tex.misses", &c);
+    a += 5;
+    b += 6;
+    c += 100;
+    EXPECT_EQ(group.sumMatching(".hits"), 11u);
+    EXPECT_EQ(group.sumMatching("ru0"), 105u);
+    EXPECT_EQ(group.sumMatching("nothing"), 0u);
+}
+
+TEST(StatGroup, ResetAll)
+{
+    Counter a, b;
+    StatGroup group("g");
+    group.add("a", &a);
+    group.add("b", &b);
+    a += 1;
+    b += 2;
+    group.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatSnapshot, DeltaBetweenSnapshots)
+{
+    Counter a;
+    StatGroup group("g");
+    group.add("a", &a);
+    a += 10;
+    const StatSnapshot before(group);
+    a += 32;
+    const StatSnapshot after(group);
+    const auto delta = before.deltaTo(after);
+    EXPECT_EQ(delta.at("g.a"), 32u);
+    EXPECT_EQ(before.get("g.a"), 10u);
+    EXPECT_EQ(after.get("g.a"), 42u);
+    EXPECT_EQ(after.get("missing"), 0u);
+}
+
+TEST(StatGroupDeathTest, NullCounterPanics)
+{
+    StatGroup group("g");
+    EXPECT_DEATH(group.add("x", nullptr), "null counter");
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the temperature table, its hardware quantization and the
+ * §III-E cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/temperature_table.hh"
+
+using namespace libra;
+
+TEST(TemperatureTable, AccumulatesPerTile)
+{
+    TemperatureTable table(16);
+    table.addDramAccess(3, 5);
+    table.addDramAccess(3);
+    table.addInstructions(3, 100);
+    EXPECT_EQ(table.dramAccesses(3), 6u);
+    EXPECT_EQ(table.instructions(3), 100u);
+    EXPECT_EQ(table.dramAccesses(2), 0u);
+    table.reset();
+    EXPECT_EQ(table.dramAccesses(3), 0u);
+}
+
+TEST(TemperatureTable, QuantizationBasics)
+{
+    // ratio = accesses/instructions in 15-bit fixed point (scale 2^15).
+    EXPECT_EQ(TemperatureTable::quantizeTemperature(0, 1000), 0u);
+    const auto half = TemperatureTable::quantizeTemperature(500, 1000);
+    EXPECT_EQ(half, TemperatureTable::ratioScale / 2);
+    // Higher ratio → higher temperature.
+    EXPECT_GT(TemperatureTable::quantizeTemperature(900, 1000),
+              TemperatureTable::quantizeTemperature(100, 1000));
+}
+
+TEST(TemperatureTable, QuantizationSaturates)
+{
+    // Counter saturation: 16-bit accesses, 24-bit instructions.
+    const auto a = TemperatureTable::quantizeTemperature(1u << 20,
+                                                         1u << 26);
+    const auto b = TemperatureTable::quantizeTemperature(0xffffu,
+                                                         0xffffffu);
+    EXPECT_EQ(a, b);
+    // Ratio field saturates at 15 bits.
+    EXPECT_EQ(TemperatureTable::quantizeTemperature(1u << 16, 1),
+              (1u << 15) - 1);
+}
+
+TEST(TemperatureTable, ZeroInstructionsSafe)
+{
+    EXPECT_NO_THROW(TemperatureTable::quantizeTemperature(100, 0));
+}
+
+TEST(TemperatureTable, RankOrdersHotToCold)
+{
+    const TileGrid grid(128, 128, 32); // 4x4 tiles
+    TemperatureTable table(grid.tileCount());
+    for (TileId t = 0; t < grid.tileCount(); ++t) {
+        table.addInstructions(t, 1000);
+        table.addDramAccess(t, t * 10); // hotter with larger id
+    }
+    const auto ranks = table.rank(grid, 1);
+    ASSERT_EQ(ranks.size(), grid.tileCount());
+    for (std::size_t i = 1; i < ranks.size(); ++i)
+        EXPECT_GE(ranks[i - 1].temperature, ranks[i].temperature);
+    EXPECT_EQ(ranks.front().id, grid.tileCount() - 1);
+    EXPECT_EQ(ranks.back().id, 0u);
+}
+
+TEST(TemperatureTable, RankAggregatesSuperTiles)
+{
+    const TileGrid grid(128, 128, 32); // 4x4 tiles, 2x2 STs → 4 STs
+    TemperatureTable table(grid.tileCount());
+    // Make supertile (1,1) (tiles with x>=2, y>=2) hot.
+    for (TileId t = 0; t < grid.tileCount(); ++t) {
+        table.addInstructions(t, 1000);
+        if (grid.tileX(t) >= 2 && grid.tileY(t) >= 2)
+            table.addDramAccess(t, 500);
+        else
+            table.addDramAccess(t, 10);
+    }
+    const auto ranks = table.rank(grid, 2);
+    ASSERT_EQ(ranks.size(), 4u);
+    EXPECT_EQ(ranks.front().id, 3u); // bottom-right supertile hottest
+    EXPECT_EQ(ranks.front().accesses, 4u * 500u);
+    EXPECT_EQ(ranks.front().instructions, 4u * 1000u);
+}
+
+TEST(TemperatureTable, TiesBreakById)
+{
+    const TileGrid grid(128, 128, 32);
+    TemperatureTable table(grid.tileCount());
+    for (TileId t = 0; t < grid.tileCount(); ++t) {
+        table.addInstructions(t, 100);
+        table.addDramAccess(t, 7);
+    }
+    const auto ranks = table.rank(grid, 1);
+    for (std::size_t i = 1; i < ranks.size(); ++i)
+        EXPECT_LT(ranks[i - 1].id, ranks[i].id);
+}
+
+TEST(TemperatureTable, LoadReplacesState)
+{
+    TemperatureTable table(4);
+    table.load({1, 2, 3, 4}, {10, 20, 30, 40});
+    EXPECT_EQ(table.dramAccesses(2), 3u);
+    EXPECT_EQ(table.instructions(3), 40u);
+}
+
+TEST(HardwareCost, MatchesPaperNumbers)
+{
+    // §III-E: 64-bit entries; 510 2x2 supertiles at FHD; the ranking
+    // upper bound is 3 * 4587 = 13761 cycles.
+    const HardwareCost cost = TemperatureTable::hardwareCost(510);
+    EXPECT_EQ(cost.entryBits, 64u);
+    EXPECT_EQ(cost.storageBits, 510u * 64u);
+    // ~4 KB of storage, as the paper states.
+    EXPECT_NEAR(static_cast<double>(cost.storageBits) / 8.0 / 1024.0,
+                4.0, 0.25);
+    EXPECT_EQ(cost.rankingCycles, 13761u);
+}
+
+TEST(HardwareCost, RankingHidesUnderTypicalGeometryPhase)
+{
+    // The paper reports ~270k geometry cycles per frame on average; the
+    // ranking upper bound must be far below that for every supported
+    // supertile size at FHD.
+    const TileGrid grid(1920, 1080, 32);
+    for (const std::uint32_t st : {2u, 4u, 8u, 16u}) {
+        const auto cost =
+            TemperatureTable::hardwareCost(grid.superTileCount(st));
+        EXPECT_LT(cost.rankingCycles, 270000u) << "st=" << st;
+    }
+}
+
+TEST(HardwareCost, DegenerateSizes)
+{
+    EXPECT_EQ(TemperatureTable::hardwareCost(0).rankingCycles, 0u);
+    EXPECT_EQ(TemperatureTable::hardwareCost(1).rankingCycles, 0u);
+    EXPECT_GT(TemperatureTable::hardwareCost(2).rankingCycles, 0u);
+}
+
+TEST(TemperatureTableDeathTest, OutOfRangeTilePanics)
+{
+    TemperatureTable table(4);
+    EXPECT_DEATH(table.addDramAccess(4), "out of range");
+}

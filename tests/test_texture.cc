@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for textures, mip chains and the texture pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/mem_system.hh"
+#include "common/rng.hh"
+#include "workload/texture.hh"
+
+using namespace libra;
+
+TEST(Texture, MipChainDepth)
+{
+    TexturePool pool;
+    const Texture &tex = pool.create(256, 256);
+    EXPECT_EQ(tex.mipLevels(), 9u); // 256..1
+    EXPECT_EQ(tex.mipWidth(0), 256u);
+    EXPECT_EQ(tex.mipWidth(8), 1u);
+    EXPECT_EQ(tex.mipHeight(3), 32u);
+}
+
+TEST(Texture, DimensionsRoundUpToPow2)
+{
+    TexturePool pool;
+    const Texture &tex = pool.create(300, 90);
+    EXPECT_EQ(tex.width(), 512u);
+    EXPECT_EQ(tex.height(), 128u);
+}
+
+TEST(Texture, FootprintCoversMipChain)
+{
+    TexturePool pool;
+    const Texture &tex = pool.create(64, 64);
+    // Base level: 64*64*4 = 16 KB; mips add about one third.
+    EXPECT_GE(tex.footprintBytes(), 16u * 1024);
+    EXPECT_LE(tex.footprintBytes(), 22u * 1024);
+}
+
+TEST(Texture, LineAddrIsLineAligned)
+{
+    TexturePool pool;
+    const Texture &tex = pool.create(128, 128);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto u = static_cast<float>(rng.uniform(-2.0, 2.0));
+        const auto v = static_cast<float>(rng.uniform(-2.0, 2.0));
+        const auto mip = static_cast<std::uint32_t>(rng.below(8));
+        EXPECT_EQ(tex.lineAddr(u, v, mip) % 64, 0u);
+    }
+}
+
+TEST(Texture, AdjacentTexelsShareLines)
+{
+    TexturePool pool;
+    const Texture &tex = pool.create(256, 256);
+    // Texels within one 4x4 block map to the same line.
+    const float texel = 1.0f / 256.0f;
+    const Addr base = tex.lineAddr(0.0f, 0.0f, 0);
+    for (int x = 0; x < 4; ++x) {
+        for (int y = 0; y < 4; ++y) {
+            EXPECT_EQ(tex.lineAddr(x * texel, y * texel, 0), base);
+        }
+    }
+    // The next block over is a different line.
+    EXPECT_NE(tex.lineAddr(4 * texel, 0.0f, 0), base);
+}
+
+TEST(Texture, WrapAddressing)
+{
+    TexturePool pool;
+    const Texture &tex = pool.create(64, 64);
+    EXPECT_EQ(tex.lineAddr(0.25f, 0.5f, 0),
+              tex.lineAddr(1.25f, 2.5f, 0));
+    EXPECT_EQ(tex.lineAddr(0.25f, 0.5f, 0),
+              tex.lineAddr(-0.75f, -0.5f, 0));
+}
+
+TEST(Texture, MipLevelsHaveDistinctStorage)
+{
+    TexturePool pool;
+    const Texture &tex = pool.create(64, 64);
+    EXPECT_NE(tex.lineAddr(0.0f, 0.0f, 0), tex.lineAddr(0.0f, 0.0f, 1));
+    EXPECT_NE(tex.lineAddr(0.0f, 0.0f, 1), tex.lineAddr(0.0f, 0.0f, 2));
+}
+
+TEST(Texture, MipClampAtChainEnd)
+{
+    TexturePool pool;
+    const Texture &tex = pool.create(16, 16);
+    EXPECT_EQ(tex.lineAddr(0.0f, 0.0f, 200),
+              tex.lineAddr(0.0f, 0.0f, tex.mipLevels() - 1));
+}
+
+TEST(Texture, SelectMipLodCurve)
+{
+    TexturePool pool;
+    const Texture &tex = pool.create(1024, 1024);
+    EXPECT_EQ(tex.selectMip(0.5f), 0u);
+    EXPECT_EQ(tex.selectMip(1.0f), 0u);
+    EXPECT_EQ(tex.selectMip(2.0f), 1u);
+    EXPECT_EQ(tex.selectMip(4.0f), 2u);
+    EXPECT_EQ(tex.selectMip(8.0f), 3u);
+    // Clamped to the last level.
+    EXPECT_LE(tex.selectMip(1e9f), tex.mipLevels() - 1);
+}
+
+TEST(TexturePool, TexturesDoNotOverlap)
+{
+    TexturePool pool;
+    std::vector<std::pair<Addr, Addr>> ranges;
+    for (int i = 0; i < 20; ++i) {
+        const Texture &tex = pool.create(64u << (i % 4), 64u);
+        const Addr lo = tex.lineAddr(0.0f, 0.0f, 0);
+        ranges.emplace_back(lo, lo + tex.footprintBytes());
+    }
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+            const bool disjoint = ranges[i].second <= ranges[j].first
+                || ranges[j].second <= ranges[i].first;
+            EXPECT_TRUE(disjoint) << i << " vs " << j;
+        }
+    }
+}
+
+TEST(TexturePool, AddressesInTextureRegion)
+{
+    TexturePool pool;
+    const Texture &tex = pool.create(512, 512);
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        const Addr a = tex.lineAddr(static_cast<float>(rng.uniform()),
+                                    static_cast<float>(rng.uniform()), 0);
+        EXPECT_GE(a, addr_map::textureBase);
+        EXPECT_LT(a, addr_map::frameBufferBase);
+    }
+}
+
+TEST(TexturePool, LookupById)
+{
+    TexturePool pool;
+    const auto id0 = pool.create(32, 32).id();
+    const auto id1 = pool.create(64, 64).id();
+    EXPECT_EQ(pool.get(id0).width(), 32u);
+    EXPECT_EQ(pool.get(id1).width(), 64u);
+    EXPECT_EQ(pool.count(), 2u);
+}
+
+TEST(TexturePoolDeathTest, BadIdPanics)
+{
+    TexturePool pool;
+    pool.create(32, 32);
+    EXPECT_DEATH(pool.get(5), "out of range");
+}
+
+/** Distinct (u,v) blocks map to distinct lines (no aliasing). */
+TEST(TextureProperty, BlockAddressesAreUnique)
+{
+    TexturePool pool;
+    const Texture &tex = pool.create(128, 128);
+    std::set<Addr> seen;
+    for (int bx = 0; bx < 32; ++bx) {
+        for (int by = 0; by < 32; ++by) {
+            const float u = (static_cast<float>(bx) * 4 + 0.5f) / 128.0f;
+            const float v = (static_cast<float>(by) * 4 + 0.5f) / 128.0f;
+            const Addr a = tex.lineAddr(u, v, 0);
+            EXPECT_TRUE(seen.insert(a).second)
+                << "duplicate line for block " << bx << "," << by;
+        }
+    }
+}

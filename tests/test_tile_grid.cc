@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the tile grid, Z-order traversal and supertile mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/morton.hh"
+#include "gpu/tiling/tile_grid.hh"
+
+using namespace libra;
+
+TEST(TileGrid, FhdDimensionsMatchPaper)
+{
+    // FHD at 32x32 tiles: 60x34 grid; 510 2x2 supertiles (§III-E).
+    const TileGrid grid(1920, 1080, 32);
+    EXPECT_EQ(grid.tilesX(), 60u);
+    EXPECT_EQ(grid.tilesY(), 34u);
+    EXPECT_EQ(grid.tileCount(), 2040u);
+    EXPECT_EQ(grid.superTileCount(2), 510u);
+}
+
+TEST(TileGrid, TileRectCoversScreenExactly)
+{
+    const TileGrid grid(100, 70, 32); // ragged edges
+    std::uint64_t area = 0;
+    for (TileId t = 0; t < grid.tileCount(); ++t) {
+        const IRect r = grid.tileRect(t);
+        EXPECT_FALSE(r.empty());
+        EXPECT_LE(r.x1, 100);
+        EXPECT_LE(r.y1, 70);
+        area += static_cast<std::uint64_t>(r.width()) * r.height();
+    }
+    EXPECT_EQ(area, 100u * 70u);
+}
+
+TEST(TileGrid, TileCoordRoundTrip)
+{
+    const TileGrid grid(1920, 1080, 32);
+    for (TileId t = 0; t < grid.tileCount(); ++t) {
+        EXPECT_EQ(grid.tileAt(grid.tileX(t), grid.tileY(t)), t);
+    }
+}
+
+TEST(TileGrid, ZOrderIsPermutation)
+{
+    const TileGrid grid(1920, 1080, 32);
+    const auto &order = grid.zOrder();
+    EXPECT_EQ(order.size(), grid.tileCount());
+    std::set<TileId> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), grid.tileCount());
+}
+
+TEST(TileGrid, ZOrderFollowsMortonCodes)
+{
+    const TileGrid grid(256, 256, 32); // 8x8 grid, no clipping
+    const auto &order = grid.zOrder();
+    for (std::uint32_t code = 0; code < order.size(); ++code) {
+        EXPECT_EQ(order[code],
+                  grid.tileAt(mortonDecodeX(code), mortonDecodeY(code)));
+    }
+}
+
+TEST(TileGrid, ScanlineOrderIsRowMajor)
+{
+    const TileGrid grid(128, 96, 32);
+    const auto order = grid.scanlineOrder();
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], static_cast<TileId>(i));
+}
+
+class SuperTileSweep : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(SuperTileSweep, SuperTilesPartitionTheGrid)
+{
+    const std::uint32_t st = GetParam();
+    const TileGrid grid(1920, 1080, 32);
+    std::set<TileId> seen;
+    for (SuperTileId s = 0; s < grid.superTileCount(st); ++s) {
+        for (const TileId t : grid.tilesInSuperTile(s, st)) {
+            EXPECT_EQ(grid.superTileOf(t, st), s);
+            EXPECT_TRUE(seen.insert(t).second)
+                << "tile " << t << " in two supertiles";
+        }
+    }
+    EXPECT_EQ(seen.size(), grid.tileCount());
+}
+
+TEST_P(SuperTileSweep, TilesWithinSuperTileAreAdjacent)
+{
+    const std::uint32_t st = GetParam();
+    const TileGrid grid(1920, 1080, 32);
+    for (SuperTileId s = 0; s < grid.superTileCount(st); ++s) {
+        const auto tiles = grid.tilesInSuperTile(s, st);
+        ASSERT_FALSE(tiles.empty());
+        std::uint32_t min_x = ~0u, max_x = 0, min_y = ~0u, max_y = 0;
+        for (const TileId t : tiles) {
+            min_x = std::min(min_x, grid.tileX(t));
+            max_x = std::max(max_x, grid.tileX(t));
+            min_y = std::min(min_y, grid.tileY(t));
+            max_y = std::max(max_y, grid.tileY(t));
+        }
+        EXPECT_LT(max_x - min_x, st);
+        EXPECT_LT(max_y - min_y, st);
+    }
+}
+
+TEST_P(SuperTileSweep, SuperTileZOrderIsPermutation)
+{
+    const std::uint32_t st = GetParam();
+    const TileGrid grid(1920, 1080, 32);
+    const auto order = grid.superTileZOrder(st);
+    EXPECT_EQ(order.size(), grid.superTileCount(st));
+    std::set<SuperTileId> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), order.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SuperTileSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+TEST(TileGrid, SuperTileSizeOneIsIdentity)
+{
+    const TileGrid grid(640, 480, 32);
+    for (TileId t = 0; t < grid.tileCount(); ++t) {
+        EXPECT_EQ(grid.superTileOf(t, 1), t);
+        const auto tiles = grid.tilesInSuperTile(t, 1);
+        ASSERT_EQ(tiles.size(), 1u);
+        EXPECT_EQ(tiles[0], t);
+    }
+}
+
+TEST(TileGrid, BorderSuperTilesArePartial)
+{
+    const TileGrid grid(1920, 1080, 32); // 60x34 tiles
+    // With 8x8 supertiles the bottom row only has 34-32=2 tile rows.
+    const std::uint32_t st = 8;
+    const SuperTileId bottom_left =
+        (grid.superTilesY(st) - 1) * grid.superTilesX(st);
+    const auto tiles = grid.tilesInSuperTile(bottom_left, st);
+    EXPECT_EQ(tiles.size(), 8u * 2u);
+}
