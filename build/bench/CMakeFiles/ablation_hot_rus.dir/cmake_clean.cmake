@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hot_rus.dir/ablation_hot_rus.cpp.o"
+  "CMakeFiles/ablation_hot_rus.dir/ablation_hot_rus.cpp.o.d"
+  "ablation_hot_rus"
+  "ablation_hot_rus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hot_rus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_heatmap.dir/fig02_heatmap.cpp.o"
+  "CMakeFiles/fig02_heatmap.dir/fig02_heatmap.cpp.o.d"
+  "fig02_heatmap"
+  "fig02_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

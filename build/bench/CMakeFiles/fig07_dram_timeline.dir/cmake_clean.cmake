@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_dram_timeline.dir/fig07_dram_timeline.cpp.o"
+  "CMakeFiles/fig07_dram_timeline.dir/fig07_dram_timeline.cpp.o.d"
+  "fig07_dram_timeline"
+  "fig07_dram_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dram_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

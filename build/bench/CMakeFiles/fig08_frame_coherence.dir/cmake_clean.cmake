@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_frame_coherence.dir/fig08_frame_coherence.cpp.o"
+  "CMakeFiles/fig08_frame_coherence.dir/fig08_frame_coherence.cpp.o.d"
+  "fig08_frame_coherence"
+  "fig08_frame_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_frame_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

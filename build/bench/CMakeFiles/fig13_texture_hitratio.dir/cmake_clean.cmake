@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_texture_hitratio.dir/fig13_texture_hitratio.cpp.o"
+  "CMakeFiles/fig13_texture_hitratio.dir/fig13_texture_hitratio.cpp.o.d"
+  "fig13_texture_hitratio"
+  "fig13_texture_hitratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_texture_hitratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mem_accesses.dir/fig14_mem_accesses.cpp.o"
+  "CMakeFiles/fig14_mem_accesses.dir/fig14_mem_accesses.cpp.o.d"
+  "fig14_mem_accesses"
+  "fig14_mem_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mem_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

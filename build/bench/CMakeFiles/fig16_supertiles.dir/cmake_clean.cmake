@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_supertiles.dir/fig16_supertiles.cpp.o"
+  "CMakeFiles/fig16_supertiles.dir/fig16_supertiles.cpp.o.d"
+  "fig16_supertiles"
+  "fig16_supertiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_supertiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

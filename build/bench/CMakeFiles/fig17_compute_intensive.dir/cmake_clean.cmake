@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_compute_intensive.dir/fig17_compute_intensive.cpp.o"
+  "CMakeFiles/fig17_compute_intensive.dir/fig17_compute_intensive.cpp.o.d"
+  "fig17_compute_intensive"
+  "fig17_compute_intensive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_compute_intensive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

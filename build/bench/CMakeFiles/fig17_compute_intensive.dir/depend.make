@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_compute_intensive.
+# This may be replaced when dependencies are built.

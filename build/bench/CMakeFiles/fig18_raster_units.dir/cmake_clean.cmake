@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_raster_units.dir/fig18_raster_units.cpp.o"
+  "CMakeFiles/fig18_raster_units.dir/fig18_raster_units.cpp.o.d"
+  "fig18_raster_units"
+  "fig18_raster_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_raster_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_benchmark.dir/game_benchmark.cpp.o"
+  "CMakeFiles/game_benchmark.dir/game_benchmark.cpp.o.d"
+  "game_benchmark"
+  "game_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/libra.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/libra.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/mem_system.cc" "src/CMakeFiles/libra.dir/cache/mem_system.cc.o" "gcc" "src/CMakeFiles/libra.dir/cache/mem_system.cc.o.d"
+  "/root/repo/src/common/cli.cc" "src/CMakeFiles/libra.dir/common/cli.cc.o" "gcc" "src/CMakeFiles/libra.dir/common/cli.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/libra.dir/common/log.cc.o" "gcc" "src/CMakeFiles/libra.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/libra.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/libra.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/adaptive_controller.cc" "src/CMakeFiles/libra.dir/core/adaptive_controller.cc.o" "gcc" "src/CMakeFiles/libra.dir/core/adaptive_controller.cc.o.d"
+  "/root/repo/src/core/temperature_table.cc" "src/CMakeFiles/libra.dir/core/temperature_table.cc.o" "gcc" "src/CMakeFiles/libra.dir/core/temperature_table.cc.o.d"
+  "/root/repo/src/core/tile_scheduler.cc" "src/CMakeFiles/libra.dir/core/tile_scheduler.cc.o" "gcc" "src/CMakeFiles/libra.dir/core/tile_scheduler.cc.o.d"
+  "/root/repo/src/dram/dram.cc" "src/CMakeFiles/libra.dir/dram/dram.cc.o" "gcc" "src/CMakeFiles/libra.dir/dram/dram.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/libra.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/libra.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/gpu/geometry/geometry_pipeline.cc" "src/CMakeFiles/libra.dir/gpu/geometry/geometry_pipeline.cc.o" "gcc" "src/CMakeFiles/libra.dir/gpu/geometry/geometry_pipeline.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/libra.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/libra.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/raster/blend_unit.cc" "src/CMakeFiles/libra.dir/gpu/raster/blend_unit.cc.o" "gcc" "src/CMakeFiles/libra.dir/gpu/raster/blend_unit.cc.o.d"
+  "/root/repo/src/gpu/raster/early_z.cc" "src/CMakeFiles/libra.dir/gpu/raster/early_z.cc.o" "gcc" "src/CMakeFiles/libra.dir/gpu/raster/early_z.cc.o.d"
+  "/root/repo/src/gpu/raster/raster_unit.cc" "src/CMakeFiles/libra.dir/gpu/raster/raster_unit.cc.o" "gcc" "src/CMakeFiles/libra.dir/gpu/raster/raster_unit.cc.o.d"
+  "/root/repo/src/gpu/raster/rasterizer.cc" "src/CMakeFiles/libra.dir/gpu/raster/rasterizer.cc.o" "gcc" "src/CMakeFiles/libra.dir/gpu/raster/rasterizer.cc.o.d"
+  "/root/repo/src/gpu/raster/shader_core.cc" "src/CMakeFiles/libra.dir/gpu/raster/shader_core.cc.o" "gcc" "src/CMakeFiles/libra.dir/gpu/raster/shader_core.cc.o.d"
+  "/root/repo/src/gpu/runner.cc" "src/CMakeFiles/libra.dir/gpu/runner.cc.o" "gcc" "src/CMakeFiles/libra.dir/gpu/runner.cc.o.d"
+  "/root/repo/src/gpu/tiling/polygon_list_builder.cc" "src/CMakeFiles/libra.dir/gpu/tiling/polygon_list_builder.cc.o" "gcc" "src/CMakeFiles/libra.dir/gpu/tiling/polygon_list_builder.cc.o.d"
+  "/root/repo/src/gpu/tiling/tile_fetcher.cc" "src/CMakeFiles/libra.dir/gpu/tiling/tile_fetcher.cc.o" "gcc" "src/CMakeFiles/libra.dir/gpu/tiling/tile_fetcher.cc.o.d"
+  "/root/repo/src/gpu/tiling/tile_grid.cc" "src/CMakeFiles/libra.dir/gpu/tiling/tile_grid.cc.o" "gcc" "src/CMakeFiles/libra.dir/gpu/tiling/tile_grid.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/libra.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/libra.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/trace/frame_trace.cc" "src/CMakeFiles/libra.dir/trace/frame_trace.cc.o" "gcc" "src/CMakeFiles/libra.dir/trace/frame_trace.cc.o.d"
+  "/root/repo/src/trace/heatmap.cc" "src/CMakeFiles/libra.dir/trace/heatmap.cc.o" "gcc" "src/CMakeFiles/libra.dir/trace/heatmap.cc.o.d"
+  "/root/repo/src/trace/report.cc" "src/CMakeFiles/libra.dir/trace/report.cc.o" "gcc" "src/CMakeFiles/libra.dir/trace/report.cc.o.d"
+  "/root/repo/src/workload/benchmarks.cc" "src/CMakeFiles/libra.dir/workload/benchmarks.cc.o" "gcc" "src/CMakeFiles/libra.dir/workload/benchmarks.cc.o.d"
+  "/root/repo/src/workload/scene.cc" "src/CMakeFiles/libra.dir/workload/scene.cc.o" "gcc" "src/CMakeFiles/libra.dir/workload/scene.cc.o.d"
+  "/root/repo/src/workload/texture.cc" "src/CMakeFiles/libra.dir/workload/texture.cc.o" "gcc" "src/CMakeFiles/libra.dir/workload/texture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_early_z.dir/test_early_z.cc.o"
+  "CMakeFiles/test_early_z.dir/test_early_z.cc.o.d"
+  "test_early_z"
+  "test_early_z.pdb"
+  "test_early_z[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_early_z.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frame_trace.dir/test_frame_trace.cc.o"
+  "CMakeFiles/test_frame_trace.dir/test_frame_trace.cc.o.d"
+  "test_frame_trace"
+  "test_frame_trace.pdb"
+  "test_frame_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frame_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_integration.dir/test_gpu_integration.cc.o"
+  "CMakeFiles/test_gpu_integration.dir/test_gpu_integration.cc.o.d"
+  "test_gpu_integration"
+  "test_gpu_integration.pdb"
+  "test_gpu_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

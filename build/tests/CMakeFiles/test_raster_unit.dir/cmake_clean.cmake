@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raster_unit.dir/test_raster_unit.cc.o"
+  "CMakeFiles/test_raster_unit.dir/test_raster_unit.cc.o.d"
+  "test_raster_unit"
+  "test_raster_unit.pdb"
+  "test_raster_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raster_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

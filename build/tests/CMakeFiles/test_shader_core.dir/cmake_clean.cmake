@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shader_core.dir/test_shader_core.cc.o"
+  "CMakeFiles/test_shader_core.dir/test_shader_core.cc.o.d"
+  "test_shader_core"
+  "test_shader_core.pdb"
+  "test_shader_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shader_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

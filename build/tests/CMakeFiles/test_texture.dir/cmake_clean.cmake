@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_texture.dir/test_texture.cc.o"
+  "CMakeFiles/test_texture.dir/test_texture.cc.o.d"
+  "test_texture"
+  "test_texture.pdb"
+  "test_texture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_texture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_fetcher.dir/test_tile_fetcher.cc.o"
+  "CMakeFiles/test_tile_fetcher.dir/test_tile_fetcher.cc.o.d"
+  "test_tile_fetcher"
+  "test_tile_fetcher.pdb"
+  "test_tile_fetcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_fetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_morton[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_texture[1]_include.cmake")
+include("/root/repo/build/tests/test_rasterizer[1]_include.cmake")
+include("/root/repo/build/tests/test_early_z[1]_include.cmake")
+include("/root/repo/build/tests/test_tile_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_binning[1]_include.cmake")
+include("/root/repo/build/tests/test_temperature[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_tile_fetcher[1]_include.cmake")
+include("/root/repo/build/tests/test_raster_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_shader_core[1]_include.cmake")
+include("/root/repo/build/tests/test_scene[1]_include.cmake")
+include("/root/repo/build/tests/test_benchmarks[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_frame_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_classification[1]_include.cmake")
