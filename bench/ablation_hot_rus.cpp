@@ -29,7 +29,7 @@ main(int argc, char **argv)
         std::vector<std::vector<double>> gains(3);
         for (const auto &name : opt.benchmarks) {
             const BenchmarkSpec &spec = findBenchmark(name);
-            const RunResult base = runBenchmark(
+            const RunResult base = mustRun(
                 spec, sized(GpuConfig::baseline(4 * rus), opt),
                 opt.frames);
             std::vector<std::string> row{name};
@@ -40,7 +40,7 @@ main(int argc, char **argv)
                 }
                 GpuConfig cfg = sized(GpuConfig::libra(rus, 4), opt);
                 cfg.sched.hotRasterUnits = hot;
-                const RunResult r = runBenchmark(spec, cfg, opt.frames);
+                const RunResult r = mustRun(spec, cfg, opt.frames);
                 const double gain = steadySpeedup(base, r) - 1.0;
                 gains[hot - 1].push_back(gain);
                 row.push_back(Table::pct(gain));

@@ -69,7 +69,7 @@ main(int argc, char **argv)
                      "dram MB/f", "dram lat"});
         double ptr_cycles = 0.0;
         for (const auto &variant : variants) {
-            const RunResult r = runBenchmark(
+            const RunResult r = mustRun(
                 spec, sized(variant.cfg, opt), opt.frames);
             const double cyc =
                 static_cast<double>(steadyCycles(r))

@@ -19,6 +19,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hh"
@@ -96,6 +97,32 @@ sized(GpuConfig cfg, const BenchOptions &opt)
     cfg.screenWidth = opt.width;
     cfg.screenHeight = opt.height;
     return cfg;
+}
+
+/**
+ * CLI-boundary wrapper over runBenchmark(): the bench binaries have no
+ * caller to hand an error to, so a bad configuration or a wedged run
+ * ends the process with the library's message.
+ */
+inline RunResult
+mustRun(const BenchmarkSpec &spec, const GpuConfig &cfg,
+        std::uint32_t frames, std::uint32_t first_frame = 0)
+{
+    Result<RunResult> r = runBenchmark(spec, cfg, frames, first_frame);
+    if (!r.isOk())
+        fatal(spec.abbrev, ": ", r.status().toString());
+    return std::move(*r);
+}
+
+/** CLI-boundary wrapper over memoryTimeFraction(). */
+inline double
+mustMemoryTimeFraction(const BenchmarkSpec &spec, const GpuConfig &cfg,
+                       std::uint32_t frames)
+{
+    const Result<double> f = memoryTimeFraction(spec, cfg, frames);
+    if (!f.isOk())
+        fatal(spec.abbrev, ": ", f.status().toString());
+    return *f;
 }
 
 /**

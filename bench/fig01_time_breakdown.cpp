@@ -28,7 +28,7 @@ main(int argc, char **argv)
     Table table({"bench", "geometry", "raster"});
     std::vector<double> raster_shares;
     for (const auto &name : opt.benchmarks) {
-        const RunResult r = runBenchmark(
+        const RunResult r = mustRun(
             findBenchmark(name), sized(GpuConfig::baseline(8), opt),
             opt.frames);
         const double geom = static_cast<double>(r.totalGeomCycles());

@@ -26,7 +26,7 @@ main(int argc, char **argv)
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
         const GpuConfig cfg = sized(GpuConfig::baseline(8), opt);
-        const RunResult r = runBenchmark(spec, cfg, 2);
+        const RunResult r = mustRun(spec, cfg, 2);
         const FrameStats &fs = r.frames.back();
 
         const TileGrid grid(opt.width, opt.height, cfg.tileSize);

@@ -33,10 +33,10 @@ main(int argc, char **argv)
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
         const RunResult four =
-            runBenchmark(spec, sized(GpuConfig::baseline(4), opt),
+            mustRun(spec, sized(GpuConfig::baseline(4), opt),
                          opt.frames);
         const RunResult eight =
-            runBenchmark(spec, sized(GpuConfig::baseline(8), opt),
+            mustRun(spec, sized(GpuConfig::baseline(8), opt),
                          opt.frames);
         const double s = steadySpeedup(four, eight);
         speedups.push_back(s);

@@ -40,9 +40,9 @@ main(int argc, char **argv)
         const BenchmarkSpec &spec = findBenchmark(name);
         const GpuConfig base = sized(GpuConfig::baseline(8), opt);
 
-        const double f = memoryTimeFraction(spec, base, opt.frames);
-        const RunResult b = runBenchmark(spec, base, opt.frames);
-        const RunResult p = runBenchmark(
+        const double f = mustMemoryTimeFraction(spec, base, opt.frames);
+        const RunResult b = mustRun(spec, base, opt.frames);
+        const RunResult p = mustRun(
             spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
         const double s = steadySpeedup(b, p);
         frac.push_back(f);

@@ -70,9 +70,9 @@ main(int argc, char **argv)
     const BenchmarkSpec &spec = findBenchmark(opt.benchmarks.front());
     const std::uint32_t frames = std::max(3u, std::min(opt.frames, 6u));
 
-    const RunResult ptr = runBenchmark(
+    const RunResult ptr = mustRun(
         spec, sized(GpuConfig::ptr(2, 4), opt), frames);
-    const RunResult lib = runBenchmark(
+    const RunResult lib = mustRun(
         spec, sized(GpuConfig::libra(2, 4), opt), frames);
 
     // Use the last frame: LIBRA's scheduler has history by then.

@@ -29,7 +29,7 @@ main(int argc, char **argv)
     // pairs.
     std::vector<double> deltas;
     for (const auto &name : opt.benchmarks) {
-        const RunResult r = runBenchmark(
+        const RunResult r = mustRun(
             findBenchmark(name), sized(GpuConfig::baseline(8), opt),
             opt.frames);
         for (std::size_t f = 2; f < r.frames.size(); ++f) {

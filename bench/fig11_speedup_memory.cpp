@@ -25,11 +25,11 @@ main(int argc, char **argv)
     std::vector<double> ptr_s, libra_s;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        const RunResult base = runBenchmark(
+        const RunResult base = mustRun(
             spec, sized(GpuConfig::baseline(8), opt), opt.frames);
-        const RunResult ptr = runBenchmark(
+        const RunResult ptr = mustRun(
             spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
-        const RunResult lib = runBenchmark(
+        const RunResult lib = mustRun(
             spec, sized(GpuConfig::libra(2, 4), opt), opt.frames);
 
         const double sp = steadySpeedup(base, ptr);

@@ -30,11 +30,11 @@ main(int argc, char **argv)
     };
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        const double base = lat(runBenchmark(
+        const double base = lat(mustRun(
             spec, sized(GpuConfig::baseline(8), opt), opt.frames));
-        const double ptr = lat(runBenchmark(
+        const double ptr = lat(mustRun(
             spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames));
-        const double lib = lat(runBenchmark(
+        const double lib = lat(mustRun(
             spec, sized(GpuConfig::libra(2, 4), opt), opt.frames));
         const double dp = 1.0 - ptr / base;
         const double dl = 1.0 - lib / base;

@@ -25,9 +25,9 @@ main(int argc, char **argv)
     std::vector<double> normalized;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        const RunResult ptr = runBenchmark(
+        const RunResult ptr = mustRun(
             spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
-        const RunResult lib = runBenchmark(
+        const RunResult lib = mustRun(
             spec, sized(GpuConfig::libra(2, 4), opt), opt.frames);
         const double ratio = static_cast<double>(lib.dramAccesses())
             / static_cast<double>(ptr.dramAccesses());

@@ -29,11 +29,11 @@ main(int argc, char **argv)
     };
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        const double base = energy(runBenchmark(
+        const double base = energy(mustRun(
             spec, sized(GpuConfig::baseline(8), opt), opt.frames));
-        const double ptr = energy(runBenchmark(
+        const double ptr = energy(mustRun(
             spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames));
-        const double lib = energy(runBenchmark(
+        const double lib = energy(mustRun(
             spec, sized(GpuConfig::libra(2, 4), opt), opt.frames));
         const double dp = 1.0 - ptr / base;
         const double dl = 1.0 - lib / base;

@@ -28,19 +28,19 @@ main(int argc, char **argv)
 
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        const RunResult ptr = runBenchmark(
+        const RunResult ptr = mustRun(
             spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
 
         std::vector<std::string> row{name};
         for (std::size_t i = 0; i < sizes.size(); ++i) {
-            const RunResult st = runBenchmark(
+            const RunResult st = mustRun(
                 spec, sized(GpuConfig::staticSupertile(sizes[i]), opt),
                 opt.frames);
             const double gain = steadySpeedup(ptr, st) - 1.0;
             static_gain[i].push_back(gain);
             row.push_back(Table::pct(gain));
         }
-        const RunResult lib = runBenchmark(
+        const RunResult lib = mustRun(
             spec, sized(GpuConfig::libra(2, 4), opt), opt.frames);
         const double lg = steadySpeedup(ptr, lib) - 1.0;
         libra_gain.push_back(lg);

@@ -30,10 +30,10 @@ main(int argc, char **argv)
         std::vector<std::string> row{name};
         for (std::size_t i = 0; i < ru_counts.size(); ++i) {
             const std::uint32_t rus = ru_counts[i];
-            const RunResult base = runBenchmark(
+            const RunResult base = mustRun(
                 spec, sized(GpuConfig::baseline(4 * rus), opt),
                 opt.frames);
-            const RunResult lib = runBenchmark(
+            const RunResult lib = mustRun(
                 spec, sized(GpuConfig::libra(rus, 4), opt), opt.frames);
             const double gain = steadySpeedup(base, lib) - 1.0;
             gains[i].push_back(gain);

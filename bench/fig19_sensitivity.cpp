@@ -28,7 +28,7 @@ void
 primeBaselines(const BenchOptions &opt)
 {
     for (const auto &name : opt.benchmarks) {
-        const RunResult base = runBenchmark(
+        const RunResult base = mustRun(
             findBenchmark(name), sized(GpuConfig::baseline(8), opt),
             opt.frames);
         baselineCycles[name] = steadyCycles(base);
@@ -43,7 +43,7 @@ averageSpeedup(const BenchOptions &opt, const SchedulerConfig &sched)
         GpuConfig cfg = sized(GpuConfig::libra(2, 4), opt);
         cfg.sched = sched;
         cfg.sched.policy = SchedulerPolicy::Libra;
-        const RunResult lib = runBenchmark(findBenchmark(name), cfg,
+        const RunResult lib = mustRun(findBenchmark(name), cfg,
                                            opt.frames);
         speedups.push_back(static_cast<double>(baselineCycles[name])
                            / static_cast<double>(steadyCycles(lib)));

@@ -36,7 +36,7 @@ main(int argc, char **argv)
         const FrameData frame = scene.frame(0);
 
         const RunResult r =
-            runBenchmark(spec, sized(GpuConfig::baseline(8), opt),
+            mustRun(spec, sized(GpuConfig::baseline(8), opt),
                          frames);
         // Footprint: DRAM bytes touched per frame (reads + writes),
         // averaged over the steady frames.

@@ -11,8 +11,10 @@
  */
 
 #include <cstdio>
+#include <utility>
 
 #include "common/cli.hh"
+#include "common/log.hh"
 #include "gpu/runner.hh"
 #include "trace/report.hh"
 
@@ -35,7 +37,10 @@ main(int argc, char **argv)
     auto run = [&](GpuConfig cfg) {
         cfg.screenWidth = width;
         cfg.screenHeight = height;
-        return runBenchmark(spec, cfg, frames);
+        Result<RunResult> r = runBenchmark(spec, cfg, frames);
+        if (!r.isOk())
+            fatal(spec.abbrev, ": ", r.status().toString());
+        return std::move(*r);
     };
 
     std::printf("design-space sweep on %s (%s)\n", spec.abbrev.c_str(),

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/cli.hh"
+#include "common/log.hh"
 #include "gpu/runner.hh"
 #include "trace/report.hh"
 
@@ -40,8 +41,16 @@ main(int argc, char **argv)
     libra_cfg.screenWidth = width;
     libra_cfg.screenHeight = height;
 
-    const RunResult r_base = runBenchmark(spec, base, frames);
-    const RunResult r_libra = runBenchmark(spec, libra_cfg, frames);
+    // The examples sit at the CLI boundary: any library error (bad
+    // configuration, wedged run) simply ends the process.
+    auto must = [&](const Result<RunResult> &r) {
+        if (!r.isOk())
+            fatal(spec.abbrev, ": ", r.status().toString());
+        return *r;
+    };
+    const RunResult r_base = must(runBenchmark(spec, base, frames));
+    const RunResult r_libra =
+        must(runBenchmark(spec, libra_cfg, frames));
 
     Table table({"config", "cycles/frame", "fps", "tex hit", "tex lat",
                  "dram lat", "energy (mJ/frame)"});

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/cli.hh"
+#include "common/log.hh"
 #include "gpu/runner.hh"
 #include "trace/report.hh"
 
@@ -72,7 +73,10 @@ main(int argc, char **argv)
         GpuConfig cfg = entry.cfg;
         cfg.screenWidth = width;
         cfg.screenHeight = height;
-        const RunResult r = runBenchmark(spec, cfg, frames);
+        const Result<RunResult> run = runBenchmark(spec, cfg, frames);
+        if (!run.isOk())
+            fatal(entry.name, ": ", run.status().toString());
+        const RunResult &r = *run;
         const double cyc = static_cast<double>(r.totalCycles()) / frames;
         if (base_cycles == 0.0)
             base_cycles = cyc;

@@ -40,8 +40,9 @@ record(const CliArgs &args)
     const std::string out = args.get("out", spec.abbrev + ".ltrc");
 
     const Scene scene(spec, width, height);
-    if (!writeTrace(out, scene, 0, frames)) {
-        std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    if (Status st = writeTrace(out, scene, 0, frames); !st.isOk()) {
+        std::fprintf(stderr, "failed to write %s: %s\n", out.c_str(),
+                     st.toString().c_str());
         return 1;
     }
     std::printf("recorded %u frames of %s (%ux%u) to %s\n", frames,
@@ -64,9 +65,13 @@ configNamed(const std::string &name)
 int
 replay(const CliArgs &args)
 {
+    const std::string in = args.get("in", "trace.ltrc");
     FrameTrace trace;
-    if (!trace.load(args.get("in", "trace.ltrc")))
+    if (Status st = trace.load(in); !st.isOk()) {
+        std::fprintf(stderr, "failed to load %s: %s\n", in.c_str(),
+                     st.toString().c_str());
         return 1;
+    }
 
     GpuConfig cfg = configNamed(args.get("config", "libra"));
     cfg.screenWidth = trace.screenWidth();
@@ -97,9 +102,13 @@ replay(const CliArgs &args)
 int
 info(const CliArgs &args)
 {
+    const std::string in = args.get("in", "trace.ltrc");
     FrameTrace trace;
-    if (!trace.load(args.get("in", "trace.ltrc")))
+    if (Status st = trace.load(in); !st.isOk()) {
+        std::fprintf(stderr, "failed to load %s: %s\n", in.c_str(),
+                     st.toString().c_str());
         return 1;
+    }
     std::printf("screen: %ux%u, %zu frames, %zu textures\n",
                 trace.screenWidth(), trace.screenHeight(),
                 trace.frameCount(), trace.textures().count());

@@ -1,6 +1,7 @@
 #include "common/cli.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -32,6 +33,8 @@ CliArgs::CliArgs(int argc, const char *const *argv,
         }
         if (std::find(known.begin(), known.end(), arg) == known.end())
             fatal("unknown option --", arg);
+        if (opts.count(arg) != 0)
+            fatal("duplicate option --", arg);
         opts[arg] = value;
     }
 }
@@ -53,16 +56,36 @@ std::int64_t
 CliArgs::getInt(const std::string &name, std::int64_t fallback) const
 {
     auto it = opts.find(name);
-    return it == opts.end() ? fallback : std::strtoll(it->second.c_str(),
-                                                      nullptr, 0);
+    if (it == opts.end())
+        return fallback;
+    const std::string &text = it->second;
+    errno = 0;
+    char *end = nullptr;
+    const std::int64_t value = std::strtoll(text.c_str(), &end, 0);
+    if (text.empty() || end != text.c_str() + text.size())
+        fatal("option --", name, ": expected an integer, got '", text,
+              "'");
+    if (errno == ERANGE)
+        fatal("option --", name, ": value '", text, "' out of range");
+    return value;
 }
 
 double
 CliArgs::getDouble(const std::string &name, double fallback) const
 {
     auto it = opts.find(name);
-    return it == opts.end() ? fallback : std::strtod(it->second.c_str(),
-                                                     nullptr);
+    if (it == opts.end())
+        return fallback;
+    const std::string &text = it->second;
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size())
+        fatal("option --", name, ": expected a number, got '", text,
+              "'");
+    if (errno == ERANGE)
+        fatal("option --", name, ": value '", text, "' out of range");
+    return value;
 }
 
 bool

@@ -3,8 +3,9 @@
  * Tiny command-line option parser shared by the benches and examples.
  *
  * Supports "--name value", "--name=value" and boolean "--flag" forms.
- * Unknown options are fatal so typos in sweep scripts do not silently
- * change what an experiment measures.
+ * Unknown options, repeated options and malformed numeric values
+ * ("--frames=abc", "--frames=12x") are fatal so typos in sweep scripts
+ * do not silently change what an experiment measures.
  */
 
 #ifndef LIBRA_COMMON_CLI_HH
@@ -24,7 +25,8 @@ class CliArgs
   public:
     /**
      * Parse argv. @p known lists every accepted option name (without the
-     * leading dashes); anything else is a fatal error.
+     * leading dashes); anything else — as well as giving the same option
+     * twice — is a fatal error.
      */
     CliArgs(int argc, const char *const *argv,
             const std::vector<std::string> &known);
@@ -32,6 +34,12 @@ class CliArgs
     bool has(const std::string &name) const;
     std::string get(const std::string &name,
                     const std::string &fallback) const;
+
+    /**
+     * Numeric accessors parse the whole value; trailing garbage,
+     * overflow or an empty value is fatal ("--frames=abc" must not
+     * quietly run 0 frames).
+     */
     std::int64_t getInt(const std::string &name, std::int64_t fallback) const;
     double getDouble(const std::string &name, double fallback) const;
     bool getBool(const std::string &name, bool fallback = false) const;

@@ -1,0 +1,35 @@
+#include "common/status.hh"
+
+namespace libra
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "ok";
+      case ErrorCode::InvalidArgument: return "invalid argument";
+      case ErrorCode::NotFound: return "not found";
+      case ErrorCode::IoError: return "I/O error";
+      case ErrorCode::CorruptData: return "corrupt data";
+      case ErrorCode::WatchdogExpired: return "watchdog expired";
+      case ErrorCode::NoProgress: return "no progress";
+      case ErrorCode::FailedPrecondition: return "failed precondition";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    std::string out = errorCodeName(errCode);
+    if (!msg.empty()) {
+        out += ": ";
+        out += msg;
+    }
+    return out;
+}
+
+} // namespace libra

@@ -64,6 +64,15 @@ Dram::channelBacklog(Addr addr) const
         + channelState[channel].writeQ.size();
 }
 
+std::size_t
+Dram::pendingRequests() const
+{
+    std::size_t total = 0;
+    for (const auto &channel : channelState)
+        total += channel.readQ.size() + channel.writeQ.size();
+    return total;
+}
+
 void
 Dram::enqueueLine(Addr addr, bool write, TrafficClass cls,
                   std::uint32_t tile_tag, MemCallback cb)

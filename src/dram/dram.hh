@@ -102,6 +102,9 @@ class Dram : public MemSink
     /** Queued (not yet issued) requests on @p addr's channel. */
     std::size_t channelBacklog(Addr addr) const;
 
+    /** Queued (not yet issued) requests across all channels. */
+    std::size_t pendingRequests() const;
+
     /** Aggregate statistics group ("dram.*"). */
     const StatGroup &stats() const { return statGroup; }
     StatGroup &stats() { return statGroup; }

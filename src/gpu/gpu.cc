@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "sim/watchdog.hh"
 
 namespace libra
 {
@@ -201,10 +202,67 @@ Gpu::textureHitRatio() const
                       : static_cast<double>(t.texHits) / total;
 }
 
+std::string
+Gpu::diagnosticState() const
+{
+    std::ostringstream os;
+    os << "tick " << queue.now() << ", tiles flushed " << tilesFlushed
+       << "/" << grid.tileCount() << ", pending events "
+       << queue.pending() << ", outstanding DRAM requests "
+       << dramModel->pendingRequests();
+    for (std::size_t i = 0; i < rus.size(); ++i) {
+        const RasterUnit &unit = *rus[i];
+        os << "; RU" << i << ": ";
+        if (unit.idle()) {
+            os << "idle";
+            continue;
+        }
+        os << "tile ";
+        if (unit.currentTile() == invalidId)
+            os << "-";
+        else
+            os << unit.currentTile();
+        if (unit.aheadTile() != invalidId)
+            os << " (ahead " << unit.aheadTile() << ")";
+        os << ", fifo " << unit.fifoEntries() << "/" << config.fifoDepth
+           << ", pending warps " << unit.pendingWarpCount();
+    }
+    return os.str();
+}
+
+Status
+Gpu::wedge(const Status &st, const char *phase)
+{
+    isWedged = true;
+    rasterActive = false;
+    const std::string diag = diagnosticState();
+    warn("watchdog: ", phase, " phase wedged: ", st.toString(), " [",
+         diag, "]");
+    return Status::error(st.code(), phase, " phase: ", st.message(),
+                         " [", diag, "]");
+}
+
 FrameStats
 Gpu::renderFrame(const FrameData &frame, const TexturePool &pool)
 {
+    Result<FrameStats> result = tryRenderFrame(frame, pool);
+    if (!result.isOk())
+        panic("renderFrame: ", result.status().toString());
+    return std::move(*result);
+}
+
+Result<FrameStats>
+Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
+{
+    if (isWedged) {
+        return Status::error(
+            ErrorCode::FailedPrecondition,
+            "Gpu was wedged by an earlier watchdog error; simulated "
+            "state is inconsistent — build a fresh Gpu");
+    }
+
     const Tick frame_start = queue.now();
+    Watchdog watchdog(config.watchdog, frame_start);
     const RawTotals before = collectTotals();
 
     // Functional binning (the timing is charged by GeometryPipeline).
@@ -236,9 +294,16 @@ Gpu::renderFrame(const FrameData &frame, const TexturePool &pool)
         geom_end = when;
     });
     while (!geom_done) {
-        const bool progressed = queue.runOne();
-        libra_assert(progressed, "geometry phase deadlocked");
+        if (Status st = watchdog.check(queue.now()); !st.isOk())
+            return wedge(st, "geometry");
+        if (!queue.runOne()) {
+            return wedge(Status::error(ErrorCode::NoProgress,
+                                       "event queue drained with the "
+                                       "geometry phase incomplete"),
+                         "geometry");
+        }
     }
+    watchdog.progress(queue.now());
 
     // The temperature ranking must hide under the geometry phase
     // (§III-E). Warn if a configuration ever violates that.
@@ -255,13 +320,31 @@ Gpu::renderFrame(const FrameData &frame, const TexturePool &pool)
         unit->beginFrame(binned, pool);
     fetcher->beginFrame(binned);
 
+    std::uint32_t last_flushed = tilesFlushed;
     while (tilesFlushed < grid.tileCount()) {
-        const bool progressed = queue.runOne();
-        libra_assert(progressed, "raster phase deadlocked with ",
-                     grid.tileCount() - tilesFlushed, " tiles pending");
+        if (tilesFlushed != last_flushed) {
+            last_flushed = tilesFlushed;
+            watchdog.progress(queue.now());
+        }
+        if (Status st = watchdog.check(queue.now()); !st.isOk())
+            return wedge(st, "raster");
+        if (!queue.runOne()) {
+            return wedge(
+                Status::error(ErrorCode::NoProgress,
+                              "event queue drained with ",
+                              grid.tileCount() - tilesFlushed,
+                              " tiles pending"),
+                "raster");
+        }
     }
-    // Drain stragglers (in-flight write-backs, bookkeeping events).
-    queue.runUntil(maxTick);
+    watchdog.progress(queue.now());
+    // Drain stragglers (in-flight write-backs, bookkeeping events),
+    // still under the watchdog's eye.
+    while (!queue.empty()) {
+        if (Status st = watchdog.check(queue.now()); !st.isOk())
+            return wedge(st, "drain");
+        queue.runOne();
+    }
     rasterActive = false;
 
     for (auto &unit : rus)

@@ -12,8 +12,11 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "cache/cache.hh"
 #include "cache/mem_system.hh"
+#include "common/status.hh"
 #include "core/temperature_table.hh"
 #include "core/tile_scheduler.hh"
 #include "dram/dram.hh"
@@ -83,7 +86,26 @@ class Gpu
     Gpu(const Gpu &) = delete;
     Gpu &operator=(const Gpu &) = delete;
 
-    /** Render one frame; the pool must own every referenced texture. */
+    /**
+     * Render one frame; the pool must own every referenced texture.
+     *
+     * Library entry point with recoverable errors: if the frame
+     * exceeds GpuConfig::watchdog limits, or the event loop deadlocks,
+     * returns a WatchdogExpired / NoProgress Status whose message
+     * carries a diagnostic dump (current tiles, RU occupancy,
+     * outstanding memory requests). A wedged frame leaves simulated
+     * state inconsistent, so after such an error every further call
+     * fails with FailedPrecondition — callers rebuild the Gpu (see
+     * runBenchmark, which skips the frame and continues the sweep).
+     */
+    Result<FrameStats> tryRenderFrame(const FrameData &frame,
+                                      const TexturePool &pool);
+
+    /**
+     * Convenience wrapper over tryRenderFrame() that treats any failure
+     * as a simulator bug (panic). With the watchdog disabled — the
+     * default — this is exactly the historical behaviour.
+     */
     FrameStats renderFrame(const FrameData &frame,
                            const TexturePool &pool);
 
@@ -98,6 +120,17 @@ class Gpu
 
     /** Texture-L1 aggregate hit ratio since construction. */
     double textureHitRatio() const;
+
+    /** True after a watchdog/deadlock error wedged this instance. */
+    bool wedged() const { return isWedged; }
+
+    /**
+     * One-line-per-component snapshot of simulation state: tick, tiles
+     * flushed, per-RU occupancy (current tile, FIFO fill, pending
+     * warps), event-queue depth and outstanding DRAM requests. Dumped
+     * into the error message when the watchdog fires.
+     */
+    std::string diagnosticState() const;
 
     EnergyParams energyParams; //!< tweakable before rendering
 
@@ -155,6 +188,10 @@ class Gpu
     std::uint64_t frameFragments = 0;
     std::uint64_t frameWarps = 0;
     std::uint32_t framesRendered = 0;
+    bool isWedged = false; //!< a watchdog/deadlock error poisoned state
+
+    /** Mark the GPU wedged and wrap @p st's message with diagnostics. */
+    Status wedge(const Status &st, const char *phase);
 
     StatGroup statGroup{"gpu"};
 };

@@ -15,8 +15,10 @@
 #include <string>
 
 #include "cache/cache.hh"
+#include "common/status.hh"
 #include "core/scheduler_config.hh"
 #include "dram/dram.hh"
+#include "sim/watchdog.hh"
 
 namespace libra
 {
@@ -71,6 +73,20 @@ struct GpuConfig
 
     // --- Instrumentation -------------------------------------------------
     bool captureImage = false; //!< keep a per-pixel hash "image"
+
+    // --- Robustness ------------------------------------------------------
+    /** Per-frame watchdog limits (both triggers off by default). */
+    WatchdogConfig watchdog;
+
+    /**
+     * Cross-field sanity validation. Checks ranges of every knob, the
+     * tile size against the screen, the Raster-Unit/core organization
+     * against the warp configuration, and the cache/DRAM geometry.
+     * Called by the runner before a simulation is built; an invalid
+     * configuration surfaces as a recoverable InvalidArgument instead
+     * of undefined simulator behaviour.
+     */
+    Status validate() const;
 
     std::uint32_t
     tilesX() const

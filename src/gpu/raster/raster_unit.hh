@@ -149,6 +149,19 @@ class RasterUnit : public RasterSink
     /** True when no tile is in flight and the FIFO is empty. */
     bool idle() const;
 
+    // --- Watchdog diagnostics ------------------------------------------
+    /** Entries currently queued in the input FIFO. */
+    std::size_t fifoEntries() const { return fifo.size(); }
+
+    /** Tile owning the Fragment stage (invalidId when none). */
+    TileId currentTile() const { return frag ? frag->tile : invalidId; }
+
+    /** Tile being rasterized ahead (invalidId when none). */
+    TileId aheadTile() const { return ahead ? ahead->tile : invalidId; }
+
+    /** Warps assembled but not yet dispatched to a core. */
+    std::size_t pendingWarpCount() const { return pendingWarps.size(); }
+
     const RasterUnitConfig &cfg() const { return config; }
     ShaderCore &core(std::uint32_t i) { return *cores[i]; }
     std::uint32_t coreCount() const

@@ -1,6 +1,7 @@
 #include "gpu/runner.hh"
 
 #include <cmath>
+#include <memory>
 
 #include "common/log.hh"
 
@@ -123,34 +124,61 @@ RunResult::fps(double clock_hz) const
     return static_cast<double>(frames.size()) / seconds;
 }
 
-RunResult
+Result<RunResult>
 runBenchmark(const BenchmarkSpec &spec, const GpuConfig &cfg,
              std::uint32_t frames, std::uint32_t first_frame)
 {
+    if (Status st = cfg.validate(); !st.isOk()) {
+        return Status::error(st.code(), "benchmark ", spec.abbrev,
+                             ": invalid GPU configuration: ",
+                             st.message());
+    }
+
     RunResult result;
     result.benchmark = spec.abbrev;
     result.config = cfg;
 
     Scene scene(spec, cfg.screenWidth, cfg.screenHeight);
-    Gpu gpu(cfg);
+    auto gpu = std::make_unique<Gpu>(cfg);
     result.frames.reserve(frames);
     for (std::uint32_t f = 0; f < frames; ++f) {
         const FrameData frame = scene.frame(first_frame + f);
-        result.frames.push_back(gpu.renderFrame(frame, scene.textures()));
+        Result<FrameStats> fs =
+            gpu->tryRenderFrame(frame, scene.textures());
+        if (fs.isOk()) {
+            result.frames.push_back(std::move(*fs));
+            continue;
+        }
+        const ErrorCode code = fs.status().code();
+        if (code != ErrorCode::WatchdogExpired
+            && code != ErrorCode::NoProgress) {
+            return fs.status();
+        }
+        // Watchdog fired: degrade gracefully — drop this frame,
+        // rebuild the wedged GPU and carry on with the sweep.
+        warn("benchmark ", spec.abbrev, ": skipping frame ",
+             first_frame + f, ": ", fs.status().toString());
+        result.skippedFrames.push_back(first_frame + f);
+        gpu = std::make_unique<Gpu>(cfg);
     }
     return result;
 }
 
-double
+Result<double>
 memoryTimeFraction(const BenchmarkSpec &spec, const GpuConfig &cfg,
                    std::uint32_t frames)
 {
     GpuConfig ideal = cfg;
     ideal.idealMemory = true;
-    const RunResult real = runBenchmark(spec, cfg, frames);
-    const RunResult perfect = runBenchmark(spec, ideal, frames);
-    const auto real_cycles = static_cast<double>(real.totalCycles());
-    const auto ideal_cycles = static_cast<double>(perfect.totalCycles());
+    const Result<RunResult> real = runBenchmark(spec, cfg, frames);
+    if (!real.isOk())
+        return real.status();
+    const Result<RunResult> perfect = runBenchmark(spec, ideal, frames);
+    if (!perfect.isOk())
+        return perfect.status();
+    const auto real_cycles = static_cast<double>(real->totalCycles());
+    const auto ideal_cycles =
+        static_cast<double>(perfect->totalCycles());
     if (real_cycles <= 0.0)
         return 0.0;
     return std::max(0.0, 1.0 - ideal_cycles / real_cycles);

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "gpu/gpu.hh"
 #include "gpu/gpu_config.hh"
 #include "workload/benchmarks.hh"
@@ -26,6 +27,13 @@ struct RunResult
     std::string benchmark;
     GpuConfig config;
     std::vector<FrameStats> frames;
+
+    /**
+     * Frames the watchdog gave up on (absolute frame indices). Empty
+     * unless GpuConfig::watchdog is armed and fired; skipped frames do
+     * not contribute to the aggregates below.
+     */
+    std::vector<std::uint32_t> skippedFrames;
 
     std::uint64_t totalCycles() const;
     std::uint64_t totalRasterCycles() const;
@@ -42,10 +50,19 @@ struct RunResult
     double fps(double clock_hz = 800e6) const;
 };
 
-/** Render @p frames frames of @p spec under @p cfg. */
-RunResult runBenchmark(const BenchmarkSpec &spec, const GpuConfig &cfg,
-                       std::uint32_t frames,
-                       std::uint32_t first_frame = 0);
+/**
+ * Render @p frames frames of @p spec under @p cfg.
+ *
+ * Validates @p cfg first (InvalidArgument on a bad configuration). If
+ * the per-frame watchdog (GpuConfig::watchdog) fires, the wedged frame
+ * is recorded in RunResult::skippedFrames, the GPU is rebuilt and the
+ * sweep continues with the next frame — a corrupt or pathological
+ * frame degrades one data point, not the whole batch.
+ */
+Result<RunResult> runBenchmark(const BenchmarkSpec &spec,
+                               const GpuConfig &cfg,
+                               std::uint32_t frames,
+                               std::uint32_t first_frame = 0);
 
 /**
  * Fraction of execution time attributable to memory: 1 - ideal/real,
@@ -53,8 +70,9 @@ RunResult runBenchmark(const BenchmarkSpec &spec, const GpuConfig &cfg,
  * — the Fig. 6a methodology. The paper calls a benchmark
  * memory-intensive when this is >= 0.25.
  */
-double memoryTimeFraction(const BenchmarkSpec &spec, const GpuConfig &cfg,
-                          std::uint32_t frames);
+Result<double> memoryTimeFraction(const BenchmarkSpec &spec,
+                                  const GpuConfig &cfg,
+                                  std::uint32_t frames);
 
 /** speedup of b over a: cycles(a)/cycles(b). */
 double speedup(const RunResult &a, const RunResult &b);

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Simulation watchdog: detects wedged simulations so a batch sweep can
+ * skip a pathological frame instead of spinning forever.
+ *
+ * Two independent triggers, both disabled (0) by default so the
+ * reproduction benches are unaffected:
+ *
+ *  - cycleBudget:      hard per-frame cycle ceiling. Trips when the
+ *                      frame has consumed more simulated cycles than the
+ *                      budget, whatever it is doing.
+ *  - noProgressCycles: livelock detector. The driving loop marks
+ *                      progress() at milestones (a tile flushed, the
+ *                      geometry phase finished); if the simulated clock
+ *                      advances more than this many cycles without a
+ *                      mark, the simulation is churning events without
+ *                      getting anywhere.
+ *
+ * The watchdog itself is pure bookkeeping (two compares per check), so
+ * callers can poll it every event-loop iteration.
+ */
+
+#ifndef LIBRA_SIM_WATCHDOG_HH
+#define LIBRA_SIM_WATCHDOG_HH
+
+#include <cstdint>
+
+#include "common/status.hh"
+#include "common/types.hh"
+
+namespace libra
+{
+
+/** Watchdog limits; 0 disables the corresponding trigger. */
+struct WatchdogConfig
+{
+    std::uint64_t cycleBudget = 0;      //!< max cycles per frame
+    std::uint64_t noProgressCycles = 0; //!< max cycles between marks
+};
+
+class Watchdog
+{
+  public:
+    Watchdog(const WatchdogConfig &cfg, Tick start)
+        : config(cfg), startTick(start), lastProgressTick(start)
+    {}
+
+    /** Record a forward-progress milestone at @p now. */
+    void
+    progress(Tick now)
+    {
+        if (now > lastProgressTick)
+            lastProgressTick = now;
+    }
+
+    /**
+     * @return ok while within limits; WatchdogExpired once the cycle
+     * budget is exceeded; NoProgress once the livelock limit is hit.
+     */
+    Status check(Tick now) const;
+
+    Tick start() const { return startTick; }
+    Tick lastProgress() const { return lastProgressTick; }
+
+  private:
+    WatchdogConfig config;
+    Tick startTick;
+    Tick lastProgressTick;
+};
+
+} // namespace libra
+
+#endif // LIBRA_SIM_WATCHDOG_HH

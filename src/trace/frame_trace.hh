@@ -19,6 +19,18 @@
  *            u32 triCount
  *       tri: 3 x (f32 x,y,z, f32 u,v), u32 textureId, u16 aluOps,
  *            u8 texSamples, u8 flags (bit0 blend, bit1 useMips)
+ *
+ * Hard format limits, enforced by the loader (a file that violates any
+ * of them is rejected with ErrorCode::CorruptData — the loader never
+ * trusts an on-disk count without checking it against these ceilings
+ * AND against the bytes actually remaining in the file, so a truncated
+ * or bit-flipped trace can neither crash the process nor trigger a
+ * count-driven huge allocation):
+ *   screen dimensions:    1 .. 16384 pixels per axis
+ *   textures:             0 .. 4096, each 1 .. 16384 per axis
+ *   frames:               0 .. 65536
+ *   draws per frame:      0 .. 1048576 (and >= 18 bytes each on disk)
+ *   triangles per draw:   0 .. 4194304 (and 68 bytes each on disk)
  */
 
 #ifndef LIBRA_TRACE_FRAME_TRACE_HH
@@ -28,11 +40,23 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "workload/scene.hh"
 #include "workload/texture.hh"
 
 namespace libra
 {
+
+/** Loader-enforced .ltrc limits (see the format comment above). */
+namespace trace_limits
+{
+constexpr std::uint32_t maxScreenDim = 16384;
+constexpr std::uint32_t maxTextures = 4096;
+constexpr std::uint32_t maxTextureDim = 16384;
+constexpr std::uint32_t maxFrames = 1u << 16;
+constexpr std::uint32_t maxDrawsPerFrame = 1u << 20;
+constexpr std::uint32_t maxTrisPerDraw = 1u << 22;
+} // namespace trace_limits
 
 /** A loaded trace: everything needed to drive Gpu::renderFrame. */
 class FrameTrace
@@ -40,14 +64,20 @@ class FrameTrace
   public:
     FrameTrace() = default;
 
-    /** Load a trace file. @return false (with a warning) on failure. */
-    bool load(const std::string &path);
+    /**
+     * Load a trace file, replacing any previous content. On failure the
+     * trace is left empty and the Status carries IoError (unreadable
+     * file) or CorruptData (structural validation failed).
+     */
+    Status load(const std::string &path);
 
     std::uint32_t screenWidth() const { return screenW; }
     std::uint32_t screenHeight() const { return screenH; }
     std::size_t frameCount() const { return frames.size(); }
 
+    /** @p index must be < frameCount(); out of range is a caller bug. */
     const FrameData &frame(std::size_t index) const;
+
     const TexturePool &textures() const { return pool; }
 
     /** In-memory construction (used by the writer and the tests). */
@@ -57,6 +87,8 @@ class FrameTrace
         std::vector<FrameData> frame_data);
 
   private:
+    Status loadImpl(const std::string &path);
+
     std::uint32_t screenW = 0;
     std::uint32_t screenH = 0;
     TexturePool pool;
@@ -65,17 +97,17 @@ class FrameTrace
 
 /**
  * Capture @p count frames of @p scene starting at @p first_frame into
- * @p path. @return false on I/O failure.
+ * @p path. @return IoError on write failure.
  */
-bool writeTrace(const std::string &path, const Scene &scene,
-                std::uint32_t first_frame, std::uint32_t count);
+Status writeTrace(const std::string &path, const Scene &scene,
+                  std::uint32_t first_frame, std::uint32_t count);
 
 /** Serialize an in-memory trace (lower-level entry point). */
-bool writeTrace(const std::string &path, std::uint32_t screen_w,
-                std::uint32_t screen_h,
-                const std::vector<std::pair<std::uint32_t,
-                                            std::uint32_t>> &texture_dims,
-                const std::vector<FrameData> &frames);
+Status writeTrace(const std::string &path, std::uint32_t screen_w,
+                  std::uint32_t screen_h,
+                  const std::vector<std::pair<std::uint32_t,
+                                              std::uint32_t>> &texture_dims,
+                  const std::vector<FrameData> &frames);
 
 } // namespace libra
 

@@ -440,14 +440,30 @@ benchmarkSuite()
     return suite;
 }
 
-const BenchmarkSpec &
-findBenchmark(const std::string &abbrev)
+Result<const BenchmarkSpec *>
+tryFindBenchmark(const std::string &abbrev)
 {
     for (const auto &spec : benchmarkSuite()) {
         if (spec.abbrev == abbrev)
-            return spec;
+            return &spec;
     }
-    fatal("unknown benchmark: ", abbrev);
+    std::string known;
+    for (const auto &spec : benchmarkSuite()) {
+        if (!known.empty())
+            known += ",";
+        known += spec.abbrev;
+    }
+    return Status::error(ErrorCode::NotFound, "unknown benchmark '",
+                         abbrev, "' (known: ", known, ")");
+}
+
+const BenchmarkSpec &
+findBenchmark(const std::string &abbrev)
+{
+    const Result<const BenchmarkSpec *> spec = tryFindBenchmark(abbrev);
+    if (!spec.isOk())
+        fatal(spec.status().message());
+    return **spec;
 }
 
 std::vector<std::string>

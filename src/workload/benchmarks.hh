@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
+
 namespace libra
 {
 
@@ -110,7 +112,18 @@ struct BenchmarkSpec
 /** The full 32-entry suite, in suite order. */
 const std::vector<BenchmarkSpec> &benchmarkSuite();
 
-/** Look up one spec by abbreviation; fatal when unknown. */
+/**
+ * Look up one spec by abbreviation. Library entry point: unknown names
+ * return a NotFound Status (whose message lists the valid
+ * abbreviations) instead of killing the process.
+ */
+Result<const BenchmarkSpec *> tryFindBenchmark(const std::string &abbrev);
+
+/**
+ * Look up one spec by abbreviation; fatal when unknown. CLI-boundary
+ * convenience over tryFindBenchmark() for benches/examples where a
+ * typo should end the run.
+ */
 const BenchmarkSpec &findBenchmark(const std::string &abbrev);
 
 /** Abbreviations of the archetypes designed as memory-intensive. */

@@ -101,3 +101,20 @@ TEST(BenchmarksDeathTest, UnknownAbbrevIsFatal)
     EXPECT_EXIT(findBenchmark("nope"), ::testing::ExitedWithCode(1),
                 "unknown benchmark");
 }
+
+TEST(Benchmarks, TryFindKnownAbbrev)
+{
+    const Result<const BenchmarkSpec *> r = tryFindBenchmark("CCS");
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ((*r)->abbrev, "CCS");
+    EXPECT_EQ(*r, &findBenchmark("CCS"));
+}
+
+TEST(Benchmarks, TryFindUnknownAbbrevReturnsNotFound)
+{
+    const Result<const BenchmarkSpec *> r = tryFindBenchmark("nope");
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::NotFound);
+    // The message should help the caller: it lists the valid names.
+    EXPECT_NE(r.status().message().find("CCS"), std::string::npos);
+}

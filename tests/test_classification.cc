@@ -31,9 +31,9 @@ TEST(Classification, MemoryHeavyBeatsComputeHeavy)
 {
     // Representative pair: the flagship memory-intensive title versus
     // the flagship compute-intensive one.
-    const double ccs = memoryTimeFraction(findBenchmark("CCS"),
+    const double ccs = *memoryTimeFraction(findBenchmark("CCS"),
                                           smallBaseline(), 2);
-    const double gdl = memoryTimeFraction(findBenchmark("GDL"),
+    const double gdl = *memoryTimeFraction(findBenchmark("GDL"),
                                           smallBaseline(), 2);
     EXPECT_GT(ccs, gdl);
     // The paper's >=25% cut applies at FHD; at this reduced test
@@ -49,10 +49,10 @@ TEST(Classification, DesignClassesSeparateOnAverage)
     // must exceed the designed-compute mean.
     double mem_sum = 0.0, cmp_sum = 0.0;
     for (const char *name : {"SuS", "CoC"})
-        mem_sum += memoryTimeFraction(findBenchmark(name),
+        mem_sum += *memoryTimeFraction(findBenchmark(name),
                                       smallBaseline(), 2);
     for (const char *name : {"CrS", "PoG"})
-        cmp_sum += memoryTimeFraction(findBenchmark(name),
+        cmp_sum += *memoryTimeFraction(findBenchmark(name),
                                       smallBaseline(), 2);
     EXPECT_GT(mem_sum / 2.0, cmp_sum / 2.0);
 }
@@ -66,8 +66,8 @@ TEST(Classification, ComputeAppsScaleWithCores)
         four.coresPerRu = 4;
         GpuConfig eight = smallBaseline();
         const BenchmarkSpec &spec = findBenchmark(name);
-        const RunResult r4 = runBenchmark(spec, four, 2);
-        const RunResult r8 = runBenchmark(spec, eight, 2);
+        const RunResult r4 = runBenchmark(spec, four, 2).value();
+        const RunResult r8 = runBenchmark(spec, eight, 2).value();
         return static_cast<double>(r4.totalCycles())
             / static_cast<double>(r8.totalCycles());
     };

@@ -89,8 +89,57 @@ TEST(Cli, DoubleParsing)
     EXPECT_DOUBLE_EQ(args.getDouble("threshold", 0.0), 0.25);
 }
 
+TEST(Cli, NegativeAndHexIntegers)
+{
+    const auto args = parse({"--a", "-3", "--b", "0x10"}, {"a", "b"});
+    EXPECT_EQ(args.getInt("a", 0), -3);
+    EXPECT_EQ(args.getInt("b", 0), 16);
+}
+
 TEST(CliDeathTest, UnknownOptionIsFatal)
 {
     EXPECT_EXIT(parse({"--bogus", "1"}, {"frames"}),
                 ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(CliDeathTest, DuplicateOptionIsFatal)
+{
+    EXPECT_EXIT(parse({"--frames", "2", "--frames", "3"}, {"frames"}),
+                ::testing::ExitedWithCode(1), "duplicate option");
+}
+
+TEST(CliDeathTest, MalformedIntegerIsFatal)
+{
+    const auto args = parse({"--frames", "abc"}, {"frames"});
+    EXPECT_EXIT((void)args.getInt("frames", 0),
+                ::testing::ExitedWithCode(1), "expected an integer");
+}
+
+TEST(CliDeathTest, TrailingGarbageIntegerIsFatal)
+{
+    const auto args = parse({"--frames=12x"}, {"frames"});
+    EXPECT_EXIT((void)args.getInt("frames", 0),
+                ::testing::ExitedWithCode(1), "expected an integer");
+}
+
+TEST(CliDeathTest, IntegerOverflowIsFatal)
+{
+    const auto args =
+        parse({"--frames", "99999999999999999999999"}, {"frames"});
+    EXPECT_EXIT((void)args.getInt("frames", 0),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(CliDeathTest, MalformedDoubleIsFatal)
+{
+    const auto args = parse({"--threshold", "0.5oops"}, {"threshold"});
+    EXPECT_EXIT((void)args.getDouble("threshold", 0.0),
+                ::testing::ExitedWithCode(1), "expected a number");
+}
+
+TEST(CliDeathTest, BareFlagReadAsIntegerStaysValid)
+{
+    // A bare "--flag" stores "1", which still parses as an integer.
+    const auto args = parse({"--full"}, {"full"});
+    EXPECT_EQ(args.getInt("full", 0), 1);
 }

@@ -116,7 +116,7 @@ TEST(FbCompression, ReducesFrameBufferTraffic)
     auto writes_of = [&](double ratio) {
         GpuConfig cfg = sized(GpuConfig::baseline(4));
         cfg.fbCompressionRatio = ratio;
-        const RunResult r = runBenchmark(spec, cfg, 2);
+        const RunResult r = runBenchmark(spec, cfg, 2).value();
         return r.frames.back().dramWrites;
     };
     const auto full = writes_of(1.0);
@@ -151,7 +151,7 @@ TEST(Scanline, MortonAtLeastAsCacheFriendly)
     GpuConfig morton = sized(GpuConfig::ptr(2, 4));
     GpuConfig scan = morton;
     scan.sched.policy = SchedulerPolicy::Scanline;
-    const RunResult rm = runBenchmark(spec, morton, 3);
-    const RunResult rs = runBenchmark(spec, scan, 3);
+    const RunResult rm = runBenchmark(spec, morton, 3).value();
+    const RunResult rs = runBenchmark(spec, scan, 3).value();
     EXPECT_GE(rm.textureHitRatio() + 0.02, rs.textureHitRatio());
 }

@@ -45,10 +45,10 @@ TEST(FrameTrace, RoundTripIsLossless)
 {
     const TracePath path;
     const Scene scene(findBenchmark("CCS"), 640, 384);
-    ASSERT_TRUE(writeTrace(path, scene, 3, 2));
+    ASSERT_TRUE(writeTrace(path, scene, 3, 2).isOk());
 
     FrameTrace trace;
-    ASSERT_TRUE(trace.load(path));
+    ASSERT_TRUE(trace.load(path).isOk());
     EXPECT_EQ(trace.screenWidth(), 640u);
     EXPECT_EQ(trace.screenHeight(), 384u);
     EXPECT_EQ(trace.frameCount(), 2u);
@@ -86,9 +86,9 @@ TEST(FrameTrace, TexturePoolReconstructedIdentically)
 {
     const TracePath path;
     const Scene scene(findBenchmark("SuS"), 640, 384);
-    ASSERT_TRUE(writeTrace(path, scene, 0, 1));
+    ASSERT_TRUE(writeTrace(path, scene, 0, 1).isOk());
     FrameTrace trace;
-    ASSERT_TRUE(trace.load(path));
+    ASSERT_TRUE(trace.load(path).isOk());
     for (std::uint32_t i = 0; i < scene.textures().count(); ++i) {
         const Texture &a = scene.textures().get(i);
         const Texture &b = trace.textures().get(i);
@@ -105,9 +105,9 @@ TEST(FrameTrace, ReplayMatchesDirectSimulation)
 {
     const TracePath path;
     const Scene scene(findBenchmark("CoC"), 512, 288);
-    ASSERT_TRUE(writeTrace(path, scene, 0, 2));
+    ASSERT_TRUE(writeTrace(path, scene, 0, 2).isOk());
     FrameTrace trace;
-    ASSERT_TRUE(trace.load(path));
+    ASSERT_TRUE(trace.load(path).isOk());
 
     GpuConfig cfg = GpuConfig::libra(2, 4);
     cfg.screenWidth = 512;
@@ -130,7 +130,7 @@ TEST(FrameTrace, ReplayMatchesDirectSimulation)
 TEST(FrameTrace, MissingFileFailsGracefully)
 {
     FrameTrace trace;
-    EXPECT_FALSE(trace.load("/tmp/nonexistent_libra_trace.ltrc"));
+    EXPECT_FALSE(trace.load("/tmp/nonexistent_libra_trace.ltrc").isOk());
 }
 
 TEST(FrameTrace, RejectsGarbage)
@@ -141,7 +141,7 @@ TEST(FrameTrace, RejectsGarbage)
     std::fputs("definitely not a trace file", fp);
     std::fclose(fp);
     FrameTrace trace;
-    EXPECT_FALSE(trace.load(std::string(path)));
+    EXPECT_FALSE(trace.load(std::string(path)).isOk());
 }
 
 TEST(FrameTrace, InMemorySetWorks)

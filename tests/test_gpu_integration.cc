@@ -119,7 +119,7 @@ TEST(GpuIntegration, IdealMemoryIsFaster)
 
 TEST(GpuIntegration, MemoryTimeFractionSane)
 {
-    const double frac = memoryTimeFraction(findBenchmark("CCS"),
+    const double frac = *memoryTimeFraction(findBenchmark("CCS"),
                                            sized(GpuConfig::baseline(8)),
                                            2);
     EXPECT_GT(frac, 0.0);

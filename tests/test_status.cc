@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the recoverable-error layer: Status and Result<T>.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hh"
+
+using namespace libra;
+
+TEST(Status, DefaultIsOk)
+{
+    const Status st;
+    EXPECT_TRUE(st.isOk());
+    EXPECT_TRUE(static_cast<bool>(st));
+    EXPECT_EQ(st.code(), ErrorCode::Ok);
+    EXPECT_EQ(st.message(), "");
+    EXPECT_EQ(st.toString(), "ok");
+}
+
+TEST(Status, OkFactoryMatchesDefault)
+{
+    EXPECT_TRUE(Status::ok().isOk());
+    EXPECT_EQ(Status::ok().code(), ErrorCode::Ok);
+}
+
+TEST(Status, ErrorCarriesCodeAndFormattedMessage)
+{
+    const Status st =
+        Status::error(ErrorCode::CorruptData, "bad count ", 42);
+    EXPECT_FALSE(st.isOk());
+    EXPECT_FALSE(static_cast<bool>(st));
+    EXPECT_EQ(st.code(), ErrorCode::CorruptData);
+    EXPECT_EQ(st.message(), "bad count 42");
+    EXPECT_EQ(st.toString(), "corrupt data: bad count 42");
+}
+
+TEST(Status, EveryCodeHasAName)
+{
+    for (const ErrorCode code :
+         {ErrorCode::Ok, ErrorCode::InvalidArgument, ErrorCode::NotFound,
+          ErrorCode::IoError, ErrorCode::CorruptData,
+          ErrorCode::WatchdogExpired, ErrorCode::NoProgress,
+          ErrorCode::FailedPrecondition}) {
+        EXPECT_STRNE(errorCodeName(code), "");
+        EXPECT_STRNE(errorCodeName(code), "?");
+    }
+}
+
+TEST(Result, HoldsValue)
+{
+    const Result<int> r(7);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_TRUE(r.status().isOk());
+    EXPECT_EQ(r.value(), 7);
+    EXPECT_EQ(*r, 7);
+}
+
+TEST(Result, HoldsError)
+{
+    const Result<int> r =
+        Status::error(ErrorCode::NotFound, "no such thing");
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::NotFound);
+    EXPECT_EQ(r.status().message(), "no such thing");
+}
+
+TEST(Result, MoveOnlyValueWorks)
+{
+    // Result must not require copyable T.
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+    ASSERT_TRUE(r.isOk());
+    const std::unique_ptr<int> owned = std::move(*r);
+    EXPECT_EQ(*owned, 9);
+}
+
+TEST(Result, ArrowOperatorReachesMembers)
+{
+    Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Result, StatusPropagationViaImplicitConversion)
+{
+    // `return st;` inside a Result-returning function must compile and
+    // carry the error through, the way the loaders use it.
+    auto inner = []() -> Status {
+        return Status::error(ErrorCode::IoError, "disk on fire");
+    };
+    auto outer = [&]() -> Result<double> {
+        if (Status st = inner(); !st.isOk())
+            return st;
+        return 1.0;
+    };
+    const Result<double> r = outer();
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::IoError);
+}
+
+TEST(ResultDeathTest, ValueOnErrorIsACallerBug)
+{
+    const Result<int> r = Status::error(ErrorCode::NotFound, "gone");
+    EXPECT_DEATH({ (void)r.value(); }, "value\\(\\) on error Result");
+}
