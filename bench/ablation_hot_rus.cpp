@@ -26,21 +26,39 @@ main(int argc, char **argv)
                + " Raster Units (vs equal-core baseline)");
         Table table({"bench", "1 hot", "2 hot",
                      rus == 4 ? "3 hot" : "-"});
-        std::vector<std::vector<double>> gains(3);
+
+        Sweep sweep(opt);
+        struct Handles
+        {
+            std::size_t base = 0;
+            std::size_t hot[3] = {0, 0, 0};
+        };
+        std::vector<Handles> handles;
         for (const auto &name : opt.benchmarks) {
             const BenchmarkSpec &spec = findBenchmark(name);
-            const RunResult base = mustRun(
-                spec, sized(GpuConfig::baseline(4 * rus), opt),
-                opt.frames);
-            std::vector<std::string> row{name};
+            Handles h;
+            h.base = sweep.add(spec,
+                               sized(GpuConfig::baseline(4 * rus), opt),
+                               opt.frames);
+            for (std::uint32_t hot = 1; hot <= 3 && hot < rus; ++hot) {
+                GpuConfig cfg = sized(GpuConfig::libra(rus, 4), opt);
+                cfg.sched.hotRasterUnits = hot;
+                h.hot[hot - 1] = sweep.add(spec, cfg, opt.frames);
+            }
+            handles.push_back(h);
+        }
+        sweep.run();
+
+        std::vector<std::vector<double>> gains(3);
+        for (std::size_t b = 0; b < opt.benchmarks.size(); ++b) {
+            const RunResult &base = sweep[handles[b].base];
+            std::vector<std::string> row{opt.benchmarks[b]};
             for (std::uint32_t hot = 1; hot <= 3; ++hot) {
                 if (hot >= rus) {
                     row.push_back("-");
                     continue;
                 }
-                GpuConfig cfg = sized(GpuConfig::libra(rus, 4), opt);
-                cfg.sched.hotRasterUnits = hot;
-                const RunResult r = mustRun(spec, cfg, opt.frames);
+                const RunResult &r = sweep[handles[b].hot[hot - 1]];
                 const double gain = steadySpeedup(base, r) - 1.0;
                 gains[hot - 1].push_back(gain);
                 row.push_back(Table::pct(gain));

@@ -62,15 +62,28 @@ main(int argc, char **argv)
         variants.push_back({"LIBRA + TE + AFBC", both});
     }
 
+    Sweep sweep(opt);
+    std::vector<std::vector<std::size_t>> handles;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
+        std::vector<std::size_t> per_variant;
+        for (const auto &variant : variants) {
+            per_variant.push_back(
+                sweep.add(spec, sized(variant.cfg, opt), opt.frames));
+        }
+        handles.push_back(std::move(per_variant));
+    }
+    sweep.run();
+
+    for (std::size_t b = 0; b < opt.benchmarks.size(); ++b) {
+        const BenchmarkSpec &spec = findBenchmark(opt.benchmarks[b]);
         banner("Ablation: " + spec.title);
         Table table({"variant", "cycles/frame", "speedup vs PTR",
                      "dram MB/f", "dram lat"});
         double ptr_cycles = 0.0;
-        for (const auto &variant : variants) {
-            const RunResult r = mustRun(
-                spec, sized(variant.cfg, opt), opt.frames);
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            const auto &variant = variants[v];
+            const RunResult &r = sweep[handles[b][v]];
             const double cyc =
                 static_cast<double>(steadyCycles(r))
                 / static_cast<double>(r.frames.size() - 1);

@@ -8,6 +8,8 @@
  *   --benchmarks a,b,c    explicit benchmark subset
  *   --full                paper-scale: FHD, 25 frames, whole suite
  *   --csv                 emit CSV instead of aligned tables
+ *   --jobs N              parallel simulations (default: all cores)
+ *   --outdir DIR          where image/trace artifacts go (bench_out/)
  *
  * Default runs use a representative subset at reduced resolution so the
  * whole bench directory executes in minutes; --full reproduces the
@@ -18,13 +20,16 @@
 #define LIBRA_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/cli.hh"
 #include "common/log.hh"
 #include "gpu/runner.hh"
+#include "sim/sweep.hh"
 #include "trace/report.hh"
 #include "workload/benchmarks.hh"
 
@@ -39,6 +44,8 @@ struct BenchOptions
     std::vector<std::string> benchmarks;
     bool csv = false;
     bool full = false;
+    unsigned jobs = 0; //!< parallel simulations; 0 = hardware threads
+    std::string outdir = "bench_out"; //!< image/trace artifacts
 };
 
 /** Reduced default subsets keeping the default runtime small. */
@@ -60,8 +67,9 @@ parseBenchOptions(int argc, char **argv,
                   std::vector<std::string> full_benchmarks,
                   const std::vector<std::string> &extra_options = {})
 {
-    std::vector<std::string> known{"frames", "width", "height",
-                                   "benchmarks", "full", "csv"};
+    std::vector<std::string> known{"frames", "width",  "height",
+                                   "benchmarks", "full", "csv",
+                                   "jobs", "outdir"};
     known.insert(known.end(), extra_options.begin(),
                  extra_options.end());
     const CliArgs args(argc, argv, known);
@@ -85,9 +93,26 @@ parseBenchOptions(int argc, char **argv,
     if (args.has("benchmarks"))
         opt.benchmarks = args.getList("benchmarks");
     opt.csv = args.getBool("csv");
+    opt.jobs = static_cast<unsigned>(args.getInt(
+        "jobs", std::max(1u, std::thread::hardware_concurrency())));
+    if (opt.jobs == 0)
+        fatal("--jobs must be at least 1");
+    opt.outdir = args.get("outdir", opt.outdir);
 
     libra_assert(opt.frames >= 2, "benches need at least 2 frames");
     return opt;
+}
+
+/** Path for an output artifact: @p opt.outdir / @p filename, creating
+ *  the directory on first use (keeps .ppm dumps out of the CWD). */
+inline std::string
+outPath(const BenchOptions &opt, const std::string &filename)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(opt.outdir, ec);
+    if (ec)
+        fatal("cannot create --outdir ", opt.outdir, ": ", ec.message());
+    return (std::filesystem::path(opt.outdir) / filename).string();
 }
 
 /** Apply the bench's screen size to a config. */
@@ -124,6 +149,62 @@ mustMemoryTimeFraction(const BenchmarkSpec &spec, const GpuConfig &cfg,
         fatal(spec.abbrev, ": ", f.status().toString());
     return *f;
 }
+
+/**
+ * Batch of simulations executed in parallel (--jobs workers).
+ *
+ * Usage: enqueue every run with add() (recording the returned handles),
+ * call run() once, then read results by handle — they come back in
+ * submission order, bit-identical to a serial run, so the printing loop
+ * of each bench stays exactly as it was. Scenes are shared: N configs
+ * of one benchmark at one resolution build geometry/textures once.
+ *
+ * Like mustRun(), a failed job ends the process with the library's
+ * error message — the bench binaries are the CLI boundary.
+ */
+class Sweep
+{
+  public:
+    explicit Sweep(const BenchOptions &opt) : runner(opt.jobs) {}
+
+    /** Enqueue one run; returns its result handle. */
+    std::size_t
+    add(const BenchmarkSpec &spec, const GpuConfig &cfg,
+        std::uint32_t frames, std::uint32_t first_frame = 0)
+    {
+        libra_assert(results.empty(), "add() after run()");
+        jobs.push_back(SweepJob{&spec, cfg, frames, first_frame});
+        return jobs.size() - 1;
+    }
+
+    /** Run every queued job across the worker pool. */
+    void
+    run()
+    {
+        std::vector<Result<RunResult>> out =
+            runner.run(std::move(jobs), &scenes);
+        jobs.clear();
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (!out[i].isOk())
+                fatal("sweep job ", i, ": ", out[i].status().toString());
+        }
+        results = std::move(out);
+    }
+
+    /** Result of the job @p handle (valid after run()). */
+    const RunResult &
+    operator[](std::size_t handle) const
+    {
+        libra_assert(handle < results.size(), "bad sweep handle");
+        return *results[handle];
+    }
+
+  private:
+    SweepRunner runner;
+    SceneCache scenes;
+    std::vector<SweepJob> jobs;
+    std::vector<Result<RunResult>> results;
+};
 
 /**
  * Sum of cycles over the steady frames (frame 0 is cold: caches empty,

@@ -26,11 +26,19 @@ main(int argc, char **argv)
 
     banner("Figure 1: geometry vs raster time breakdown");
     Table table({"bench", "geometry", "raster"});
-    std::vector<double> raster_shares;
+    Sweep sweep(opt);
+    std::vector<std::size_t> handles;
     for (const auto &name : opt.benchmarks) {
-        const RunResult r = mustRun(
-            findBenchmark(name), sized(GpuConfig::baseline(8), opt),
-            opt.frames);
+        handles.push_back(sweep.add(findBenchmark(name),
+                                    sized(GpuConfig::baseline(8), opt),
+                                    opt.frames));
+    }
+    sweep.run();
+
+    std::vector<double> raster_shares;
+    for (std::size_t i = 0; i < opt.benchmarks.size(); ++i) {
+        const std::string &name = opt.benchmarks[i];
+        const RunResult &r = sweep[handles[i]];
         const double geom = static_cast<double>(r.totalGeomCycles());
         const double total = static_cast<double>(r.totalCycles());
         const double raster_share = (total - geom) / total;

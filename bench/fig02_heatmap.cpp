@@ -21,12 +21,22 @@ int
 main(int argc, char **argv)
 {
     const BenchOptions opt = parseBenchOptions(
-        argc, argv, {"SuS"}, {"SuS", "HCR"}, {"out"});
+        argc, argv, {"SuS"}, {"SuS", "HCR"});
 
+    Sweep sweep(opt);
+    std::vector<std::size_t> handles;
     for (const auto &name : opt.benchmarks) {
+        handles.push_back(sweep.add(findBenchmark(name),
+                                    sized(GpuConfig::baseline(8), opt),
+                                    2));
+    }
+    sweep.run();
+
+    for (std::size_t i = 0; i < opt.benchmarks.size(); ++i) {
+        const std::string &name = opt.benchmarks[i];
         const BenchmarkSpec &spec = findBenchmark(name);
         const GpuConfig cfg = sized(GpuConfig::baseline(8), opt);
-        const RunResult r = mustRun(spec, cfg, 2);
+        const RunResult &r = sweep[handles[i]];
         const FrameStats &fs = r.frames.back();
 
         const TileGrid grid(opt.width, opt.height, cfg.tileSize);
@@ -34,7 +44,8 @@ main(int argc, char **argv)
         banner("Figure 2: per-tile DRAM accesses, " + spec.title);
         std::fputs(heatmapAscii(grid, fs.tileDram).c_str(), stdout);
 
-        const std::string tile_path = "fig02_" + name + "_tile.ppm";
+        const std::string tile_path =
+            outPath(opt, "fig02_" + name + "_tile.ppm");
         writeHeatmapPpm(tile_path, grid, fs.tileDram);
         std::printf("wrote %s\n", tile_path.c_str());
 
@@ -50,7 +61,8 @@ main(int argc, char **argv)
 
         banner("Figure 9: aggregated at 4x4 supertiles");
         std::fputs(heatmapAscii(grid, smeared).c_str(), stdout);
-        const std::string st_path = "fig02_" + name + "_supertile.ppm";
+        const std::string st_path =
+            outPath(opt, "fig02_" + name + "_supertile.ppm");
         writeHeatmapPpm(st_path, grid, smeared);
         std::printf("wrote %s\n", st_path.c_str());
 

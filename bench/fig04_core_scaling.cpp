@@ -28,16 +28,25 @@ main(int argc, char **argv)
 
     banner("Figure 4: speedup of 8 cores over 4 cores (one RU)");
     Table table({"bench", "class", "4->8 core speedup"});
-    int below_150 = 0, below_110 = 0;
-    std::vector<double> speedups;
+    Sweep sweep(opt);
+    std::vector<std::pair<std::size_t, std::size_t>> handles;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        const RunResult four =
-            mustRun(spec, sized(GpuConfig::baseline(4), opt),
-                         opt.frames);
-        const RunResult eight =
-            mustRun(spec, sized(GpuConfig::baseline(8), opt),
-                         opt.frames);
+        handles.emplace_back(
+            sweep.add(spec, sized(GpuConfig::baseline(4), opt),
+                      opt.frames),
+            sweep.add(spec, sized(GpuConfig::baseline(8), opt),
+                      opt.frames));
+    }
+    sweep.run();
+
+    int below_150 = 0, below_110 = 0;
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < opt.benchmarks.size(); ++i) {
+        const std::string &name = opt.benchmarks[i];
+        const BenchmarkSpec &spec = findBenchmark(name);
+        const RunResult &four = sweep[handles[i].first];
+        const RunResult &eight = sweep[handles[i].second];
         const double s = steadySpeedup(four, eight);
         speedups.push_back(s);
         below_150 += s < 1.5;

@@ -11,6 +11,7 @@
  *     the PTR gain.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -35,15 +36,42 @@ main(int argc, char **argv)
     Table table({"bench", "memory time", "class(measured)",
                  "PTR speedup"});
 
-    std::vector<double> frac, ptr_speedup;
+    Sweep sweep(opt);
+    struct Handles
+    {
+        std::size_t real, ideal, ptr;
+    };
+    std::vector<Handles> handles;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
         const GpuConfig base = sized(GpuConfig::baseline(8), opt);
+        GpuConfig ideal = base;
+        ideal.idealMemory = true;
 
-        const double f = mustMemoryTimeFraction(spec, base, opt.frames);
-        const RunResult b = mustRun(spec, base, opt.frames);
-        const RunResult p = mustRun(
-            spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
+        Handles h;
+        h.real = sweep.add(spec, base, opt.frames);
+        h.ideal = sweep.add(spec, ideal, opt.frames);
+        h.ptr = sweep.add(spec, sized(GpuConfig::ptr(2, 4), opt),
+                          opt.frames);
+        handles.push_back(h);
+    }
+    sweep.run();
+
+    std::vector<double> frac, ptr_speedup;
+    for (std::size_t i = 0; i < opt.benchmarks.size(); ++i) {
+        const std::string &name = opt.benchmarks[i];
+        const RunResult &b = sweep[handles[i].real];
+        const RunResult &ideal = sweep[handles[i].ideal];
+        const RunResult &p = sweep[handles[i].ptr];
+
+        // Fig. 6a methodology (see memoryTimeFraction): time not
+        // explained by an ideal memory system is memory time.
+        const auto real_cycles = static_cast<double>(b.totalCycles());
+        const auto ideal_cycles =
+            static_cast<double>(ideal.totalCycles());
+        const double f = real_cycles <= 0.0
+            ? 0.0
+            : std::max(0.0, 1.0 - ideal_cycles / real_cycles);
         const double s = steadySpeedup(b, p);
         frac.push_back(f);
         ptr_speedup.push_back(s);

@@ -70,10 +70,14 @@ main(int argc, char **argv)
     const BenchmarkSpec &spec = findBenchmark(opt.benchmarks.front());
     const std::uint32_t frames = std::max(3u, std::min(opt.frames, 6u));
 
-    const RunResult ptr = mustRun(
-        spec, sized(GpuConfig::ptr(2, 4), opt), frames);
-    const RunResult lib = mustRun(
-        spec, sized(GpuConfig::libra(2, 4), opt), frames);
+    Sweep sweep(opt);
+    const std::size_t h_ptr =
+        sweep.add(spec, sized(GpuConfig::ptr(2, 4), opt), frames);
+    const std::size_t h_lib =
+        sweep.add(spec, sized(GpuConfig::libra(2, 4), opt), frames);
+    sweep.run();
+    const RunResult &ptr = sweep[h_ptr];
+    const RunResult &lib = sweep[h_lib];
 
     // Use the last frame: LIBRA's scheduler has history by then.
     const auto &tl_ptr = ptr.frames.back().dramTimeline;

@@ -25,13 +25,20 @@ main(int argc, char **argv)
     BenchOptions opt = parseBenchOptions(argc, argv, defaults, all);
     opt.frames = std::max(opt.frames, 4u);
 
+    Sweep sweep(opt);
+    std::vector<std::size_t> handles;
+    for (const auto &name : opt.benchmarks) {
+        handles.push_back(sweep.add(findBenchmark(name),
+                                    sized(GpuConfig::baseline(8), opt),
+                                    opt.frames));
+    }
+    sweep.run();
+
     // Per-tile relative deltas pooled over all benchmarks and frame
     // pairs.
     std::vector<double> deltas;
-    for (const auto &name : opt.benchmarks) {
-        const RunResult r = mustRun(
-            findBenchmark(name), sized(GpuConfig::baseline(8), opt),
-            opt.frames);
+    for (std::size_t i = 0; i < opt.benchmarks.size(); ++i) {
+        const RunResult &r = sweep[handles[i]];
         for (std::size_t f = 2; f < r.frames.size(); ++f) {
             const auto &prev = r.frames[f - 1].tileDram;
             const auto &cur = r.frames[f].tileDram;

@@ -28,14 +28,30 @@ main(int argc, char **argv)
             return fs.avgTextureLatency;
         });
     };
+    Sweep sweep(opt);
+    struct Handles
+    {
+        std::size_t base, ptr, lib;
+    };
+    std::vector<Handles> handles;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        const double base = lat(mustRun(
-            spec, sized(GpuConfig::baseline(8), opt), opt.frames));
-        const double ptr = lat(mustRun(
-            spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames));
-        const double lib = lat(mustRun(
-            spec, sized(GpuConfig::libra(2, 4), opt), opt.frames));
+        Handles h;
+        h.base = sweep.add(spec, sized(GpuConfig::baseline(8), opt),
+                           opt.frames);
+        h.ptr = sweep.add(spec, sized(GpuConfig::ptr(2, 4), opt),
+                          opt.frames);
+        h.lib = sweep.add(spec, sized(GpuConfig::libra(2, 4), opt),
+                          opt.frames);
+        handles.push_back(h);
+    }
+    sweep.run();
+
+    for (std::size_t i = 0; i < opt.benchmarks.size(); ++i) {
+        const std::string &name = opt.benchmarks[i];
+        const double base = lat(sweep[handles[i].base]);
+        const double ptr = lat(sweep[handles[i].ptr]);
+        const double lib = lat(sweep[handles[i].lib]);
         const double dp = 1.0 - ptr / base;
         const double dl = 1.0 - lib / base;
         dec_ptr.push_back(dp);

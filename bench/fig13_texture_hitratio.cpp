@@ -22,15 +22,31 @@ main(int argc, char **argv)
     banner("Figure 13: texture hit ratio and block replication");
     Table table({"bench", "base hit", "PTR hit", "LIBRA hit",
                  "PTR repl", "LIBRA repl"});
-    std::vector<double> hit_gain_ptr, hit_gain_libra, repl_red;
+    Sweep sweep(opt);
+    struct Handles
+    {
+        std::size_t base, ptr, lib;
+    };
+    std::vector<Handles> handles;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        const RunResult base = mustRun(
-            spec, sized(GpuConfig::baseline(8), opt), opt.frames);
-        const RunResult ptr = mustRun(
-            spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
-        const RunResult lib = mustRun(
-            spec, sized(GpuConfig::libra(2, 4), opt), opt.frames);
+        Handles h;
+        h.base = sweep.add(spec, sized(GpuConfig::baseline(8), opt),
+                           opt.frames);
+        h.ptr = sweep.add(spec, sized(GpuConfig::ptr(2, 4), opt),
+                          opt.frames);
+        h.lib = sweep.add(spec, sized(GpuConfig::libra(2, 4), opt),
+                          opt.frames);
+        handles.push_back(h);
+    }
+    sweep.run();
+
+    std::vector<double> hit_gain_ptr, hit_gain_libra, repl_red;
+    for (std::size_t i = 0; i < opt.benchmarks.size(); ++i) {
+        const std::string &name = opt.benchmarks[i];
+        const RunResult &base = sweep[handles[i].base];
+        const RunResult &ptr = sweep[handles[i].ptr];
+        const RunResult &lib = sweep[handles[i].lib];
 
         hit_gain_ptr.push_back(ptr.textureHitRatio()
                                - base.textureHitRatio());

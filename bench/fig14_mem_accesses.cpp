@@ -22,13 +22,23 @@ main(int argc, char **argv)
     banner("Figure 14: DRAM accesses, LIBRA normalized to PTR");
     Table table({"bench", "PTR accesses", "LIBRA accesses",
                  "normalized"});
-    std::vector<double> normalized;
+    Sweep sweep(opt);
+    std::vector<std::pair<std::size_t, std::size_t>> handles;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        const RunResult ptr = mustRun(
-            spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
-        const RunResult lib = mustRun(
-            spec, sized(GpuConfig::libra(2, 4), opt), opt.frames);
+        handles.emplace_back(
+            sweep.add(spec, sized(GpuConfig::ptr(2, 4), opt),
+                      opt.frames),
+            sweep.add(spec, sized(GpuConfig::libra(2, 4), opt),
+                      opt.frames));
+    }
+    sweep.run();
+
+    std::vector<double> normalized;
+    for (std::size_t i = 0; i < opt.benchmarks.size(); ++i) {
+        const std::string &name = opt.benchmarks[i];
+        const RunResult &ptr = sweep[handles[i].first];
+        const RunResult &lib = sweep[handles[i].second];
         const double ratio = static_cast<double>(lib.dramAccesses())
             / static_cast<double>(ptr.dramAccesses());
         normalized.push_back(ratio);

@@ -26,22 +26,41 @@ main(int argc, char **argv)
     std::vector<std::vector<double>> static_gain(sizes.size());
     std::vector<double> libra_gain;
 
+    Sweep sweep(opt);
+    struct Handles
+    {
+        std::size_t ptr, lib;
+        std::vector<std::size_t> statics;
+    };
+    std::vector<Handles> handles;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        const RunResult ptr = mustRun(
-            spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
+        Handles h;
+        h.ptr = sweep.add(spec, sized(GpuConfig::ptr(2, 4), opt),
+                          opt.frames);
+        for (const std::uint32_t size : sizes) {
+            h.statics.push_back(sweep.add(
+                spec, sized(GpuConfig::staticSupertile(size), opt),
+                opt.frames));
+        }
+        h.lib = sweep.add(spec, sized(GpuConfig::libra(2, 4), opt),
+                          opt.frames);
+        handles.push_back(std::move(h));
+    }
+    sweep.run();
+
+    for (std::size_t b = 0; b < opt.benchmarks.size(); ++b) {
+        const std::string &name = opt.benchmarks[b];
+        const RunResult &ptr = sweep[handles[b].ptr];
 
         std::vector<std::string> row{name};
         for (std::size_t i = 0; i < sizes.size(); ++i) {
-            const RunResult st = mustRun(
-                spec, sized(GpuConfig::staticSupertile(sizes[i]), opt),
-                opt.frames);
+            const RunResult &st = sweep[handles[b].statics[i]];
             const double gain = steadySpeedup(ptr, st) - 1.0;
             static_gain[i].push_back(gain);
             row.push_back(Table::pct(gain));
         }
-        const RunResult lib = mustRun(
-            spec, sized(GpuConfig::libra(2, 4), opt), opt.frames);
+        const RunResult &lib = sweep[handles[b].lib];
         const double lg = steadySpeedup(ptr, lib) - 1.0;
         libra_gain.push_back(lg);
         row.push_back(Table::pct(lg));

@@ -21,15 +21,31 @@ main(int argc, char **argv)
 
     banner("Figure 17: speedup w.r.t. baseline (compute-intensive)");
     Table table({"bench", "PTR", "LIBRA", "scheduler extra"});
-    std::vector<double> ptr_s, libra_s;
+    Sweep sweep(opt);
+    struct Handles
+    {
+        std::size_t base, ptr, lib;
+    };
+    std::vector<Handles> handles;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        const RunResult base = mustRun(
-            spec, sized(GpuConfig::baseline(8), opt), opt.frames);
-        const RunResult ptr = mustRun(
-            spec, sized(GpuConfig::ptr(2, 4), opt), opt.frames);
-        const RunResult lib = mustRun(
-            spec, sized(GpuConfig::libra(2, 4), opt), opt.frames);
+        Handles h;
+        h.base = sweep.add(spec, sized(GpuConfig::baseline(8), opt),
+                           opt.frames);
+        h.ptr = sweep.add(spec, sized(GpuConfig::ptr(2, 4), opt),
+                          opt.frames);
+        h.lib = sweep.add(spec, sized(GpuConfig::libra(2, 4), opt),
+                          opt.frames);
+        handles.push_back(h);
+    }
+    sweep.run();
+
+    std::vector<double> ptr_s, libra_s;
+    for (std::size_t i = 0; i < opt.benchmarks.size(); ++i) {
+        const std::string &name = opt.benchmarks[i];
+        const RunResult &base = sweep[handles[i].base];
+        const RunResult &ptr = sweep[handles[i].ptr];
+        const RunResult &lib = sweep[handles[i].lib];
         const double sp = steadySpeedup(base, ptr);
         const double sl = steadySpeedup(base, lib);
         ptr_s.push_back(sp);

@@ -25,16 +25,27 @@ main(int argc, char **argv)
     Table table({"bench", "2 RUs", "3 RUs", "4 RUs"});
     std::vector<std::vector<double>> gains(ru_counts.size());
 
+    Sweep sweep(opt);
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> handles;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        std::vector<std::string> row{name};
+        std::vector<std::pair<std::size_t, std::size_t>> per_ru;
+        for (const std::uint32_t rus : ru_counts) {
+            per_ru.emplace_back(
+                sweep.add(spec, sized(GpuConfig::baseline(4 * rus), opt),
+                          opt.frames),
+                sweep.add(spec, sized(GpuConfig::libra(rus, 4), opt),
+                          opt.frames));
+        }
+        handles.push_back(std::move(per_ru));
+    }
+    sweep.run();
+
+    for (std::size_t b = 0; b < opt.benchmarks.size(); ++b) {
+        std::vector<std::string> row{opt.benchmarks[b]};
         for (std::size_t i = 0; i < ru_counts.size(); ++i) {
-            const std::uint32_t rus = ru_counts[i];
-            const RunResult base = mustRun(
-                spec, sized(GpuConfig::baseline(4 * rus), opt),
-                opt.frames);
-            const RunResult lib = mustRun(
-                spec, sized(GpuConfig::libra(rus, 4), opt), opt.frames);
+            const RunResult &base = sweep[handles[b][i].first];
+            const RunResult &lib = sweep[handles[b][i].second];
             const double gain = steadySpeedup(base, lib) - 1.0;
             gains[i].push_back(gain);
             row.push_back(Table::pct(gain));

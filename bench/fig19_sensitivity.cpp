@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include <map>
+#include <vector>
 
 #include "bench_common.hh"
 
@@ -21,34 +22,13 @@ using namespace libra::bench;
 namespace
 {
 
-/** Baselines are threshold-independent: run them once per benchmark. */
-std::map<std::string, std::uint64_t> baselineCycles;
-
-void
-primeBaselines(const BenchOptions &opt)
+GpuConfig
+libraWith(const BenchOptions &opt, const SchedulerConfig &sched)
 {
-    for (const auto &name : opt.benchmarks) {
-        const RunResult base = mustRun(
-            findBenchmark(name), sized(GpuConfig::baseline(8), opt),
-            opt.frames);
-        baselineCycles[name] = steadyCycles(base);
-    }
-}
-
-double
-averageSpeedup(const BenchOptions &opt, const SchedulerConfig &sched)
-{
-    std::vector<double> speedups;
-    for (const auto &name : opt.benchmarks) {
-        GpuConfig cfg = sized(GpuConfig::libra(2, 4), opt);
-        cfg.sched = sched;
-        cfg.sched.policy = SchedulerPolicy::Libra;
-        const RunResult lib = mustRun(findBenchmark(name), cfg,
-                                           opt.frames);
-        speedups.push_back(static_cast<double>(baselineCycles[name])
-                           / static_cast<double>(steadyCycles(lib)));
-    }
-    return mean(speedups);
+    GpuConfig cfg = sized(GpuConfig::libra(2, 4), opt);
+    cfg.sched = sched;
+    cfg.sched.policy = SchedulerPolicy::Libra;
+    return cfg;
 }
 
 } // namespace
@@ -59,17 +39,65 @@ main(int argc, char **argv)
     // Sensitivity sweeps are expensive; default to a small subset.
     const BenchOptions opt = parseBenchOptions(
         argc, argv, {"CCS", "SuS", "GDL"}, defaultMemorySubset());
-    primeBaselines(opt);
+
+    const std::vector<double> resize_thrs{0.0, 0.0025, 0.005, 0.01,
+                                          0.02, 0.05, 0.15, 0.30};
+    const std::vector<double> order_thrs{0.0, 0.01, 0.02, 0.03, 0.04,
+                                         0.06, 0.10};
+
+    // One sweep covers everything: the per-benchmark baselines (they
+    // are threshold-independent, so one run each) plus every
+    // (threshold, benchmark) LIBRA variant of both sub-figures.
+    Sweep sweep(opt);
+    std::map<std::string, std::size_t> h_base;
+    std::vector<std::vector<std::size_t>> h_resize(resize_thrs.size());
+    std::vector<std::vector<std::size_t>> h_order(order_thrs.size());
+    for (const auto &name : opt.benchmarks) {
+        h_base[name] = sweep.add(findBenchmark(name),
+                                 sized(GpuConfig::baseline(8), opt),
+                                 opt.frames);
+    }
+    for (std::size_t i = 0; i < resize_thrs.size(); ++i) {
+        SchedulerConfig sched;
+        sched.resizeThreshold = resize_thrs[i];
+        for (const auto &name : opt.benchmarks) {
+            h_resize[i].push_back(sweep.add(findBenchmark(name),
+                                            libraWith(opt, sched),
+                                            opt.frames));
+        }
+    }
+    for (std::size_t i = 0; i < order_thrs.size(); ++i) {
+        SchedulerConfig sched;
+        sched.orderSwitchThreshold = order_thrs[i];
+        for (const auto &name : opt.benchmarks) {
+            h_order[i].push_back(sweep.add(findBenchmark(name),
+                                           libraWith(opt, sched),
+                                           opt.frames));
+        }
+    }
+    sweep.run();
+
+    std::map<std::string, std::uint64_t> baseline_cycles;
+    for (const auto &name : opt.benchmarks)
+        baseline_cycles[name] = steadyCycles(sweep[h_base[name]]);
+
+    auto average_speedup = [&](const std::vector<std::size_t> &hs) {
+        std::vector<double> speedups;
+        for (std::size_t b = 0; b < opt.benchmarks.size(); ++b) {
+            const std::string &name = opt.benchmarks[b];
+            speedups.push_back(
+                static_cast<double>(baseline_cycles[name])
+                / static_cast<double>(steadyCycles(sweep[hs[b]])));
+        }
+        return mean(speedups);
+    };
 
     banner("Figure 19a: supertile resize threshold sweep");
     {
         Table table({"threshold", "avg LIBRA speedup"});
-        for (const double thr : {0.0, 0.0025, 0.005, 0.01, 0.02, 0.05,
-                                 0.15, 0.30}) {
-            SchedulerConfig sched;
-            sched.resizeThreshold = thr;
-            table.addRow({Table::pct(thr),
-                          Table::num(averageSpeedup(opt, sched), 3)});
+        for (std::size_t i = 0; i < resize_thrs.size(); ++i) {
+            table.addRow({Table::pct(resize_thrs[i]),
+                          Table::num(average_speedup(h_resize[i]), 3)});
         }
         printTable(table, opt);
         std::printf("paper: best at 0.25%%; flat beyond ~15%%\n");
@@ -78,12 +106,9 @@ main(int argc, char **argv)
     banner("Figure 19b: tile-order switch threshold sweep");
     {
         Table table({"threshold", "avg LIBRA speedup"});
-        for (const double thr : {0.0, 0.01, 0.02, 0.03, 0.04, 0.06,
-                                 0.10}) {
-            SchedulerConfig sched;
-            sched.orderSwitchThreshold = thr;
-            table.addRow({Table::pct(thr),
-                          Table::num(averageSpeedup(opt, sched), 3)});
+        for (std::size_t i = 0; i < order_thrs.size(); ++i) {
+            table.addRow({Table::pct(order_thrs[i]),
+                          Table::num(average_speedup(h_order[i]), 3)});
         }
         printTable(table, opt);
         std::printf("paper: best at 3%%; flat beyond ~4%%\n");

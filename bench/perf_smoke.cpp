@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Perf-regression smoke test: a fixed, pinned workload whose numbers
+ * are comparable across commits.
+ *
+ * Two measurements:
+ *   - event-loop hot path: one Gpu instance renders a pinned scene and
+ *     we report simulator events per wall-clock second;
+ *   - sweep throughput: the same jobs pushed through SweepRunner, to
+ *     catch regressions in the parallel harness itself.
+ *
+ * Results land in BENCH_sweep.json (override with --out FILE) so CI can
+ * archive them per commit and trend them. The workload is deliberately
+ * NOT configurable beyond --frames/--jobs: changing it breaks
+ * comparability across history.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/log.hh"
+#include "gpu/gpu.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/runner.hh"
+#include "sim/sweep.hh"
+#include "workload/benchmarks.hh"
+#include "workload/scene.hh"
+
+using namespace libra;
+
+namespace
+{
+
+// The pinned workload. Do not change casually: historical
+// BENCH_sweep.json files stop being comparable.
+constexpr const char *kBenchmark = "CCS";
+constexpr std::uint32_t kWidth = 960;
+constexpr std::uint32_t kHeight = 544;
+
+double
+seconds(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv, {"frames", "jobs", "out"});
+    const auto frames =
+        static_cast<std::uint32_t>(args.getInt("frames", 4));
+    const auto jobs = static_cast<unsigned>(args.getInt("jobs", 2));
+    const std::string out = args.get("out", "BENCH_sweep.json");
+    if (frames < 1)
+        fatal("--frames must be at least 1");
+
+    const BenchmarkSpec &spec = findBenchmark(kBenchmark);
+    const Scene scene(spec, kWidth, kHeight);
+
+    // --- Event-loop hot path: one simulation, events/sec. ------------
+    GpuConfig cfg = GpuConfig::libra(2, 4);
+    cfg.screenWidth = kWidth;
+    cfg.screenHeight = kHeight;
+
+    Gpu gpu(cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t f = 0; f < frames; ++f)
+        gpu.renderFrame(scene.frame(f), scene.textures());
+    const double sim_s = seconds(std::chrono::steady_clock::now() - t0);
+    const std::uint64_t events = gpu.eventQueue().eventsExecuted();
+    const double events_per_sec =
+        sim_s > 0.0 ? static_cast<double>(events) / sim_s : 0.0;
+
+    // --- Sweep throughput: the same workload through SweepRunner. ----
+    std::vector<SweepJob> sweep_jobs;
+    for (const std::uint32_t cores : {8u, 8u}) {
+        GpuConfig c = GpuConfig::baseline(cores);
+        c.screenWidth = kWidth;
+        c.screenHeight = kHeight;
+        sweep_jobs.push_back(SweepJob{&spec, c, frames, 0});
+    }
+    {
+        GpuConfig c = cfg;
+        sweep_jobs.push_back(SweepJob{&spec, c, frames, 0});
+        c.sched.policy = SchedulerPolicy::Scanline;
+        sweep_jobs.push_back(SweepJob{&spec, c, frames, 0});
+    }
+    const std::size_t n_jobs = sweep_jobs.size();
+
+    SweepRunner runner(jobs);
+    SceneCache scenes;
+    const auto t1 = std::chrono::steady_clock::now();
+    std::vector<Result<RunResult>> results =
+        runner.run(std::move(sweep_jobs), &scenes);
+    const double sweep_s =
+        seconds(std::chrono::steady_clock::now() - t1);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].isOk())
+            fatal("sweep job ", i, ": ",
+                  results[i].status().toString());
+    }
+
+    // --- Report. -----------------------------------------------------
+    std::printf("perf_smoke: %s %ux%u, %u frame(s)\n", kBenchmark,
+                kWidth, kHeight, frames);
+    std::printf("  event loop : %llu events in %.3f s  "
+                "(%.3g events/s)\n",
+                static_cast<unsigned long long>(events), sim_s,
+                events_per_sec);
+    std::printf("  sweep      : %zu jobs, %u worker(s), %.3f s\n",
+                n_jobs, runner.workers(), sweep_s);
+
+    std::FILE *fp = std::fopen(out.c_str(), "w");
+    if (fp == nullptr)
+        fatal("cannot write ", out);
+    std::fprintf(fp,
+                 "{\n"
+                 "  \"benchmark\": \"%s\",\n"
+                 "  \"width\": %u,\n"
+                 "  \"height\": %u,\n"
+                 "  \"frames\": %u,\n"
+                 "  \"events\": %llu,\n"
+                 "  \"events_per_sec\": %.1f,\n"
+                 "  \"wall_time_s\": %.6f,\n"
+                 "  \"sweep_jobs\": %zu,\n"
+                 "  \"sweep_workers\": %u,\n"
+                 "  \"sweep_wall_time_s\": %.6f\n"
+                 "}\n",
+                 kBenchmark, kWidth, kHeight, frames,
+                 static_cast<unsigned long long>(events),
+                 events_per_sec, sim_s, n_jobs, runner.workers(),
+                 sweep_s);
+    std::fclose(fp);
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+}

@@ -28,16 +28,24 @@ main(int argc, char **argv)
     Table table({"abbr", "title", "genre", "class", "draws", "tris",
                  "footprint MB/frame"});
 
+    Sweep sweep(opt);
+    std::vector<std::size_t> handles;
+    for (const auto &name : opt.benchmarks) {
+        handles.push_back(sweep.add(findBenchmark(name),
+                                    sized(GpuConfig::baseline(8), opt),
+                                    frames));
+    }
+    sweep.run();
+
     double footprint_sum = 0.0;
     int measured = 0;
-    for (const auto &name : opt.benchmarks) {
+    for (std::size_t i = 0; i < opt.benchmarks.size(); ++i) {
+        const std::string &name = opt.benchmarks[i];
         const BenchmarkSpec &spec = findBenchmark(name);
         const Scene scene(spec, opt.width, opt.height);
         const FrameData frame = scene.frame(0);
 
-        const RunResult r =
-            mustRun(spec, sized(GpuConfig::baseline(8), opt),
-                         frames);
+        const RunResult &r = sweep[handles[i]];
         // Footprint: DRAM bytes touched per frame (reads + writes),
         // averaged over the steady frames.
         const double mb = steadyMean(r, [](const FrameStats &fs) {

@@ -137,7 +137,9 @@ Cache::handleFill(Addr line_addr, Tick when)
     const Tick done = when + config.hitLatency;
     for (auto &cb : slot.waiters) {
         if (cb)
-            queue.schedule(done, [cb = std::move(cb), done] { cb(done); });
+            queue.schedule(done, [cb = std::move(cb), done]() mutable {
+                cb(done);
+            });
     }
     slot.waiters.clear();
     slot.anyWrite = false;
@@ -171,19 +173,17 @@ Cache::accessImpl(MemReq req, bool is_retry)
         const std::size_t count =
             static_cast<std::size_t>((last_line - first_line)
                                      / config.lineBytes) + 1;
-        auto remaining = std::make_shared<std::size_t>(count);
-        auto latest = std::make_shared<Tick>(0);
-        auto cb = std::make_shared<MemCallback>(std::move(req.onComplete));
+        auto join = std::make_shared<SplitJoin>(
+            count, std::move(req.onComplete));
         for (Addr line = first_line; line <= last_line;
              line += config.lineBytes) {
-            MemReq part = req;
+            MemReq part;
             part.addr = line;
             part.size = config.lineBytes;
-            part.onComplete = [remaining, latest, cb](Tick when) {
-                *latest = std::max(*latest, when);
-                if (--*remaining == 0 && *cb)
-                    (*cb)(*latest);
-            };
+            part.write = req.write;
+            part.cls = req.cls;
+            part.tileTag = req.tileTag;
+            part.onComplete = splitJoinPart(join);
             accessImpl(std::move(part), is_retry);
         }
         return;
@@ -206,7 +206,9 @@ Cache::accessImpl(MemReq req, bool is_retry)
         if (req.onComplete) {
             const Tick done = start + config.hitLatency;
             auto cb = std::move(req.onComplete);
-            queue.schedule(done, [cb = std::move(cb), done] { cb(done); });
+            queue.schedule(done, [cb = std::move(cb), done]() mutable {
+                cb(done);
+            });
         }
         return;
     }
@@ -225,7 +227,9 @@ Cache::accessImpl(MemReq req, bool is_retry)
         if (req.onComplete) {
             const Tick done = start + config.hitLatency;
             auto cb = std::move(req.onComplete);
-            queue.schedule(done, [cb = std::move(cb), done] { cb(done); });
+            queue.schedule(done, [cb = std::move(cb), done]() mutable {
+                cb(done);
+            });
         }
         return;
     }

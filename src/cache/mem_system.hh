@@ -14,10 +14,11 @@
 #define LIBRA_CACHE_MEM_SYSTEM_HH
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "common/types.hh"
+#include "sim/callback.hh"
 #include "sim/event_queue.hh"
 
 namespace libra
@@ -38,8 +39,14 @@ constexpr Addr frameBufferBase = 0x8000'0000ull;   //!< final image
 
 } // namespace addr_map
 
-/** Completion callback; argument is the completion tick. */
-using MemCallback = std::function<void(Tick)>;
+/**
+ * Completion callback; argument is the completion tick. Move-only and
+ * allocation-free: 24 bytes of inline capture (e.g. an owner pointer
+ * plus a shared_ptr to per-request state) — enough for every producer
+ * in the tree, and small enough that the cache/DRAM completion wraps
+ * (callback + completion tick) still fit inside an EventCallback.
+ */
+using MemCallback = SmallCallback<void(Tick), 24>;
 
 /** A memory request traveling down the hierarchy. */
 struct MemReq
@@ -51,6 +58,35 @@ struct MemReq
     std::uint32_t tileTag = invalidId; //!< originating screen tile
     MemCallback onComplete;            //!< may be empty for posted writes
 };
+
+/**
+ * Fan-in state for requests split into multiple line-sized parts: the
+ * original callback fires once, when the last part completes, with the
+ * latest completion tick. One shared block per split request keeps the
+ * per-part capture to a single shared_ptr.
+ */
+struct SplitJoin
+{
+    SplitJoin(std::size_t count, MemCallback callback)
+        : remaining(count), cb(std::move(callback))
+    {}
+
+    std::size_t remaining;
+    Tick latest = 0;
+    MemCallback cb;
+};
+
+/** Completion callback for one part of a split request. */
+inline MemCallback
+splitJoinPart(const std::shared_ptr<SplitJoin> &join)
+{
+    return [join](Tick when) {
+        if (when > join->latest)
+            join->latest = when;
+        if (--join->remaining == 0 && join->cb)
+            join->cb(join->latest);
+    };
+}
 
 /** Anything that can accept memory requests. */
 class MemSink
@@ -87,7 +123,10 @@ class IdealMemory : public MemSink
         } else {
             auto cb = std::move(req.onComplete);
             const Tick done = queue.now() + lat;
-            queue.schedule(done, [cb = std::move(cb), done] { cb(done); });
+            queue.schedule(done,
+                           [cb = std::move(cb), done]() mutable {
+                               cb(done);
+                           });
         }
     }
 

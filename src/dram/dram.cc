@@ -92,16 +92,21 @@ Dram::enqueueLine(Addr addr, bool write, TrafficClass cls,
     req.onComplete = std::move(cb);
 
     // The controller/PHY pipeline delays visibility to the scheduler.
-    queue.scheduleAfter(config.ctrlLatency,
-                        [this, channel_idx,
-                         req = std::move(req)]() mutable {
-                            Channel &ch = channelState[channel_idx];
-                            auto &q = req.write ? ch.writeQ : ch.readQ;
-                            q.push_back(std::move(req));
-                            libra_assert(q.size() < 2'000'000,
-                                         "runaway DRAM queue");
-                            serviceChannel(channel_idx);
-                        });
+    // Every request crosses the pipe in exactly ctrlLatency cycles and
+    // same-tick events run in scheduling order, so the pipe drains
+    // strictly FIFO — the event only needs to capture `this`, keeping
+    // the request itself out of the (size-bounded) event capture.
+    ctrlPipe.push_back(CtrlEntry{channel_idx, std::move(req)});
+    queue.scheduleAfter(config.ctrlLatency, [this] {
+        libra_assert(!ctrlPipe.empty(), "DRAM ctrl pipe underflow");
+        CtrlEntry entry = std::move(ctrlPipe.front());
+        ctrlPipe.pop_front();
+        Channel &ch = channelState[entry.channel];
+        auto &q = entry.req.write ? ch.writeQ : ch.readQ;
+        q.push_back(std::move(entry.req));
+        libra_assert(q.size() < 2'000'000, "runaway DRAM queue");
+        serviceChannel(entry.channel);
+    });
 }
 
 Tick
@@ -156,7 +161,7 @@ Dram::issue(Channel &channel, Request &req)
     }
     if (req.onComplete) {
         auto cb = std::move(req.onComplete);
-        queue.schedule(complete, [cb = std::move(cb), complete] {
+        queue.schedule(complete, [cb = std::move(cb), complete]() mutable {
             cb(complete);
         });
     }
@@ -306,18 +311,13 @@ Dram::access(MemReq req)
 
     // Multi-line request: the caller's callback fires when the last
     // beat completes.
-    auto remaining = std::make_shared<std::size_t>(count);
-    auto latest = std::make_shared<Tick>(0);
-    auto cb = std::make_shared<MemCallback>(std::move(req.onComplete));
+    const bool wants_completion = static_cast<bool>(req.onComplete);
+    auto join = std::make_shared<SplitJoin>(count,
+                                            std::move(req.onComplete));
     for (Addr line = first_line; line <= last_line; ++line) {
         MemCallback part;
-        if (*cb) {
-            part = [remaining, latest, cb](Tick when) {
-                *latest = std::max(*latest, when);
-                if (--*remaining == 0)
-                    (*cb)(*latest);
-            };
-        }
+        if (wants_completion)
+            part = splitJoinPart(join);
         enqueueLine(line * config.lineBytes, req.write, req.cls,
                     req.tileTag, std::move(part));
     }

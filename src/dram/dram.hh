@@ -162,6 +162,13 @@ class Dram : public MemSink
         Tick wakeupAt = maxTick;
     };
 
+    /** A request crossing the fixed-latency controller/PHY pipeline. */
+    struct CtrlEntry
+    {
+        std::uint32_t channel;
+        Request req;
+    };
+
     /** Split an address into (channel, bank, row). */
     void mapAddress(Addr addr, std::uint32_t &channel, std::uint32_t &bank,
                     std::uint64_t &row) const;
@@ -185,7 +192,13 @@ class Dram : public MemSink
 
     EventQueue &queue;
     DramConfig config;
-    std::vector<Channel> channelState;
+    // deque, not vector: Channel holds move-only Requests and deque
+    // resize never relocates (vector::resize would require a copy ctor
+    // because deque's move is not noexcept).
+    std::deque<Channel> channelState;
+    /** FIFO of requests inside the controller pipeline (see
+     *  enqueueLine): drained front-first by the matching events. */
+    std::deque<CtrlEntry> ctrlPipe;
     std::function<void(const DramAccessInfo &)> observer;
     StatGroup statGroup{"dram"};
 };

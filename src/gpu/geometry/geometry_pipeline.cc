@@ -116,7 +116,7 @@ GeometryPipeline::startBinning()
                 const std::size_t end = std::min(begin + batch_size,
                                                  writes->size());
                 for (std::size_t i = begin; i < end; ++i)
-                    l2.access((*writes)[i]);
+                    l2.access(std::move((*writes)[i]));
             });
         }
     }

@@ -1,9 +1,9 @@
 #include "gpu/raster/raster_unit.hh"
 
 #include <algorithm>
-#include <sstream>
-
 #include <bit>
+#include <memory>
+#include <sstream>
 
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -187,6 +187,20 @@ RasterUnit::rasterizePrim(std::uint32_t prim_index)
 
 namespace
 {
+
+/**
+ * Snapshot of one tile flush in progress. Shared by the flush events so
+ * each captures only {this, fin} — inside the inline capacity of
+ * EventCallback/MemCallback.
+ */
+struct PendingFlush
+{
+    TileDoneInfo done;
+    std::shared_ptr<std::vector<std::uint64_t>> color;
+    Addr fbAddr = 0;
+    std::uint32_t bytes = 0;
+    TileId tile = 0;
+};
 
 /**
  * Frame-independent content hash of a primitive: identical geometry
@@ -416,40 +430,41 @@ RasterUnit::startFlush()
     flushBytes += elide ? 0 : bytes;
     ++tilesRendered;
 
-    auto color = config.captureImage
+    auto fin = std::make_shared<PendingFlush>();
+    fin->color = config.captureImage
         ? std::make_shared<std::vector<std::uint64_t>>(
               ctx->blender.colorBuffer())
         : nullptr;
-
-    TileDoneInfo done;
-    done.tile = tile;
-    done.instructions = ctx->instructions;
-    done.warps = ctx->warps;
-    done.fragments = ctx->fragments;
-    done.signature = ctx->signature;
-    done.flushElided = elide;
-    done.rect = rect;
-
-    const Addr fb_addr = addr_map::frameBufferBase
+    fin->done.tile = tile;
+    fin->done.instructions = ctx->instructions;
+    fin->done.warps = ctx->warps;
+    fin->done.fragments = ctx->fragments;
+    fin->done.signature = ctx->signature;
+    fin->done.flushElided = elide;
+    fin->done.rect = rect;
+    fin->bytes = bytes;
+    fin->tile = tile;
+    fin->fbAddr = addr_map::frameBufferBase
         + static_cast<Addr>(tile) * config.tileSize * config.tileSize * 4;
 
     if (elide) {
         ++flushesElided;
-        queue.schedule(start, [this, done, color] {
-            TileDoneInfo info = done;
+        queue.schedule(start, [this, fin] {
+            TileDoneInfo info = fin->done;
             info.flushedAt = queue.now();
-            info.colorBuffer = color ? color.get() : nullptr;
+            info.colorBuffer = fin->color ? fin->color.get() : nullptr;
             if (onTileDone)
                 onTileDone(info);
         });
     } else {
-        queue.schedule(start, [this, fb_addr, bytes, tile, done, color] {
+        queue.schedule(start, [this, fin] {
             fbSink.access(MemReq{
-                fb_addr, bytes, true, TrafficClass::FrameBuffer, tile,
-                [this, done, color](Tick when) {
-                    TileDoneInfo info = done;
+                fin->fbAddr, fin->bytes, true, TrafficClass::FrameBuffer,
+                fin->tile, [this, fin](Tick when) {
+                    TileDoneInfo info = fin->done;
                     info.flushedAt = when;
-                    info.colorBuffer = color ? color.get() : nullptr;
+                    info.colorBuffer =
+                        fin->color ? fin->color.get() : nullptr;
                     if (onTileDone)
                         onTileDone(info);
                 }});

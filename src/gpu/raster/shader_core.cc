@@ -8,6 +8,18 @@
 namespace libra
 {
 
+/** Shared mutable state for one in-flight warp. */
+struct ShaderCore::Flight
+{
+    WarpTask task;
+    std::function<void(const WarpRetireInfo &)> onRetire;
+    std::uint64_t outstanding = 0;
+    Tick issueTick = 0;     //!< tick the texture phase issued
+    Tick lastData = 0;
+    std::uint64_t latencySum = 0;
+    WarpRetireInfo info{};  //!< filled by finishWarp, read at retirement
+};
+
 ShaderCore::ShaderCore(EventQueue &eq, std::uint32_t warp_slots,
                        Cache &texture_l1, const std::string &name)
     : queue(eq), warpSlots(warp_slots), texL1(texture_l1)
@@ -38,46 +50,14 @@ ShaderCore::dispatch(WarpTask task,
     // arbitrating the issue port with the other resident warps.
     const Tick alu_done = reserveIssue(now, std::max<Tick>(1, task.aluOps));
 
-    // Shared mutable state for the in-flight texture phase.
-    struct Flight
-    {
-        WarpTask task;
-        std::function<void(const WarpRetireInfo &)> onRetire;
-        std::uint64_t outstanding = 0;
-        Tick lastData = 0;
-        std::uint64_t latencySum = 0;
-    };
     auto flight = std::make_shared<Flight>();
     flight->task = std::move(task);
     flight->onRetire = std::move(on_retire);
 
-    auto finish = [this, flight](Tick data_ready) {
-        // Tail block (color computation/export) re-arbitrates issue.
-        const Tick done = reserveIssue(data_ready, tailOps);
-        texRequests += flight->task.texLines.size();
-        texLatencySum += flight->latencySum;
-
-        WarpRetireInfo info;
-        info.tile = flight->task.tile;
-        info.shadedAt = done;
-        info.instructions = flight->task.instructions;
-        info.texRequests = flight->task.texLines.size();
-        info.texLatencySum = flight->latencySum;
-        info.quadCount = flight->task.quadCount;
-        info.fragments = flight->task.fragments;
-        info.blend = flight->task.blend;
-
-        queue.schedule(done, [this, flight, info] {
-            libra_assert(residentWarps > 0, "slot underflow");
-            --residentWarps;
-            flight->onRetire(info);
-        });
-    };
-
     if (flight->task.texLines.empty()) {
         // Pure-ALU warp: no texture phase.
-        queue.schedule(alu_done, [finish, alu_done]() mutable {
-            finish(alu_done);
+        queue.schedule(alu_done, [this, flight, alu_done] {
+            finishWarp(flight, alu_done);
         });
         return;
     }
@@ -85,19 +65,58 @@ ShaderCore::dispatch(WarpTask task,
     // Texture phase: issue every sample when the ALU block completes,
     // then block until the last one returns.
     flight->outstanding = flight->task.texLines.size();
-    queue.schedule(alu_done, [this, flight, finish] {
-        const Tick issue_tick = queue.now();
-        for (const Addr line : flight->task.texLines) {
-            texL1.access(MemReq{
-                line, 64, false, TrafficClass::Texture, flight->task.tile,
-                [flight, finish, issue_tick](Tick when) {
-                    flight->latencySum += when - issue_tick;
-                    flight->lastData = std::max(flight->lastData, when);
-                    if (--flight->outstanding == 0)
-                        finish(flight->lastData);
-                }});
-        }
-    });
+    queue.schedule(alu_done,
+                   [this, flight] { issueTexPhase(flight); });
+}
+
+void
+ShaderCore::issueTexPhase(const std::shared_ptr<Flight> &flight)
+{
+    flight->issueTick = queue.now();
+    for (const Addr line : flight->task.texLines) {
+        texL1.access(MemReq{
+            line, 64, false, TrafficClass::Texture, flight->task.tile,
+            [this, flight](Tick when) { onTexData(flight, when); }});
+    }
+}
+
+void
+ShaderCore::onTexData(const std::shared_ptr<Flight> &flight, Tick when)
+{
+    flight->latencySum += when - flight->issueTick;
+    flight->lastData = std::max(flight->lastData, when);
+    if (--flight->outstanding == 0)
+        finishWarp(flight, flight->lastData);
+}
+
+void
+ShaderCore::finishWarp(const std::shared_ptr<Flight> &flight,
+                       Tick data_ready)
+{
+    // Tail block (color computation/export) re-arbitrates issue.
+    const Tick done = reserveIssue(data_ready, tailOps);
+    texRequests += flight->task.texLines.size();
+    texLatencySum += flight->latencySum;
+
+    WarpRetireInfo &info = flight->info;
+    info.tile = flight->task.tile;
+    info.shadedAt = done;
+    info.instructions = flight->task.instructions;
+    info.texRequests = flight->task.texLines.size();
+    info.texLatencySum = flight->latencySum;
+    info.quadCount = flight->task.quadCount;
+    info.fragments = flight->task.fragments;
+    info.blend = flight->task.blend;
+
+    queue.schedule(done, [this, flight] { retireWarp(flight); });
+}
+
+void
+ShaderCore::retireWarp(const std::shared_ptr<Flight> &flight)
+{
+    libra_assert(residentWarps > 0, "slot underflow");
+    --residentWarps;
+    flight->onRetire(flight->info);
 }
 
 } // namespace libra

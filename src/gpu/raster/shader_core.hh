@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -88,8 +89,28 @@ class ShaderCore
     Counter texLatencySum;
 
   private:
+    /** Shared state of one in-flight warp (defined in shader_core.cc).
+     *  Everything the warp's events need lives here so each event
+     *  captures only {this, flight} — inside the inline capacity of
+     *  EventCallback/MemCallback. */
+    struct Flight;
+
     /** Reserve @p cycles of the issue port; returns completion tick. */
     Tick reserveIssue(Tick earliest, Tick cycles);
+
+    /** Issue every texture sample of @p flight to the L1. */
+    void issueTexPhase(const std::shared_ptr<Flight> &flight);
+
+    /** One texture line returned at @p when. */
+    void onTexData(const std::shared_ptr<Flight> &flight, Tick when);
+
+    /** Data complete at @p data_ready: run the tail block, schedule
+     *  retirement. */
+    void finishWarp(const std::shared_ptr<Flight> &flight,
+                    Tick data_ready);
+
+    /** Free the slot and fire the retire callback. */
+    void retireWarp(const std::shared_ptr<Flight> &flight);
 
     EventQueue &queue;
     std::uint32_t warpSlots;

@@ -125,20 +125,29 @@ RunResult::fps(double clock_hz) const
 }
 
 Result<RunResult>
-runBenchmark(const BenchmarkSpec &spec, const GpuConfig &cfg,
+runBenchmark(const Scene &scene, const GpuConfig &cfg,
              std::uint32_t frames, std::uint32_t first_frame)
 {
+    const BenchmarkSpec &spec = scene.spec();
     if (Status st = cfg.validate(); !st.isOk()) {
         return Status::error(st.code(), "benchmark ", spec.abbrev,
                              ": invalid GPU configuration: ",
                              st.message());
+    }
+    if (scene.screenWidth() != cfg.screenWidth
+        || scene.screenHeight() != cfg.screenHeight) {
+        return Status::error(ErrorCode::InvalidArgument, "benchmark ",
+                             spec.abbrev, ": scene built for ",
+                             scene.screenWidth(), "x",
+                             scene.screenHeight(),
+                             " does not match configured ",
+                             cfg.screenWidth, "x", cfg.screenHeight);
     }
 
     RunResult result;
     result.benchmark = spec.abbrev;
     result.config = cfg;
 
-    Scene scene(spec, cfg.screenWidth, cfg.screenHeight);
     auto gpu = std::make_unique<Gpu>(cfg);
     result.frames.reserve(frames);
     for (std::uint32_t f = 0; f < frames; ++f) {
@@ -162,6 +171,19 @@ runBenchmark(const BenchmarkSpec &spec, const GpuConfig &cfg,
         gpu = std::make_unique<Gpu>(cfg);
     }
     return result;
+}
+
+Result<RunResult>
+runBenchmark(const BenchmarkSpec &spec, const GpuConfig &cfg,
+             std::uint32_t frames, std::uint32_t first_frame)
+{
+    if (Status st = cfg.validate(); !st.isOk()) {
+        return Status::error(st.code(), "benchmark ", spec.abbrev,
+                             ": invalid GPU configuration: ",
+                             st.message());
+    }
+    const Scene scene(spec, cfg.screenWidth, cfg.screenHeight);
+    return runBenchmark(scene, cfg, frames, first_frame);
 }
 
 Result<double>
@@ -196,14 +218,22 @@ speedup(const RunResult &a, const RunResult &b)
 double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
+    // Non-positive entries (a zero-cycle run, a failed data point) are
+    // skipped with a warning instead of aborting: one bad sample should
+    // degrade the average, not kill a whole results table.
+    std::size_t used = 0;
     double log_sum = 0.0;
     for (const double v : values) {
-        libra_assert(v > 0.0, "geomean needs positive values");
+        if (!(v > 0.0)) {
+            warn("geomean: skipping non-positive value ", v);
+            continue;
+        }
         log_sum += std::log(v);
+        ++used;
     }
-    return std::exp(log_sum / static_cast<double>(values.size()));
+    if (used == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(used));
 }
 
 } // namespace libra

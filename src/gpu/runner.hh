@@ -65,6 +65,16 @@ Result<RunResult> runBenchmark(const BenchmarkSpec &spec,
                                std::uint32_t first_frame = 0);
 
 /**
+ * Same, over an already-built scene. @p scene must match the
+ * configuration's screen size; it is only read, so several runs (e.g.
+ * the configs of one sweep, possibly on different threads) can share
+ * one Scene instead of regenerating geometry and textures per config.
+ */
+Result<RunResult> runBenchmark(const Scene &scene, const GpuConfig &cfg,
+                               std::uint32_t frames,
+                               std::uint32_t first_frame = 0);
+
+/**
  * Fraction of execution time attributable to memory: 1 - ideal/real,
  * where "ideal" re-runs the same frames with every access hitting in L1
  * — the Fig. 6a methodology. The paper calls a benchmark

@@ -132,23 +132,25 @@ TileFetcher::issueBatch(std::uint32_t ru)
 
     struct Batch
     {
+        std::uint32_t ru = 0;
         std::uint32_t outstanding = 0;
         std::vector<std::uint32_t> prims;
     };
     auto state = std::make_shared<Batch>();
+    state->ru = ru;
     state->prims.assign(list.begin() + stream.idx,
                         list.begin() + stream.idx + batch);
     state->outstanding = 1 + batch; // list line + one record per prim
     stream.idx += batch;
 
-    auto on_part = [this, ru, state](Tick) {
+    auto on_part = [this, state](Tick) {
         if (--state->outstanding != 0)
             return;
-        Stream &s = streams[ru];
+        Stream &s = streams[state->ru];
         s.fetching = false;
         for (const std::uint32_t prim : state->prims)
             s.ready.push_back(prim);
-        pump(ru);
+        pump(state->ru);
     };
 
     ++listLineReads;

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Small-buffer-optimized, move-only callable — the event loop's
+ * replacement for std::function.
+ *
+ * A simulated FHD frame schedules hundreds of thousands of events, and
+ * with std::function every capture beyond the implementation's tiny
+ * internal buffer (16 bytes on libstdc++) is a heap allocation on the
+ * hottest path of the whole simulator. SmallCallback stores the callable
+ * inline, always: there is no heap fallback, so a capture that does not
+ * fit is a *compile-time* error at the schedule site instead of a silent
+ * allocation. Every in-tree schedule site is audited to fit (see the
+ * capacity notes on EventCallback / MemCallback below).
+ *
+ * Semantics:
+ *  - move-only (like the unique_function proposals); moving transfers
+ *    the callable, the moved-from callback becomes empty.
+ *  - the wrapped callable must be nothrow-move-constructible (events
+ *    relocate when the event-heap vector grows).
+ *  - invoking an empty callback is a simulator bug (asserted).
+ */
+
+#ifndef LIBRA_SIM_CALLBACK_HH
+#define LIBRA_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+template <typename Signature, std::size_t Capacity>
+class SmallCallback;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallCallback<R(Args...), Capacity>
+{
+  public:
+    SmallCallback() = default;
+    SmallCallback(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallCallback>
+                  && !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+    SmallCallback(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= Capacity,
+                      "capture too large for this SmallCallback: shrink "
+                      "the lambda's capture list (move shared state into "
+                      "one heap/shared_ptr block) or raise the capacity");
+        static_assert(alignof(Fn) <= kAlign,
+                      "over-aligned captures are not supported");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "captures must be nothrow-movable (events relocate "
+                      "when the event heap grows)");
+        static_assert(std::is_invocable_r_v<R, Fn &, Args...>,
+                      "callable signature mismatch");
+        ::new (static_cast<void *>(storage)) Fn(std::forward<F>(fn));
+        ops = &opsFor<Fn>;
+    }
+
+    SmallCallback(SmallCallback &&other) noexcept
+        : ops(other.ops)
+    {
+        if (ops) {
+            ops->relocate(other.storage, storage);
+            other.ops = nullptr;
+        }
+    }
+
+    SmallCallback &
+    operator=(SmallCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops = other.ops;
+            if (ops) {
+                ops->relocate(other.storage, storage);
+                other.ops = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
+
+    ~SmallCallback() { reset(); }
+
+    explicit operator bool() const { return ops != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        libra_assert(ops, "invoking an empty SmallCallback");
+        return ops->invoke(storage, std::forward<Args>(args)...);
+    }
+
+    /** Inline capture capacity, in bytes. */
+    static constexpr std::size_t capacity() { return Capacity; }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *, Args...);
+        void (*relocate)(void *from, void *to) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr Ops opsFor{
+        [](void *obj, Args... args) -> R {
+            return (*static_cast<Fn *>(obj))(std::forward<Args>(args)...);
+        },
+        [](void *from, void *to) noexcept {
+            Fn *src = static_cast<Fn *>(from);
+            ::new (to) Fn(std::move(*src));
+            src->~Fn();
+        },
+        [](void *obj) noexcept { static_cast<Fn *>(obj)->~Fn(); },
+    };
+
+    void
+    reset()
+    {
+        if (ops) {
+            ops->destroy(storage);
+            ops = nullptr;
+        }
+    }
+
+    // Pointer alignment, not max_align_t: a 16-byte-aligned buffer
+    // would round a nested callback's size up and break the exact
+    // capacity math of the wrap sites (MemCallback + Tick == 40).
+    static constexpr std::size_t kAlign = alignof(void *);
+
+    alignas(kAlign) unsigned char storage[Capacity];
+    const Ops *ops = nullptr;
+};
+
+} // namespace libra
+
+#endif // LIBRA_SIM_CALLBACK_HH

@@ -12,18 +12,26 @@
 #ifndef LIBRA_SIM_EVENT_QUEUE_HH
 #define LIBRA_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hh"
+#include "sim/callback.hh"
 
 namespace libra
 {
 
-/** Deferred work item. */
-using EventCallback = std::function<void()>;
+/**
+ * Deferred work item.
+ *
+ * Inline capacity is 40 bytes: room for the largest audited in-tree
+ * capture — a MemCallback (32 bytes) plus a completion Tick, the shape
+ * every cache/DRAM completion wrap uses. Captures up to five pointers
+ * never allocate; larger captures fail to compile (see callback.hh) —
+ * move shared state into a single shared_ptr block instead.
+ */
+using EventCallback = SmallCallback<void(), 40>;
 
 /**
  * Deterministic min-heap event queue.
@@ -35,7 +43,7 @@ using EventCallback = std::function<void()>;
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue() { heap.v.reserve(kInitialCapacity); }
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -76,6 +84,13 @@ class EventQueue
     std::uint64_t eventsExecuted() const { return executed; }
 
   private:
+    /**
+     * Pre-reserved event-heap capacity. Scheduling is allocation-free
+     * until the number of *pending* events first exceeds this (the
+     * vector then grows geometrically, as usual).
+     */
+    static constexpr std::size_t kInitialCapacity = 1024;
+
     struct Event
     {
         Tick when;

@@ -1,0 +1,164 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <optional>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+std::shared_ptr<const Scene>
+SceneCache::get(const BenchmarkSpec &spec, std::uint32_t width,
+                std::uint32_t height)
+{
+    std::shared_ptr<Slot> slot;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto &entry = slots[Key{spec.abbrev, width, height}];
+        if (!entry)
+            entry = std::make_shared<Slot>();
+        slot = entry;
+    }
+    // Build outside the map lock: a slow scene build must not serialize
+    // lookups of other keys. call_once makes racing getters of the same
+    // key wait for the one builder.
+    std::call_once(slot->once, [&] {
+        slot->scene = std::make_shared<const Scene>(spec, width, height);
+        ++built;
+    });
+    return slot->scene;
+}
+
+namespace
+{
+
+/** Run one job start-to-finish; never throws. */
+Result<RunResult>
+runJob(const SweepJob &job, SceneCache *cache)
+{
+    try {
+        if (!job.spec) {
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "sweep job without a benchmark spec");
+        }
+        if (cache) {
+            const std::shared_ptr<const Scene> scene = cache->get(
+                *job.spec, job.config.screenWidth,
+                job.config.screenHeight);
+            return runBenchmark(*scene, job.config, job.frames,
+                                job.firstFrame);
+        }
+        return runBenchmark(*job.spec, job.config, job.frames,
+                            job.firstFrame);
+    } catch (const std::exception &e) {
+        // Isolation: a throwing job loses its own data point only.
+        return Status::error(ErrorCode::FailedPrecondition, "benchmark ",
+                             job.spec ? job.spec->abbrev : "?",
+                             ": uncaught exception: ", e.what());
+    }
+}
+
+/** Per-worker job queue. Stealing keeps the pool busy when job
+ *  runtimes are skewed (one heavy config, many light ones). */
+struct WorkerQueue
+{
+    std::mutex mtx;
+    std::deque<std::size_t> jobs; //!< indices into the job vector
+
+    void
+    push(std::size_t index)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        jobs.push_back(index);
+    }
+
+    /** The owner pops newest-first (better cache reuse of the scene it
+     *  just touched); thieves steal oldest-first. */
+    std::optional<std::size_t>
+    pop()
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (jobs.empty())
+            return std::nullopt;
+        const std::size_t index = jobs.back();
+        jobs.pop_back();
+        return index;
+    }
+
+    std::optional<std::size_t>
+    steal()
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (jobs.empty())
+            return std::nullopt;
+        const std::size_t index = jobs.front();
+        jobs.pop_front();
+        return index;
+    }
+};
+
+} // namespace
+
+SweepRunner::SweepRunner(unsigned workers)
+    : workerCount(workers != 0 ? workers
+                               : std::max(1u,
+                                          std::thread::
+                                              hardware_concurrency()))
+{}
+
+std::vector<Result<RunResult>>
+SweepRunner::run(std::vector<SweepJob> jobs, SceneCache *cache)
+{
+    std::vector<Result<RunResult>> results;
+    if (jobs.empty())
+        return results;
+
+    // Single worker (or single job): run inline, no threads. This is
+    // also the reference order the determinism test compares against.
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(workerCount, jobs.size()));
+    if (workers <= 1) {
+        results.reserve(jobs.size());
+        for (const SweepJob &job : jobs)
+            results.push_back(runJob(job, cache));
+        return results;
+    }
+
+    // Submission-order results: each job writes only its own slot, so
+    // no synchronization beyond join() is needed on the output.
+    std::vector<std::optional<Result<RunResult>>> slots(jobs.size());
+    std::vector<WorkerQueue> queues(workers);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        queues[i % workers].push(i);
+
+    auto work = [&](unsigned self) {
+        while (true) {
+            std::optional<std::size_t> index = queues[self].pop();
+            for (unsigned k = 1; !index && k < workers; ++k)
+                index = queues[(self + k) % workers].steal();
+            if (!index)
+                return; // every queue drained
+            slots[*index] = runJob(jobs[*index], cache);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(work, w);
+    for (std::thread &t : pool)
+        t.join();
+
+    results.reserve(jobs.size());
+    for (std::optional<Result<RunResult>> &slot : slots) {
+        libra_assert(slot.has_value(), "sweep job never ran");
+        results.push_back(std::move(*slot));
+    }
+    return results;
+}
+
+} // namespace libra

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Parallel sweep engine: run many (benchmark, config) simulations
+ * concurrently on a work-stealing thread pool.
+ *
+ * Simulations are embarrassingly parallel — each owns its Gpu, its
+ * EventQueue and all mutable state — so a sweep of N configurations
+ * scales with the host's cores. Two properties are guaranteed:
+ *
+ *  - **Determinism.** Results come back indexed by submission order and
+ *    each simulation is bit-identical to a serial run: the worker count
+ *    affects wall-clock time only, never a single statistic.
+ *  - **Error isolation.** A job that fails (invalid config, watchdog
+ *    giving up, even a stray exception) reports its Status in its own
+ *    slot; the remaining jobs run to completion.
+ *
+ * A shared SceneCache lets the N configs of one benchmark build the
+ * scene (geometry + texture pool) once: Scene is immutable after
+ * construction, so concurrent readers need no locking.
+ */
+
+#ifndef LIBRA_SIM_SWEEP_HH
+#define LIBRA_SIM_SWEEP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "common/status.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/runner.hh"
+#include "workload/benchmarks.hh"
+#include "workload/scene.hh"
+
+namespace libra
+{
+
+/** One simulation of a sweep: render @p frames of @p spec under
+ *  @p config, starting at absolute frame @p firstFrame. */
+struct SweepJob
+{
+    const BenchmarkSpec *spec = nullptr;
+    GpuConfig config;
+    std::uint32_t frames = 0;
+    std::uint32_t firstFrame = 0;
+};
+
+/**
+ * Thread-safe cache of built scenes, keyed by (benchmark, resolution).
+ * Concurrent requests for the same key block until the single builder
+ * finishes; the returned Scene is shared read-only.
+ */
+class SceneCache
+{
+  public:
+    /** The scene for (@p spec, @p width x @p height), built at most
+     *  once per key for the cache's lifetime. */
+    std::shared_ptr<const Scene> get(const BenchmarkSpec &spec,
+                                     std::uint32_t width,
+                                     std::uint32_t height);
+
+    /** Scenes actually constructed — test hook for the build-once
+     *  guarantee. */
+    std::uint64_t builds() const { return built.load(); }
+
+  private:
+    using Key = std::tuple<std::string, std::uint32_t, std::uint32_t>;
+
+    struct Slot
+    {
+        std::once_flag once;
+        std::shared_ptr<const Scene> scene;
+    };
+
+    std::mutex mtx;                                //!< guards slots map
+    std::map<Key, std::shared_ptr<Slot>> slots;
+    std::atomic<std::uint64_t> built{0};
+};
+
+/**
+ * Work-stealing pool of sweep workers.
+ *
+ * Jobs are dealt round-robin onto per-worker deques; a worker pops from
+ * its own deque and steals from its neighbours when empty, so a handful
+ * of long simulations cannot strand the remaining workers idle.
+ */
+class SweepRunner
+{
+  public:
+    /** @p workers 0 picks std::thread::hardware_concurrency(). */
+    explicit SweepRunner(unsigned workers = 0);
+
+    /**
+     * Run every job and return their results in submission order.
+     * With @p cache non-null, scenes are built through it (and shared
+     * with any other sweep using the same cache); otherwise each job
+     * builds its own.
+     */
+    std::vector<Result<RunResult>> run(std::vector<SweepJob> jobs,
+                                       SceneCache *cache = nullptr);
+
+    unsigned workers() const { return workerCount; }
+
+  private:
+    unsigned workerCount;
+};
+
+} // namespace libra
+
+#endif // LIBRA_SIM_SWEEP_HH

@@ -36,7 +36,9 @@ class RecordingMemory : public MemSink
         if (req.onComplete) {
             const Tick done = queue.now() + lat;
             auto cb = std::move(req.onComplete);
-            queue.schedule(done, [cb = std::move(cb), done] { cb(done); });
+            queue.schedule(done, [cb = std::move(cb), done]() mutable {
+                cb(done);
+            });
         }
     }
 

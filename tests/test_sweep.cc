@@ -1,0 +1,187 @@
+/**
+ * @file
+ * SweepRunner / SceneCache: determinism across worker counts, scene
+ * sharing, and per-job error isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/gpu_config.hh"
+#include "gpu/runner.hh"
+#include "sim/sweep.hh"
+#include "workload/benchmarks.hh"
+
+using namespace libra;
+
+namespace
+{
+
+constexpr std::uint32_t kWidth = 256;
+constexpr std::uint32_t kHeight = 128;
+
+GpuConfig
+smallConfig(GpuConfig cfg)
+{
+    cfg.screenWidth = kWidth;
+    cfg.screenHeight = kHeight;
+    return cfg;
+}
+
+std::vector<SweepJob>
+mixedJobs(const BenchmarkSpec &ccs, const BenchmarkSpec &gdl)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back({&ccs, smallConfig(GpuConfig::baseline(8)), 2, 0});
+    jobs.push_back({&ccs, smallConfig(GpuConfig::ptr(2, 4)), 2, 0});
+    jobs.push_back({&ccs, smallConfig(GpuConfig::libra(2, 4)), 2, 0});
+    jobs.push_back({&gdl, smallConfig(GpuConfig::baseline(8)), 2, 0});
+    jobs.push_back({&gdl, smallConfig(GpuConfig::libra(2, 4)), 2, 0});
+    return jobs;
+}
+
+/** Every observable counter of one frame, for bit-exact comparison. */
+void
+expectFramesIdentical(const FrameStats &a, const FrameStats &b)
+{
+    EXPECT_EQ(a.frameIndex, b.frameIndex);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.geomCycles, b.geomCycles);
+    EXPECT_EQ(a.rasterCycles, b.rasterCycles);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+    EXPECT_EQ(a.dramWrites, b.dramWrites);
+    EXPECT_EQ(a.dramActivates, b.dramActivates);
+    EXPECT_EQ(a.avgDramReadLatency, b.avgDramReadLatency);
+    EXPECT_EQ(a.textureHitRatio, b.textureHitRatio);
+    EXPECT_EQ(a.avgTextureLatency, b.avgTextureLatency);
+    EXPECT_EQ(a.textureRequests, b.textureRequests);
+    EXPECT_EQ(a.textureMisses, b.textureMisses);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.fragments, b.fragments);
+    EXPECT_EQ(a.warps, b.warps);
+    EXPECT_EQ(a.quads, b.quads);
+    EXPECT_EQ(a.temperatureOrder, b.temperatureOrder);
+    EXPECT_EQ(a.supertileSize, b.supertileSize);
+    EXPECT_EQ(a.tileDram, b.tileDram);
+    EXPECT_EQ(a.tileInstr, b.tileInstr);
+}
+
+} // namespace
+
+TEST(SweepRunner, ResultsIdenticalAcrossWorkerCounts)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    const BenchmarkSpec &gdl = findBenchmark("GDL");
+
+    SweepRunner serial(1);
+    SweepRunner pool(8);
+    SceneCache cache_serial, cache_pool;
+    std::vector<Result<RunResult>> a =
+        serial.run(mixedJobs(ccs, gdl), &cache_serial);
+    std::vector<Result<RunResult>> b =
+        pool.run(mixedJobs(ccs, gdl), &cache_pool);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(a[i].isOk()) << a[i].status().toString();
+        ASSERT_TRUE(b[i].isOk()) << b[i].status().toString();
+        EXPECT_EQ((*a[i]).benchmark, (*b[i]).benchmark);
+        ASSERT_EQ((*a[i]).frames.size(), (*b[i]).frames.size());
+        for (std::size_t f = 0; f < (*a[i]).frames.size(); ++f)
+            expectFramesIdentical((*a[i]).frames[f], (*b[i]).frames[f]);
+    }
+}
+
+TEST(SweepRunner, ResultsComeBackInSubmissionOrder)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    const BenchmarkSpec &gdl = findBenchmark("GDL");
+
+    SweepRunner pool(4);
+    std::vector<Result<RunResult>> out =
+        pool.run(mixedJobs(ccs, gdl), nullptr);
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_EQ((*out[0]).benchmark, "CCS");
+    EXPECT_EQ((*out[2]).benchmark, "CCS");
+    EXPECT_EQ((*out[3]).benchmark, "GDL");
+    EXPECT_EQ((*out[4]).benchmark, "GDL");
+}
+
+TEST(SweepRunner, WorkerCountDefaultsAndOverrides)
+{
+    EXPECT_GE(SweepRunner(0).workers(), 1u);
+    EXPECT_EQ(SweepRunner(1).workers(), 1u);
+    EXPECT_EQ(SweepRunner(6).workers(), 6u);
+}
+
+TEST(SceneCache, OneBuildPerBenchmarkUnderConcurrency)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    const BenchmarkSpec &gdl = findBenchmark("GDL");
+
+    // 5 jobs over 2 distinct (benchmark, resolution) keys, run on 8
+    // workers: the cache must build each scene exactly once however
+    // the workers race.
+    SweepRunner pool(8);
+    SceneCache cache;
+    std::vector<Result<RunResult>> out =
+        pool.run(mixedJobs(ccs, gdl), &cache);
+    for (const auto &r : out)
+        ASSERT_TRUE(r.isOk()) << r.status().toString();
+    EXPECT_EQ(cache.builds(), 2u);
+
+    // A second sweep over the same keys reuses the cached scenes.
+    std::vector<Result<RunResult>> again =
+        pool.run(mixedJobs(ccs, gdl), &cache);
+    EXPECT_EQ(cache.builds(), 2u);
+}
+
+TEST(SceneCache, DistinctResolutionsAreDistinctScenes)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    SceneCache cache;
+    auto a = cache.get(ccs, 256, 128);
+    auto b = cache.get(ccs, 256, 128);
+    auto c = cache.get(ccs, 128, 64);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(cache.builds(), 2u);
+}
+
+TEST(SweepRunner, FailedJobDoesNotKillTheSweep)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+
+    std::vector<SweepJob> jobs;
+    jobs.push_back({&ccs, smallConfig(GpuConfig::baseline(8)), 2, 0});
+    // Invalid: zero raster units fails config validation.
+    GpuConfig bad = smallConfig(GpuConfig::baseline(8));
+    bad.rasterUnits = 0;
+    jobs.push_back({&ccs, bad, 2, 0});
+    jobs.push_back({&ccs, smallConfig(GpuConfig::libra(2, 4)), 2, 0});
+
+    SweepRunner pool(2);
+    std::vector<Result<RunResult>> out = pool.run(std::move(jobs));
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_TRUE(out[0].isOk());
+    EXPECT_FALSE(out[1].isOk());
+    EXPECT_TRUE(out[2].isOk());
+}
+
+TEST(SweepRunner, NullSpecIsAnErrorNotACrash)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back({nullptr, GpuConfig::baseline(8), 2, 0});
+    SweepRunner pool(1);
+    std::vector<Result<RunResult>> out = pool.run(std::move(jobs));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].isOk());
+}
+
+TEST(SweepRunner, EmptyJobListIsFine)
+{
+    SweepRunner pool(4);
+    EXPECT_TRUE(pool.run({}).empty());
+}
