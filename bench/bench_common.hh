@@ -10,6 +10,9 @@
  *   --csv                 emit CSV instead of aligned tables
  *   --jobs N              parallel simulations (default: all cores)
  *   --outdir DIR          where image/trace artifacts go (bench_out/)
+ *   --report-out FILE     machine-readable RunReport JSON for the sweep
+ *   --trace-out FILE      chrome-trace timeline (job 0 exact path,
+ *                         job N suffixed FILE.N.json; open in Perfetto)
  *
  * Default runs use a representative subset at reduced resolution so the
  * whole bench directory executes in minutes; --full reproduces the
@@ -30,7 +33,9 @@
 #include "common/log.hh"
 #include "gpu/runner.hh"
 #include "sim/sweep.hh"
+#include "trace/json.hh"
 #include "trace/report.hh"
+#include "trace/run_report.hh"
 #include "workload/benchmarks.hh"
 
 namespace libra::bench
@@ -46,6 +51,8 @@ struct BenchOptions
     bool full = false;
     unsigned jobs = 0; //!< parallel simulations; 0 = hardware threads
     std::string outdir = "bench_out"; //!< image/trace artifacts
+    std::string reportOut; //!< RunReport JSON path ("" = don't write)
+    std::string traceOut;  //!< chrome-trace path ("" = don't record)
 };
 
 /** Reduced default subsets keeping the default runtime small. */
@@ -69,7 +76,8 @@ parseBenchOptions(int argc, char **argv,
 {
     std::vector<std::string> known{"frames", "width",  "height",
                                    "benchmarks", "full", "csv",
-                                   "jobs", "outdir"};
+                                   "jobs", "outdir", "report-out",
+                                   "trace-out"};
     known.insert(known.end(), extra_options.begin(),
                  extra_options.end());
     const CliArgs args(argc, argv, known);
@@ -98,6 +106,8 @@ parseBenchOptions(int argc, char **argv,
     if (opt.jobs == 0)
         fatal("--jobs must be at least 1");
     opt.outdir = args.get("outdir", opt.outdir);
+    opt.reportOut = args.get("report-out", "");
+    opt.traceOut = args.get("trace-out", "");
 
     libra_assert(opt.frames >= 2, "benches need at least 2 frames");
     return opt;
@@ -165,19 +175,25 @@ mustMemoryTimeFraction(const BenchmarkSpec &spec, const GpuConfig &cfg,
 class Sweep
 {
   public:
-    explicit Sweep(const BenchOptions &opt) : runner(opt.jobs) {}
+    explicit Sweep(const BenchOptions &opt)
+        : runner(opt.jobs), reportOut(opt.reportOut),
+          traceOut(opt.traceOut)
+    {}
 
     /** Enqueue one run; returns its result handle. */
     std::size_t
-    add(const BenchmarkSpec &spec, const GpuConfig &cfg,
-        std::uint32_t frames, std::uint32_t first_frame = 0)
+    add(const BenchmarkSpec &spec, GpuConfig cfg, std::uint32_t frames,
+        std::uint32_t first_frame = 0)
     {
         libra_assert(results.empty(), "add() after run()");
+        if (!traceOut.empty())
+            cfg.traceEvents = true;
         jobs.push_back(SweepJob{&spec, cfg, frames, first_frame});
         return jobs.size() - 1;
     }
 
-    /** Run every queued job across the worker pool. */
+    /** Run every queued job across the worker pool; --report-out /
+     *  --trace-out artifacts are written before returning. */
     void
     run()
     {
@@ -189,6 +205,7 @@ class Sweep
                 fatal("sweep job ", i, ": ", out[i].status().toString());
         }
         results = std::move(out);
+        writeArtifacts();
     }
 
     /** Result of the job @p handle (valid after run()). */
@@ -200,10 +217,54 @@ class Sweep
     }
 
   private:
+    /** Job @p index's variant of @p path: exact for job 0,
+     *  "stem.N.ext" otherwise. */
+    static std::string
+    indexedPath(const std::string &path, std::size_t index)
+    {
+        if (index == 0)
+            return path;
+        const std::filesystem::path p(path);
+        std::filesystem::path out = p.parent_path() / p.stem();
+        out += "." + std::to_string(index);
+        out += p.extension();
+        return out.string();
+    }
+
+    void
+    writeArtifacts() const
+    {
+        if (!reportOut.empty()) {
+            std::vector<RunResult> runs;
+            runs.reserve(results.size());
+            for (const auto &r : results)
+                runs.push_back(*r);
+            if (Status st =
+                    writeTextFile(reportOut, sweepReportJson(runs));
+                !st.isOk()) {
+                fatal("--report-out: ", st.toString());
+            }
+        }
+        if (!traceOut.empty()) {
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                const RunResult &r = *results[i];
+                if (!r.trace)
+                    continue;
+                const std::string path = indexedPath(traceOut, i);
+                if (Status st = r.trace->writeChromeTrace(path);
+                    !st.isOk()) {
+                    fatal("--trace-out: ", st.toString());
+                }
+            }
+        }
+    }
+
     SweepRunner runner;
     SceneCache scenes;
     std::vector<SweepJob> jobs;
     std::vector<Result<RunResult>> results;
+    std::string reportOut;
+    std::string traceOut;
 };
 
 /**

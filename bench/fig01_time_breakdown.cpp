@@ -2,9 +2,11 @@
  * @file
  * Figure 1 reproduction: distribution of per-frame execution time
  * between the Geometry and Raster phases (paper: ~88% raster on
- * average).
+ * average), plus the per-RU cycle attribution of the raster phase
+ * (shade / texture-wait / DRAM-wait / ... shares).
  */
 
+#include <array>
 #include <cstdio>
 
 #include "bench_common.hh"
@@ -25,7 +27,8 @@ main(int argc, char **argv)
     const BenchOptions opt = parseBenchOptions(argc, argv, defaults, all);
 
     banner("Figure 1: geometry vs raster time breakdown");
-    Table table({"bench", "geometry", "raster"});
+    Table table({"bench", "geometry", "raster", "shade", "tex_wait",
+                 "dram_wait", "rasterize", "blend", "idle"});
     Sweep sweep(opt);
     std::vector<std::size_t> handles;
     for (const auto &name : opt.benchmarks) {
@@ -43,8 +46,33 @@ main(int argc, char **argv)
         const double total = static_cast<double>(r.totalCycles());
         const double raster_share = (total - geom) / total;
         raster_shares.push_back(raster_share);
+
+        // Per-RU phase attribution, averaged over frames and units.
+        std::array<std::uint64_t, kNumRuPhases> phases{};
+        std::uint64_t phase_total = 0;
+        for (const FrameStats &fs : r.frames) {
+            for (const auto &ru : fs.ruPhases) {
+                for (std::size_t p = 0; p < kNumRuPhases; ++p) {
+                    phases[p] += ru[p];
+                    phase_total += ru[p];
+                }
+            }
+        }
+        const auto share = [&](RuPhase p) {
+            return phase_total == 0
+                ? std::string("-")
+                : Table::pct(
+                      static_cast<double>(
+                          phases[static_cast<std::size_t>(p)])
+                      / static_cast<double>(phase_total));
+        };
         table.addRow({name, Table::pct(1.0 - raster_share),
-                      Table::pct(raster_share)});
+                      Table::pct(raster_share),
+                      share(RuPhase::Shade),
+                      share(RuPhase::TextureWait),
+                      share(RuPhase::DramWait),
+                      share(RuPhase::Rasterize),
+                      share(RuPhase::Blend), share(RuPhase::Idle)});
     }
     printTable(table, opt);
     std::printf("\naverage raster share: %s (paper: ~88%%)\n",

@@ -45,15 +45,17 @@ analyze(const std::vector<std::uint32_t> &timeline)
 }
 
 void
-printTimeline(const char *label, const std::vector<std::uint32_t> &tl)
+printTimeline(const char *label, const std::vector<std::uint32_t> &tl,
+              std::uint32_t interval)
 {
-    std::printf("\n%s (requests per 5000-cycle interval):\n", label);
+    std::printf("\n%s (requests per %u-cycle interval):\n", label,
+                interval);
     std::uint32_t peak = 1;
     for (const auto v : tl)
         peak = std::max(peak, v);
     for (std::size_t i = 0; i < tl.size(); ++i) {
         const int bar = static_cast<int>(60.0 * tl[i] / peak);
-        std::printf("%5zu | %-60.*s %u\n", i * 5000, bar,
+        std::printf("%5zu | %-60.*s %u\n", i * interval, bar,
                     "############################################################",
                     tl[i]);
     }
@@ -79,13 +81,17 @@ main(int argc, char **argv)
     const RunResult &ptr = sweep[h_ptr];
     const RunResult &lib = sweep[h_lib];
 
-    // Use the last frame: LIBRA's scheduler has history by then.
+    // Use the last frame: LIBRA's scheduler has history by then. The
+    // timelines come from the Gpu's IntervalSampler (the same samples
+    // the trace exporter emits as "dram_requests" counter events).
     const auto &tl_ptr = ptr.frames.back().dramTimeline;
     const auto &tl_lib = lib.frames.back().dramTimeline;
 
     banner("Figure 7: DRAM requests over a frame of " + spec.title);
-    printTimeline("PTR (Z-order interleave)", tl_ptr);
-    printTimeline("LIBRA (temperature-aware)", tl_lib);
+    printTimeline("PTR (Z-order interleave)", tl_ptr,
+                  ptr.frames.back().dramTimelineInterval);
+    printTimeline("LIBRA (temperature-aware)", tl_lib,
+                  lib.frames.back().dramTimelineInterval);
 
     const TimelineStats a = analyze(tl_ptr);
     const TimelineStats b = analyze(tl_lib);

@@ -3,20 +3,25 @@
  * Perf-regression smoke test: a fixed, pinned workload whose numbers
  * are comparable across commits.
  *
- * Two measurements:
+ * Three measurements:
  *   - event-loop hot path: one Gpu instance renders a pinned scene and
- *     we report simulator events per wall-clock second;
+ *     we report simulator events per wall-clock second (no trace sink
+ *     attached — this is the number regressions are judged against);
+ *   - the same workload with a TraceSink attached, to quantify the
+ *     cost of event recording (events_per_sec_traced);
  *   - sweep throughput: the same jobs pushed through SweepRunner, to
  *     catch regressions in the parallel harness itself.
  *
  * Results land in BENCH_sweep.json (override with --out FILE) so CI can
- * archive them per commit and trend them. The workload is deliberately
- * NOT configurable beyond --frames/--jobs: changing it breaks
- * comparability across history.
+ * archive them per commit and trend them. --report-out/--trace-out
+ * write the traced run's RunReport and chrome-trace. The workload is
+ * deliberately NOT configurable beyond --frames/--jobs: changing it
+ * breaks comparability across history.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +31,8 @@
 #include "gpu/gpu_config.hh"
 #include "gpu/runner.hh"
 #include "sim/sweep.hh"
+#include "trace/json.hh"
+#include "trace/run_report.hh"
 #include "workload/benchmarks.hh"
 #include "workload/scene.hh"
 
@@ -51,11 +58,15 @@ seconds(std::chrono::steady_clock::duration d)
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv, {"frames", "jobs", "out"});
+    const CliArgs args(argc, argv,
+                       {"frames", "jobs", "out", "report-out",
+                        "trace-out"});
     const auto frames =
         static_cast<std::uint32_t>(args.getInt("frames", 4));
     const auto jobs = static_cast<unsigned>(args.getInt("jobs", 2));
     const std::string out = args.get("out", "BENCH_sweep.json");
+    const std::string report_out = args.get("report-out", "");
+    const std::string trace_out = args.get("trace-out", "");
     if (frames < 1)
         fatal("--frames must be at least 1");
 
@@ -75,6 +86,32 @@ main(int argc, char **argv)
     const std::uint64_t events = gpu.eventQueue().eventsExecuted();
     const double events_per_sec =
         sim_s > 0.0 ? static_cast<double>(events) / sim_s : 0.0;
+
+    // --- Same workload, trace sink attached: recording overhead. -----
+    GpuConfig cfg_traced = cfg;
+    cfg_traced.traceEvents = true;
+    RunResult traced;
+    traced.benchmark = kBenchmark;
+    traced.config = cfg_traced;
+    traced.trace = std::make_shared<TraceSink>();
+    double traced_s = 0.0;
+    std::uint64_t events_traced = 0;
+    {
+        Gpu gpu_traced(cfg_traced);
+        gpu_traced.setTraceSink(traced.trace.get());
+        const auto tt = std::chrono::steady_clock::now();
+        for (std::uint32_t f = 0; f < frames; ++f) {
+            traced.frames.push_back(
+                gpu_traced.renderFrame(scene.frame(f),
+                                       scene.textures()));
+        }
+        traced_s = seconds(std::chrono::steady_clock::now() - tt);
+        events_traced = gpu_traced.eventQueue().eventsExecuted();
+        traced.counters = gpu_traced.stats().values();
+    }
+    const double events_per_sec_traced = traced_s > 0.0
+        ? static_cast<double>(events_traced) / traced_s
+        : 0.0;
 
     // --- Sweep throughput: the same workload through SweepRunner. ----
     std::vector<SweepJob> sweep_jobs;
@@ -112,8 +149,29 @@ main(int argc, char **argv)
                 "(%.3g events/s)\n",
                 static_cast<unsigned long long>(events), sim_s,
                 events_per_sec);
+    std::printf("  traced     : %llu events in %.3f s  "
+                "(%.3g events/s, %zu trace events)\n",
+                static_cast<unsigned long long>(events_traced),
+                traced_s, events_per_sec_traced,
+                traced.trace->eventCount());
     std::printf("  sweep      : %zu jobs, %u worker(s), %.3f s\n",
                 n_jobs, runner.workers(), sweep_s);
+
+    if (!report_out.empty()) {
+        if (Status st =
+                writeTextFile(report_out, runReportJson(traced));
+            !st.isOk()) {
+            fatal("--report-out: ", st.toString());
+        }
+        std::printf("wrote %s\n", report_out.c_str());
+    }
+    if (!trace_out.empty()) {
+        if (Status st = traced.trace->writeChromeTrace(trace_out);
+            !st.isOk()) {
+            fatal("--trace-out: ", st.toString());
+        }
+        std::printf("wrote %s\n", trace_out.c_str());
+    }
 
     std::FILE *fp = std::fopen(out.c_str(), "w");
     if (fp == nullptr)
@@ -127,14 +185,18 @@ main(int argc, char **argv)
                  "  \"events\": %llu,\n"
                  "  \"events_per_sec\": %.1f,\n"
                  "  \"wall_time_s\": %.6f,\n"
+                 "  \"events_per_sec_traced\": %.1f,\n"
+                 "  \"trace_events\": %zu,\n"
+                 "  \"wall_time_traced_s\": %.6f,\n"
                  "  \"sweep_jobs\": %zu,\n"
                  "  \"sweep_workers\": %u,\n"
                  "  \"sweep_wall_time_s\": %.6f\n"
                  "}\n",
                  kBenchmark, kWidth, kHeight, frames,
                  static_cast<unsigned long long>(events),
-                 events_per_sec, sim_s, n_jobs, runner.workers(),
-                 sweep_s);
+                 events_per_sec, sim_s, events_per_sec_traced,
+                 traced.trace->eventCount(), traced_s, n_jobs,
+                 runner.workers(), sweep_s);
     std::fclose(fp);
     std::printf("wrote %s\n", out.c_str());
     return 0;

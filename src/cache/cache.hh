@@ -63,6 +63,11 @@ class Cache : public MemSink
     /** Fraction of accesses that hit since construction (or reset). */
     double hitRatio() const;
 
+    /** Distinct line fills currently in flight (occupied MSHRs). Used
+     *  by the Raster-Unit phase attribution to distinguish waiting on
+     *  a short L1 hit from waiting on the memory system. */
+    std::size_t outstandingMisses() const { return mshrIndex.size(); }
+
     const CacheConfig &cfg() const { return config; }
     const StatGroup &stats() const { return statGroup; }
     StatGroup &stats() { return statGroup; }

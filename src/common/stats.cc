@@ -28,12 +28,41 @@ StatGroup::values() const
     return out;
 }
 
+namespace
+{
+
+/**
+ * True when @p needle occurs in @p name aligned to dot-separated
+ * component boundaries on both sides. Prevents a "ru1" query from
+ * silently absorbing "ru10" counters (see the header).
+ */
+bool
+matchesAtBoundary(const std::string &name, const std::string &needle)
+{
+    if (needle.empty())
+        return true;
+    std::size_t pos = name.find(needle);
+    while (pos != std::string::npos) {
+        const std::size_t end = pos + needle.size();
+        const bool left_ok =
+            pos == 0 || name[pos - 1] == '.' || needle.front() == '.';
+        const bool right_ok = end == name.size() || name[end] == '.'
+            || needle.back() == '.';
+        if (left_ok && right_ok)
+            return true;
+        pos = name.find(needle, pos + 1);
+    }
+    return false;
+}
+
+} // namespace
+
 std::uint64_t
 StatGroup::sumMatching(const std::string &needle) const
 {
     std::uint64_t total = 0;
     for (const auto &[name, counter] : entries) {
-        if (name.find(needle) != std::string::npos)
+        if (matchesAtBoundary(name, needle))
             total += counter->value();
     }
     return total;

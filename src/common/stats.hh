@@ -56,7 +56,15 @@ class StatGroup
     /** Flat name → value view of everything registered. */
     std::map<std::string, std::uint64_t> values() const;
 
-    /** Sum of all counters whose full name contains @p needle. */
+    /**
+     * Sum of all counters whose full name contains @p needle at a
+     * component boundary: the match must start at the beginning of a
+     * dot-separated component and end at the end of one, so "ru1"
+     * matches "gpu.ru1.tex.hits" but NOT "gpu.ru10.tex.hits". A
+     * needle with a leading or trailing dot anchors that side
+     * explicitly (".hits" sums every counter whose last component is
+     * "hits").
+     */
     std::uint64_t sumMatching(const std::string &needle) const;
 
     /** Reset every registered counter to zero. */

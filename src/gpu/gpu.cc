@@ -120,19 +120,14 @@ Gpu::Gpu(const GpuConfig &cfg)
                                             *tileSched);
 
     // DRAM observer: attribute accesses to tiles (temperature table) and
-    // build the Fig. 7 timeline during the raster phase.
+    // sample the Fig. 7 bandwidth timeline during the raster phase.
     dramModel->setObserver([this](const DramAccessInfo &info) {
         if (info.tileTag != invalidId
             && info.tileTag < grid.tileCount()) {
             tempTable.addDramAccess(info.tileTag);
         }
-        if (rasterActive && info.queued >= rasterStartTick) {
-            const auto bucket = static_cast<std::size_t>(
-                (info.queued - rasterStartTick) / 5000);
-            if (timeline.size() <= bucket)
-                timeline.resize(bucket + 1, 0);
-            ++timeline[bucket];
-        }
+        if (rasterActive)
+            dramSampler.record(info.queued);
     });
 
     // Register the full stat tree.
@@ -156,6 +151,31 @@ Gpu::Gpu(const GpuConfig &cfg)
 }
 
 Gpu::~Gpu() = default;
+
+void
+Gpu::setTraceSink(TraceSink *sink)
+{
+    traceSink = sink;
+    if (!sink) {
+        gpuLane = nullptr;
+        dramLane = nullptr;
+        for (auto &unit : rus)
+            unit->setTraceLane(nullptr, 0);
+        return;
+    }
+    gpuLane = &sink->lane("gpu");
+    dramLane = &sink->lane("dram");
+    nameFrame = sink->nameId("frame");
+    nameGeometry = sink->nameId("geometry");
+    nameRaster = sink->nameId("raster");
+    nameDramRequests = sink->nameId("dram_requests");
+    const std::uint32_t tile_name = sink->nameId("tile");
+    for (std::size_t i = 0; i < rus.size(); ++i) {
+        TraceSink::Lane &lane =
+            sink->lane("ru" + std::to_string(i));
+        rus[i]->setTraceLane(&lane, tile_name);
+    }
+}
 
 Gpu::RawTotals
 Gpu::collectTotals() const
@@ -265,6 +285,18 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
     Watchdog watchdog(config.watchdog, frame_start);
     const RawTotals before = collectTotals();
 
+    // Per-RU phase attribution: close the pre-frame span so the deltas
+    // taken at frame end partition exactly [frame_start, frame_end).
+    std::vector<std::array<std::uint64_t, kNumRuPhases>> phase_base;
+    phase_base.reserve(rus.size());
+    for (auto &unit : rus) {
+        unit->syncPhase(frame_start);
+        phase_base.push_back(unit->phases().snapshot());
+    }
+
+    LIBRA_TRACE_BEGIN(gpuLane, nameFrame, frame_start, framesRendered);
+    LIBRA_TRACE_BEGIN(gpuLane, nameGeometry, frame_start, 0);
+
     // Functional binning (the timing is charged by GeometryPipeline).
     const BinnedFrame binned = binFrame(frame, grid);
 
@@ -281,7 +313,6 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
     if (config.captureImage)
         std::fill(image.begin(), image.end(), 0);
     tilesFlushed = 0;
-    timeline.clear();
     frameInstructions = 0;
     frameFragments = 0;
     frameWarps = 0;
@@ -304,6 +335,7 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
         }
     }
     watchdog.progress(queue.now());
+    LIBRA_TRACE_END(gpuLane, geom_end); // geometry
 
     // The temperature ranking must hide under the geometry phase
     // (§III-E). Warn if a configuration ever violates that.
@@ -315,7 +347,9 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
 
     // --- Raster phase ----------------------------------------------------
     rasterStartTick = queue.now();
+    dramSampler.reset(rasterStartTick, config.dramTimelineInterval);
     rasterActive = true;
+    LIBRA_TRACE_BEGIN(gpuLane, nameRaster, rasterStartTick, 0);
     for (auto &unit : rus)
         unit->beginFrame(binned, pool);
     fetcher->beginFrame(binned);
@@ -351,6 +385,14 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
         libra_assert(unit->idle(), "Raster Unit not idle at frame end");
 
     const Tick frame_end = queue.now();
+    for (auto &unit : rus)
+        unit->syncPhase(frame_end);
+    LIBRA_TRACE_END(gpuLane, frame_end); // raster
+    LIBRA_TRACE_END(gpuLane, frame_end); // frame
+#if LIBRA_TRACING_ENABLED
+    if (dramLane)
+        dramSampler.flushTo(*dramLane, nameDramRequests);
+#endif
     const RawTotals after = collectTotals();
 
     // --- Package the stats ----------------------------------------------
@@ -404,7 +446,18 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
 
     fs.tileDram = tempTable.dramVector();
     fs.tileInstr = tileInstr;
-    fs.dramTimeline = timeline;
+    fs.dramTimeline = dramSampler.samples();
+    fs.dramTimelineInterval =
+        static_cast<std::uint32_t>(dramSampler.intervalTicks());
+
+    fs.ruPhases.reserve(rus.size());
+    for (std::size_t i = 0; i < rus.size(); ++i) {
+        const auto snap = rus[i]->phases().snapshot();
+        std::array<std::uint64_t, kNumRuPhases> delta{};
+        for (std::size_t p = 0; p < kNumRuPhases; ++p)
+            delta[p] = snap[p] - phase_base[i][p];
+        fs.ruPhases.push_back(delta);
+    }
 
     fs.temperatureOrder = tileSched->temperatureOrderActive();
     fs.supertileSize = tileSched->supertileSize();

@@ -8,11 +8,11 @@
 #ifndef LIBRA_GPU_GPU_HH
 #define LIBRA_GPU_GPU_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
-#include <vector>
-
 #include <string>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "cache/mem_system.hh"
@@ -27,6 +27,7 @@
 #include "gpu/tiling/tile_fetcher.hh"
 #include "gpu/tiling/tile_grid.hh"
 #include "sim/event_queue.hh"
+#include "sim/trace_sink.hh"
 #include "workload/scene.hh"
 
 namespace libra
@@ -65,6 +66,10 @@ struct FrameStats
     /** DRAM requests per interval of the raster phase (Fig. 7). */
     std::vector<std::uint32_t> dramTimeline;
     std::uint32_t dramTimelineInterval = 5000;
+
+    /** Per-RU cycle attribution for this frame, indexed by RuPhase.
+     *  The six phases of each unit sum exactly to totalCycles. */
+    std::vector<std::array<std::uint64_t, kNumRuPhases>> ruPhases;
 
     EnergyBreakdown energy;
 
@@ -117,6 +122,14 @@ class Gpu
 
     /** Cumulative (run-lifetime) counters of every component. */
     const StatGroup &stats() const { return statGroup; }
+
+    /**
+     * Attach a trace sink (null to detach). The GPU creates one lane
+     * per component ("gpu", "dram", "ru<N>") and emits frame/geometry/
+     * raster spans, per-tile async spans and the DRAM-bandwidth counter
+     * timeline into it. The sink must outlive the Gpu.
+     */
+    void setTraceSink(TraceSink *sink);
 
     /** Texture-L1 aggregate hit ratio since construction. */
     double textureHitRatio() const;
@@ -180,7 +193,7 @@ class Gpu
     bool rasterActive = false;
     Tick rasterStartTick = 0;
     std::uint32_t tilesFlushed = 0;
-    std::vector<std::uint32_t> timeline;
+    IntervalSampler dramSampler; //!< Fig. 7 bandwidth timeline
     std::vector<std::uint64_t> tileInstr;
     std::vector<std::uint64_t> tileSignatures; //!< transaction elim.
     std::vector<std::uint64_t> image;
@@ -192,6 +205,15 @@ class Gpu
 
     /** Mark the GPU wedged and wrap @p st's message with diagnostics. */
     Status wedge(const Status &st, const char *phase);
+
+    // Trace wiring (all null / zero when no sink is attached).
+    TraceSink *traceSink = nullptr;
+    TraceSink::Lane *gpuLane = nullptr;
+    TraceSink::Lane *dramLane = nullptr;
+    std::uint32_t nameFrame = 0;
+    std::uint32_t nameGeometry = 0;
+    std::uint32_t nameRaster = 0;
+    std::uint32_t nameDramRequests = 0;
 
     StatGroup statGroup{"gpu"};
 };

@@ -203,6 +203,12 @@ GpuConfig::validate() const
                              "framebuffer compression ratio ",
                              fbCompressionRatio, " must be in (0, 1]");
     }
+
+    // --- Instrumentation -------------------------------------------------
+    if (dramTimelineInterval == 0) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "dramTimelineInterval must be > 0");
+    }
     return Status::ok();
 }
 

@@ -73,6 +73,10 @@ struct GpuConfig
 
     // --- Instrumentation -------------------------------------------------
     bool captureImage = false; //!< keep a per-pixel hash "image"
+    bool traceEvents = false;  //!< record a chrome-trace event timeline
+
+    /** Ticks per DRAM-bandwidth timeline bucket (Fig. 7 sampling). */
+    std::uint32_t dramTimelineInterval = 5000;
 
     // --- Robustness ------------------------------------------------------
     /** Per-frame watchdog limits (both triggers off by default). */

@@ -11,6 +11,30 @@
 namespace libra
 {
 
+const char *
+ruPhaseName(RuPhase phase)
+{
+    switch (phase) {
+      case RuPhase::Rasterize: return "rasterize";
+      case RuPhase::Shade: return "shade";
+      case RuPhase::TextureWait: return "texture_wait";
+      case RuPhase::DramWait: return "dram_wait";
+      case RuPhase::Blend: return "blend";
+      case RuPhase::Idle: return "idle";
+    }
+    return "?";
+}
+
+void
+RuPhaseTracker::registerStats(StatGroup &g)
+{
+    for (std::size_t i = 0; i < kNumRuPhases; ++i) {
+        g.add(std::string("phase_")
+                  + ruPhaseName(static_cast<RuPhase>(i)),
+              &counters[i]);
+    }
+}
+
 RasterUnit::RasterUnit(EventQueue &eq, const RasterUnitConfig &cfg,
                        const TileGrid &tile_grid,
                        MemSink &frame_buffer_sink,
@@ -25,8 +49,10 @@ RasterUnit::RasterUnit(EventQueue &eq, const RasterUnitConfig &cfg,
         name << "ru" << cfg.index << ".core" << i;
         cores.push_back(std::make_unique<ShaderCore>(
             eq, cfg.warpsPerCore, *texture_l1s[i], name.str()));
+        cores.back()->onStateChange = [this] { updatePhase(); };
     }
     maxPendingWarps = cfg.pendingWarpsPerCore * cfg.cores;
+    phaseTracker.registerStats(statGroup);
 
     statGroup.add("prims_rasterized", &primsRasterized);
     statGroup.add("quads_produced", &quadsProduced);
@@ -45,6 +71,7 @@ RasterUnit::beginFrame(const BinnedFrame &binned, const TexturePool &pool)
     libra_assert(idle(), "beginFrame on a busy Raster Unit");
     frame = &binned;
     texPool = &pool;
+    updatePhase();
 }
 
 void
@@ -59,6 +86,57 @@ bool
 RasterUnit::idle() const
 {
     return !frag && !ahead && fifo.empty() && pendingWarps.empty();
+}
+
+RuPhase
+RasterUnit::phaseNow(Tick now) const
+{
+    // Priority attribution (deepest active stage wins): a core that is
+    // actively issuing hides the front-end and the memory system;
+    // waits are only charged when every resident warp is blocked.
+    bool any_resident = false;
+    bool any_issuing = false;
+    for (const auto &core : cores) {
+        if (core->resident() == 0)
+            continue;
+        any_resident = true;
+        if (core->issueBusyUntil() > now) {
+            any_issuing = true;
+            break;
+        }
+    }
+    if (any_issuing)
+        return RuPhase::Shade;
+    if (any_resident) {
+        // Every resident warp is blocked on texture data. If any of
+        // this unit's L1s has a fill outstanding the wait is on the
+        // memory system below (L2/DRAM); otherwise the data is an
+        // in-flight L1 hit.
+        for (const auto &core : cores) {
+            if (core->textureL1().outstandingMisses() > 0)
+                return RuPhase::DramWait;
+        }
+        return RuPhase::TextureWait;
+    }
+    if ((frag || ahead) && now < frontReadyAt)
+        return RuPhase::Rasterize;
+    if (frag && frag->completing)
+        return RuPhase::Blend; // waiting on blend commit / flush start
+    if (now < flushReadyAt)
+        return RuPhase::Blend; // flush DMA draining
+    if (idle())
+        return RuPhase::Idle;
+    // Something is queued (FIFO entries, a tile awaiting its end
+    // marker) but no modeled resource is occupied this tick: the
+    // front-end owns whatever happens next.
+    return RuPhase::Rasterize;
+}
+
+void
+RasterUnit::updatePhase()
+{
+    const Tick now = queue.now();
+    phaseTracker.transition(phaseNow(now), now);
 }
 
 void
@@ -103,6 +181,7 @@ RasterUnit::tryAdvance()
     }
 
     inAdvance = false;
+    updatePhase();
 }
 
 void
@@ -117,6 +196,8 @@ RasterUnit::processWork(const RasterWork &work)
         ctx->rect = grid.tileRect(work.tile);
         ctx->zbuf.beginTile(ctx->rect);
         ctx->blender.beginTile(ctx->rect);
+        LIBRA_TRACE_ASYNC_BEGIN(traceLane, traceTileName, work.tile,
+                                now);
         if (!frag)
             frag = std::move(ctx);
         else
@@ -323,6 +404,7 @@ RasterUnit::dispatchPending()
     }
     if (dispatched)
         tryAdvance(); // raster front may have been stalled on backlog
+    updatePhase();
 }
 
 void
@@ -395,6 +477,7 @@ RasterUnit::maybeCompleteTile()
     ctx->completing = true;
     const Tick done = std::max(queue.now(), ctx->lastBlendDone);
     queue.schedule(done, [this] { startFlush(); });
+    updatePhase();
 }
 
 void
@@ -453,8 +536,11 @@ RasterUnit::startFlush()
             TileDoneInfo info = fin->done;
             info.flushedAt = queue.now();
             info.colorBuffer = fin->color ? fin->color.get() : nullptr;
+            LIBRA_TRACE_ASYNC_END(traceLane, traceTileName, fin->tile,
+                                  info.flushedAt);
             if (onTileDone)
                 onTileDone(info);
+            updatePhase();
         });
     } else {
         queue.schedule(start, [this, fin] {
@@ -465,8 +551,11 @@ RasterUnit::startFlush()
                     info.flushedAt = when;
                     info.colorBuffer =
                         fin->color ? fin->color.get() : nullptr;
+                    LIBRA_TRACE_ASYNC_END(traceLane, traceTileName,
+                                          fin->tile, when);
                     if (onTileDone)
                         onTileDone(info);
+                    updatePhase();
                 }});
         });
     }

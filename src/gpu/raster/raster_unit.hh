@@ -21,6 +21,7 @@
 #ifndef LIBRA_GPU_RASTER_RASTER_UNIT_HH
 #define LIBRA_GPU_RASTER_RASTER_UNIT_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -38,10 +39,81 @@
 #include "gpu/tiling/polygon_list_builder.hh"
 #include "gpu/tiling/tile_grid.hh"
 #include "sim/event_queue.hh"
+#include "sim/trace_sink.hh"
 #include "workload/texture.hh"
 
 namespace libra
 {
+
+/**
+ * Where a Raster Unit's cycles go (paper Fig. 1/Fig. 6 taxonomy). At
+ * any tick the unit is attributed to exactly one phase, chosen by
+ * priority: active shading hides everything beneath it, waits are only
+ * charged when no core can issue, rasterization only when no warp is
+ * resident, blend/flush only when the back-end is all that remains.
+ */
+enum class RuPhase : std::uint8_t
+{
+    Rasterize,   //!< front-end scanning / Early-Z busy
+    Shade,       //!< at least one core actively issuing ALU/tail work
+    TextureWait, //!< warps blocked on texture data, hits in flight
+    DramWait,    //!< warps blocked with L1 misses outstanding below
+    Blend,       //!< in-order blend commit / flush DMA wrapping up
+    Idle         //!< nothing queued, nothing in flight
+};
+
+constexpr std::size_t kNumRuPhases = 6;
+
+/** Lower-case stat/report name of a phase ("texture_wait", ...). */
+const char *ruPhaseName(RuPhase phase);
+
+/**
+ * Wall-clock partition of one Raster Unit's time over the RuPhases.
+ * transition() charges the span since the previous update to the
+ * phase that was current; by construction the six counters always sum
+ * to the total time covered, which is what lets a per-frame delta be
+ * checked against the frame's cycle count exactly.
+ */
+class RuPhaseTracker
+{
+  public:
+    /** Register the six counters ("phase_rasterize", ...) on @p g. */
+    void registerStats(StatGroup &g);
+
+    void
+    transition(RuPhase next, Tick now)
+    {
+        counters[static_cast<std::size_t>(cur)] += now - last;
+        last = now;
+        cur = next;
+    }
+
+    /** Charge time up to @p now to the current phase (frame edges). */
+    void sync(Tick now) { transition(cur, now); }
+
+    RuPhase current() const { return cur; }
+
+    std::uint64_t
+    cycles(RuPhase phase) const
+    {
+        return counters[static_cast<std::size_t>(phase)].value();
+    }
+
+    /** All six counters in RuPhase declaration order. */
+    std::array<std::uint64_t, kNumRuPhases>
+    snapshot() const
+    {
+        std::array<std::uint64_t, kNumRuPhases> out{};
+        for (std::size_t i = 0; i < kNumRuPhases; ++i)
+            out[i] = counters[i].value();
+        return out;
+    }
+
+  private:
+    std::array<Counter, kNumRuPhases> counters;
+    RuPhase cur = RuPhase::Idle;
+    Tick last = 0;
+};
 
 /** One entry of a Raster Unit's input FIFO. */
 struct RasterWork
@@ -189,6 +261,29 @@ class RasterUnit : public RasterSink
 
     StatGroup &stats() { return statGroup; }
 
+    // --- Observability --------------------------------------------------
+    /** Cycle attribution over the RuPhases (always on; the counters
+     *  are registered under this unit's stat group). */
+    const RuPhaseTracker &phases() const { return phaseTracker; }
+
+    /** Charge time up to @p now to the current phase. The GPU calls
+     *  this at frame boundaries so per-frame deltas partition the
+     *  frame exactly. */
+    void syncPhase(Tick now) { phaseTracker.sync(now); }
+
+    /**
+     * Attach a chrome-trace lane: every tile's residency in this unit
+     * is emitted as an async span (tiles overlap — the run-ahead tile
+     * rasterizes while the previous one shades). @p tile_name_id must
+     * come from the same TraceSink's nameId().
+     */
+    void
+    setTraceLane(TraceSink::Lane *lane, std::uint32_t tile_name_id)
+    {
+        traceLane = lane;
+        traceTileName = tile_name_id;
+    }
+
   private:
     /** All state for one tile being processed. */
     struct TileCtx
@@ -233,6 +328,12 @@ class RasterUnit : public RasterSink
         std::vector<Quad> quads;
     };
 
+    /** The phase the unit is in at @p now (see RuPhase priorities). */
+    RuPhase phaseNow(Tick now) const;
+
+    /** Re-evaluate and charge the phase attribution at queue.now(). */
+    void updatePhase();
+
     void tryAdvance();
     void processWork(const RasterWork &work);
     void rasterizePrim(std::uint32_t prim_index);
@@ -273,6 +374,10 @@ class RasterUnit : public RasterSink
     std::uint32_t maxPendingWarps;
 
     Tick flushReadyAt = 0;
+
+    RuPhaseTracker phaseTracker;
+    TraceSink::Lane *traceLane = nullptr;
+    std::uint32_t traceTileName = 0;
 
     StatGroup statGroup;
 };

@@ -78,6 +78,10 @@ ShaderCore::issueTexPhase(const std::shared_ptr<Flight> &flight)
             line, 64, false, TrafficClass::Texture, flight->task.tile,
             [this, flight](Tick when) { onTexData(flight, when); }});
     }
+    // The warp just blocked on its texture data; let the RU's phase
+    // attribution notice (it may have been the last one issuing).
+    if (onStateChange)
+        onStateChange();
 }
 
 void
@@ -109,6 +113,10 @@ ShaderCore::finishWarp(const std::shared_ptr<Flight> &flight,
     info.blend = flight->task.blend;
 
     queue.schedule(done, [this, flight] { retireWarp(flight); });
+    // Data returned and the tail block re-occupied the issue port:
+    // the core transitioned back from waiting to shading.
+    if (onStateChange)
+        onStateChange();
 }
 
 void

@@ -83,6 +83,17 @@ class ShaderCore
     /** Issue cycles consumed — core utilization numerator. */
     std::uint64_t busyCycles() const { return issueBusy.value(); }
 
+    /** Tick the issue port becomes free; the core is actively issuing
+     *  (ALU/tail work) at any tick before this. */
+    Tick issueBusyUntil() const { return issueReadyAt; }
+
+    /**
+     * Invoked whenever a resident warp changes execution state (enters
+     * its texture-wait, resumes for the tail block). The owning Raster
+     * Unit uses it to re-evaluate its phase attribution; may be empty.
+     */
+    std::function<void()> onStateChange;
+
     Counter warpsExecuted;
     Counter issueBusy;
     Counter texRequests;

@@ -147,8 +147,11 @@ runBenchmark(const Scene &scene, const GpuConfig &cfg,
     RunResult result;
     result.benchmark = spec.abbrev;
     result.config = cfg;
+    if (cfg.traceEvents)
+        result.trace = std::make_shared<TraceSink>();
 
     auto gpu = std::make_unique<Gpu>(cfg);
+    gpu->setTraceSink(result.trace.get());
     result.frames.reserve(frames);
     for (std::uint32_t f = 0; f < frames; ++f) {
         const FrameData frame = scene.frame(first_frame + f);
@@ -169,7 +172,9 @@ runBenchmark(const Scene &scene, const GpuConfig &cfg,
              first_frame + f, ": ", fs.status().toString());
         result.skippedFrames.push_back(first_frame + f);
         gpu = std::make_unique<Gpu>(cfg);
+        gpu->setTraceSink(result.trace.get());
     }
+    result.counters = gpu->stats().values();
     return result;
 }
 

@@ -9,12 +9,15 @@
 #define LIBRA_GPU_RUNNER_HH
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.hh"
 #include "gpu/gpu.hh"
 #include "gpu/gpu_config.hh"
+#include "sim/trace_sink.hh"
 #include "workload/benchmarks.hh"
 #include "workload/scene.hh"
 
@@ -34,6 +37,18 @@ struct RunResult
      * not contribute to the aggregates below.
      */
     std::vector<std::uint32_t> skippedFrames;
+
+    /**
+     * Full cumulative counter dump of the run ("gpu.ru0.phase_shade"
+     * → cycles, ...). Sorted by name; identical simulations produce
+     * identical dumps, which is what the determinism suite locks down.
+     * When the run rebuilt the GPU mid-sweep (watchdog), counters of
+     * the final instance only.
+     */
+    std::map<std::string, std::uint64_t> counters;
+
+    /** Event timeline; non-null iff GpuConfig::traceEvents was set. */
+    std::shared_ptr<TraceSink> trace;
 
     std::uint64_t totalCycles() const;
     std::uint64_t totalRasterCycles() const;

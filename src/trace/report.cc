@@ -70,12 +70,32 @@ Table::str() const
 }
 
 std::string
+Table::csvQuote(const std::string &cell)
+{
+    // RFC 4180: cells containing a comma, quote, CR or LF must be
+    // quoted, with embedded quotes doubled. Everything else passes
+    // through untouched so existing numeric output stays diffable.
+    if (cell.find_first_of(",\"\r\n") == std::string::npos)
+        return cell;
+    std::string out;
+    out.reserve(cell.size() + 2);
+    out += '"';
+    for (const char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
 Table::csv() const
 {
     std::ostringstream os;
     auto emit = [&](const std::vector<std::string> &cells) {
         for (std::size_t c = 0; c < cells.size(); ++c) {
-            os << cells[c];
+            os << csvQuote(cells[c]);
             if (c + 1 < cells.size())
                 os << ',';
         }

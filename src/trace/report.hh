@@ -29,8 +29,11 @@ class Table
     /** Render with aligned columns. */
     std::string str() const;
 
-    /** Render as CSV. */
+    /** Render as CSV (RFC 4180 quoting for cells that need it). */
     std::string csv() const;
+
+    /** Quote one CSV cell if it contains a comma, quote or newline. */
+    static std::string csvQuote(const std::string &cell);
 
     void print() const;
 

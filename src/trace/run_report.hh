@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * A RunReport is a JSON document describing one (benchmark, config)
+ * run: the configuration that produced it, a per-frame phase/bandwidth
+ * breakdown and the full cumulative counter dump. Every bench binary
+ * and every SweepRunner job can emit one (--report-out), so downstream
+ * tooling reads structured data instead of scraping stdout tables.
+ *
+ * Reports are deterministic by construction: no wall-clock times, no
+ * host names, counters in sorted order, "%.17g" doubles — identical
+ * simulations yield byte-identical documents regardless of worker
+ * count. The determinism test suite locks this down.
+ */
+
+#ifndef LIBRA_TRACE_RUN_REPORT_HH
+#define LIBRA_TRACE_RUN_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/runner.hh"
+
+namespace libra
+{
+
+/** Schema tag embedded in every report ("schema" member). */
+inline constexpr const char *kRunReportSchema = "libra.run_report/1";
+
+/** Schema tag of a multi-run report set. */
+inline constexpr const char *kRunReportSetSchema =
+    "libra.run_report_set/1";
+
+/** Render one run as a RunReport JSON document. */
+std::string runReportJson(const RunResult &result);
+
+/** Render several runs (e.g. one sweep) as one report-set document. */
+std::string sweepReportJson(const std::vector<RunResult> &results);
+
+} // namespace libra
+
+#endif // LIBRA_TRACE_RUN_REPORT_HH

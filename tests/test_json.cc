@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the in-tree JSON writer and validating parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/json.hh"
+
+using namespace libra;
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("hello"), "hello");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(JsonEscape, EscapesSpecials)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01""b")), "a\\u0001b");
+}
+
+TEST(JsonWriter, ObjectWithMixedValues)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("s");
+    w.value("x");
+    w.key("i");
+    w.value(std::int64_t{-3});
+    w.key("u");
+    w.value(std::uint64_t{7});
+    w.key("b");
+    w.value(true);
+    w.key("n");
+    w.null();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"s\":\"x\",\"i\":-3,\"u\":7,\"b\":true,"
+                       "\"n\":null}");
+}
+
+TEST(JsonWriter, NestedContainers)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("a");
+    w.beginArray();
+    w.value(1);
+    w.beginObject();
+    w.key("k");
+    w.value(2);
+    w.endObject();
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"a\":[1,{\"k\":2}]}");
+}
+
+TEST(JsonWriter, DoublesRoundTrip)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(0.1);
+    w.value(1.0);
+    w.endArray();
+    const auto doc = parseJson(w.str());
+    ASSERT_TRUE(doc.isOk());
+    ASSERT_TRUE(doc->isArray());
+    EXPECT_DOUBLE_EQ(doc->items[0].number, 0.1);
+    EXPECT_DOUBLE_EQ(doc->items[1].number, 1.0);
+}
+
+TEST(JsonWriter, RawInsertsFragmentVerbatim)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.raw("{\"x\":1}");
+    w.raw("2");
+    w.endArray();
+    EXPECT_EQ(w.str(), "[{\"x\":1},2]");
+}
+
+TEST(JsonParser, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null")->kind == JsonValue::Kind::Null);
+    EXPECT_TRUE(parseJson("true")->boolean);
+    EXPECT_FALSE(parseJson("false")->boolean);
+    EXPECT_DOUBLE_EQ(parseJson("-12.5e2")->number, -1250.0);
+    EXPECT_EQ(parseJson("\"hi\"")->str, "hi");
+}
+
+TEST(JsonParser, ParsesNestedDocument)
+{
+    const auto doc =
+        parseJson("{ \"a\": [1, 2, {\"b\": \"c\"}], \"d\": {} }");
+    ASSERT_TRUE(doc.isOk());
+    ASSERT_TRUE(doc->isObject());
+    const JsonValue *a = doc->find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items[1].number, 2.0);
+    const JsonValue *b = a->items[2].find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->str, "c");
+    EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonParser, DecodesStringEscapes)
+{
+    const auto doc = parseJson("\"a\\n\\t\\\"\\\\\\u0041\"");
+    ASSERT_TRUE(doc.isOk());
+    EXPECT_EQ(doc->str, "a\n\t\"\\A");
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    EXPECT_FALSE(parseJson("").isOk());
+    EXPECT_FALSE(parseJson("{").isOk());
+    EXPECT_FALSE(parseJson("[1,]").isOk());
+    EXPECT_FALSE(parseJson("{\"a\":}").isOk());
+    EXPECT_FALSE(parseJson("tru").isOk());
+    EXPECT_FALSE(parseJson("01").isOk());
+    EXPECT_FALSE(parseJson("\"unterminated").isOk());
+    EXPECT_FALSE(parseJson("1 2").isOk()); // trailing content
+    EXPECT_EQ(parseJson("{,}").status().code(),
+              ErrorCode::CorruptData);
+}
+
+TEST(JsonParser, RejectsRunawayNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_FALSE(parseJson(deep).isOk());
+}
+
+TEST(JsonParser, RoundTripsWriterOutput)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name");
+    w.value("tricky \"quotes\" and\nnewlines");
+    w.key("values");
+    w.beginArray();
+    for (int i = 0; i < 5; ++i)
+        w.value(i * 1000);
+    w.endArray();
+    w.endObject();
+
+    const auto doc = parseJson(w.str());
+    ASSERT_TRUE(doc.isOk());
+    EXPECT_EQ(doc->find("name")->str, "tricky \"quotes\" and\nnewlines");
+    EXPECT_EQ(doc->find("values")->items.size(), 5u);
+    EXPECT_DOUBLE_EQ(doc->find("values")->items[4].number, 4000.0);
+}
+
+TEST(WriteTextFile, WritesAndFails)
+{
+    const std::string path = "/tmp/libra_test_json_write.txt";
+    ASSERT_TRUE(writeTextFile(path, "content").isOk());
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(fp, nullptr);
+    char buf[16] = {0};
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, fp);
+    std::fclose(fp);
+    std::remove(path.c_str());
+    EXPECT_EQ(std::string(buf, n), "content");
+
+    const Status bad =
+        writeTextFile("/nonexistent-dir/x/y.txt", "content");
+    EXPECT_FALSE(bad.isOk());
+    EXPECT_EQ(bad.code(), ErrorCode::IoError);
+}

@@ -33,6 +33,31 @@ TEST(Table, CsvFormat)
     EXPECT_EQ(table.csv(), "a,b\n1,2\n");
 }
 
+TEST(Table, CsvQuotesSpecialCells)
+{
+    // RFC 4180: cells containing commas, quotes or newlines are quoted
+    // and embedded quotes doubled — a benchmark title like
+    // "Clash, Royale" must stay one cell.
+    Table table({"title", "note"});
+    table.addRow({"Clash, Royale", "plain"});
+    table.addRow({"say \"hi\"", "line1\nline2"});
+    EXPECT_EQ(table.csv(),
+              "title,note\n"
+              "\"Clash, Royale\",plain\n"
+              "\"say \"\"hi\"\"\",\"line1\nline2\"\n");
+}
+
+TEST(Table, CsvQuoteRules)
+{
+    EXPECT_EQ(Table::csvQuote("plain"), "plain");
+    EXPECT_EQ(Table::csvQuote(""), "");
+    EXPECT_EQ(Table::csvQuote("a,b"), "\"a,b\"");
+    EXPECT_EQ(Table::csvQuote("a\"b"), "\"a\"\"b\"");
+    EXPECT_EQ(Table::csvQuote("a\nb"), "\"a\nb\"");
+    EXPECT_EQ(Table::csvQuote("a\rb"), "\"a\rb\"");
+    EXPECT_EQ(Table::csvQuote("\""), "\"\"\"\"");
+}
+
 TEST(Table, NumberFormatting)
 {
     EXPECT_EQ(Table::num(3.14159, 2), "3.14");

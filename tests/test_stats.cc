@@ -65,6 +65,52 @@ TEST(StatGroup, SumMatching)
     EXPECT_EQ(group.sumMatching("nothing"), 0u);
 }
 
+TEST(StatGroup, SumMatchingEmptyGroup)
+{
+    StatGroup group("g");
+    EXPECT_EQ(group.sumMatching("anything"), 0u);
+    EXPECT_EQ(group.sumMatching(""), 0u);
+    EXPECT_EQ(group.sumMatching(".hits"), 0u);
+}
+
+TEST(StatGroup, SumMatchingComponentBoundaries)
+{
+    // "ru1" must not absorb "ru10": matches align to dot-separated
+    // component boundaries.
+    Counter a, b, c, d;
+    StatGroup group("gpu");
+    group.add("ru1.tex.hits", &a);
+    group.add("ru10.tex.hits", &b);
+    group.add("ru1.tex.misses", &c);
+    group.add("xru1.tex.hits", &d);
+    a += 1;
+    b += 10;
+    c += 100;
+    d += 1000;
+    EXPECT_EQ(group.sumMatching("ru1"), 101u);
+    EXPECT_EQ(group.sumMatching("ru10"), 10u);
+    // Multi-component needles still respect both outer boundaries.
+    EXPECT_EQ(group.sumMatching("ru1.tex"), 101u);
+    EXPECT_EQ(group.sumMatching("tex.hits"), 1011u);
+    // Anchored needles: trailing/leading dot pins that side.
+    EXPECT_EQ(group.sumMatching(".hits"), 1011u);
+    EXPECT_EQ(group.sumMatching("gpu."), 1111u);
+    // A partial component never matches.
+    EXPECT_EQ(group.sumMatching("ru"), 0u);
+    EXPECT_EQ(group.sumMatching("hit"), 0u);
+}
+
+TEST(StatGroup, SumMatchingEmptyNeedleSumsEverything)
+{
+    Counter a, b;
+    StatGroup group("g");
+    group.add("a", &a);
+    group.add("b", &b);
+    a += 3;
+    b += 4;
+    EXPECT_EQ(group.sumMatching(""), 7u);
+}
+
 TEST(StatGroup, ResetAll)
 {
     Counter a, b;
@@ -92,6 +138,46 @@ TEST(StatSnapshot, DeltaBetweenSnapshots)
     EXPECT_EQ(before.get("g.a"), 10u);
     EXPECT_EQ(after.get("g.a"), 42u);
     EXPECT_EQ(after.get("missing"), 0u);
+}
+
+TEST(StatSnapshot, DeltaOfEmptyGroup)
+{
+    StatGroup group("g");
+    const StatSnapshot before(group);
+    const StatSnapshot after(group);
+    EXPECT_TRUE(before.deltaTo(after).empty());
+}
+
+TEST(StatSnapshot, CounterResetBetweenSnapshotsClampsToZero)
+{
+    // A counter that went backwards (reset mid-run) must not produce a
+    // wrapped-around huge delta.
+    Counter a;
+    StatGroup group("g");
+    group.add("a", &a);
+    a += 50;
+    const StatSnapshot before(group);
+    a.reset();
+    a += 7;
+    const StatSnapshot after(group);
+    const auto delta = before.deltaTo(after);
+    EXPECT_EQ(delta.at("g.a"), 0u);
+}
+
+TEST(StatSnapshot, CounterAddedAfterFirstSnapshot)
+{
+    Counter a, b;
+    StatGroup group("g");
+    group.add("a", &a);
+    a += 1;
+    const StatSnapshot before(group);
+    group.add("b", &b);
+    b += 9;
+    const StatSnapshot after(group);
+    const auto delta = before.deltaTo(after);
+    // A stat unknown to the earlier snapshot counts from zero.
+    EXPECT_EQ(delta.at("g.b"), 9u);
+    EXPECT_EQ(delta.at("g.a"), 0u);
 }
 
 TEST(StatGroupDeathTest, NullCounterPanics)
