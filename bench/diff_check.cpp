@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Differential-equivalence and fuzzing driver for CI.
+ *
+ * Default mode runs the equivalence matrix: pairs of configurations
+ * that describe the same machine through different code paths must
+ * produce bit-identical counter dumps —
+ *
+ *   ptr(1, N)                      == baseline(N)
+ *   libra, adaptation pinned to S  == staticSupertile(S)
+ *   staticSupertile(1)             == ptr (plain Z-order)
+ *
+ * With --fuzz N (and optionally --seed S), it instead sweeps N
+ * randomized valid configurations through the runner with every
+ * conservation law armed; any accounting violation fails the run.
+ *
+ * Exits non-zero on the first mismatch or violation, so CI can gate on
+ * it directly.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_common.hh"
+#include "check/config_fuzzer.hh"
+#include "common/rng.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+namespace
+{
+
+/** LIBRA with the §III-D adaptation pinned: one legal supertile size
+ *  and thresholds no observation can cross. Must equal
+ *  staticSupertile(s). */
+GpuConfig
+pinnedLibra(std::uint32_t s)
+{
+    GpuConfig cfg = GpuConfig::libra(2, 4);
+    cfg.sched.minSupertileSize = s;
+    cfg.sched.maxSupertileSize = s;
+    cfg.sched.initialSupertileSize = s;
+    cfg.sched.staticSupertileSize = s;
+    cfg.sched.hitRatioThreshold = 0.0;
+    cfg.sched.orderSwitchThreshold = 1e30;
+    return cfg;
+}
+
+/** Counter-level diff; prints every differing entry. @return equal? */
+bool
+countersMatch(const std::string &label,
+              const std::map<std::string, std::uint64_t> &a,
+              const std::map<std::string, std::uint64_t> &b)
+{
+    bool ok = true;
+    for (const auto &[name, value] : a) {
+        const auto it = b.find(name);
+        if (it == b.end()) {
+            std::printf("MISMATCH %s: %s only on the left (%llu)\n",
+                        label.c_str(), name.c_str(),
+                        static_cast<unsigned long long>(value));
+            ok = false;
+        } else if (it->second != value) {
+            std::printf("MISMATCH %s: %s %llu != %llu\n", label.c_str(),
+                        name.c_str(),
+                        static_cast<unsigned long long>(value),
+                        static_cast<unsigned long long>(it->second));
+            ok = false;
+        }
+    }
+    for (const auto &[name, value] : b) {
+        if (!a.count(name)) {
+            std::printf("MISMATCH %s: %s only on the right (%llu)\n",
+                        label.c_str(), name.c_str(),
+                        static_cast<unsigned long long>(value));
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+/** Arm the invariant layer on top of the bench's screen size. */
+GpuConfig
+checked(GpuConfig cfg, const BenchOptions &opt)
+{
+    cfg = sized(std::move(cfg), opt);
+    cfg.checkInvariants = true;
+    return cfg;
+}
+
+int
+runEquivalenceMatrix(const BenchOptions &opt)
+{
+    banner("Differential equivalence (counter-identical pairs)");
+
+    struct Pair
+    {
+        std::string name;
+        GpuConfig left;
+        GpuConfig right;
+        std::size_t hLeft = 0, hRight = 0;
+    };
+    std::vector<Pair> pairs;
+    pairs.push_back({"ptr(1,8) == baseline(8)", GpuConfig::ptr(1, 8),
+                     GpuConfig::baseline(8)});
+    for (const std::uint32_t s : {1u, 2u, 4u})
+        pairs.push_back({"libra pinned to " + std::to_string(s)
+                             + " == staticSupertile("
+                             + std::to_string(s) + ")",
+                         pinnedLibra(s),
+                         GpuConfig::staticSupertile(s, 2, 4)});
+    pairs.push_back({"staticSupertile(1) == z-order ptr(2,4)",
+                     GpuConfig::staticSupertile(1, 2, 4),
+                     GpuConfig::ptr(2, 4)});
+
+    int failures = 0;
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        Sweep sweep(opt);
+        for (auto &p : pairs) {
+            p.hLeft = sweep.add(spec, checked(p.left, opt), opt.frames);
+            p.hRight =
+                sweep.add(spec, checked(p.right, opt), opt.frames);
+        }
+        sweep.run();
+        for (const auto &p : pairs) {
+            const bool ok = countersMatch(
+                name + " / " + p.name, sweep[p.hLeft].counters,
+                sweep[p.hRight].counters);
+            std::printf("%-4s %-44s %s\n", name.c_str(),
+                        p.name.c_str(), ok ? "ok" : "FAILED");
+            failures += !ok;
+        }
+    }
+    if (failures)
+        std::printf("%d equivalence pair(s) FAILED\n", failures);
+    else
+        std::printf("all equivalence pairs counter-identical\n");
+    return failures ? 1 : 0;
+}
+
+int
+runFuzz(const BenchOptions &opt, std::uint32_t count,
+        std::uint64_t seed)
+{
+    banner("Config fuzz: " + std::to_string(count)
+           + " randomized configs, seed " + std::to_string(seed)
+           + ", invariants armed");
+
+    Rng rng(seed);
+    int job = 0;
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        // Sweep::run() is the CLI boundary: a job whose conservation
+        // laws fire ends the process with the violation message.
+        Sweep sweep(opt);
+        for (std::uint32_t i = 0; i < count; ++i)
+            sweep.add(spec, fuzzGpuConfig(rng, opt.width, opt.height),
+                      opt.frames);
+        sweep.run();
+        job += static_cast<int>(count);
+        std::printf("%-4s %u configs clean\n", name.c_str(), count);
+    }
+    std::printf("fuzz: %d simulations, no violations\n", job);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchOptions(
+        argc, argv, {"CCS", "SuS"}, defaultMemorySubset(),
+        {"fuzz", "seed"});
+    const CliArgs args(argc, argv,
+                       {"frames", "width", "height", "benchmarks",
+                        "full", "csv", "jobs", "outdir", "report-out",
+                        "trace-out", "fuzz", "seed"});
+
+    const auto fuzz =
+        static_cast<std::uint32_t>(args.getInt("fuzz", 0));
+    if (fuzz > 0)
+        return runFuzz(opt, fuzz,
+                       static_cast<std::uint64_t>(
+                           args.getInt("seed", 2024)));
+    return runEquivalenceMatrix(opt);
+}

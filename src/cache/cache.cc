@@ -32,6 +32,7 @@ Cache::Cache(EventQueue &eq, const CacheConfig &cfg, MemSink &next_level)
     statGroup.add("writebacks", &writebacks);
     statGroup.add("read_accesses", &readAccesses);
     statGroup.add("write_accesses", &writeAccesses);
+    statGroup.add("invalidated_fills", &invalidatedFills);
 }
 
 std::size_t
@@ -132,7 +133,13 @@ Cache::handleFill(Addr line_addr, Tick when)
     const std::size_t index = it->second;
     Mshr &slot = mshrSlots[index];
 
-    installLine(line_addr, slot.anyWrite);
+    // A fill that crossed an invalidateAll() carries pre-invalidate
+    // data: complete its waiters (the timing is real) but never install
+    // the stale line.
+    if (slot.discardFill)
+        ++invalidatedFills;
+    else
+        installLine(line_addr, slot.anyWrite);
 
     const Tick done = when + config.hitLatency;
     for (auto &cb : slot.waiters) {
@@ -143,6 +150,7 @@ Cache::handleFill(Addr line_addr, Tick when)
     }
     slot.waiters.clear();
     slot.anyWrite = false;
+    slot.discardFill = false;
     mshrIndex.erase(it);
     freeMshrs.push_back(index);
 
@@ -202,7 +210,8 @@ Cache::accessImpl(MemReq req, bool is_retry)
     if (config.alwaysHit) {
         // Ideal-memory methodology (Fig. 6a): every access behaves as an
         // L1 hit; no traffic propagates downstream.
-        ++hits;
+        if (!testDropHitAccounting)
+            ++hits;
         if (req.onComplete) {
             const Tick done = start + config.hitLatency;
             auto cb = std::move(req.onComplete);
@@ -217,7 +226,7 @@ Cache::accessImpl(MemReq req, bool is_retry)
     if (way >= 0) {
         // Hit. Retried requests were already counted (as the miss they
         // originally were).
-        if (!is_retry)
+        if (!is_retry && !testDropHitAccounting)
             ++hits;
         Line &line = lines[setIndex(line_addr) * config.ways
                            + static_cast<std::uint32_t>(way)];
@@ -267,6 +276,7 @@ Cache::accessImpl(MemReq req, bool is_retry)
     Mshr &slot = mshrSlots[index];
     slot.lineAddr = line_addr;
     slot.anyWrite = req.write;
+    slot.discardFill = false;
     slot.waiters.clear();
     slot.waiters.push_back(std::move(req.onComplete));
     mshrIndex[line_addr] = index;
@@ -290,6 +300,11 @@ Cache::invalidateAll()
         line.valid = false;
         line.dirty = false;
     }
+    // In-flight fills were requested before the invalidate; installing
+    // them afterwards would resurrect stale lines. Let them complete
+    // (waiters keep their timing) but drop the install.
+    for (const auto &[line_addr, index] : mshrIndex)
+        mshrSlots[index].discardFill = true;
 }
 
 double

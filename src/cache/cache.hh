@@ -57,7 +57,10 @@ class Cache : public MemSink
 
     /** Drop every line (used between frames for the Tile cache, whose
      *  backing parameter buffer is rewritten by the next binning pass).
-     *  Dirty lines are written back. */
+     *  Dirty lines are written back. Outstanding MSHR fills are marked
+     *  stale: when such a fill returns it completes its waiters with the
+     *  correct timing but does NOT install the line, so pre-invalidate
+     *  data can never reappear as a post-invalidate hit. */
     void invalidateAll();
 
     /** Fraction of accesses that hit since construction (or reset). */
@@ -84,6 +87,14 @@ class Cache : public MemSink
     Counter writebacks;
     Counter readAccesses;
     Counter writeAccesses;
+    Counter invalidatedFills; //!< fills discarded by invalidateAll()
+
+    /**
+     * Test hook: when set, hit accesses are serviced normally but the
+     * `hits` counter is not incremented — an injected accounting bug
+     * that the InvariantChecker's conservation law must catch.
+     */
+    bool testDropHitAccounting = false;
 
   private:
     struct Line
@@ -98,6 +109,7 @@ class Cache : public MemSink
     {
         Addr lineAddr;
         bool anyWrite = false;
+        bool discardFill = false; //!< invalidated while in flight
         std::vector<MemCallback> waiters;
     };
 

@@ -1,0 +1,89 @@
+#include "check/config_fuzzer.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+namespace
+{
+
+/** Random cache geometry: power-of-two sets/ways/line, small enough to
+ *  keep fuzz simulations fast but varied enough to shift every set
+ *  index and MSHR-pressure point. */
+CacheConfig
+fuzzCache(Rng &rng, const CacheConfig &base)
+{
+    CacheConfig c = base;
+    c.lineBytes = 32u << rng.below(2);              // 32 or 64
+    c.ways = 1u << rng.below(3);                    // 1, 2, 4
+    const std::uint32_t sets = 1u << (2 + rng.below(5)); // 4 .. 64
+    c.sizeBytes = c.lineBytes * c.ways * sets;
+    c.hitLatency = static_cast<Tick>(1 + rng.below(4));
+    c.mshrs = static_cast<std::uint32_t>(1 + rng.below(16));
+    c.portsPerCycle = static_cast<std::uint32_t>(1 + rng.below(2));
+    return c;
+}
+
+} // namespace
+
+GpuConfig
+fuzzGpuConfig(Rng &rng, std::uint32_t width, std::uint32_t height)
+{
+    GpuConfig cfg;
+    cfg.screenWidth = width;
+    cfg.screenHeight = height;
+    cfg.tileSize = 16u << rng.below(2); // 16 or 32
+    libra_assert(cfg.tileSize <= std::max(width, height),
+                 "fuzz screen too small for the tile size");
+
+    cfg.rasterUnits = static_cast<std::uint32_t>(1 + rng.below(3));
+    cfg.coresPerRu = static_cast<std::uint32_t>(1 + rng.below(3));
+    cfg.warpsPerCore = static_cast<std::uint32_t>(2 + rng.below(7));
+    cfg.warpQuads = 2u << rng.below(3); // 2, 4, 8 (< 16x16/4 quads)
+    cfg.pendingWarpsPerCore =
+        static_cast<std::uint32_t>(1 + rng.below(4));
+    cfg.fifoDepth = static_cast<std::uint32_t>(2 + rng.below(31));
+
+    cfg.vertexCache = fuzzCache(rng, cfg.vertexCache);
+    cfg.tileCache = fuzzCache(rng, cfg.tileCache);
+    cfg.textureCache = fuzzCache(rng, cfg.textureCache);
+    cfg.l2 = fuzzCache(rng, cfg.l2);
+    cfg.dram.channels = static_cast<std::uint32_t>(1 + rng.below(2));
+    cfg.dram.banksPerChannel = 4u << rng.below(2); // 4 or 8
+    cfg.idealMemory = rng.chance(0.1);
+
+    constexpr SchedulerPolicy policies[] = {
+        SchedulerPolicy::ZOrder, SchedulerPolicy::StaticSupertile,
+        SchedulerPolicy::Libra, SchedulerPolicy::TemperatureStatic,
+        SchedulerPolicy::Scanline};
+    cfg.sched.policy = policies[rng.below(std::size(policies))];
+    cfg.sched.minSupertileSize = 1u << rng.below(2); // 1 or 2
+    cfg.sched.maxSupertileSize =
+        cfg.sched.minSupertileSize << rng.below(4);  // up to x8
+    cfg.sched.initialSupertileSize = std::clamp<std::uint32_t>(
+        1u << rng.below(4), cfg.sched.minSupertileSize,
+        cfg.sched.maxSupertileSize);
+    cfg.sched.staticSupertileSize = 1u << rng.below(3); // 1, 2, 4
+    cfg.sched.hotRasterUnits = cfg.rasterUnits > 1
+        ? static_cast<std::uint32_t>(1 + rng.below(cfg.rasterUnits - 1))
+        : 1;
+
+    cfg.transactionElimination = rng.chance(0.3);
+    cfg.fbCompressionRatio = rng.chance(0.3) ? rng.uniform(0.5, 1.0)
+                                             : 1.0;
+
+    // The fuzzer exists to drive the conservation laws over the whole
+    // configuration space.
+    cfg.checkInvariants = true;
+
+    const Status st = cfg.validate();
+    libra_assert(st.isOk(),
+                 "config fuzzer produced an invalid config: ",
+                 st.toString());
+    return cfg;
+}
+
+} // namespace libra

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Seeded GPU-configuration fuzzer.
+ *
+ * Generates randomized — but always validate()-clean — GpuConfigs
+ * covering the dimensions the model is most sensitive to: Raster-Unit /
+ * core organization, cache geometry (line size, ways, sets), MSHR and
+ * port counts, supertile bounds and every scheduling policy. Each
+ * config has checkInvariants enabled, so sweeping fuzzed configs
+ * through runBenchmark (typically via the SweepRunner) exercises the
+ * conservation laws of src/check across the configuration space instead
+ * of only at the paper's Table-I point.
+ *
+ * Determinism: the same Rng seed always yields the same config
+ * sequence, so a CI failure reproduces locally from the seed alone.
+ */
+
+#ifndef LIBRA_CHECK_CONFIG_FUZZER_HH
+#define LIBRA_CHECK_CONFIG_FUZZER_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "gpu/gpu_config.hh"
+
+namespace libra
+{
+
+/**
+ * One random valid configuration at @p width x @p height. Consumes a
+ * bounded number of Rng draws; panics (simulator bug) if the generated
+ * config ever fails GpuConfig::validate().
+ */
+GpuConfig fuzzGpuConfig(Rng &rng, std::uint32_t width,
+                        std::uint32_t height);
+
+} // namespace libra
+
+#endif // LIBRA_CHECK_CONFIG_FUZZER_HH

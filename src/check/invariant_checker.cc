@@ -1,0 +1,105 @@
+#include "check/invariant_checker.hh"
+
+#include <cmath>
+
+#include "cache/cache.hh"
+
+namespace libra
+{
+
+Status
+InvariantChecker::status() const
+{
+    if (ok())
+        return Status::ok();
+    std::string joined;
+    for (const std::string &v : violationList) {
+        if (!joined.empty())
+            joined += "; ";
+        joined += v;
+    }
+    return Status::error(ErrorCode::InvariantViolation,
+                         violationList.size(), " violation(s): ", joined);
+}
+
+void
+InvariantChecker::checkCacheConservation(const Cache &cache)
+{
+    const std::uint64_t outcomes = cache.hits.value()
+        + cache.misses.value() + cache.mshrCoalesced.value();
+    const std::uint64_t accesses =
+        cache.readAccesses.value() + cache.writeAccesses.value();
+    if (outcomes != accesses) {
+        violation(cache.cfg().name, ": hits ", cache.hits.value(),
+                  " + misses ", cache.misses.value(), " + coalesced ",
+                  cache.mshrCoalesced.value(), " = ", outcomes,
+                  " != accesses ", accesses, " (reads ",
+                  cache.readAccesses.value(), " + writes ",
+                  cache.writeAccesses.value(), ")");
+    }
+}
+
+void
+InvariantChecker::checkDramAttribution(
+    const std::vector<std::uint64_t> &tile_dram, std::uint64_t attributed)
+{
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : tile_dram)
+        sum += v;
+    if (sum != attributed) {
+        violation("per-tile DRAM feedback sums to ", sum,
+                  " but the frame attributed ", attributed,
+                  " DRAM accesses to tiles");
+    }
+}
+
+void
+InvariantChecker::checkTileCoverage(
+    const std::vector<std::uint32_t> &flush_count)
+{
+    for (std::size_t t = 0; t < flush_count.size(); ++t) {
+        if (flush_count[t] != 1) {
+            violation("tile ", t, " flushed ", flush_count[t],
+                      " times this frame (must be exactly once)");
+        }
+    }
+}
+
+void
+InvariantChecker::checkSchedulerDrained(std::uint64_t tiles_remaining)
+{
+    if (tiles_remaining != 0) {
+        violation("scheduler still holds ", tiles_remaining,
+                  " tiles at frame end");
+    }
+}
+
+void
+InvariantChecker::checkPhasePartition(
+    std::size_t ru, const std::array<std::uint64_t, kNumRuPhases> &phases,
+    std::uint64_t frame_cycles)
+{
+    std::uint64_t sum = 0;
+    for (const std::uint64_t p : phases)
+        sum += p;
+    if (sum != frame_cycles) {
+        violation("ru", ru, " phase counters sum to ", sum,
+                  " but the frame took ", frame_cycles, " cycles");
+    }
+}
+
+void
+InvariantChecker::checkEnergyBreakdown(const EnergyBreakdown &energy)
+{
+    const double sum = energy.coreMj + energy.cacheMj + energy.dramMj
+        + energy.fixedFunctionMj + energy.staticMj;
+    // Relative tolerance: the components are accumulated in a different
+    // order than the total, so allow a few ulps of drift.
+    const double tol = 1e-9 * std::max(1.0, std::fabs(energy.totalMj));
+    if (std::fabs(sum - energy.totalMj) > tol) {
+        violation("energy components sum to ", sum, " mJ but totalMj is ",
+                  energy.totalMj);
+    }
+}
+
+} // namespace libra

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Model-consistency checking: per-frame conservation laws.
+ *
+ * The simulator's headline numbers are all derived from component
+ * counters, so a single missed increment quietly poisons every figure
+ * (and, through the temperature feedback, the scheduler itself). The
+ * InvariantChecker turns such accounting bugs into structural failures
+ * by validating laws that must hold by construction:
+ *
+ *  - cache conservation: every non-retried access is counted exactly
+ *    once as hit, miss or coalesced miss, so
+ *    hits + misses + mshr_coalesced == read_accesses + write_accesses;
+ *  - DRAM attribution: the per-tile DRAM feedback vector sums to the
+ *    frame's attributed DRAM traffic;
+ *  - tile coverage: the scheduler issues (and the Raster Units flush)
+ *    each tile exactly once per frame, and drains completely;
+ *  - phase partition: each RU's six phase counters sum exactly to the
+ *    frame's cycles;
+ *  - energy: the breakdown components sum to EnergyBreakdown::totalMj.
+ *
+ * Violations are collected, never thrown: status() reports them as a
+ * recoverable InvariantViolation Status (PR-1 error layer), so release
+ * runs are never aborted — Gpu only runs the checker behind
+ * GpuConfig::checkInvariants.
+ */
+
+#ifndef LIBRA_CHECK_INVARIANT_CHECKER_HH
+#define LIBRA_CHECK_INVARIANT_CHECKER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/status.hh"
+#include "energy/energy_model.hh"
+#include "gpu/raster/raster_unit.hh"
+
+namespace libra
+{
+
+class Cache;
+
+class InvariantChecker
+{
+  public:
+    /** Record one violation (message built from the arguments). */
+    template <typename... Args>
+    void
+    violation(Args &&...args)
+    {
+        violationList.push_back(
+            detail::format(std::forward<Args>(args)...));
+    }
+
+    bool ok() const { return violationList.empty(); }
+    const std::vector<std::string> &violations() const
+    {
+        return violationList;
+    }
+
+    /** Drop every recorded violation (start of a checking window). */
+    void clear() { violationList.clear(); }
+
+    /** Ok, or an InvariantViolation joining every recorded message. */
+    Status status() const;
+
+    // --- The conservation laws -----------------------------------------
+
+    /** hits + misses + mshr_coalesced == read + write accesses, over
+     *  the cache's whole lifetime (the law holds at every instant:
+     *  both sides are bumped synchronously at access time). */
+    void checkCacheConservation(const Cache &cache);
+
+    /** sum(tile_dram) == the frame's tile-attributed DRAM accesses. */
+    void checkDramAttribution(const std::vector<std::uint64_t> &tile_dram,
+                              std::uint64_t attributed);
+
+    /** Every tile flushed exactly once this frame. */
+    void checkTileCoverage(const std::vector<std::uint32_t> &flush_count);
+
+    /** The scheduler handed out its whole queue. */
+    void checkSchedulerDrained(std::uint64_t tiles_remaining);
+
+    /** RU @p ru's six per-frame phase deltas partition the frame. */
+    void checkPhasePartition(
+        std::size_t ru,
+        const std::array<std::uint64_t, kNumRuPhases> &phases,
+        std::uint64_t frame_cycles);
+
+    /** coreMj + cacheMj + dramMj + fixedFunctionMj + staticMj
+     *  == totalMj (to floating-point tolerance). */
+    void checkEnergyBreakdown(const EnergyBreakdown &energy);
+
+  private:
+    std::vector<std::string> violationList;
+};
+
+} // namespace libra
+
+#endif // LIBRA_CHECK_INVARIANT_CHECKER_HH

@@ -15,6 +15,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::WatchdogExpired: return "watchdog expired";
       case ErrorCode::NoProgress: return "no progress";
       case ErrorCode::FailedPrecondition: return "failed precondition";
+      case ErrorCode::InvariantViolation: return "invariant violation";
     }
     return "unknown";
 }

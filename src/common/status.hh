@@ -43,6 +43,7 @@ enum class ErrorCode
     WatchdogExpired,    //!< simulation exceeded its cycle budget
     NoProgress,         //!< simulation livelocked/deadlocked
     FailedPrecondition, //!< object unusable (e.g. wedged GPU reused)
+    InvariantViolation, //!< a model conservation law failed to hold
 };
 
 /** Printable name of an ErrorCode (e.g. "corrupt data"). */

@@ -29,7 +29,6 @@ AdaptiveController::decide(const FrameObservation &obs)
 {
     if (!obs.valid) {
         // First frame: no history, render in Z-order.
-        prevPrev = prev;
         prev = obs;
         return {false, stSize};
     }
@@ -80,7 +79,6 @@ AdaptiveController::decide(const FrameObservation &obs)
         // Inside the dead zone: keep the current size.
     }
 
-    prevPrev = prev;
     prev = obs;
     return {useTemperature, stSize};
 }

@@ -68,8 +68,12 @@ class AdaptiveController
     std::uint32_t stSize;
     bool growing = true;
 
-    FrameObservation prev;     //!< frame N-1 (most recent)
-    FrameObservation prevPrev; //!< frame N-2
+    /**
+     * Frame N-1, the only retained observation: every §III-D rule is a
+     * two-frame comparison of the incoming observation (frame N) against
+     * this one, so no older history is kept.
+     */
+    FrameObservation prev;
 };
 
 } // namespace libra

@@ -27,6 +27,22 @@ clampToGrid(SchedulerConfig cfg, const TileGrid &grid,
     }
     cfg.initialSupertileSize = std::min(cfg.initialSupertileSize,
                                         cfg.maxSupertileSize);
+
+    // The hot/cold split needs 1 <= hotRasterUnits < numRus to leave
+    // both a hot and a cold end. GpuConfig::validate() rejects bad
+    // values at the library boundary; a standalone scheduler (tests,
+    // ablations) gets them clamped so nextTile() never degenerates —
+    // e.g. hotRasterUnits = 0 on one RU would silently pull every tile
+    // from the cold/back end, reversing the entire traversal.
+    const std::uint32_t max_hot = num_rus > 1 ? num_rus - 1 : 1;
+    const std::uint32_t clamped =
+        std::clamp<std::uint32_t>(cfg.hotRasterUnits, 1, max_hot);
+    if (clamped != cfg.hotRasterUnits) {
+        warn("scheduler: hotRasterUnits ", cfg.hotRasterUnits,
+             " out of range [1, ", max_hot, "] for ", num_rus,
+             " RUs; clamped to ", clamped);
+        cfg.hotRasterUnits = clamped;
+    }
     return cfg;
 }
 
@@ -135,7 +151,7 @@ TileScheduler::nextTile(std::uint32_t ru)
     return cursor.tiles[cursor.idx++];
 }
 
-std::uint32_t
+std::uint64_t
 TileScheduler::tilesRemaining() const
 {
     std::uint64_t total = 0;
@@ -143,7 +159,7 @@ TileScheduler::tilesRemaining() const
         total += grid.tilesInSuperTile(s, stSize).size();
     for (const auto &cursor : cursors)
         total += cursor.tiles.size() - cursor.idx;
-    return static_cast<std::uint32_t>(total);
+    return total;
 }
 
 } // namespace libra

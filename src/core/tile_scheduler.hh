@@ -61,7 +61,13 @@ class TileScheduler
     bool temperatureOrderActive() const { return tempOrder; }
     std::uint32_t supertileSize() const { return stSize; }
     std::uint64_t lastRankingCycles() const { return rankingCycles; }
-    std::uint32_t tilesRemaining() const;
+
+    /**
+     * Tiles not yet handed out this frame (queued supertiles plus
+     * partially consumed per-RU cursors). 64-bit: a supertile count
+     * times tiles-per-supertile overflows 32 bits on extreme grids.
+     */
+    std::uint64_t tilesRemaining() const;
 
   private:
     void buildQueue(const FrameFeedback &prev);

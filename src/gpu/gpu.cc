@@ -89,6 +89,7 @@ Gpu::Gpu(const GpuConfig &cfg)
         };
         unit->onTileDone = [this](const TileDoneInfo &info) {
             ++tilesFlushed;
+            ++tileFlushCount[info.tile];
             tileInstr[info.tile] += info.instructions;
             tempTable.addInstructions(info.tile, info.instructions);
             frameInstructions += info.instructions;
@@ -125,6 +126,7 @@ Gpu::Gpu(const GpuConfig &cfg)
         if (info.tileTag != invalidId
             && info.tileTag < grid.tileCount()) {
             tempTable.addDramAccess(info.tileTag);
+            ++frameAttributedDram;
         }
         if (rasterActive)
             dramSampler.record(info.queued);
@@ -141,6 +143,7 @@ Gpu::Gpu(const GpuConfig &cfg)
         statGroup.addChild(unit->stats());
 
     tileInstr.resize(grid.tileCount(), 0);
+    tileFlushCount.resize(grid.tileCount(), 0);
     // Seed with a sentinel so every tile flushes on the first frame.
     tileSignatures.resize(grid.tileCount(),
                           0xfeedfacecafebeefull);
@@ -309,6 +312,8 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
     tileCache->invalidateAll();
 
     tempTable.reset();
+    frameAttributedDram = 0;
+    std::fill(tileFlushCount.begin(), tileFlushCount.end(), 0u);
     std::fill(tileInstr.begin(), tileInstr.end(), 0);
     if (config.captureImage)
         std::fill(image.begin(), image.end(), 0);
@@ -478,6 +483,11 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
     if (config.captureImage)
         fs.image = image;
 
+    if (config.checkInvariants) {
+        if (Status st = checkFrameInvariants(fs); !st.isOk())
+            return st;
+    }
+
     // Feedback for the next frame's scheduling decisions.
     feedback.valid = true;
     feedback.rasterCycles = fs.rasterCycles;
@@ -486,6 +496,37 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
     feedback.tileInstructions = fs.tileInstr;
 
     return fs;
+}
+
+Status
+Gpu::checkFrameInvariants(const FrameStats &fs)
+{
+    invariantChecker.clear();
+
+    // Cache-counter conservation holds cumulatively: both sides of the
+    // law are bumped synchronously on every non-retried access, and the
+    // frame boundary is quiescent (the event queue drained).
+    invariantChecker.checkCacheConservation(*l2);
+    invariantChecker.checkCacheConservation(*vertexCache);
+    invariantChecker.checkCacheConservation(*tileCache);
+    for (const auto &tex : texL1s)
+        invariantChecker.checkCacheConservation(*tex);
+
+    invariantChecker.checkDramAttribution(fs.tileDram,
+                                          frameAttributedDram);
+    invariantChecker.checkTileCoverage(tileFlushCount);
+    invariantChecker.checkSchedulerDrained(tileSched->tilesRemaining());
+    for (std::size_t i = 0; i < fs.ruPhases.size(); ++i) {
+        invariantChecker.checkPhasePartition(i, fs.ruPhases[i],
+                                             fs.totalCycles);
+    }
+    invariantChecker.checkEnergyBreakdown(fs.energy);
+
+    Status st = invariantChecker.status();
+    if (st.isOk())
+        return st;
+    return Status::error(st.code(), "frame ", fs.frameIndex, ": ",
+                         st.message());
 }
 
 } // namespace libra

@@ -16,6 +16,7 @@
 
 #include "cache/cache.hh"
 #include "cache/mem_system.hh"
+#include "check/invariant_checker.hh"
 #include "common/status.hh"
 #include "core/temperature_table.hh"
 #include "core/tile_scheduler.hh"
@@ -145,6 +146,13 @@ class Gpu
      */
     std::string diagnosticState() const;
 
+    /**
+     * Test hook: the shared L2, for fault injection in the invariant
+     * tests (e.g. Cache::testDropHitAccounting breaks the conservation
+     * law that checkInvariants must then report).
+     */
+    Cache &testL2Cache() { return *l2; }
+
     EnergyParams energyParams; //!< tweakable before rendering
 
   private:
@@ -189,10 +197,20 @@ class Gpu
     TemperatureTable tempTable;
     FrameFeedback feedback;
 
+    /** Runs the src/check conservation laws at every frame boundary
+     *  when GpuConfig::checkInvariants is set. */
+    InvariantChecker invariantChecker;
+
+    /** Conservation laws over the finished frame; Ok or an
+     *  InvariantViolation listing every broken law. */
+    Status checkFrameInvariants(const FrameStats &fs);
+
     // Per-frame collection state.
     bool rasterActive = false;
     Tick rasterStartTick = 0;
     std::uint32_t tilesFlushed = 0;
+    std::vector<std::uint32_t> tileFlushCount; //!< per-tile, this frame
+    std::uint64_t frameAttributedDram = 0; //!< tile-tagged DRAM accesses
     IntervalSampler dramSampler; //!< Fig. 7 bandwidth timeline
     std::vector<std::uint64_t> tileInstr;
     std::vector<std::uint64_t> tileSignatures; //!< transaction elim.

@@ -83,6 +83,17 @@ struct GpuConfig
     WatchdogConfig watchdog;
 
     /**
+     * Run the InvariantChecker (src/check) at every frame boundary:
+     * cache-counter conservation, per-tile DRAM attribution, exactly-
+     * once tile scheduling, RU phase partition and the energy-component
+     * sum. A violated law surfaces as an InvariantViolation Status from
+     * tryRenderFrame — a recoverable error, never an abort — so CI and
+     * the config fuzzer can turn model-accounting bugs into red tests.
+     * Off by default: release runs pay no checking cost.
+     */
+    bool checkInvariants = false;
+
+    /**
      * Cross-field sanity validation. Checks ranges of every knob, the
      * tile size against the screen, the Raster-Unit/core organization
      * against the warp configuration, and the cache/DRAM geometry.

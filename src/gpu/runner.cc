@@ -124,6 +124,21 @@ RunResult::fps(double clock_hz) const
     return static_cast<double>(frames.size()) / seconds;
 }
 
+namespace
+{
+
+/** Entrywise-add @p from into @p into (counter names are identical for
+ *  every Gpu instance built from one config). */
+void
+accumulateCounters(std::map<std::string, std::uint64_t> &into,
+                   const std::map<std::string, std::uint64_t> &from)
+{
+    for (const auto &[name, value] : from)
+        into[name] += value;
+}
+
+} // namespace
+
 Result<RunResult>
 runBenchmark(const Scene &scene, const GpuConfig &cfg,
              std::uint32_t frames, std::uint32_t first_frame)
@@ -167,14 +182,18 @@ runBenchmark(const Scene &scene, const GpuConfig &cfg,
             return fs.status();
         }
         // Watchdog fired: degrade gracefully — drop this frame,
-        // rebuild the wedged GPU and carry on with the sweep.
+        // rebuild the wedged GPU and carry on with the sweep. The
+        // wedged instance's counters are merged first: work done before
+        // the rebuild (including the aborted frame's partial progress)
+        // must survive into the run totals.
         warn("benchmark ", spec.abbrev, ": skipping frame ",
              first_frame + f, ": ", fs.status().toString());
         result.skippedFrames.push_back(first_frame + f);
+        accumulateCounters(result.counters, gpu->stats().values());
         gpu = std::make_unique<Gpu>(cfg);
         gpu->setTraceSink(result.trace.get());
     }
-    result.counters = gpu->stats().values();
+    accumulateCounters(result.counters, gpu->stats().values());
     return result;
 }
 

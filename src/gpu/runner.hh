@@ -42,8 +42,10 @@ struct RunResult
      * Full cumulative counter dump of the run ("gpu.ru0.phase_shade"
      * → cycles, ...). Sorted by name; identical simulations produce
      * identical dumps, which is what the determinism suite locks down.
-     * When the run rebuilt the GPU mid-sweep (watchdog), counters of
-     * the final instance only.
+     * When the run rebuilt the GPU mid-sweep (watchdog), the dumps of
+     * every instance are summed entrywise, so counters accumulated
+     * before a rebuild — including the skipped frame's partial work —
+     * are never lost.
      */
     std::map<std::string, std::uint64_t> counters;
 

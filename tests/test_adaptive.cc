@@ -167,3 +167,45 @@ TEST(Adaptive, RespectsSizeBounds)
         EXPECT_LE(d.supertileSize, 8u);
     }
 }
+
+TEST(Adaptive, KeepsOnlyATwoFrameWindow)
+{
+    // Every §III-D rule compares the incoming observation against the
+    // previous frame only; no older history is retained (the one-time
+    // prevPrev member was dead state). Two controllers whose histories
+    // differ only before the last common observation must take
+    // identical decisions from then on — including on a frame whose
+    // variation is large enough to trigger a resize.
+    SchedulerConfig cfg = defaults();
+    AdaptiveController a(cfg), b(cfg);
+    a.decide(FrameObservation{});
+    b.decide(FrameObservation{});
+
+    // Divergent frame N-2 observations (variation between them and the
+    // common successor stays below every threshold, so the visible
+    // decisions do not fork here).
+    a.decide(obs(1000000, 0.5));
+    b.decide(obs(1001000, 0.5));
+
+    // Common frame N-1.
+    const auto da = a.decide(obs(1000500, 0.5));
+    const auto db = b.decide(obs(1000500, 0.5));
+    ASSERT_EQ(da.temperatureOrder, db.temperatureOrder);
+    ASSERT_EQ(da.supertileSize, db.supertileSize);
+
+    // Frame N swings hard (10% better): whatever the rules do, both
+    // controllers — whose retained state is now identical — must agree.
+    const auto ea = a.decide(obs(900450, 0.5));
+    const auto eb = b.decide(obs(900450, 0.5));
+    EXPECT_EQ(ea.temperatureOrder, eb.temperatureOrder);
+    EXPECT_EQ(ea.supertileSize, eb.supertileSize);
+
+    // And keep agreeing on subsequent frames.
+    for (int i = 0; i < 5; ++i) {
+        const std::uint64_t c = 900450 + i * 40000;
+        const auto fa = a.decide(obs(c, 0.5));
+        const auto fb = b.decide(obs(c, 0.5));
+        EXPECT_EQ(fa.temperatureOrder, fb.temperatureOrder);
+        EXPECT_EQ(fa.supertileSize, fb.supertileSize);
+    }
+}

@@ -11,8 +11,10 @@
 
 #include "cache/cache.hh"
 #include "cache/mem_system.hh"
-#include "sim/event_queue.hh"
+#include "check/invariant_checker.hh"
 #include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
 
 using namespace libra;
 
@@ -407,3 +409,120 @@ INSTANTIATE_TEST_SUITE_P(
     Geometries, CacheGeometry,
     ::testing::Combine(::testing::Values(1u, 4u, 32u),
                        ::testing::Values(1u, 2u, 4u, 8u)));
+
+// ---------------------------------------------------------------------
+// MSHR accounting conservation: hits + misses + mshr_coalesced must
+// equal read_accesses + write_accesses at every quiescent point, under
+// coalescing, MSHR stalls and multi-line splits alike (the law the
+// InvariantChecker enforces per frame).
+// ---------------------------------------------------------------------
+
+TEST(CacheConservation, HoldsUnderCoalescing)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 20);
+    Cache cache(eq, smallCache(), mem);
+
+    // Three back-to-back reads of one line: one miss, two coalesced.
+    for (int i = 0; i < 3; ++i)
+        cache.access(MemReq{0x2000, 4, false, TrafficClass::Texture,
+                            invalidId, nullptr});
+    eq.runUntil();
+
+    EXPECT_EQ(cache.misses.value(), 1u);
+    EXPECT_EQ(cache.mshrCoalesced.value(), 2u);
+    EXPECT_EQ(cache.hits.value() + cache.misses.value() +
+                  cache.mshrCoalesced.value(),
+              cache.readAccesses.value() + cache.writeAccesses.value());
+
+    InvariantChecker checker;
+    checker.checkCacheConservation(cache);
+    EXPECT_TRUE(checker.ok()) << checker.status().toString();
+}
+
+TEST(CacheConservation, HoldsUnderMshrStalls)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 50);
+    Cache cache(eq, smallCache(), mem); // 4 MSHRs
+
+    // More distinct-line misses than MSHRs: the excess stalls and
+    // retries, but each request is still counted exactly once.
+    for (Addr line = 0; line < 8; ++line)
+        cache.access(MemReq{0x4000 + line * 64, 4, false,
+                            TrafficClass::Texture, invalidId, nullptr});
+    eq.runUntil();
+
+    EXPECT_EQ(cache.misses.value(), 8u);
+    EXPECT_GT(cache.mshrStalls.value(), 0u);
+    // Stalls are extra bookkeeping, not part of the partition.
+    EXPECT_EQ(cache.hits.value() + cache.misses.value() +
+                  cache.mshrCoalesced.value(),
+              cache.readAccesses.value() + cache.writeAccesses.value());
+
+    InvariantChecker checker;
+    checker.checkCacheConservation(cache);
+    EXPECT_TRUE(checker.ok()) << checker.status().toString();
+}
+
+TEST(CacheConservation, HoldsUnderMultiLineSplits)
+{
+    EventQueue eq;
+    RecordingMemory mem(eq, 10);
+    Cache cache(eq, smallCache(), mem);
+
+    // A 128-byte request spans two 64-byte lines: the splitter turns it
+    // into two accesses, and each part keeps the law balanced.
+    cache.access(MemReq{0x6000, 128, false, TrafficClass::Texture,
+                        invalidId, nullptr});
+    eq.runUntil();
+    EXPECT_EQ(cache.readAccesses.value(), 2u);
+    EXPECT_EQ(cache.misses.value(), 2u);
+
+    // An unaligned write straddling a line boundary.
+    cache.access(MemReq{0x6000 + 60, 8, true, TrafficClass::FrameBuffer,
+                        invalidId, nullptr});
+    eq.runUntil();
+
+    EXPECT_EQ(cache.hits.value() + cache.misses.value() +
+                  cache.mshrCoalesced.value(),
+              cache.readAccesses.value() + cache.writeAccesses.value());
+
+    InvariantChecker checker;
+    checker.checkCacheConservation(cache);
+    EXPECT_TRUE(checker.ok()) << checker.status().toString();
+}
+
+TEST(Cache, InvalidateDiscardsInFlightFill)
+{
+    // Regression: invalidateAll() used to ignore outstanding MSHR
+    // fills, so the late fill re-installed a stale line after the
+    // invalidation. The fill must be discarded (waiters still complete
+    // with correct timing) and a re-access must go back to memory.
+    EventQueue eq;
+    RecordingMemory mem(eq, 30);
+    Cache cache(eq, smallCache(), mem);
+
+    bool completed = false;
+    cache.access(MemReq{0x8000, 4, false, TrafficClass::Texture,
+                        invalidId,
+                        [&completed](Tick) { completed = true; }});
+    EXPECT_EQ(mem.reads, 1u);
+
+    // Invalidate while the fill is still in flight.
+    cache.invalidateAll();
+    eq.runUntil();
+    EXPECT_TRUE(completed); // the waiter is never dropped
+    EXPECT_EQ(cache.invalidatedFills.value(), 1u);
+
+    // The line was NOT installed: touching it again misses to memory.
+    cache.access(MemReq{0x8000, 4, false, TrafficClass::Texture,
+                        invalidId, nullptr});
+    eq.runUntil();
+    EXPECT_EQ(mem.reads, 2u);
+    EXPECT_EQ(cache.hits.value(), 0u);
+
+    InvariantChecker checker;
+    checker.checkCacheConservation(cache);
+    EXPECT_TRUE(checker.ok()) << checker.status().toString();
+}

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the InvariantChecker: the unit-level conservation laws, the
+ * Gpu wiring behind GpuConfig::checkInvariants, and fault injection —
+ * an intentionally dropped hit increment must surface as a failing
+ * InvariantViolation Status, never as an abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "check/invariant_checker.hh"
+#include "gpu/gpu.hh"
+#include "gpu/runner.hh"
+#include "sim/event_queue.hh"
+#include "workload/benchmarks.hh"
+#include "workload/scene.hh"
+
+using namespace libra;
+
+namespace
+{
+
+constexpr std::uint32_t W = 256;
+constexpr std::uint32_t H = 128;
+
+GpuConfig
+checkedConfig(GpuConfig cfg)
+{
+    cfg.screenWidth = W;
+    cfg.screenHeight = H;
+    cfg.checkInvariants = true;
+    return cfg;
+}
+
+} // namespace
+
+TEST(InvariantChecker, StartsCleanAndCollectsViolations)
+{
+    InvariantChecker checker;
+    EXPECT_TRUE(checker.ok());
+    EXPECT_TRUE(checker.status().isOk());
+
+    checker.violation("first: ", 1);
+    checker.violation("second");
+    EXPECT_FALSE(checker.ok());
+    ASSERT_EQ(checker.violations().size(), 2u);
+    EXPECT_EQ(checker.violations()[0], "first: 1");
+
+    const Status st = checker.status();
+    ASSERT_FALSE(st.isOk());
+    EXPECT_EQ(st.code(), ErrorCode::InvariantViolation);
+    // Every message is carried, joined into one Status.
+    EXPECT_NE(st.message().find("first: 1"), std::string::npos);
+    EXPECT_NE(st.message().find("second"), std::string::npos);
+
+    checker.clear();
+    EXPECT_TRUE(checker.ok());
+    EXPECT_TRUE(checker.status().isOk());
+}
+
+TEST(InvariantChecker, DramAttributionLaw)
+{
+    InvariantChecker checker;
+    checker.checkDramAttribution({1, 2, 3}, 6);
+    EXPECT_TRUE(checker.ok());
+    checker.checkDramAttribution({1, 2, 3}, 7);
+    EXPECT_FALSE(checker.ok());
+}
+
+TEST(InvariantChecker, TileCoverageLaw)
+{
+    InvariantChecker checker;
+    checker.checkTileCoverage({1, 1, 1});
+    EXPECT_TRUE(checker.ok());
+    checker.checkTileCoverage({1, 0, 2});
+    // Both the missed tile and the double-flushed tile are reported.
+    EXPECT_EQ(checker.violations().size(), 2u);
+}
+
+TEST(InvariantChecker, PhasePartitionLaw)
+{
+    InvariantChecker checker;
+    std::array<std::uint64_t, kNumRuPhases> phases{};
+    phases[0] = 70;
+    phases[1] = 30;
+    checker.checkPhasePartition(0, phases, 100);
+    EXPECT_TRUE(checker.ok());
+    checker.checkPhasePartition(1, phases, 99);
+    EXPECT_FALSE(checker.ok());
+}
+
+TEST(InvariantChecker, EnergyLawToleratesRoundingOnly)
+{
+    InvariantChecker checker;
+    EnergyBreakdown e;
+    e.coreMj = 1.0;
+    e.cacheMj = 2.0;
+    e.dramMj = 3.0;
+    e.fixedFunctionMj = 0.5;
+    e.staticMj = 4.0;
+    e.totalMj = 10.5;
+    checker.checkEnergyBreakdown(e);
+    EXPECT_TRUE(checker.ok());
+
+    e.totalMj = 10.6; // far beyond rounding
+    checker.checkEnergyBreakdown(e);
+    EXPECT_FALSE(checker.ok());
+}
+
+TEST(InvariantChecker, CacheConservationLaw)
+{
+    // Drive a real cache with mixed hit/miss/coalesced traffic: the
+    // conservation law must hold at the quiescent point.
+    EventQueue queue;
+    IdealMemory mem(queue, 50);
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024;
+    cfg.ways = 4;
+    cfg.lineBytes = 64;
+    cfg.mshrs = 4;
+    Cache cache(queue, cfg, mem);
+
+    for (int i = 0; i < 3; ++i)
+        cache.access(MemReq{0x1000, 4, false, TrafficClass::Texture,
+                            invalidId, nullptr});
+    queue.runUntil();
+    cache.access(MemReq{0x1000, 4, false, TrafficClass::Texture,
+                        invalidId, nullptr});
+    queue.runUntil();
+
+    InvariantChecker checker;
+    checker.checkCacheConservation(cache);
+    EXPECT_TRUE(checker.ok()) << checker.status().toString();
+
+    // Injecting the accounting bug breaks the law.
+    cache.testDropHitAccounting = true;
+    cache.access(MemReq{0x1000, 4, false, TrafficClass::Texture,
+                        invalidId, nullptr});
+    queue.runUntil();
+    checker.checkCacheConservation(cache);
+    ASSERT_FALSE(checker.ok());
+    EXPECT_EQ(checker.status().code(), ErrorCode::InvariantViolation);
+}
+
+TEST(Invariants, CleanRunPassesEveryLaw)
+{
+    // A real multi-frame simulation with every law armed must succeed
+    // for the baseline, PTR and full-LIBRA organizations.
+    const Scene scene(findBenchmark("CCS"), W, H);
+    for (const GpuConfig &base :
+         {GpuConfig::baseline(8), GpuConfig::ptr(2, 4),
+          GpuConfig::libra(2, 4)}) {
+        const Result<RunResult> r =
+            runBenchmark(scene, checkedConfig(base), 3);
+        ASSERT_TRUE(r.isOk()) << r.status().toString();
+        EXPECT_EQ(r->frames.size(), 3u);
+    }
+}
+
+TEST(Invariants, CheckingNeverPerturbsTheSimulation)
+{
+    // The checker is observational: armed vs unarmed runs must be
+    // counter-identical.
+    const Scene scene(findBenchmark("CCS"), W, H);
+    GpuConfig off = checkedConfig(GpuConfig::libra(2, 4));
+    off.checkInvariants = false;
+    const Result<RunResult> checked =
+        runBenchmark(scene, checkedConfig(GpuConfig::libra(2, 4)), 2);
+    const Result<RunResult> plain = runBenchmark(scene, off, 2);
+    ASSERT_TRUE(checked.isOk());
+    ASSERT_TRUE(plain.isOk());
+    EXPECT_EQ(checked->counters, plain->counters);
+}
+
+TEST(Invariants, InjectedAccountingErrorIsCaughtAsStatus)
+{
+    // The acceptance criterion: drop L2 hit increments under the test
+    // hook and the frame must fail with InvariantViolation — reported
+    // as a recoverable Status, not an abort, and not a wedged GPU.
+    const Scene scene(findBenchmark("CCS"), W, H);
+    Gpu gpu(checkedConfig(GpuConfig::libra(2, 4)));
+    gpu.testL2Cache().testDropHitAccounting = true;
+
+    const Result<FrameStats> fs =
+        gpu.tryRenderFrame(scene.frame(0), scene.textures());
+    ASSERT_FALSE(fs.isOk());
+    EXPECT_EQ(fs.status().code(), ErrorCode::InvariantViolation);
+    EXPECT_NE(fs.status().message().find("l2"), std::string::npos)
+        << fs.status().message();
+    // Observational failure: the simulation state itself is consistent,
+    // so the GPU is not wedged (unlike a watchdog error).
+    EXPECT_FALSE(gpu.wedged());
+}
+
+TEST(Invariants, RunnerPropagatesViolationAsError)
+{
+    // Through runBenchmark, a violation is a run-fatal error (it is a
+    // model bug, not a transient), unlike watchdog skips.
+    GpuConfig cfg = checkedConfig(GpuConfig::ptr(2, 4));
+    const Scene scene(findBenchmark("CCS"), W, H);
+    Gpu gpu(cfg);
+    gpu.testL2Cache().testDropHitAccounting = true;
+    Result<FrameStats> first =
+        gpu.tryRenderFrame(scene.frame(0), scene.textures());
+    ASSERT_FALSE(first.isOk());
+
+    // A later frame on the same (unwedged) GPU still reports the
+    // still-broken cumulative law instead of crashing.
+    Result<FrameStats> second =
+        gpu.tryRenderFrame(scene.frame(1), scene.textures());
+    ASSERT_FALSE(second.isOk());
+    EXPECT_EQ(second.status().code(), ErrorCode::InvariantViolation);
+}

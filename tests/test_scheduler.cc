@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
 #include <set>
+#include <type_traits>
 
 #include "core/tile_scheduler.hh"
 
@@ -237,4 +239,51 @@ TEST(Scheduler, SupertilesServedContiguouslyPerRu)
             }
         }
     }
+}
+
+TEST(Scheduler, TilesRemainingIsSixtyFourBit)
+{
+    // Regression: tilesRemaining() used to truncate through uint32_t;
+    // extreme (grid x supertile) products overflow 32 bits.
+    TileScheduler sched(policy(SchedulerPolicy::ZOrder), grid(), 1);
+    static_assert(std::is_same_v<decltype(sched.tilesRemaining()),
+                                 std::uint64_t>);
+    sched.beginFrame(FrameFeedback{});
+    EXPECT_EQ(sched.tilesRemaining(), grid().tileCount());
+    drain(sched, 1);
+    EXPECT_EQ(sched.tilesRemaining(), 0u);
+}
+
+TEST(Scheduler, ClampsOutOfRangeHotRasterUnits)
+{
+    // Regression: hotRasterUnits >= numRus left no cold RUs (and with a
+    // single RU, hot = 0 made it pull from the cold/back end, quietly
+    // reversing the ranking). Out-of-range values are clamped and the
+    // dispatch matches the nearest legal configuration.
+    SchedulerConfig bad = policy(SchedulerPolicy::TemperatureStatic, 2);
+    bad.hotRasterUnits = 7; // >= numRus
+    SchedulerConfig good = policy(SchedulerPolicy::TemperatureStatic, 2);
+    good.hotRasterUnits = 1;
+
+    TileScheduler clamped(bad, grid(), 2);
+    TileScheduler legal(good, grid(), 2);
+    clamped.beginFrame(gradientFeedback());
+    legal.beginFrame(gradientFeedback());
+    EXPECT_EQ(drain(clamped, 2), drain(legal, 2));
+}
+
+TEST(Scheduler, SingleRuHotZeroDoesNotReverseTheRanking)
+{
+    // hot = 0 on one RU must behave exactly like the legal hot = 1
+    // scheduler: hottest supertile first, not the cold end.
+    SchedulerConfig zero = policy(SchedulerPolicy::TemperatureStatic, 2);
+    zero.hotRasterUnits = 0;
+    SchedulerConfig one = policy(SchedulerPolicy::TemperatureStatic, 2);
+    one.hotRasterUnits = 1;
+
+    TileScheduler a(zero, grid(), 1);
+    TileScheduler b(one, grid(), 1);
+    a.beginFrame(gradientFeedback());
+    b.beginFrame(gradientFeedback());
+    EXPECT_EQ(drain(a, 1), drain(b, 1));
 }

@@ -163,3 +163,42 @@ TEST(Watchdog, RunnerRejectsInvalidConfigUpFront)
     EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument);
     EXPECT_NE(r.status().message().find("CCS"), std::string::npos);
 }
+
+TEST(Watchdog, WedgedFrameCountersSurviveTheRebuild)
+{
+    // Regression: runBenchmark rebuilt the Gpu after a wedged frame
+    // without dumping the wedged instance's stats, silently dropping
+    // all the work that frame did before the watchdog fired. Counters
+    // are now merged across rebuilds.
+    GpuConfig cfg = GpuConfig::libra(2, 4);
+    cfg.screenWidth = 256;
+    cfg.screenHeight = 128;
+    cfg.watchdog.cycleBudget = 50; // wedges every frame
+
+    const Result<RunResult> one =
+        runBenchmark(findBenchmark("CCS"), cfg, 1);
+    ASSERT_TRUE(one.isOk()) << one.status().toString();
+    ASSERT_EQ(one->skippedFrames.size(), 1u);
+
+    // The partial frame ran for ~50 cycles before being killed: its
+    // counters must appear in the dump.
+    std::uint64_t total = 0;
+    for (const auto &[name, value] : one->counters)
+        total += value;
+    EXPECT_GT(total, 0u);
+
+    // A second wedged frame strictly adds: entrywise >= and a larger
+    // grand total (the sum over two partial frames).
+    const Result<RunResult> two =
+        runBenchmark(findBenchmark("CCS"), cfg, 2);
+    ASSERT_TRUE(two.isOk()) << two.status().toString();
+    ASSERT_EQ(two->skippedFrames.size(), 2u);
+    std::uint64_t total2 = 0;
+    for (const auto &[name, value] : two->counters) {
+        total2 += value;
+        const auto it = one->counters.find(name);
+        ASSERT_NE(it, one->counters.end()) << name;
+        EXPECT_GE(value, it->second) << name;
+    }
+    EXPECT_GT(total2, total);
+}
