@@ -10,10 +10,13 @@
 
 #include "cache/cache.hh"
 #include "common/rng.hh"
+#include "core/tile_scheduler.hh"
 #include "dram/dram.hh"
 #include "gpu/raster/rasterizer.hh"
+#include "gpu/runner.hh"
 #include "gpu/tiling/polygon_list_builder.hh"
 #include "sim/event_queue.hh"
+#include "sim/trace_sink.hh"
 #include "workload/benchmarks.hh"
 #include "workload/scene.hh"
 
@@ -118,6 +121,103 @@ BM_SceneFrameGeneration(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SceneFrameGeneration);
+
+/**
+ * Temperature ranking cost per frame: an FHD grid's worth of supertiles
+ * sorted hottest-to-coldest from the previous frame's per-tile DRAM
+ * feedback. This is the scheduler work LIBRA adds on top of PTR, so it
+ * must stay a rounding error next to the frame it schedules.
+ */
+void
+BM_TileSchedulerRanking(benchmark::State &state)
+{
+    const TileGrid grid(1920, 1080, 32);
+    SchedulerConfig cfg;
+    cfg.policy = SchedulerPolicy::TemperatureStatic;
+    cfg.staticSupertileSize = 4;
+    TileScheduler sched(cfg, grid, 2);
+
+    FrameFeedback prev;
+    prev.valid = true;
+    prev.rasterCycles = 1'000'000;
+    prev.textureHitRatio = 0.5; // below threshold: ranking active
+    Rng rng(7);
+    prev.tileDramAccesses.resize(grid.tileCount());
+    prev.tileInstructions.resize(grid.tileCount());
+    for (std::size_t i = 0; i < grid.tileCount(); ++i) {
+        prev.tileDramAccesses[i] = rng.below(10000);
+        prev.tileInstructions[i] = rng.below(100000);
+    }
+
+    for (auto _ : state) {
+        sched.beginFrame(prev);
+        benchmark::DoNotOptimize(sched.tilesRemaining());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<int64_t>(grid.tileCount()));
+}
+BENCHMARK(BM_TileSchedulerRanking);
+
+/**
+ * Trace-sink append rate, recording versus disabled. Spans and counter
+ * samples land on component lanes from inside the event loop, so the
+ * per-event cost bounds how much tracing can slow a traced run — and
+ * the disabled flavor is the tax every untraced run still pays.
+ */
+void
+BM_TraceSinkEmission(benchmark::State &state)
+{
+    constexpr int kBatch = 4096;
+    const bool enabled = state.range(0) != 0;
+    for (auto _ : state) {
+        TraceSink sink;
+        sink.setEnabled(enabled);
+        TraceSink::Lane &lane = sink.lane("ru0");
+        const std::uint32_t phase = sink.nameId("raster");
+        const std::uint32_t occupancy = sink.nameId("warps");
+        for (int i = 0; i < kBatch; ++i) {
+            const Tick t = static_cast<Tick>(i) * 8;
+            lane.begin(phase, t);
+            lane.counter(occupancy, t + 2,
+                         static_cast<std::uint64_t>(i & 63));
+            lane.end(t + 7);
+        }
+        benchmark::DoNotOptimize(sink.eventCount());
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch * 3);
+    state.SetLabel(enabled ? "recording" : "disabled");
+}
+BENCHMARK(BM_TraceSinkEmission)->Arg(1)->Arg(0);
+
+/**
+ * End-to-end cost of arming the invariant checker: the same reduced
+ * run with GpuConfig::checkInvariants off (release default) and on
+ * (CI). The delta is what the per-frame conservation-law sweep costs.
+ */
+void
+BM_InvariantCheckerRun(benchmark::State &state)
+{
+    constexpr std::uint32_t kW = 320, kH = 180;
+    static const Scene scene(findBenchmark("CCS"), kW, kH);
+    GpuConfig cfg = GpuConfig::libra(2, 4);
+    cfg.screenWidth = kW;
+    cfg.screenHeight = kH;
+    cfg.checkInvariants = state.range(0) != 0;
+
+    for (auto _ : state) {
+        Result<RunResult> r = runBenchmark(scene, cfg, 2);
+        if (!r.isOk())
+            state.SkipWithError(r.status().toString().c_str());
+        else
+            benchmark::DoNotOptimize(r->totalCycles());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(state.range(0) != 0 ? "armed" : "unarmed");
+}
+BENCHMARK(BM_InvariantCheckerRun)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -12,16 +12,38 @@
  *   - sweep throughput: the same jobs pushed through SweepRunner, to
  *     catch regressions in the parallel harness itself.
  *
+ * Methodology: every measurement runs --warmup discarded iterations and
+ * --repeat timed ones and reports the median plus the MAD (median
+ * absolute deviation). Single-shot wall times on a shared machine are
+ * noise — an unlucky scheduling hiccup used to swing the recorded
+ * number by 2x; the median of pinned repeats is stable to a few
+ * percent and the MAD quantifies how trustworthy this particular run
+ * was.
+ *
+ * Regression gate: --baseline FILE compares this run's medians against
+ * a previously written results file (e.g. the committed
+ * BENCH_baseline.json) and exits non-zero when the wall-time geomean
+ * regresses by more than --tolerance percent (default 10). A fixed
+ * arithmetic calibration loop is timed in both runs and its ratio
+ * rescales the baseline, so a comparison on a faster/slower machine
+ * than the one that wrote the baseline still measures the *simulator*,
+ * not the host.
+ *
  * Results land in BENCH_sweep.json (override with --out FILE) so CI can
- * archive them per commit and trend them. --report-out/--trace-out
- * write the traced run's RunReport and chrome-trace. The workload is
- * deliberately NOT configurable beyond --frames/--jobs: changing it
- * breaks comparability across history.
+ * archive them per commit and trend them; the same file format is what
+ * --baseline consumes. --report-out/--trace-out write the traced run's
+ * RunReport and chrome-trace. The workload is deliberately NOT
+ * configurable beyond --frames/--jobs: changing it breaks
+ * comparability across history.
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -53,6 +75,96 @@ seconds(std::chrono::steady_clock::duration d)
     return std::chrono::duration<double>(d).count();
 }
 
+/** Median and median-absolute-deviation of timed repeats. */
+struct Stats
+{
+    double median = 0.0;
+    double mad = 0.0;
+};
+
+double
+medianOf(std::vector<double> v)
+{
+    libra_assert(!v.empty(), "median of nothing");
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+Stats
+summarize(const std::vector<double> &samples)
+{
+    Stats s;
+    s.median = medianOf(samples);
+    std::vector<double> dev;
+    dev.reserve(samples.size());
+    for (const double x : samples)
+        dev.push_back(std::abs(x - s.median));
+    s.mad = medianOf(std::move(dev));
+    return s;
+}
+
+/** Run @p body (returning its wall seconds) warmup+repeat times and
+ *  summarize the timed repeats. */
+template <typename Fn>
+Stats
+measure(unsigned warmup, unsigned repeat, Fn &&body)
+{
+    for (unsigned i = 0; i < warmup; ++i)
+        body();
+    std::vector<double> samples;
+    samples.reserve(repeat);
+    for (unsigned i = 0; i < repeat; ++i)
+        samples.push_back(body());
+    return summarize(samples);
+}
+
+/**
+ * Host-speed calibration: a fixed integer workload timed the same way
+ * the simulator runs are. The ratio of two runs' calibration times
+ * rescales baseline wall times recorded on a different (or
+ * differently-loaded) machine. Median-of-5 keeps it stable.
+ */
+double
+calibrate()
+{
+    std::vector<double> samples;
+    volatile std::uint64_t sink = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::uint64_t h = 0x9E3779B97F4A7C15ull;
+        for (std::uint32_t i = 0; i < 20'000'000; ++i) {
+            h ^= h >> 33;
+            h *= 0xFF51AFD7ED558CCDull;
+            h += i;
+        }
+        sink = sink + h;
+        samples.push_back(
+            seconds(std::chrono::steady_clock::now() - t0));
+    }
+    return medianOf(std::move(samples));
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read ", path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+double
+jsonNumber(const JsonValue &root, const std::string &key)
+{
+    const JsonValue *v = root.find(key);
+    if (v == nullptr || !v->isNumber())
+        fatal("baseline file is missing numeric field \"", key, "\"");
+    return v->number;
+}
+
 } // namespace
 
 int
@@ -60,32 +172,52 @@ main(int argc, char **argv)
 {
     const CliArgs args(argc, argv,
                        {"frames", "jobs", "out", "report-out",
-                        "trace-out"});
+                        "trace-out", "warmup", "repeat", "baseline",
+                        "tolerance"});
     const auto frames =
         static_cast<std::uint32_t>(args.getInt("frames", 4));
     const auto jobs = static_cast<unsigned>(args.getInt("jobs", 2));
+    const auto warmup =
+        static_cast<unsigned>(args.getInt("warmup", 1));
+    const auto repeat =
+        static_cast<unsigned>(args.getInt("repeat", 3));
+    const double tolerance = args.getDouble("tolerance", 10.0);
     const std::string out = args.get("out", "BENCH_sweep.json");
+    const std::string baseline_path = args.get("baseline", "");
     const std::string report_out = args.get("report-out", "");
     const std::string trace_out = args.get("trace-out", "");
     if (frames < 1)
         fatal("--frames must be at least 1");
+    if (repeat < 1)
+        fatal("--repeat must be at least 1");
 
     const BenchmarkSpec &spec = findBenchmark(kBenchmark);
     const Scene scene(spec, kWidth, kHeight);
+
+    const double calib_s = calibrate();
 
     // --- Event-loop hot path: one simulation, events/sec. ------------
     GpuConfig cfg = GpuConfig::libra(2, 4);
     cfg.screenWidth = kWidth;
     cfg.screenHeight = kHeight;
 
-    Gpu gpu(cfg);
-    const auto t0 = std::chrono::steady_clock::now();
-    for (std::uint32_t f = 0; f < frames; ++f)
-        gpu.renderFrame(scene.frame(f), scene.textures());
-    const double sim_s = seconds(std::chrono::steady_clock::now() - t0);
-    const std::uint64_t events = gpu.eventQueue().eventsExecuted();
-    const double events_per_sec =
-        sim_s > 0.0 ? static_cast<double>(events) / sim_s : 0.0;
+    std::uint64_t events = 0;
+    const Stats sim = measure(warmup, repeat, [&] {
+        Gpu gpu(cfg);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint32_t f = 0; f < frames; ++f)
+            gpu.renderFrame(scene.frame(f), scene.textures());
+        const double s =
+            seconds(std::chrono::steady_clock::now() - t0);
+        const std::uint64_t e = gpu.eventQueue().eventsExecuted();
+        libra_assert(events == 0 || events == e,
+                     "non-deterministic event count across repeats");
+        events = e;
+        return s;
+    });
+    const double events_per_sec = sim.median > 0.0
+        ? static_cast<double>(events) / sim.median
+        : 0.0;
 
     // --- Same workload, trace sink attached: recording overhead. -----
     GpuConfig cfg_traced = cfg;
@@ -93,69 +225,78 @@ main(int argc, char **argv)
     RunResult traced;
     traced.benchmark = kBenchmark;
     traced.config = cfg_traced;
-    traced.trace = std::make_shared<TraceSink>();
-    double traced_s = 0.0;
     std::uint64_t events_traced = 0;
-    {
+    const Stats traced_stats = measure(warmup, repeat, [&] {
+        traced.trace = std::make_shared<TraceSink>();
+        traced.frames.clear();
         Gpu gpu_traced(cfg_traced);
         gpu_traced.setTraceSink(traced.trace.get());
-        const auto tt = std::chrono::steady_clock::now();
+        const auto t0 = std::chrono::steady_clock::now();
         for (std::uint32_t f = 0; f < frames; ++f) {
             traced.frames.push_back(
                 gpu_traced.renderFrame(scene.frame(f),
                                        scene.textures()));
         }
-        traced_s = seconds(std::chrono::steady_clock::now() - tt);
+        const double s =
+            seconds(std::chrono::steady_clock::now() - t0);
         events_traced = gpu_traced.eventQueue().eventsExecuted();
         traced.counters = gpu_traced.stats().values();
-    }
-    const double events_per_sec_traced = traced_s > 0.0
-        ? static_cast<double>(events_traced) / traced_s
+        return s;
+    });
+    const double events_per_sec_traced = traced_stats.median > 0.0
+        ? static_cast<double>(events_traced) / traced_stats.median
         : 0.0;
 
     // --- Sweep throughput: the same workload through SweepRunner. ----
-    std::vector<SweepJob> sweep_jobs;
-    for (const std::uint32_t cores : {8u, 8u}) {
-        GpuConfig c = GpuConfig::baseline(cores);
-        c.screenWidth = kWidth;
-        c.screenHeight = kHeight;
-        sweep_jobs.push_back(SweepJob{&spec, c, frames, 0});
-    }
-    {
+    const auto make_jobs = [&] {
+        std::vector<SweepJob> sweep_jobs;
+        for (const std::uint32_t cores : {8u, 8u}) {
+            GpuConfig c = GpuConfig::baseline(cores);
+            c.screenWidth = kWidth;
+            c.screenHeight = kHeight;
+            sweep_jobs.push_back(SweepJob{&spec, c, frames, 0});
+        }
         GpuConfig c = cfg;
         sweep_jobs.push_back(SweepJob{&spec, c, frames, 0});
         c.sched.policy = SchedulerPolicy::Scanline;
         sweep_jobs.push_back(SweepJob{&spec, c, frames, 0});
-    }
-    const std::size_t n_jobs = sweep_jobs.size();
+        return sweep_jobs;
+    };
+    const std::size_t n_jobs = make_jobs().size();
 
     SweepRunner runner(jobs);
     SceneCache scenes;
-    const auto t1 = std::chrono::steady_clock::now();
-    std::vector<Result<RunResult>> results =
-        runner.run(std::move(sweep_jobs), &scenes);
-    const double sweep_s =
-        seconds(std::chrono::steady_clock::now() - t1);
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        if (!results[i].isOk())
-            fatal("sweep job ", i, ": ",
-                  results[i].status().toString());
-    }
+    const Stats sweep = measure(warmup, repeat, [&] {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<Result<RunResult>> results =
+            runner.run(make_jobs(), &scenes);
+        const double s =
+            seconds(std::chrono::steady_clock::now() - t0);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (!results[i].isOk())
+                fatal("sweep job ", i, ": ",
+                      results[i].status().toString());
+        }
+        return s;
+    });
 
     // --- Report. -----------------------------------------------------
-    std::printf("perf_smoke: %s %ux%u, %u frame(s)\n", kBenchmark,
-                kWidth, kHeight, frames);
-    std::printf("  event loop : %llu events in %.3f s  "
-                "(%.3g events/s)\n",
-                static_cast<unsigned long long>(events), sim_s,
-                events_per_sec);
-    std::printf("  traced     : %llu events in %.3f s  "
-                "(%.3g events/s, %zu trace events)\n",
+    std::printf("perf_smoke: %s %ux%u, %u frame(s), "
+                "%u warmup + %u repeat(s)\n",
+                kBenchmark, kWidth, kHeight, frames, warmup, repeat);
+    std::printf("  calibration: %.3f s\n", calib_s);
+    std::printf("  event loop : %llu events, median %.3f s "
+                "(MAD %.3f)  (%.3g events/s)\n",
+                static_cast<unsigned long long>(events), sim.median,
+                sim.mad, events_per_sec);
+    std::printf("  traced     : %llu events, median %.3f s "
+                "(MAD %.3f)  (%.3g events/s, %zu trace events)\n",
                 static_cast<unsigned long long>(events_traced),
-                traced_s, events_per_sec_traced,
-                traced.trace->eventCount());
-    std::printf("  sweep      : %zu jobs, %u worker(s), %.3f s\n",
-                n_jobs, runner.workers(), sweep_s);
+                traced_stats.median, traced_stats.mad,
+                events_per_sec_traced, traced.trace->eventCount());
+    std::printf("  sweep      : %zu jobs, %u worker(s), median %.3f s "
+                "(MAD %.3f)\n",
+                n_jobs, runner.workers(), sweep.median, sweep.mad);
 
     if (!report_out.empty()) {
         if (Status st =
@@ -182,22 +323,98 @@ main(int argc, char **argv)
                  "  \"width\": %u,\n"
                  "  \"height\": %u,\n"
                  "  \"frames\": %u,\n"
+                 "  \"warmup\": %u,\n"
+                 "  \"repeat\": %u,\n"
+                 "  \"calibration_s\": %.6f,\n"
                  "  \"events\": %llu,\n"
                  "  \"events_per_sec\": %.1f,\n"
                  "  \"wall_time_s\": %.6f,\n"
+                 "  \"wall_time_mad_s\": %.6f,\n"
                  "  \"events_per_sec_traced\": %.1f,\n"
                  "  \"trace_events\": %zu,\n"
                  "  \"wall_time_traced_s\": %.6f,\n"
+                 "  \"wall_time_traced_mad_s\": %.6f,\n"
                  "  \"sweep_jobs\": %zu,\n"
                  "  \"sweep_workers\": %u,\n"
-                 "  \"sweep_wall_time_s\": %.6f\n"
+                 "  \"sweep_wall_time_s\": %.6f,\n"
+                 "  \"sweep_wall_time_mad_s\": %.6f\n"
                  "}\n",
-                 kBenchmark, kWidth, kHeight, frames,
-                 static_cast<unsigned long long>(events),
-                 events_per_sec, sim_s, events_per_sec_traced,
-                 traced.trace->eventCount(), traced_s, n_jobs,
-                 runner.workers(), sweep_s);
+                 kBenchmark, kWidth, kHeight, frames, warmup, repeat,
+                 calib_s, static_cast<unsigned long long>(events),
+                 events_per_sec, sim.median, sim.mad,
+                 events_per_sec_traced, traced.trace->eventCount(),
+                 traced_stats.median, traced_stats.mad, n_jobs,
+                 runner.workers(), sweep.median, sweep.mad);
     std::fclose(fp);
     std::printf("wrote %s\n", out.c_str());
-    return 0;
+
+    // --- Baseline gate. ----------------------------------------------
+    if (baseline_path.empty())
+        return 0;
+
+    Result<JsonValue> parsed = parseJson(readFile(baseline_path));
+    if (!parsed.isOk())
+        fatal("--baseline ", baseline_path, ": ",
+              parsed.status().toString());
+    const JsonValue &base = *parsed;
+
+    // The baseline must describe the same pinned workload, or the
+    // comparison is meaningless.
+    const JsonValue *bench_name = base.find("benchmark");
+    if (bench_name == nullptr || !bench_name->isString()
+        || bench_name->str != kBenchmark
+        || jsonNumber(base, "width") != kWidth
+        || jsonNumber(base, "height") != kHeight
+        || jsonNumber(base, "frames") != frames) {
+        fatal("--baseline ", baseline_path,
+              " was recorded for a different workload");
+    }
+
+    const auto base_events =
+        static_cast<std::uint64_t>(jsonNumber(base, "events"));
+    if (base_events != events) {
+        std::printf("baseline: NOTE event count changed %llu -> %llu "
+                    "(semantic change; wall-time comparison still "
+                    "applies, diff_check guards equivalence)\n",
+                    static_cast<unsigned long long>(base_events),
+                    static_cast<unsigned long long>(events));
+    }
+
+    // Rescale the baseline by the host-speed ratio so a slower/faster
+    // machine (or runner) does not masquerade as a simulator change.
+    const double base_calib = jsonNumber(base, "calibration_s");
+    const double host_scale =
+        base_calib > 0.0 ? calib_s / base_calib : 1.0;
+
+    struct Metric
+    {
+        const char *name;
+        const char *key;
+        double now;
+    };
+    const Metric metrics[] = {
+        {"event loop", "wall_time_s", sim.median},
+        {"traced", "wall_time_traced_s", traced_stats.median},
+        {"sweep", "sweep_wall_time_s", sweep.median},
+    };
+
+    std::printf("baseline: comparing against %s "
+                "(host scale %.3fx, tolerance %.1f%%)\n",
+                baseline_path.c_str(), host_scale, tolerance);
+    double log_sum = 0.0;
+    for (const Metric &m : metrics) {
+        const double base_median =
+            jsonNumber(base, m.key) * host_scale;
+        const double ratio =
+            base_median > 0.0 ? m.now / base_median : 1.0;
+        log_sum += std::log(ratio);
+        std::printf("  %-11s: %.3f s vs %.3f s  (%.2fx)\n", m.name,
+                    m.now, base_median, ratio);
+    }
+    const double geomean =
+        std::exp(log_sum / std::size(metrics));
+    const bool regressed = geomean > 1.0 + tolerance / 100.0;
+    std::printf("baseline: wall-time geomean ratio %.3fx — %s\n",
+                geomean, regressed ? "REGRESSION" : "ok");
+    return regressed ? 1 : 0;
 }

@@ -10,7 +10,8 @@ namespace libra
 {
 
 Cache::Cache(EventQueue &eq, const CacheConfig &cfg, MemSink &next_level)
-    : queue(eq), config(cfg), next(next_level), statGroup(cfg.name)
+    : queue(eq), config(cfg), next(next_level), mshrIndex(cfg.mshrs),
+      statGroup(cfg.name)
 {
     libra_assert(config.lineBytes > 0 && config.ways > 0, "bad cache cfg");
     libra_assert(config.sizeBytes % (config.lineBytes * config.ways) == 0,
@@ -127,10 +128,10 @@ Cache::issueFill(std::size_t index)
 void
 Cache::handleFill(Addr line_addr, Tick when)
 {
-    auto it = mshrIndex.find(line_addr);
-    libra_assert(it != mshrIndex.end(), config.name,
+    const std::uint32_t *found = mshrIndex.find(line_addr);
+    libra_assert(found != nullptr, config.name,
                  ": fill for unknown MSHR line");
-    const std::size_t index = it->second;
+    const std::size_t index = *found;
     Mshr &slot = mshrSlots[index];
 
     // A fill that crossed an invalidateAll() carries pre-invalidate
@@ -151,7 +152,7 @@ Cache::handleFill(Addr line_addr, Tick when)
     slot.waiters.clear();
     slot.anyWrite = false;
     slot.discardFill = false;
-    mshrIndex.erase(it);
+    mshrIndex.erase(line_addr);
     freeMshrs.push_back(index);
 
     // Retry stalled requests while MSHRs are available. A retried
@@ -244,11 +245,10 @@ Cache::accessImpl(MemReq req, bool is_retry)
     }
 
     // Miss while a fill for the same line is outstanding: coalesce.
-    auto mshr_it = mshrIndex.find(line_addr);
-    if (mshr_it != mshrIndex.end()) {
+    if (const std::uint32_t *in_flight = mshrIndex.find(line_addr)) {
         if (!is_retry)
             ++mshrCoalesced;
-        Mshr &slot = mshrSlots[mshr_it->second];
+        Mshr &slot = mshrSlots[*in_flight];
         slot.anyWrite |= req.write;
         slot.waiters.push_back(std::move(req.onComplete));
         return;
@@ -279,7 +279,7 @@ Cache::accessImpl(MemReq req, bool is_retry)
     slot.discardFill = false;
     slot.waiters.clear();
     slot.waiters.push_back(std::move(req.onComplete));
-    mshrIndex[line_addr] = index;
+    mshrIndex.insert(line_addr, static_cast<std::uint32_t>(index));
     mshrCls[index] = req.cls;
     mshrTag[index] = req.tileTag;
     issueFill(index);
@@ -303,8 +303,9 @@ Cache::invalidateAll()
     // In-flight fills were requested before the invalidate; installing
     // them afterwards would resurrect stale lines. Let them complete
     // (waiters keep their timing) but drop the install.
-    for (const auto &[line_addr, index] : mshrIndex)
+    mshrIndex.forEach([this](Addr, std::uint32_t index) {
         mshrSlots[index].discardFill = true;
+    });
 }
 
 double

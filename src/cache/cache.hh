@@ -22,10 +22,10 @@
 #include <deque>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/mem_system.hh"
+#include "common/open_addr_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "sim/event_queue.hh"
@@ -145,7 +145,11 @@ class Cache : public MemSink
     std::vector<Line> lines;   //!< numSets * ways, set-major
     std::uint64_t lruClock = 0;
 
-    std::unordered_map<Addr, std::size_t> mshrIndex; //!< lineAddr → slot
+    /** lineAddr → MSHR slot. Open-addressed: MSHR matching runs on
+     *  every miss and every fill return, and the node-based
+     *  unordered_map it replaces was a measurable slice of the whole
+     *  simulator under gprof. */
+    OpenAddrMap<std::uint32_t> mshrIndex;
     std::vector<Mshr> mshrSlots;
     std::vector<TrafficClass> mshrCls; //!< class of the triggering miss
     std::vector<std::uint32_t> mshrTag; //!< tile tag of the triggering miss

@@ -20,10 +20,9 @@ ReplicationTracker::attach(Cache &cache)
     };
     auto prev_evict = cache.onEvict;
     cache.onEvict = [this, prev_evict](Addr line) {
-        auto it = refCount.find(line);
-        if (it != refCount.end()) {
-            if (--it->second == 0)
-                refCount.erase(it);
+        if (std::uint32_t *refs = refCount.find(line)) {
+            if (--*refs == 0)
+                refCount.erase(line);
         }
         if (prev_evict)
             prev_evict(line);
@@ -34,10 +33,10 @@ std::uint64_t
 ReplicationTracker::currentReplicas() const
 {
     std::uint64_t count = 0;
-    for (const auto &[line, refs] : refCount) {
+    refCount.forEach([&count](Addr, std::uint32_t refs) {
         if (refs > 1)
             ++count;
-    }
+    });
     return count;
 }
 

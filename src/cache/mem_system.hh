@@ -15,8 +15,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "common/open_addr_map.hh"
 #include "common/types.hh"
 #include "sim/callback.hh"
 #include "sim/event_queue.hh"
@@ -177,7 +177,10 @@ class ReplicationTracker
     }
 
   private:
-    std::unordered_map<Addr, std::uint32_t> refCount;
+    /** Sized for a texture-heavy L1 working set; grows if exceeded. The
+     *  install/evict hooks fire on every L1 line turn-over, so this map
+     *  shares the open-addressed design of the MSHR index. */
+    OpenAddrMap<std::uint32_t> refCount{4096};
     std::uint64_t totalInstalls = 0;
     std::uint64_t replicated = 0;
 };

@@ -189,20 +189,32 @@ Dram::pickRequest(const Channel &channel, const std::deque<Request> &q,
             return -1;
         }
     }
-    // FR: first row hit on a ready bank.
-    for (std::size_t i = 0; i < window; ++i) {
-        const Request &req = q[i];
+    // One pass instead of three (FR scan, FCFS scan, wake scan): hunt
+    // for the first row hit on a ready bank while remembering the first
+    // ready bank (the FCFS fallback) and the earliest bank-ready tick
+    // (the wake time). The decision is unchanged: a row hit anywhere in
+    // the window still beats the oldest ready request, and next_wake is
+    // only committed when nothing can issue — exactly when every bank
+    // in the window is busy, so the min covers the same set the old
+    // third scan did.
+    int first_ready = -1;
+    Tick min_ready = maxTick;
+    std::size_t i = 0;
+    for (auto it = q.begin(); i < window; ++it, ++i) {
+        const Request &req = *it;
         const Bank &bank = channel.banks[req.bank];
-        if (bank.readyAt <= now && bank.rowOpen && bank.openRow == req.row)
-            return static_cast<int>(i);
+        if (bank.readyAt <= now) {
+            if (bank.rowOpen && bank.openRow == req.row)
+                return static_cast<int>(i); // FR: row hit wins
+            if (first_ready < 0)
+                first_ready = static_cast<int>(i);
+        } else if (bank.readyAt < min_ready) {
+            min_ready = bank.readyAt;
+        }
     }
-    // FCFS: oldest request on a ready bank.
-    for (std::size_t i = 0; i < window; ++i) {
-        if (channel.banks[q[i].bank].readyAt <= now)
-            return static_cast<int>(i);
-    }
-    for (std::size_t i = 0; i < window; ++i)
-        next_wake = std::min(next_wake, channel.banks[q[i].bank].readyAt);
+    if (first_ready >= 0)
+        return first_ready; // FCFS: oldest ready request
+    next_wake = std::min(next_wake, min_ready);
     return -1;
 }
 

@@ -71,6 +71,8 @@ RasterUnit::beginFrame(const BinnedFrame &binned, const TexturePool &pool)
     libra_assert(idle(), "beginFrame on a busy Raster Unit");
     frame = &binned;
     texPool = &pool;
+    setupCache.clear();
+    setupCache.resize(binned.tris.size());
     updatePhase();
 }
 
@@ -230,14 +232,19 @@ RasterUnit::rasterizePrim(std::uint32_t prim_index)
     const Triangle &tri = frame->tris[prim_index];
     const Texture &tex = texPool->get(tri.textureId);
 
-    const TriangleSetup setup(tri, tex);
-    RasterOutput out;
+    std::optional<TriangleSetup> &cached = setupCache[prim_index];
+    if (!cached)
+        cached.emplace(tri, tex);
+    const TriangleSetup &setup = *cached;
+    RasterOutput &out = rasterScratch;
+    out.quads.clear();
+    out.blocksScanned = 0;
     setup.rasterize(ctx->rect, out);
     ++primsRasterized;
 
     // Early-Z: opaque primitives write depth, blended ones only test.
-    std::vector<Quad> survivors;
-    survivors.reserve(out.quads.size());
+    std::vector<Quad> &survivors = survivorScratch;
+    survivors.clear();
     for (Quad &quad : out.quads) {
         if (ctx->zbuf.testQuad(quad, !tri.blend) != 0)
             survivors.push_back(quad);
@@ -392,14 +399,17 @@ RasterUnit::dispatchPending()
         const std::uint32_t seq = pending.seq;
         const std::uint32_t prim_id = pending.primId;
         const std::uint64_t prim_sig = pending.primSig;
-        auto quads = std::make_shared<std::vector<Quad>>(
-            std::move(pending.quads));
-        target->dispatch(std::move(pending.task),
-                         [this, ctx, seq, prim_id, prim_sig, quads](
-                             const WarpRetireInfo &info) {
-                             onWarpRetired(ctx, seq, prim_id, prim_sig,
-                                           std::move(*quads), info);
-                         });
+        // The quad vector rides inside the retire callback's inline
+        // capture (the whole capture is 56 of WarpRetireCallback's 64
+        // bytes) — no shared_ptr block per warp.
+        target->dispatch(
+            std::move(pending.task),
+            [this, ctx, seq, prim_id, prim_sig,
+             quads = std::move(pending.quads)](
+                const WarpRetireInfo &info) mutable {
+                onWarpRetired(ctx, seq, prim_id, prim_sig,
+                              std::move(quads), info);
+            });
         dispatched = true;
     }
     if (dispatched)

@@ -27,6 +27,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -361,6 +362,19 @@ class RasterUnit : public RasterSink
 
     const BinnedFrame *frame = nullptr;
     const TexturePool *texPool = nullptr;
+
+    /** Per-frame memoization of TriangleSetup, indexed by primitive.
+     *  Setup is a pure function of the triangle and its texture, and a
+     *  primitive binned into many tiles is rasterized once per tile —
+     *  the setup (winding, edges, gradients, a sqrt for the LOD) only
+     *  needs computing the first time. Reset by beginFrame(). */
+    std::vector<std::optional<TriangleSetup>> setupCache;
+
+    /** Scratch for rasterizePrim, reused across primitives so the
+     *  steady state performs no allocation. Only live within one
+     *  rasterizePrim call (never across events). */
+    RasterOutput rasterScratch;
+    std::vector<Quad> survivorScratch;
 
     std::deque<RasterWork> fifo;
     Tick frontReadyAt = 0;

@@ -12,7 +12,7 @@ namespace libra
 struct ShaderCore::Flight
 {
     WarpTask task;
-    std::function<void(const WarpRetireInfo &)> onRetire;
+    WarpRetireCallback onRetire;
     std::uint64_t outstanding = 0;
     Tick issueTick = 0;     //!< tick the texture phase issued
     Tick lastData = 0;
@@ -37,8 +37,7 @@ ShaderCore::reserveIssue(Tick earliest, Tick cycles)
 }
 
 void
-ShaderCore::dispatch(WarpTask task,
-                     std::function<void(const WarpRetireInfo &)> on_retire)
+ShaderCore::dispatch(WarpTask task, WarpRetireCallback on_retire)
 {
     libra_assert(hasFreeSlot(), "dispatch to a full core");
     ++residentWarps;

@@ -15,13 +15,13 @@
 #define LIBRA_GPU_RASTER_SHADER_CORE_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "sim/callback.hh"
 #include "sim/event_queue.hh"
 
 namespace libra
@@ -52,6 +52,15 @@ struct WarpRetireInfo
     bool blend;
 };
 
+/**
+ * Retirement callback of one warp. 64 bytes of inline capture: enough
+ * for the Raster Unit's retire continuation (owner, tile context, warp
+ * identity and the moved-in quad vector) without any heap allocation —
+ * a warp is dispatched for every ~8 quads of every primitive, so the
+ * std::function this replaces allocated on a very hot path.
+ */
+using WarpRetireCallback = SmallCallback<void(const WarpRetireInfo &), 64>;
+
 /** One shader core with a private L1 texture cache. */
 class ShaderCore
 {
@@ -74,8 +83,7 @@ class ShaderCore
      * just before the callback runs (blending happens downstream in the
      * Raster Unit's export queue and does not hold the slot).
      */
-    void dispatch(WarpTask task,
-                  std::function<void(const WarpRetireInfo &)> on_retire);
+    void dispatch(WarpTask task, WarpRetireCallback on_retire);
 
     Cache &textureL1() { return texL1; }
     const Cache &textureL1() const { return texL1; }
@@ -91,8 +99,10 @@ class ShaderCore
      * Invoked whenever a resident warp changes execution state (enters
      * its texture-wait, resumes for the tail block). The owning Raster
      * Unit uses it to re-evaluate its phase attribution; may be empty.
+     * Fires on every warp state transition, hence the allocation-free
+     * callback type (the only producer captures one pointer).
      */
-    std::function<void()> onStateChange;
+    SmallCallback<void(), 16> onStateChange;
 
     Counter warpsExecuted;
     Counter issueBusy;
