@@ -21,6 +21,7 @@ main(int argc, char **argv)
         argc, argv, {"CCS", "SuS"},
         defaultMemorySubset());
 
+    int rc = 0;
     for (const std::uint32_t rus : {3u, 4u}) {
         banner("Hot-RU sweep at " + std::to_string(rus)
                + " Raster Units (vs equal-core baseline)");
@@ -73,6 +74,7 @@ main(int argc, char **argv)
                     Table::pct(mean(gains[0])).c_str(),
                     Table::pct(mean(gains[1])).c_str(), extra.c_str());
         std::printf("paper's design: one hot RU.\n");
+        rc |= sweep.exitCode();
     }
-    return 0;
+    return rc;
 }

@@ -109,5 +109,5 @@ main(int argc, char **argv)
         }
         printTable(table, opt);
     }
-    return 0;
+    return sweep.exitCode();
 }

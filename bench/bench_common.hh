@@ -14,6 +14,19 @@
  *   --trace-out FILE      chrome-trace timeline (job 0 exact path,
  *                         job N suffixed FILE.N.json; open in Perfetto)
  *
+ * Failure policy (see DESIGN.md, "Failure model"):
+ *   --deadline-ms N       wall-clock deadline per job attempt (0 = off)
+ *   --retries N           retries after a transient failure
+ *   --backoff-ms N        base retry delay, doubling per attempt
+ *   --quarantine N        permanent failures per config before its
+ *                         remaining jobs fail fast (0 = off)
+ *   --journal FILE        append-only crash-safe result journal
+ *   --resume              replay journaled successes, re-run the rest
+ *   --keep-going          exit 0 even if jobs failed (default: failed
+ *                         jobs make the bench exit nonzero)
+ *   --faults SPEC         armed fault plan (chaos testing; see
+ *                         FaultPlan::parse)
+ *
  * Default runs use a representative subset at reduced resolution so the
  * whole bench directory executes in minutes; --full reproduces the
  * paper-scale configuration (32 benchmarks, FHD, 25 frames).
@@ -33,6 +46,7 @@
 #include "common/log.hh"
 #include "gpu/runner.hh"
 #include "sim/sweep.hh"
+#include "sim/sweep_journal.hh"
 #include "trace/json.hh"
 #include "trace/report.hh"
 #include "trace/run_report.hh"
@@ -53,6 +67,16 @@ struct BenchOptions
     std::string outdir = "bench_out"; //!< image/trace artifacts
     std::string reportOut; //!< RunReport JSON path ("" = don't write)
     std::string traceOut;  //!< chrome-trace path ("" = don't record)
+
+    // Failure policy (forwarded into SweepPolicy by Sweep).
+    std::uint64_t deadlineMs = 0;  //!< per-attempt deadline; 0 = none
+    std::uint32_t retries = 0;     //!< transient-failure retries
+    std::uint64_t backoffMs = 100; //!< base retry delay
+    std::uint32_t quarantine = 0;  //!< strikes before fast-fail; 0 = off
+    std::string journal;           //!< crash-safe journal ("" = none)
+    bool resume = false;           //!< replay journaled successes
+    bool keepGoing = false;        //!< failed jobs don't fail the bench
+    std::string faults;            //!< FaultPlan spec ("" = none)
 };
 
 /** Reduced default subsets keeping the default runtime small. */
@@ -74,10 +98,12 @@ parseBenchOptions(int argc, char **argv,
                   std::vector<std::string> full_benchmarks,
                   const std::vector<std::string> &extra_options = {})
 {
-    std::vector<std::string> known{"frames", "width",  "height",
-                                   "benchmarks", "full", "csv",
-                                   "jobs", "outdir", "report-out",
-                                   "trace-out"};
+    std::vector<std::string> known{
+        "frames", "width", "height", "benchmarks", "full", "csv",
+        "jobs", "outdir", "report-out", "trace-out",
+        // failure policy
+        "deadline-ms", "retries", "backoff-ms", "quarantine",
+        "journal", "resume", "keep-going", "faults"};
     known.insert(known.end(), extra_options.begin(),
                  extra_options.end());
     const CliArgs args(argc, argv, known);
@@ -108,6 +134,21 @@ parseBenchOptions(int argc, char **argv,
     opt.outdir = args.get("outdir", opt.outdir);
     opt.reportOut = args.get("report-out", "");
     opt.traceOut = args.get("trace-out", "");
+
+    opt.deadlineMs = static_cast<std::uint64_t>(
+        args.getInt("deadline-ms", 0));
+    opt.retries = static_cast<std::uint32_t>(args.getInt("retries", 0));
+    opt.backoffMs = static_cast<std::uint64_t>(
+        args.getInt("backoff-ms", static_cast<std::int64_t>(
+                                      opt.backoffMs)));
+    opt.quarantine = static_cast<std::uint32_t>(
+        args.getInt("quarantine", 0));
+    opt.journal = args.get("journal", "");
+    opt.resume = args.getBool("resume");
+    opt.keepGoing = args.getBool("keep-going");
+    opt.faults = args.get("faults", "");
+    if (opt.resume && opt.journal.empty())
+        fatal("--resume needs --journal FILE");
 
     libra_assert(opt.frames >= 2, "benches need at least 2 frames");
     return opt;
@@ -169,16 +210,35 @@ mustMemoryTimeFraction(const BenchmarkSpec &spec, const GpuConfig &cfg,
  * of each bench stays exactly as it was. Scenes are shared: N configs
  * of one benchmark at one resolution build geometry/textures once.
  *
- * Like mustRun(), a failed job ends the process with the library's
- * error message — the bench binaries are the CLI boundary.
+ * Failed jobs no longer abort the process mid-sweep: the sweep runs to
+ * completion under the failure policy (deadlines, retries, quarantine,
+ * journal — see SweepPolicy), a per-job failure summary goes to stderr
+ * and the --report-out document records every failure. Failed handles
+ * read as zeroed placeholder results so the bench's printing loop still
+ * works (graceful degradation); the bench's main() must end with
+ * `return sweep.exitCode();`, which is nonzero when any job failed
+ * unless --keep-going was given.
  */
 class Sweep
 {
   public:
     explicit Sweep(const BenchOptions &opt)
         : runner(opt.jobs), reportOut(opt.reportOut),
-          traceOut(opt.traceOut)
-    {}
+          traceOut(opt.traceOut), keepGoing(opt.keepGoing)
+    {
+        policy.deadlineMs = opt.deadlineMs;
+        policy.maxRetries = opt.retries;
+        policy.backoffMs = opt.backoffMs;
+        policy.quarantineThreshold = opt.quarantine;
+        policy.journalPath = opt.journal;
+        policy.resume = opt.resume;
+        if (!opt.faults.empty()) {
+            Result<FaultPlan> plan = FaultPlan::parse(opt.faults);
+            if (!plan.isOk())
+                fatal("--faults: ", plan.status().toString());
+            policy.faults = std::move(*plan);
+        }
+    }
 
     /** Enqueue one run; returns its result handle. */
     std::size_t
@@ -192,28 +252,77 @@ class Sweep
         return jobs.size() - 1;
     }
 
-    /** Run every queued job across the worker pool; --report-out /
-     *  --trace-out artifacts are written before returning. */
+    /** Run every queued job across the worker pool under the failure
+     *  policy; --report-out / --trace-out artifacts are written before
+     *  returning, failures summarized on stderr. */
     void
     run()
     {
-        std::vector<Result<RunResult>> out =
-            runner.run(std::move(jobs), &scenes);
+        // Keep a copy for job keys and placeholder synthesis — the
+        // engine consumes the submitted vector.
+        const std::vector<SweepJob> submitted = jobs;
+        SweepOutcome out =
+            runner.runWithPolicy(std::move(jobs), policy, &scenes);
         jobs.clear();
-        for (std::size_t i = 0; i < out.size(); ++i) {
-            if (!out[i].isOk())
-                fatal("sweep job ", i, ": ", out[i].status().toString());
+        killed = out.killed;
+
+        results.reserve(out.jobs.size());
+        for (std::size_t i = 0; i < out.jobs.size(); ++i) {
+            JobOutcome &o = out.jobs[i];
+            if (o.result.isOk()) {
+                results.push_back(std::move(*o.result));
+                continue;
+            }
+            const Status &st = o.result.status();
+            ReportFailure f;
+            f.jobIndex = i;
+            f.key = sweepJobKey(submitted[i]);
+            f.code = errorCodeName(st.code());
+            f.message = st.message();
+            f.attempts = o.attempts;
+            f.quarantined = o.quarantined;
+            f.notRun = o.notRun;
+            failures.push_back(std::move(f));
+            results.push_back(placeholder(submitted[i]));
         }
-        results = std::move(out);
+
+        if (!failures.empty()) {
+            std::fprintf(stderr, "sweep: %zu of %zu jobs failed%s\n",
+                         failures.size(), results.size(),
+                         killed ? " (simulated kill fired)" : "");
+            // The message is already attributed: "job N [key]: ...".
+            for (const ReportFailure &f : failures)
+                std::fprintf(stderr, "  %s: %s\n", f.code.c_str(),
+                             f.message.c_str());
+        }
         writeArtifacts();
     }
 
-    /** Result of the job @p handle (valid after run()). */
+    /** Result of the job @p handle (valid after run()). A failed job
+     *  reads as a zeroed placeholder — check failed() to tell. */
     const RunResult &
     operator[](std::size_t handle) const
     {
         libra_assert(handle < results.size(), "bad sweep handle");
-        return *results[handle];
+        return results[handle];
+    }
+
+    /** Whether job @p handle failed (its result is a placeholder). */
+    bool
+    failed(std::size_t handle) const
+    {
+        for (const ReportFailure &f : failures)
+            if (f.jobIndex == handle)
+                return true;
+        return false;
+    }
+
+    /** Process exit code under the failure policy: nonzero when any
+     *  job failed, unless --keep-going. Bench mains return this. */
+    int
+    exitCode() const
+    {
+        return failures.empty() || keepGoing ? 0 : 1;
     }
 
   private:
@@ -231,23 +340,53 @@ class Sweep
         return out.string();
     }
 
+    /** Zeroed stand-in for a failed job so result handles stay valid:
+     *  right shape (frame count, indices, config), all-zero stats. */
+    static RunResult
+    placeholder(const SweepJob &job)
+    {
+        RunResult r;
+        r.benchmark = job.spec ? job.spec->abbrev : "?";
+        r.config = job.config;
+        r.config.faults.reset();
+        r.config.watchdog.cancel.reset();
+        r.frames.resize(job.frames);
+        for (std::uint32_t k = 0; k < job.frames; ++k) {
+            FrameStats &fs = r.frames[k];
+            fs.frameIndex = job.firstFrame + k;
+            // Shape the per-tile / per-RU vectors like a real frame's
+            // so downstream consumers (heatmaps, phase tables) see
+            // zeros, not size-mismatch asserts. Guard against configs
+            // so broken the shape itself is undefined.
+            if (job.config.tileSize != 0) {
+                fs.tileDram.assign(job.config.tileCount(), 0);
+                fs.tileInstr.assign(job.config.tileCount(), 0);
+            }
+            fs.ruPhases.assign(job.config.rasterUnits, {});
+        }
+        return r;
+    }
+
     void
     writeArtifacts() const
     {
         if (!reportOut.empty()) {
+            // Completed runs only — failed jobs appear in "failures",
+            // not as zeroed fake runs.
             std::vector<RunResult> runs;
             runs.reserve(results.size());
-            for (const auto &r : results)
-                runs.push_back(*r);
-            if (Status st =
-                    writeTextFile(reportOut, sweepReportJson(runs));
+            for (std::size_t i = 0; i < results.size(); ++i)
+                if (!failed(i))
+                    runs.push_back(results[i]);
+            if (Status st = writeTextFile(
+                    reportOut, sweepReportJson(runs, failures));
                 !st.isOk()) {
                 fatal("--report-out: ", st.toString());
             }
         }
         if (!traceOut.empty()) {
             for (std::size_t i = 0; i < results.size(); ++i) {
-                const RunResult &r = *results[i];
+                const RunResult &r = results[i];
                 if (!r.trace)
                     continue;
                 const std::string path = indexedPath(traceOut, i);
@@ -261,10 +400,14 @@ class Sweep
 
     SweepRunner runner;
     SceneCache scenes;
+    SweepPolicy policy;
     std::vector<SweepJob> jobs;
-    std::vector<Result<RunResult>> results;
+    std::vector<RunResult> results;
+    std::vector<ReportFailure> failures;
     std::string reportOut;
     std::string traceOut;
+    bool keepGoing = false;
+    bool killed = false;
 };
 
 /**

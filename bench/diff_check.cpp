@@ -125,6 +125,13 @@ runEquivalenceMatrix(const BenchOptions &opt)
                 sweep.add(spec, checked(p.right, opt), opt.frames);
         }
         sweep.run();
+        if (sweep.exitCode() != 0) {
+            // Failed jobs read as placeholders; comparing those would
+            // vacuously "match". Count the sweep itself as a failure.
+            std::printf("%-4s sweep had failed jobs\n", name.c_str());
+            ++failures;
+            continue;
+        }
         for (const auto &p : pairs) {
             const bool ok = countersMatch(
                 name + " / " + p.name, sweep[p.hLeft].counters,
@@ -153,13 +160,15 @@ runFuzz(const BenchOptions &opt, std::uint32_t count,
     int job = 0;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
-        // Sweep::run() is the CLI boundary: a job whose conservation
-        // laws fire ends the process with the violation message.
+        // A job whose conservation laws fire fails its sweep slot; the
+        // summary on stderr carries the violation message.
         Sweep sweep(opt);
         for (std::uint32_t i = 0; i < count; ++i)
             sweep.add(spec, fuzzGpuConfig(rng, opt.width, opt.height),
                       opt.frames);
         sweep.run();
+        if (sweep.exitCode() != 0)
+            return 1;
         job += static_cast<int>(count);
         std::printf("%-4s %u configs clean\n", name.c_str(), count);
     }
@@ -178,7 +187,9 @@ main(int argc, char **argv)
     const CliArgs args(argc, argv,
                        {"frames", "width", "height", "benchmarks",
                         "full", "csv", "jobs", "outdir", "report-out",
-                        "trace-out", "fuzz", "seed"});
+                        "trace-out", "deadline-ms", "retries",
+                        "backoff-ms", "quarantine", "journal", "resume",
+                        "keep-going", "faults", "fuzz", "seed"});
 
     const auto fuzz =
         static_cast<std::uint32_t>(args.getInt("fuzz", 0));

@@ -77,5 +77,5 @@ main(int argc, char **argv)
     printTable(table, opt);
     std::printf("\naverage raster share: %s (paper: ~88%%)\n",
                 Table::pct(mean(raster_shares)).c_str());
-    return 0;
+    return sweep.exitCode();
 }

@@ -81,5 +81,5 @@ main(int argc, char **argv)
                     static_cast<double>(max_tile) * grid.tileCount()
                         / std::max<std::uint64_t>(total, 1));
     }
-    return 0;
+    return sweep.exitCode();
 }

@@ -60,5 +60,5 @@ main(int argc, char **argv)
                 "(paper: 16/32 below 1.50, some below 1.10)\n",
                 below_150, speedups.size(), below_110);
     std::printf("mean speedup: %.3f\n", mean(speedups));
-    return 0;
+    return sweep.exitCode();
 }

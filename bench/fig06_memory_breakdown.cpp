@@ -95,5 +95,5 @@ main(int argc, char **argv)
     std::printf("\nmean memory fraction: %s; correlation(memory, PTR "
                 "speedup): %.2f (paper: strongly negative)\n",
                 Table::pct(mf).c_str(), r);
-    return 0;
+    return sweep.exitCode();
 }

@@ -101,5 +101,5 @@ main(int argc, char **argv)
                 b.mean, b.cv);
     std::printf("\nLIBRA should flatten the curve: lower peak and/or "
                 "lower variation at similar total demand.\n");
-    return 0;
+    return sweep.exitCode();
 }

@@ -71,5 +71,5 @@ main(int argc, char **argv)
     printTable(table, opt);
     std::printf("\ntiles within 20%%: %s (paper: >80%%)\n",
                 Table::pct(frac_at_20).c_str());
-    return 0;
+    return sweep.exitCode();
 }

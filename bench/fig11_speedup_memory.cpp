@@ -66,5 +66,5 @@ main(int argc, char **argv)
     // FPS improvement (paper: +11.4% overall).
     std::printf("\nFPS gain (LIBRA vs baseline): %s\n",
                 Table::pct(mean(libra_s) - 1.0).c_str());
-    return 0;
+    return sweep.exitCode();
 }

@@ -66,5 +66,5 @@ main(int argc, char **argv)
                 Table::pct(mean(dec_libra)).c_str());
     std::printf("paper: LIBRA decreases texture latency by 13.5%% on "
                 "average (up to 40%%); PTR alone often increases it\n");
-    return 0;
+    return sweep.exitCode();
 }

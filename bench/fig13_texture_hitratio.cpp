@@ -68,5 +68,5 @@ main(int argc, char **argv)
     std::printf("average replication reduction vs PTR: %s "
                 "(paper: 32.5%%)\n",
                 Table::pct(mean(repl_red)).c_str());
-    return 0;
+    return sweep.exitCode();
 }

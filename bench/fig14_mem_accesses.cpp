@@ -50,5 +50,5 @@ main(int argc, char **argv)
     std::printf("\naverage normalized accesses: %.3f "
                 "(paper: ~1.0; the benefit is balance, not volume)\n",
                 mean(normalized));
-    return 0;
+    return sweep.exitCode();
 }

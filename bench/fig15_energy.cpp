@@ -66,5 +66,5 @@ main(int argc, char **argv)
                 Table::pct(mean(dec_libra) - mean(dec_ptr)).c_str());
     std::printf("paper: PTR 5.5%%, LIBRA 9.2%% (scheduler extra "
                 "3.7%%)\n");
-    return 0;
+    return sweep.exitCode();
 }

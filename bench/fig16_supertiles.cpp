@@ -76,5 +76,5 @@ main(int argc, char **argv)
     std::printf("LIBRA=%s\n", Table::pct(mean(libra_gain)).c_str());
     std::printf("paper: 2x2=0.6%% 4x4=2.1%% 8x8=2.8%% 16x16=3.2%% "
                 "LIBRA~7%%\n");
-    return 0;
+    return sweep.exitCode();
 }

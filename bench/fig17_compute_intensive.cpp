@@ -60,5 +60,5 @@ main(int argc, char **argv)
                 Table::pct(mean(libra_s) - mean(ptr_s)).c_str());
     std::printf("paper:   PTR 9.9%%, LIBRA 11.6%%, scheduler extra "
                 "1.7%%\n");
-    return 0;
+    return sweep.exitCode();
 }

@@ -60,5 +60,5 @@ main(int argc, char **argv)
                     Table::pct(mean(gains[i])).c_str());
     }
     std::printf("\npaper: 2 RUs=20.9%%, 3 RUs=31.3%%, 4 RUs=28.8%%\n");
-    return 0;
+    return sweep.exitCode();
 }

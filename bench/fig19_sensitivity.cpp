@@ -113,5 +113,5 @@ main(int argc, char **argv)
         printTable(table, opt);
         std::printf("paper: best at 3%%; flat beyond ~4%%\n");
     }
-    return 0;
+    return sweep.exitCode();
 }

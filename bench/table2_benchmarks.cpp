@@ -65,5 +65,5 @@ main(int argc, char **argv)
     std::printf("\naverage footprint: %.2f MB/frame "
                 "(paper: >4 MB at FHD)\n",
                 footprint_sum / std::max(measured, 1));
-    return 0;
+    return sweep.exitCode();
 }

@@ -137,7 +137,12 @@ Cache::handleFill(Addr line_addr, Tick when)
     // A fill that crossed an invalidateAll() carries pre-invalidate
     // data: complete its waiters (the timing is real) but never install
     // the stale line.
-    if (slot.discardFill)
+    bool discard = slot.discardFill;
+#if LIBRA_FAULTS_ENABLED
+    if (testDropFillEvery != 0 && ++fillSeq % testDropFillEvery == 0)
+        discard = true;
+#endif
+    if (discard)
         ++invalidatedFills;
     else
         installLine(line_addr, slot.anyWrite);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cache/mem_system.hh"
+#include "check/faults_build.hh"
 #include "common/open_addr_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -96,6 +97,16 @@ class Cache : public MemSink
      */
     bool testDropHitAccounting = false;
 
+    /**
+     * Fault-injection hook (armed by Gpu from a FaultPlan; see
+     * src/check/fault_injector): every Nth returning fill is discarded
+     * exactly as if it had crossed an invalidateAll() — waiters keep
+     * their timing, the line is not installed, `invalidatedFills` is
+     * incremented (no new counter, so golden counter dumps keep their
+     * shape). 0 disables. Compiled out with LIBRA_FAULTS=OFF.
+     */
+    std::uint64_t testDropFillEvery = 0;
+
   private:
     struct Line
     {
@@ -158,6 +169,7 @@ class Cache : public MemSink
 
     Tick portTick = 0;
     std::uint32_t portCount = 0;
+    std::uint64_t fillSeq = 0; //!< fills returned, for testDropFillEvery
 
     StatGroup statGroup;
 };

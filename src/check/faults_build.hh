@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Build-time switch for the fault-injection hooks (src/check/
+ * fault_injector). Mirrors the LIBRA_TRACING pattern: the CMake option
+ * LIBRA_FAULTS (default ON) leaves the macro at 1 so the hooks compile
+ * in, runtime-gated by a null/zero check; configuring with
+ * -DLIBRA_FAULTS=OFF defines LIBRA_FAULTS_ENABLED=0 and every hook
+ * compiles to nothing.
+ *
+ * This header is include-anywhere: low-level model code (cache, DRAM)
+ * includes it without pulling in the injector itself.
+ */
+
+#ifndef LIBRA_CHECK_FAULTS_BUILD_HH
+#define LIBRA_CHECK_FAULTS_BUILD_HH
+
+#ifndef LIBRA_FAULTS_ENABLED
+#define LIBRA_FAULTS_ENABLED 1
+#endif
+
+namespace libra
+{
+
+/** True when the fault-injection hooks are compiled in. */
+constexpr bool
+faultsCompiledIn()
+{
+    return LIBRA_FAULTS_ENABLED != 0;
+}
+
+} // namespace libra
+
+#endif // LIBRA_CHECK_FAULTS_BUILD_HH

@@ -16,8 +16,17 @@ errorCodeName(ErrorCode code)
       case ErrorCode::NoProgress: return "no progress";
       case ErrorCode::FailedPrecondition: return "failed precondition";
       case ErrorCode::InvariantViolation: return "invariant violation";
+      case ErrorCode::DeadlineExceeded: return "deadline exceeded";
+      case ErrorCode::Unavailable: return "unavailable";
     }
     return "unknown";
+}
+
+bool
+isTransientFailure(ErrorCode code)
+{
+    return code == ErrorCode::Unavailable
+        || code == ErrorCode::DeadlineExceeded;
 }
 
 std::string

@@ -44,10 +44,23 @@ enum class ErrorCode
     NoProgress,         //!< simulation livelocked/deadlocked
     FailedPrecondition, //!< object unusable (e.g. wedged GPU reused)
     InvariantViolation, //!< a model conservation law failed to hold
+    DeadlineExceeded,   //!< wall-clock deadline hit / run cancelled
+    Unavailable,        //!< transient infrastructure failure; retryable
 };
 
 /** Printable name of an ErrorCode (e.g. "corrupt data"). */
 const char *errorCodeName(ErrorCode code);
+
+/**
+ * Failure classification for retry policies (DESIGN.md, "Failure
+ * model"): transient failures are those where an identical retry can
+ * plausibly succeed — an injected/infrastructure hiccup (Unavailable)
+ * or a wall-clock deadline hit on a loaded host (DeadlineExceeded).
+ * Everything else is permanent: the simulator is deterministic, so a
+ * corrupt trace, an invalid config, a cycle-budget watchdog trip or a
+ * violated conservation law will fail identically every time.
+ */
+bool isTransientFailure(ErrorCode code);
 
 /** An error code plus message, or success. */
 class [[nodiscard]] Status

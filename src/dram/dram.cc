@@ -117,6 +117,10 @@ Dram::issue(Channel &channel, Request &req)
     libra_assert(bank.readyAt <= now, "issue to a busy bank");
 
     Tick cmd_start = now;
+#if LIBRA_FAULTS_ENABLED
+    if (testStallEvery != 0 && ++issueSeq % testStallEvery == 0)
+        cmd_start += testStallTicks;
+#endif
     bool row_hit = false;
     if (bank.rowOpen && bank.openRow == req.row) {
         row_hit = true;

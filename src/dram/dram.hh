@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cache/mem_system.hh"
+#include "check/faults_build.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "sim/event_queue.hh"
@@ -131,6 +132,16 @@ class Dram : public MemSink
     std::array<Counter, static_cast<std::size_t>(TrafficClass::NumClasses)>
         classWrites;
 
+    /**
+     * Fault-injection hooks (armed by Gpu from a FaultPlan; see
+     * src/check/fault_injector): every `testStallEvery`th issued
+     * command starts `testStallTicks` late, modeling controller
+     * hiccups / thermal throttling bursts. 0 disables. Compiled out
+     * with LIBRA_FAULTS=OFF.
+     */
+    std::uint64_t testStallEvery = 0;
+    Tick testStallTicks = 0;
+
   private:
     struct Bank
     {
@@ -200,6 +211,7 @@ class Dram : public MemSink
      *  enqueueLine): drained front-first by the matching events. */
     std::deque<CtrlEntry> ctrlPipe;
     std::function<void(const DramAccessInfo &)> observer;
+    std::uint64_t issueSeq = 0; //!< commands issued, for testStallEvery
     StatGroup statGroup{"dram"};
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "check/fault_injector.hh"
 #include "common/log.hh"
 #include "sim/watchdog.hh"
 
@@ -141,6 +142,23 @@ Gpu::Gpu(const GpuConfig &cfg)
         statGroup.addChild(tex->stats());
     for (auto &unit : rus)
         statGroup.addChild(unit->stats());
+
+#if LIBRA_FAULTS_ENABLED
+    // Arm the low-level injection knobs from the attached fault plan.
+    // The injector is shared across Gpu rebuilds (the runner builds a
+    // fresh Gpu after a watchdog skip), but the knobs are plain
+    // periods, so re-arming them on a fresh model is exactly the
+    // "machine rebooted" semantics the fault model wants.
+    if (FaultInjector *f = config.faults.get()) {
+        l2->testDropFillEvery = f->dropFillEvery(l2_cfg.name);
+        vertexCache->testDropFillEvery = f->dropFillEvery(vtx_cfg.name);
+        tileCache->testDropFillEvery = f->dropFillEvery(tile_cfg.name);
+        for (auto &tex : texL1s)
+            tex->testDropFillEvery = f->dropFillEvery(tex->cfg().name);
+        dramModel->testStallEvery = f->dramStallEvery();
+        dramModel->testStallTicks = f->dramStallTicks();
+    }
+#endif
 
     tileInstr.resize(grid.tileCount(), 0);
     tileFlushCount.resize(grid.tileCount(), 0);
@@ -286,6 +304,24 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
 
     const Tick frame_start = queue.now();
     Watchdog watchdog(config.watchdog, frame_start);
+
+#if LIBRA_FAULTS_ENABLED
+    // Injected watchdog trip: abort this frame exactly as a genuine
+    // expiry would (the Gpu wedges; the runner's skip path rebuilds).
+    // Keyed on the injector's own frame counter, which is monotonic
+    // across rebuilds, so a trip at frame N fires once per attempt.
+    if (FaultInjector *f = config.faults.get()) {
+        const std::uint64_t injector_frame = f->frameStarted();
+        if (f->tripWatchdogAtFrame(injector_frame)) {
+            return wedge(Status::error(ErrorCode::WatchdogExpired,
+                                       "injected watchdog trip (fault "
+                                       "plan frame ", injector_frame,
+                                       ")"),
+                         "geometry");
+        }
+    }
+#endif
+
     const RawTotals before = collectTotals();
 
     // Per-RU phase attribution: close the pre-frame span so the deltas

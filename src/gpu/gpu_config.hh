@@ -12,6 +12,7 @@
 #define LIBRA_GPU_GPU_CONFIG_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "cache/cache.hh"
@@ -22,6 +23,8 @@
 
 namespace libra
 {
+
+class FaultInjector;
 
 /** Complete GPU configuration. */
 struct GpuConfig
@@ -92,6 +95,27 @@ struct GpuConfig
      * Off by default: release runs pay no checking cost.
      */
     bool checkInvariants = false;
+
+    /**
+     * Armed fault injector (src/check/fault_injector), set per job
+     * attempt by SweepRunner when a FaultPlan is in force; null in
+     * normal runs. Like the watchdog's CancelToken this is a runtime
+     * attachment, not a property of the simulated machine, so it is
+     * excluded from configHash(). Ignored entirely when the hooks are
+     * compiled out (LIBRA_FAULTS=OFF).
+     */
+    std::shared_ptr<FaultInjector> faults;
+
+    /**
+     * Stable 64-bit hash of every *model* field — everything that can
+     * change a simulation's counters, and nothing that can't (runtime
+     * attachments: watchdog limits, cancel token, fault injector,
+     * instrumentation toggles are all excluded). Used as the journal /
+     * result-cache key (ROADMAP item 2) and to attribute farm-log
+     * failures to a config; identical configs hash identically across
+     * processes and runs.
+     */
+    std::uint64_t configHash() const;
 
     /**
      * Cross-field sanity validation. Checks ranges of every knob, the

@@ -1,12 +1,15 @@
 #include "sim/sweep.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <exception>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 
 #include "common/log.hh"
+#include "sim/sweep_journal.hh"
 
 namespace libra
 {
@@ -159,6 +162,308 @@ SweepRunner::run(std::vector<SweepJob> jobs, SceneCache *cache)
         results.push_back(std::move(*slot));
     }
     return results;
+}
+
+std::size_t
+SweepOutcome::failureCount() const
+{
+    std::size_t n = 0;
+    for (const JobOutcome &o : jobs)
+        if (!o.result.isOk())
+            ++n;
+    return n;
+}
+
+namespace
+{
+
+/** Shared mutable state of one runWithPolicy() execution. */
+struct PolicyRun
+{
+    const std::vector<SweepJob> *jobs = nullptr;
+    const SweepPolicy *policy = nullptr;
+    SceneCache *cache = nullptr;
+    std::vector<std::string> keys;       //!< sweepJobKey per job
+    std::vector<std::uint64_t> hashes;   //!< configHash per job
+    std::vector<JobOutcome> *outcomes = nullptr;
+
+    std::mutex quarantineMtx;
+    std::unordered_map<std::uint64_t, std::uint32_t> permanentStrikes;
+
+    std::mutex journalMtx;
+    SweepJournal *journal = nullptr; //!< null when no journal armed
+
+    /** Set once the journal's simulated kill fires: the "process" is
+     *  dead, so no further job may start. */
+    std::atomic<bool> killFlag{false};
+};
+
+/** "job 3 [CCS:256x128:f2@0:cfg:...]: <message>" — attributable in
+ *  farm logs (satellite: job index + benchmark + config hash). */
+Status
+attributed(const PolicyRun &run, std::size_t index, const Status &st)
+{
+    return Status::error(st.code(), "job ", index, " [",
+                         run.keys[index], "]: ", st.message());
+}
+
+void
+journalOutcome(PolicyRun &run, std::size_t index)
+{
+    if (!run.journal)
+        return;
+    const JobOutcome &outcome = (*run.outcomes)[index];
+    JournalRecord record;
+    record.key = run.keys[index];
+    record.attempts = outcome.attempts;
+    if (outcome.result.isOk()) {
+        record.ok = true;
+        record.result = *outcome.result;
+    } else {
+        record.ok = false;
+        record.code = outcome.result.status().code();
+        record.message = outcome.result.status().message();
+    }
+    std::lock_guard<std::mutex> lock(run.journalMtx);
+    if (Status st = run.journal->append(record); !st.isOk())
+        warn("sweep journal: ", st.toString());
+    if (run.journal->killed())
+        run.killFlag.store(true, std::memory_order_relaxed);
+}
+
+/** Execute job @p index under the policy: quarantine fast-fail, then
+ *  the attempt/retry loop, then journaling. */
+void
+runPolicyJob(PolicyRun &run, std::size_t index)
+{
+    const SweepPolicy &policy = *run.policy;
+    JobOutcome &outcome = (*run.outcomes)[index];
+
+    if (run.killFlag.load(std::memory_order_relaxed)) {
+        outcome.notRun = true;
+        outcome.result = attributed(
+            run, index,
+            Status::error(ErrorCode::Unavailable,
+                          "sweep terminated before this job started"));
+        return; // a dead process journals nothing
+    }
+
+    if (policy.quarantineThreshold > 0) {
+        std::lock_guard<std::mutex> lock(run.quarantineMtx);
+        auto it = run.permanentStrikes.find(run.hashes[index]);
+        if (it != run.permanentStrikes.end()
+            && it->second >= policy.quarantineThreshold) {
+            outcome.quarantined = true;
+            outcome.result = attributed(
+                run, index,
+                Status::error(ErrorCode::FailedPrecondition,
+                              "config quarantined after ", it->second,
+                              " permanent failures"));
+            journalOutcome(run, index);
+            return;
+        }
+    }
+
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        ++outcome.attempts;
+        SweepJob job = (*run.jobs)[index]; // fresh copy per attempt
+
+#if LIBRA_FAULTS_ENABLED
+        std::shared_ptr<FaultInjector> injector;
+        if (!policy.faults.empty()) {
+            // Fresh injector per attempt: a retry replays exactly the
+            // faults (and fault positions) the first attempt saw.
+            injector =
+                std::make_shared<FaultInjector>(policy.faults, index);
+            job.config.faults = injector;
+        }
+#endif
+        if (policy.deadlineMs != 0) {
+            auto token = std::make_shared<CancelToken>();
+            token->setDeadlineAfterMs(policy.deadlineMs);
+            job.config.watchdog.cancel = std::move(token);
+        }
+
+        Result<RunResult> r = [&]() -> Result<RunResult> {
+#if LIBRA_FAULTS_ENABLED
+            if (injector && injector->failAttempt(attempt)) {
+                return Status::error(ErrorCode::Unavailable,
+                                     "injected transient failure "
+                                     "(attempt ", attempt, ")");
+            }
+#endif
+            return runJob(job, run.cache);
+        }();
+
+        if (r.isOk()) {
+            RunResult result = std::move(*r);
+            // Scrub the runtime attachments: the stored result must be
+            // indistinguishable from a plain run()'s.
+            result.config.faults.reset();
+            result.config.watchdog.cancel.reset();
+            outcome.result = std::move(result);
+            break;
+        }
+
+        const Status &st = r.status();
+        if (isTransientFailure(st.code())
+            && attempt < policy.maxRetries) {
+            if (policy.backoffMs != 0) {
+                const std::uint64_t delay = std::min<std::uint64_t>(
+                    policy.backoffMs << std::min<std::uint32_t>(attempt,
+                                                                20),
+                    30'000);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+            }
+            continue;
+        }
+
+        if (!isTransientFailure(st.code())
+            && policy.quarantineThreshold > 0) {
+            std::lock_guard<std::mutex> lock(run.quarantineMtx);
+            ++run.permanentStrikes[run.hashes[index]];
+        }
+        outcome.result = attributed(run, index, st);
+        break;
+    }
+
+    journalOutcome(run, index);
+}
+
+} // namespace
+
+SweepOutcome
+SweepRunner::runWithPolicy(std::vector<SweepJob> jobs,
+                           const SweepPolicy &policy, SceneCache *cache)
+{
+    SweepOutcome out;
+    out.jobs.resize(jobs.size());
+    if (jobs.empty())
+        return out;
+
+    PolicyRun run;
+    run.jobs = &jobs;
+    run.policy = &policy;
+    run.cache = cache;
+    run.outcomes = &out.jobs;
+    run.keys.reserve(jobs.size());
+    run.hashes.reserve(jobs.size());
+    for (const SweepJob &job : jobs) {
+        run.keys.push_back(sweepJobKey(job));
+        run.hashes.push_back(job.config.configHash());
+    }
+
+    // --- Journal: load (resume), then open for appending --------------
+    SweepJournal journal;
+    std::vector<JournalRecord> replayable;
+    if (!policy.journalPath.empty()) {
+        if (policy.resume) {
+            Result<std::vector<JournalRecord>> loaded =
+                SweepJournal::load(policy.journalPath);
+            if (!loaded.isOk()) {
+                for (std::size_t i = 0; i < jobs.size(); ++i)
+                    out.jobs[i].result =
+                        attributed(run, i, loaded.status());
+                return out;
+            }
+            replayable = std::move(*loaded);
+        }
+        Result<SweepJournal> opened =
+            SweepJournal::open(policy.journalPath);
+        if (!opened.isOk()) {
+            for (std::size_t i = 0; i < jobs.size(); ++i)
+                out.jobs[i].result = attributed(run, i, opened.status());
+            return out;
+        }
+        journal = std::move(*opened);
+#if LIBRA_FAULTS_ENABLED
+        if (!policy.faults.empty()) {
+            journal.armKill(
+                FaultInjector(policy.faults, 0).killAtAppend());
+        }
+#endif
+        run.journal = &journal;
+    }
+
+    // --- Resume: replay journaled successes ---------------------------
+    // Failed records are deliberately NOT replayed: re-running them is
+    // the point of resuming (a transient hiccup may have cleared).
+    std::unordered_map<std::string, const JournalRecord *> done;
+    for (const JournalRecord &record : replayable)
+        if (record.ok)
+            done[record.key] = &record;
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        auto it = done.find(run.keys[i]);
+        if (it == done.end()) {
+            pending.push_back(i);
+            continue;
+        }
+        JobOutcome &outcome = out.jobs[i];
+        RunResult result = it->second->result;
+        result.config = jobs[i].config; // the key proved them identical
+        result.config.faults.reset();
+        result.config.watchdog.cancel.reset();
+        outcome.result = std::move(result);
+        outcome.attempts = it->second->attempts;
+        outcome.fromJournal = true;
+        ++out.replayedFromJournal;
+    }
+
+    // --- Chains: quarantine needs same-config jobs serialized ---------
+    // (deterministic strike counting); otherwise every job is its own
+    // chain and the pool keeps full parallelism.
+    std::vector<std::vector<std::size_t>> chains;
+    if (policy.quarantineThreshold > 0) {
+        std::unordered_map<std::uint64_t, std::size_t> chain_of;
+        for (std::size_t index : pending) {
+            auto [it, inserted] =
+                chain_of.try_emplace(run.hashes[index], chains.size());
+            if (inserted)
+                chains.emplace_back();
+            chains[it->second].push_back(index);
+        }
+    } else {
+        chains.reserve(pending.size());
+        for (std::size_t index : pending)
+            chains.push_back({index});
+    }
+
+    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+        workerCount, chains.empty() ? 1 : chains.size()));
+    if (workers <= 1) {
+        for (const std::vector<std::size_t> &chain : chains)
+            for (std::size_t index : chain)
+                runPolicyJob(run, index);
+    } else {
+        std::vector<WorkerQueue> queues(workers);
+        for (std::size_t c = 0; c < chains.size(); ++c)
+            queues[c % workers].push(c);
+
+        auto work = [&](unsigned self) {
+            while (true) {
+                std::optional<std::size_t> chain = queues[self].pop();
+                for (unsigned k = 1; !chain && k < workers; ++k)
+                    chain = queues[(self + k) % workers].steal();
+                if (!chain)
+                    return;
+                for (std::size_t index : chains[*chain])
+                    runPolicyJob(run, index);
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(work, w);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    out.killed = run.killFlag.load(std::memory_order_relaxed);
+    return out;
 }
 
 } // namespace libra

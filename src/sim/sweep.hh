@@ -27,9 +27,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <tuple>
 #include <vector>
 
+#include "check/fault_injector.hh"
 #include "common/status.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/runner.hh"
@@ -82,6 +84,81 @@ class SceneCache
 };
 
 /**
+ * Failure-handling policy for SweepRunner::runWithPolicy. The default
+ * policy (all fields at their defaults) behaves exactly like run():
+ * one attempt per job, no deadline, no quarantine, no journal.
+ *
+ * See DESIGN.md, "Failure model", for the taxonomy behind the knobs.
+ */
+struct SweepPolicy
+{
+    /** Wall-clock deadline per job *attempt* in milliseconds; 0 = none.
+     *  Enforced cooperatively via the Watchdog's CancelToken: the job
+     *  aborts with DeadlineExceeded at its next event-loop poll. */
+    std::uint64_t deadlineMs = 0;
+
+    /** Extra attempts after a transient failure (isTransientFailure:
+     *  Unavailable, DeadlineExceeded). Permanent failures never
+     *  retry — the simulator is deterministic. */
+    std::uint32_t maxRetries = 0;
+
+    /** Base delay before retry k, doubling each time
+     *  (backoffMs << k, capped at 30 s); 0 = retry immediately. */
+    std::uint64_t backoffMs = 0;
+
+    /**
+     * Permanent failures of one configHash() after which further jobs
+     * with that config fail fast (FailedPrecondition, "quarantined")
+     * instead of burning a worker on a known-poisoned config; 0
+     * disables. When enabled, jobs sharing a config hash execute as
+     * one sequential chain (in submission order) so quarantine
+     * decisions are deterministic — distinct configs still run fully
+     * parallel.
+     */
+    std::uint32_t quarantineThreshold = 0;
+
+    /** Append-only fsync'd result journal (sweep_journal.hh); empty =
+     *  no journal. */
+    std::string journalPath;
+
+    /** Replay journaled successes instead of re-running them; failed
+     *  and unfinished jobs re-run. Needs journalPath. */
+    bool resume = false;
+
+    /** Armed fault plan (chaos testing; empty = no injection). */
+    FaultPlan faults;
+};
+
+/** Result plus execution metadata of one job under runWithPolicy. */
+struct JobOutcome
+{
+    Result<RunResult> result =
+        Status::error(ErrorCode::Unavailable, "job never ran");
+
+    std::uint32_t attempts = 0;  //!< attempts consumed (0 if replayed)
+    bool fromJournal = false;    //!< replayed, not executed
+    bool quarantined = false;    //!< failed fast on a quarantined config
+    bool notRun = false;         //!< sweep died before this job started
+};
+
+/** Everything runWithPolicy learned about a sweep. */
+struct SweepOutcome
+{
+    std::vector<JobOutcome> jobs; //!< submission order
+
+    /** The journal's simulated kill fired (fault plans only): appends
+     *  stopped and unstarted jobs were abandoned, as a real SIGKILL
+     *  would. */
+    bool killed = false;
+
+    std::uint64_t replayedFromJournal = 0;
+
+    /** Jobs whose final result is a failure (incl. quarantined and
+     *  not-run). */
+    std::size_t failureCount() const;
+};
+
+/**
  * Work-stealing pool of sweep workers.
  *
  * Jobs are dealt round-robin onto per-worker deques; a worker pops from
@@ -102,6 +179,24 @@ class SweepRunner
      */
     std::vector<Result<RunResult>> run(std::vector<SweepJob> jobs,
                                        SceneCache *cache = nullptr);
+
+    /**
+     * Fault-tolerant execution: run() plus per-attempt wall-clock
+     * deadlines, bounded exponential-backoff retries for transient
+     * failures, quarantine of repeatedly-failing configs, a crash-safe
+     * result journal with resume, and fault injection. Failure Status
+     * messages are prefixed "job <index> [<key>]: " (the key carries
+     * benchmark, resolution, frame range and config hash) so farm logs
+     * are attributable. A sweep with failures still completes — policy
+     * on whether that fails the process lives with the caller (bench
+     * binaries: exit nonzero unless --keep-going).
+     *
+     * Guarantee: with a default policy, outcomes carry results
+     * bit-identical to run() on the same jobs.
+     */
+    SweepOutcome runWithPolicy(std::vector<SweepJob> jobs,
+                               const SweepPolicy &policy,
+                               SceneCache *cache = nullptr);
 
     unsigned workers() const { return workerCount; }
 

@@ -20,6 +20,17 @@ Watchdog::check(Tick now) const
                              "), last progress at tick ",
                              lastProgressTick);
     }
+    if (config.cancel && --cancelPollCountdown == 0) {
+        cancelPollCountdown = kCancelPollInterval;
+        if (config.cancel->expired()) {
+            return Status::error(
+                ErrorCode::DeadlineExceeded,
+                config.cancel->wasCancelled()
+                    ? "run cancelled"
+                    : "wall-clock deadline exceeded",
+                " at tick ", now);
+        }
+    }
     return Status::ok();
 }
 

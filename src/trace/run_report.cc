@@ -156,4 +156,42 @@ sweepReportJson(const std::vector<RunResult> &results)
     return w.str();
 }
 
+std::string
+sweepReportJson(const std::vector<RunResult> &results,
+                const std::vector<ReportFailure> &failures)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value(kRunReportSetSchema);
+    w.key("runs");
+    w.beginArray();
+    for (const RunResult &r : results)
+        writeRun(w, r);
+    w.endArray();
+    w.key("failures");
+    w.beginArray();
+    for (const ReportFailure &f : failures) {
+        w.beginObject();
+        w.key("job");
+        w.value(f.jobIndex);
+        w.key("key");
+        w.value(f.key);
+        w.key("code");
+        w.value(f.code);
+        w.key("message");
+        w.value(f.message);
+        w.key("attempts");
+        w.value(std::uint64_t(f.attempts));
+        w.key("quarantined");
+        w.value(f.quarantined);
+        w.key("not_run");
+        w.value(f.notRun);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
 } // namespace libra

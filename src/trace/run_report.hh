@@ -38,6 +38,32 @@ std::string runReportJson(const RunResult &result);
 /** Render several runs (e.g. one sweep) as one report-set document. */
 std::string sweepReportJson(const std::vector<RunResult> &results);
 
+/**
+ * One failed sweep job, for the report set's "failures" section.
+ * Plain strings (code via errorCodeName) so the report layer does not
+ * depend on the sweep engine.
+ */
+struct ReportFailure
+{
+    std::uint64_t jobIndex = 0;
+    std::string key;     //!< sweepJobKey: bench, resolution, cfg hash
+    std::string code;    //!< errorCodeName of the final Status
+    std::string message;
+    std::uint32_t attempts = 0;
+    bool quarantined = false;
+    bool notRun = false;
+};
+
+/**
+ * Report set with per-job failure outcomes (graceful degradation: a
+ * sweep with failures still emits every completed run plus a machine-
+ * readable account of what did not complete). The "failures" member is
+ * always present — empty on a clean sweep — so a resumed sweep's
+ * report is byte-identical to an uninterrupted one.
+ */
+std::string sweepReportJson(const std::vector<RunResult> &results,
+                            const std::vector<ReportFailure> &failures);
+
 } // namespace libra
 
 #endif // LIBRA_TRACE_RUN_REPORT_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Chaos soak: ≥100 seeded fault plans from fuzzFaultPlan() pushed
+ * through SweepRunner::runWithPolicy. Two invariants are locked down:
+ *
+ *  - Plans containing only sweep-layer faults (transient job failures)
+ *    never perturb the simulation: with retries enabled, every result
+ *    is byte-identical to the fault-free reference.
+ *  - Plans containing model-level faults (watchdog trips, dropped
+ *    fills, DRAM stalls) legitimately change results — for those the
+ *    contract is determinism: running the same plan twice yields
+ *    byte-identical outcomes, and every job ends in a well-formed
+ *    state (ok, or an attributed recoverable Status).
+ *
+ * CI runs this suite plain and under ASan/UBSan; the soak is also the
+ * allocation/overread stress for the injection hooks themselves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/fault_injector.hh"
+#include "gpu/gpu_config.hh"
+#include "sim/sweep.hh"
+#include "trace/run_report.hh"
+#include "workload/benchmarks.hh"
+
+using namespace libra;
+
+namespace
+{
+
+// Tiny jobs: the soak's value is breadth (many plans), not per-run
+// depth, and the whole suite has to stay inside the test timeout.
+constexpr std::uint32_t kWidth = 128;
+constexpr std::uint32_t kHeight = 64;
+constexpr std::uint64_t kPlans = 100;
+
+GpuConfig
+soakConfig(GpuConfig cfg)
+{
+    cfg.screenWidth = kWidth;
+    cfg.screenHeight = kHeight;
+    return cfg;
+}
+
+std::vector<SweepJob>
+soakJobs(const BenchmarkSpec &ccs)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back({&ccs, soakConfig(GpuConfig::baseline(8)), 2, 0});
+    jobs.push_back({&ccs, soakConfig(GpuConfig::libra(2, 4)), 2, 0});
+    return jobs;
+}
+
+bool
+perturbsTheModel(const FaultPlan &plan)
+{
+    for (const FaultSpec &f : plan.faults) {
+        if (f.kind == FaultKind::WatchdogTrip
+            || f.kind == FaultKind::DropCacheFill
+            || f.kind == FaultKind::DramStall)
+            return true;
+    }
+    return false;
+}
+
+/** Comparable digest of an outcome: per-job report bytes or the full
+ *  failure identity. */
+std::vector<std::string>
+digest(const SweepOutcome &outcome)
+{
+    std::vector<std::string> out;
+    for (const JobOutcome &o : outcome.jobs) {
+        if (o.result.isOk()) {
+            out.push_back(runReportJson(*o.result));
+        } else {
+            const Status &st = o.result.status();
+            out.push_back(std::string("FAIL ")
+                          + errorCodeName(st.code()) + " "
+                          + std::string(st.message()));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(ChaosSoak, HundredSeededPlansBehaveAndDeterministic)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    SweepRunner pool(4);
+    SceneCache cache;
+
+    // Fault-free reference, computed once.
+    SweepOutcome ref_outcome =
+        pool.runWithPolicy(soakJobs(ccs), SweepPolicy{}, &cache);
+    ASSERT_EQ(ref_outcome.failureCount(), 0u);
+    const std::vector<std::string> reference = digest(ref_outcome);
+
+    std::uint64_t transient_only = 0, model_fault = 0;
+    for (std::uint64_t seed = 0; seed < kPlans; ++seed) {
+        const FaultPlan plan =
+            fuzzFaultPlan(seed, soakJobs(ccs).size());
+
+        SweepPolicy policy;
+        policy.faults = plan;
+        policy.maxRetries = 2; // covers the fuzzer's count <= 2
+        policy.backoffMs = 0;
+
+        SweepOutcome out =
+            pool.runWithPolicy(soakJobs(ccs), policy, &cache);
+        ASSERT_EQ(out.jobs.size(), 2u) << "seed " << seed;
+        EXPECT_FALSE(out.killed) << "seed " << seed;
+
+        // Well-formedness for every plan: each job ran, failures (if
+        // any) carry an attributed message.
+        for (std::size_t i = 0; i < out.jobs.size(); ++i) {
+            const JobOutcome &o = out.jobs[i];
+            EXPECT_FALSE(o.notRun) << "seed " << seed;
+            EXPECT_GE(o.attempts, 1u) << "seed " << seed;
+            if (!o.result.isOk()) {
+                EXPECT_EQ(std::string(o.result.status().message())
+                              .rfind("job ", 0),
+                          0u)
+                    << "seed " << seed;
+            }
+        }
+
+        if (!perturbsTheModel(plan)) {
+            // Sweep-layer faults only: with retries enabled the sweep
+            // must fully recover, byte-identically.
+            ++transient_only;
+            EXPECT_EQ(out.failureCount(), 0u)
+                << "seed " << seed << ": " << plan.toString();
+            EXPECT_EQ(digest(out), reference)
+                << "seed " << seed << ": " << plan.toString();
+        } else {
+            // Model faults change results by design; the contract is
+            // reproducibility of the whole outcome.
+            ++model_fault;
+            SweepOutcome again =
+                pool.runWithPolicy(soakJobs(ccs), policy, &cache);
+            EXPECT_EQ(digest(out), digest(again))
+                << "seed " << seed << ": " << plan.toString();
+        }
+    }
+
+    // The fuzzer's mix must actually exercise both classes — if the
+    // distribution collapses, the soak silently stops testing one side.
+    EXPECT_GE(transient_only, 5u);
+    EXPECT_GE(model_fault, 10u);
+    std::printf("soak: %llu transient-only, %llu model-fault plans\n",
+                static_cast<unsigned long long>(transient_only),
+                static_cast<unsigned long long>(model_fault));
+}
+
+TEST(ChaosSoak, ArmedEmptyPlanIsByteIdenticalToNoPlan)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    SweepRunner pool(2);
+    SceneCache cache;
+
+    // A plan with a seed but no faults arms nothing: the injection
+    // hooks must be exact no-ops, not merely statistically invisible.
+    Result<FaultPlan> empty = FaultPlan::parse("seed=12345");
+    ASSERT_TRUE(empty.isOk());
+    ASSERT_TRUE(empty->empty());
+
+    SweepPolicy armed;
+    armed.faults = *empty;
+
+    const std::vector<std::string> a = digest(
+        pool.runWithPolicy(soakJobs(ccs), SweepPolicy{}, &cache));
+    const std::vector<std::string> b =
+        digest(pool.runWithPolicy(soakJobs(ccs), armed, &cache));
+    EXPECT_EQ(a, b);
+}

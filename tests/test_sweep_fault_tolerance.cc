@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Fault-tolerant sweep execution (SweepRunner::runWithPolicy):
+ * default-policy equivalence with run(), attributed failure messages,
+ * transient-failure retries, wall-clock deadlines, quarantine, the
+ * crash-safe journal with resume, and the kill-and-resume round trip
+ * whose final report must be byte-identical to an uninterrupted run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/fault_injector.hh"
+#include "gpu/gpu_config.hh"
+#include "sim/sweep.hh"
+#include "sim/sweep_journal.hh"
+#include "trace/json.hh"
+#include "trace/run_report.hh"
+#include "workload/benchmarks.hh"
+
+using namespace libra;
+
+namespace
+{
+
+constexpr std::uint32_t kWidth = 256;
+constexpr std::uint32_t kHeight = 128;
+
+GpuConfig
+smallConfig(GpuConfig cfg)
+{
+    cfg.screenWidth = kWidth;
+    cfg.screenHeight = kHeight;
+    return cfg;
+}
+
+std::vector<SweepJob>
+smallJobs(const BenchmarkSpec &ccs, std::size_t count = 3)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back({&ccs, smallConfig(GpuConfig::baseline(8)), 2, 0});
+    if (count > 1)
+        jobs.push_back({&ccs, smallConfig(GpuConfig::ptr(2, 4)), 2, 0});
+    if (count > 2)
+        jobs.push_back(
+            {&ccs, smallConfig(GpuConfig::libra(2, 4)), 2, 0});
+    return jobs;
+}
+
+/** Self-deleting temp path for journal files. */
+class JournalPath
+{
+  public:
+    explicit JournalPath(const char *tag)
+        : path_(std::string("/tmp/libra_journal_")
+                + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name()
+                + "_" + tag + ".jsonl")
+    {
+        std::remove(path_.c_str());
+    }
+    ~JournalPath() { std::remove(path_.c_str()); }
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Report-set document of a SweepOutcome, the way the benches build
+ *  it: completed runs in order plus the failures section. */
+std::string
+outcomeReport(const std::vector<SweepJob> &jobs,
+              const SweepOutcome &outcome)
+{
+    std::vector<RunResult> runs;
+    std::vector<ReportFailure> failures;
+    for (std::size_t i = 0; i < outcome.jobs.size(); ++i) {
+        const JobOutcome &o = outcome.jobs[i];
+        if (o.result.isOk()) {
+            runs.push_back(*o.result);
+            continue;
+        }
+        const Status &st = o.result.status();
+        failures.push_back({i, sweepJobKey(jobs[i]),
+                            errorCodeName(st.code()),
+                            std::string(st.message()), o.attempts,
+                            o.quarantined, o.notRun});
+    }
+    return sweepReportJson(runs, failures);
+}
+
+} // namespace
+
+TEST(SweepPolicy, DefaultPolicyMatchesPlainRun)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+
+    SweepRunner pool(4);
+    SceneCache cache_a, cache_b;
+    std::vector<Result<RunResult>> plain =
+        pool.run(smallJobs(ccs), &cache_a);
+    SweepOutcome policied =
+        pool.runWithPolicy(smallJobs(ccs), SweepPolicy{}, &cache_b);
+
+    ASSERT_EQ(plain.size(), policied.jobs.size());
+    EXPECT_FALSE(policied.killed);
+    EXPECT_EQ(policied.replayedFromJournal, 0u);
+    EXPECT_EQ(policied.failureCount(), 0u);
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        ASSERT_TRUE(plain[i].isOk());
+        ASSERT_TRUE(policied.jobs[i].result.isOk());
+        EXPECT_EQ(policied.jobs[i].attempts, 1u);
+        EXPECT_FALSE(policied.jobs[i].fromJournal);
+        // Byte-identical results, not merely statistically close.
+        EXPECT_EQ(runReportJson(*plain[i]),
+                  runReportJson(*policied.jobs[i].result));
+    }
+}
+
+TEST(SweepPolicy, FailureMessagesAreAttributed)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    std::vector<SweepJob> jobs = smallJobs(ccs, 1);
+    jobs[0].config.rasterUnits = 0; // fails config validation
+    const std::string key = sweepJobKey(jobs[0]);
+
+    SweepRunner pool(1);
+    SweepOutcome out = pool.runWithPolicy(std::move(jobs),
+                                          SweepPolicy{});
+    ASSERT_EQ(out.jobs.size(), 1u);
+    ASSERT_FALSE(out.jobs[0].result.isOk());
+    const std::string msg(out.jobs[0].result.status().message());
+    EXPECT_EQ(msg.rfind("job 0 [" + key + "]: ", 0), 0u) << msg;
+    // The key carries benchmark, resolution and the config hash.
+    EXPECT_NE(key.find("CCS"), std::string::npos);
+    EXPECT_NE(key.find("256x128"), std::string::npos);
+    EXPECT_NE(key.find(":cfg:"), std::string::npos);
+}
+
+TEST(SweepPolicy, InjectedTransientFailureRetriesToSuccess)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+
+    SweepPolicy policy;
+    policy.maxRetries = 2;
+    policy.backoffMs = 0; // keep the test fast
+    Result<FaultPlan> plan = FaultPlan::parse("transient@job=1,count=2");
+    ASSERT_TRUE(plan.isOk());
+    policy.faults = *plan;
+
+    SweepRunner pool(2);
+    SceneCache cache, cache_ref;
+    SweepOutcome out =
+        pool.runWithPolicy(smallJobs(ccs), policy, &cache);
+    ASSERT_EQ(out.jobs.size(), 3u);
+    EXPECT_EQ(out.failureCount(), 0u);
+    EXPECT_EQ(out.jobs[0].attempts, 1u);
+    EXPECT_EQ(out.jobs[1].attempts, 3u); // 2 injected failures + 1 ok
+    EXPECT_EQ(out.jobs[2].attempts, 1u);
+
+    // Sweep-layer faults never perturb the simulation: results are
+    // byte-identical to a fault-free sweep.
+    std::vector<Result<RunResult>> ref =
+        pool.run(smallJobs(ccs), &cache_ref);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_TRUE(ref[i].isOk());
+        EXPECT_EQ(runReportJson(*ref[i]),
+                  runReportJson(*out.jobs[i].result));
+    }
+}
+
+TEST(SweepPolicy, TransientFailureWithoutRetriesIsReported)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+
+    SweepPolicy policy; // maxRetries = 0
+    Result<FaultPlan> plan = FaultPlan::parse("transient@job=0,count=1");
+    ASSERT_TRUE(plan.isOk());
+    policy.faults = *plan;
+
+    SweepRunner pool(1);
+    SweepOutcome out = pool.runWithPolicy(smallJobs(ccs, 1), policy);
+    ASSERT_EQ(out.jobs.size(), 1u);
+    ASSERT_FALSE(out.jobs[0].result.isOk());
+    const Status &st = out.jobs[0].result.status();
+    EXPECT_EQ(st.code(), ErrorCode::Unavailable);
+    EXPECT_TRUE(isTransientFailure(st.code()));
+    EXPECT_NE(std::string(st.message()).find(
+                  "injected transient failure"),
+              std::string::npos);
+    EXPECT_EQ(out.jobs[0].attempts, 1u);
+}
+
+TEST(SweepPolicy, ExpiredDeadlineAbortsWithDeadlineExceeded)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+
+    SweepPolicy policy;
+    policy.deadlineMs = 1; // expires before the event loop's first poll
+
+    SweepRunner pool(1);
+    SweepOutcome out = pool.runWithPolicy(smallJobs(ccs, 1), policy);
+    ASSERT_EQ(out.jobs.size(), 1u);
+    ASSERT_FALSE(out.jobs[0].result.isOk());
+    EXPECT_EQ(out.jobs[0].result.status().code(),
+              ErrorCode::DeadlineExceeded);
+    EXPECT_TRUE(
+        isTransientFailure(out.jobs[0].result.status().code()));
+}
+
+TEST(SweepPolicy, QuarantineFastFailsRepeatOffenders)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+
+    GpuConfig bad = smallConfig(GpuConfig::baseline(8));
+    bad.rasterUnits = 0;
+    std::vector<SweepJob> jobs;
+    jobs.push_back({&ccs, bad, 2, 0});
+    jobs.push_back({&ccs, bad, 2, 0}); // same config hash
+    jobs.push_back({&ccs, smallConfig(GpuConfig::libra(2, 4)), 2, 0});
+
+    SweepPolicy policy;
+    policy.quarantineThreshold = 1;
+
+    SweepRunner pool(4);
+    SweepOutcome out = pool.runWithPolicy(std::move(jobs), policy);
+    ASSERT_EQ(out.jobs.size(), 3u);
+
+    ASSERT_FALSE(out.jobs[0].result.isOk());
+    EXPECT_FALSE(out.jobs[0].quarantined);
+    EXPECT_EQ(out.jobs[0].result.status().code(),
+              ErrorCode::InvalidArgument);
+
+    ASSERT_FALSE(out.jobs[1].result.isOk());
+    EXPECT_TRUE(out.jobs[1].quarantined);
+    EXPECT_EQ(out.jobs[1].result.status().code(),
+              ErrorCode::FailedPrecondition);
+    EXPECT_NE(std::string(out.jobs[1].result.status().message())
+                  .find("quarantined"),
+              std::string::npos);
+
+    // An unrelated config is untouched by the quarantine.
+    EXPECT_TRUE(out.jobs[2].result.isOk());
+}
+
+TEST(SweepJournalTest, RunResultJsonRoundTripIsExact)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    GpuConfig cfg = smallConfig(GpuConfig::libra(2, 4));
+    cfg.captureImage = true; // exercise the image-hash path too
+    Result<RunResult> r = runBenchmark(ccs, cfg, 2);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+
+    JsonWriter w1;
+    runResultToJson(w1, *r);
+    const std::string first = w1.str();
+
+    Result<JsonValue> parsed = parseJson(first);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    Result<RunResult> back = runResultFromJson(*parsed);
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+
+    // Exact fidelity: serializing the deserialized result reproduces
+    // the document byte for byte (u64 counters, %.17g doubles, image
+    // hashes — nothing may lose precision through the journal).
+    JsonWriter w2;
+    runResultToJson(w2, *back);
+    EXPECT_EQ(first, w2.str());
+    EXPECT_EQ(r->counters, back->counters);
+    ASSERT_EQ(r->frames.size(), back->frames.size());
+    EXPECT_EQ(r->frames[1].totalCycles, back->frames[1].totalCycles);
+}
+
+TEST(SweepJournalTest, JournalWritesLoadAndResumeSkipsCompletedJobs)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    const JournalPath journal("rt");
+
+    SweepPolicy policy;
+    policy.journalPath = journal.str();
+
+    SweepRunner pool(2);
+    SceneCache cache;
+    SweepOutcome first =
+        pool.runWithPolicy(smallJobs(ccs), policy, &cache);
+    ASSERT_EQ(first.failureCount(), 0u);
+
+    Result<std::vector<JournalRecord>> records =
+        SweepJournal::load(journal.str());
+    ASSERT_TRUE(records.isOk()) << records.status().toString();
+    ASSERT_EQ(records->size(), 3u);
+    for (const JournalRecord &rec : *records)
+        EXPECT_TRUE(rec.ok);
+
+    policy.resume = true;
+    SweepOutcome second =
+        pool.runWithPolicy(smallJobs(ccs), policy, &cache);
+    EXPECT_EQ(second.replayedFromJournal, 3u);
+    EXPECT_EQ(second.failureCount(), 0u);
+    for (std::size_t i = 0; i < second.jobs.size(); ++i) {
+        EXPECT_TRUE(second.jobs[i].fromJournal) << "job " << i;
+        ASSERT_TRUE(second.jobs[i].result.isOk());
+        EXPECT_EQ(runReportJson(*first.jobs[i].result),
+                  runReportJson(*second.jobs[i].result));
+    }
+}
+
+TEST(SweepJournalTest, MissingJournalLoadsEmpty)
+{
+    Result<std::vector<JournalRecord>> records =
+        SweepJournal::load("/tmp/libra_journal_does_not_exist.jsonl");
+    ASSERT_TRUE(records.isOk());
+    EXPECT_TRUE(records->empty());
+}
+
+TEST(SweepJournalTest, KillAndResumeReportIsByteIdentical)
+{
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    const JournalPath journal("kill");
+
+    // Reference: the same sweep, never interrupted, no journal.
+    SweepRunner pool(1); // deterministic execution order for the kill
+    SceneCache cache;
+    const std::string reference = outcomeReport(
+        smallJobs(ccs),
+        pool.runWithPolicy(smallJobs(ccs), SweepPolicy{}, &cache));
+
+    // The "process" dies during the second journal append: one job is
+    // durable, the second append is torn, the third job never starts.
+    SweepPolicy dying;
+    dying.journalPath = journal.str();
+    Result<FaultPlan> plan = FaultPlan::parse("kill@append=2");
+    ASSERT_TRUE(plan.isOk());
+    dying.faults = *plan;
+
+    SweepOutcome crashed =
+        pool.runWithPolicy(smallJobs(ccs), dying, &cache);
+    EXPECT_TRUE(crashed.killed);
+    EXPECT_GE(crashed.failureCount(), 1u);
+    ASSERT_TRUE(crashed.jobs[0].result.isOk());
+    EXPECT_TRUE(crashed.jobs[2].notRun);
+
+    // The torn trailing line must not poison the load.
+    Result<std::vector<JournalRecord>> records =
+        SweepJournal::load(journal.str());
+    ASSERT_TRUE(records.isOk()) << records.status().toString();
+    ASSERT_EQ(records->size(), 1u);
+    EXPECT_TRUE(records->front().ok);
+
+    // Resume without faults: replay the survivor, run the rest, and
+    // the final report is byte-identical to the uninterrupted run.
+    SweepPolicy resuming;
+    resuming.journalPath = journal.str();
+    resuming.resume = true;
+    SweepOutcome resumed =
+        pool.runWithPolicy(smallJobs(ccs), resuming, &cache);
+    EXPECT_FALSE(resumed.killed);
+    EXPECT_EQ(resumed.replayedFromJournal, 1u);
+    EXPECT_EQ(resumed.failureCount(), 0u);
+    EXPECT_EQ(outcomeReport(smallJobs(ccs), resumed), reference);
+}

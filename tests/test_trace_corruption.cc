@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "check/fault_injector.hh"
 #include "trace/frame_trace.hh"
 #include "workload/benchmarks.hh"
 #include "workload/scene.hh"
@@ -241,6 +242,76 @@ TEST(TraceCorruption, FailedLoadResetsPreviousContent)
     EXPECT_FALSE(trace.load(cut.str()).isOk());
     EXPECT_EQ(trace.frameCount(), 0u);
     EXPECT_EQ(trace.textures().count(), 0u);
+}
+
+// --- Injector-generated corpus (fault_injector.hh::corruptTrace) -----
+//
+// The seeded corruption generator used by the chaos-soak CI job must
+// uphold the same contract the hand-crafted cases above pin down: a
+// damaged file is rejected with a recoverable Status (or, for payload
+// bit flips, loads ok) — never a crash, overread or half-loaded trace.
+
+TEST(TraceCorruption, InjectorTruncateMidRecordCorpusFailsCleanly)
+{
+    const TracePath valid("valid");
+    const std::vector<unsigned char> bytes =
+        validTraceBytes(valid.str());
+
+    const TracePath cut("cut");
+    for (std::uint64_t seed = 0; seed < 128; ++seed) {
+        const std::vector<std::uint8_t> mutant =
+            corruptTrace(bytes, TraceCorruption::TruncateMidRecord,
+                         seed);
+        ASSERT_LT(mutant.size(), bytes.size()) << "seed " << seed;
+        ASSERT_GE(mutant.size(), headerBytes) << "seed " << seed;
+        writeAll(cut.str(), mutant);
+        FrameTrace trace;
+        const Status st = trace.load(cut.str());
+        EXPECT_FALSE(st.isOk()) << "seed " << seed;
+        EXPECT_EQ(st.code(), ErrorCode::CorruptData) << "seed " << seed;
+        EXPECT_EQ(trace.frameCount(), 0u) << "seed " << seed;
+    }
+}
+
+TEST(TraceCorruption, InjectorBitFlipHeaderCorpusNeverCrashes)
+{
+    const TracePath valid("valid");
+    const std::vector<unsigned char> bytes =
+        validTraceBytes(valid.str());
+
+    const TracePath flipped("flip");
+    for (std::uint64_t seed = 0; seed < 192; ++seed) {
+        const std::vector<std::uint8_t> mutant =
+            corruptTrace(bytes, TraceCorruption::BitFlipHeader, seed);
+        ASSERT_EQ(mutant.size(), bytes.size()) << "seed " << seed;
+        writeAll(flipped.str(), mutant);
+        FrameTrace trace;
+        // Single-bit header damage may still decode to a legal header
+        // (e.g. a dimension bit that stays within limits); the contract
+        // is clean ok-or-error with no partial state on error.
+        const Status st = trace.load(flipped.str());
+        if (!st.isOk()) {
+            EXPECT_EQ(st.code(), ErrorCode::CorruptData)
+                << "seed " << seed;
+            EXPECT_EQ(trace.frameCount(), 0u) << "seed " << seed;
+        }
+    }
+}
+
+TEST(TraceCorruption, CorruptTraceIsDeterministicPerSeed)
+{
+    const TracePath valid("valid");
+    const std::vector<unsigned char> bytes =
+        validTraceBytes(valid.str());
+
+    for (const TraceCorruption mode :
+         {TraceCorruption::TruncateMidRecord,
+          TraceCorruption::BitFlipHeader}) {
+        EXPECT_EQ(corruptTrace(bytes, mode, 7),
+                  corruptTrace(bytes, mode, 7));
+        EXPECT_NE(corruptTrace(bytes, mode, 7),
+                  corruptTrace(bytes, mode, 8));
+    }
 }
 
 TEST(TraceCorruptionDeathTest, FrameIndexOutOfRangeIsACallerBug)
