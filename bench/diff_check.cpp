@@ -10,6 +10,11 @@
  *   libra, adaptation pinned to S  == staticSupertile(S)
  *   staticSupertile(1)             == ptr (plain Z-order)
  *
+ * With --sim-threads N (N >= 1), every pair runs under the sharded
+ * engine and the matrix additionally pins the engine's determinism
+ * contract: each machine shape at 1 simulation thread must be
+ * counter-identical to itself at N threads.
+ *
  * With --fuzz N (and optionally --seed S), it instead sweeps N
  * randomized valid configurations through the runner with every
  * conservation law armed; any accounting violation fails the run.
@@ -102,27 +107,59 @@ runEquivalenceMatrix(const BenchOptions &opt)
         GpuConfig right;
         std::size_t hLeft = 0, hRight = 0;
     };
+    // Configs are finalized here (screen size, invariants, engine);
+    // add() below submits them verbatim.
     std::vector<Pair> pairs;
-    pairs.push_back({"ptr(1,8) == baseline(8)", GpuConfig::ptr(1, 8),
-                     GpuConfig::baseline(8)});
+    pairs.push_back({"ptr(1,8) == baseline(8)",
+                     checked(GpuConfig::ptr(1, 8), opt),
+                     checked(GpuConfig::baseline(8), opt)});
     for (const std::uint32_t s : {1u, 2u, 4u})
         pairs.push_back({"libra pinned to " + std::to_string(s)
                              + " == staticSupertile("
                              + std::to_string(s) + ")",
-                         pinnedLibra(s),
-                         GpuConfig::staticSupertile(s, 2, 4)});
+                         checked(pinnedLibra(s), opt),
+                         checked(GpuConfig::staticSupertile(s, 2, 4),
+                                 opt)});
     pairs.push_back({"staticSupertile(1) == z-order ptr(2,4)",
-                     GpuConfig::staticSupertile(1, 2, 4),
-                     GpuConfig::ptr(2, 4)});
+                     checked(GpuConfig::staticSupertile(1, 2, 4), opt),
+                     checked(GpuConfig::ptr(2, 4), opt)});
+
+    // Sharded-engine determinism: the same machine must be
+    // counter-identical at 1 and N simulation threads. (The sequential
+    // engine is a different timing reference — cross-shard traffic pays
+    // the lookahead — so seq == sharded is deliberately not a pair.)
+    if (opt.simThreads > 0) {
+        const auto at = [](GpuConfig cfg, std::uint32_t threads) {
+            cfg.simThreads = threads;
+            return cfg;
+        };
+        struct Shape
+        {
+            const char *name;
+            GpuConfig cfg;
+        };
+        const Shape shapes[] = {
+            {"ptr(2,4)", GpuConfig::ptr(2, 4)},
+            {"libra(2,4)", GpuConfig::libra(2, 4)},
+            {"staticSupertile(2,2,4)",
+             GpuConfig::staticSupertile(2, 2, 4)},
+        };
+        for (const Shape &s : shapes) {
+            pairs.push_back({std::string(s.name) + " @1 thread == @"
+                                 + std::to_string(opt.simThreads)
+                                 + " threads",
+                             at(checked(s.cfg, opt), 1),
+                             at(checked(s.cfg, opt), opt.simThreads)});
+        }
+    }
 
     int failures = 0;
     for (const auto &name : opt.benchmarks) {
         const BenchmarkSpec &spec = findBenchmark(name);
         Sweep sweep(opt);
         for (auto &p : pairs) {
-            p.hLeft = sweep.add(spec, checked(p.left, opt), opt.frames);
-            p.hRight =
-                sweep.add(spec, checked(p.right, opt), opt.frames);
+            p.hLeft = sweep.add(spec, p.left, opt.frames);
+            p.hRight = sweep.add(spec, p.right, opt.frames);
         }
         sweep.run();
         if (sweep.exitCode() != 0) {
@@ -163,9 +200,11 @@ runFuzz(const BenchOptions &opt, std::uint32_t count,
         // A job whose conservation laws fire fails its sweep slot; the
         // summary on stderr carries the violation message.
         Sweep sweep(opt);
-        for (std::uint32_t i = 0; i < count; ++i)
-            sweep.add(spec, fuzzGpuConfig(rng, opt.width, opt.height),
-                      opt.frames);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            GpuConfig cfg = fuzzGpuConfig(rng, opt.width, opt.height);
+            cfg.simThreads = opt.simThreads;
+            sweep.add(spec, cfg, opt.frames);
+        }
         sweep.run();
         if (sweep.exitCode() != 0)
             return 1;
@@ -189,7 +228,8 @@ main(int argc, char **argv)
                         "full", "csv", "jobs", "outdir", "report-out",
                         "trace-out", "deadline-ms", "retries",
                         "backoff-ms", "quarantine", "journal", "resume",
-                        "keep-going", "faults", "fuzz", "seed"});
+                        "keep-going", "faults", "fuzz", "seed",
+                        "sim-threads"});
 
     const auto fuzz =
         static_cast<std::uint32_t>(args.getInt("fuzz", 0));

@@ -10,7 +10,15 @@
  *   - the same workload with a TraceSink attached, to quantify the
  *     cost of event recording (events_per_sec_traced);
  *   - sweep throughput: the same jobs pushed through SweepRunner, to
- *     catch regressions in the parallel harness itself.
+ *     catch regressions in the parallel harness itself;
+ *   - parallel engine: a 4-RU machine under the sharded engine at 1
+ *     and 4 simulation threads (events_per_sec_parallel and
+ *     parallel_speedup). The two runs must execute identical event
+ *     counts — the engine's determinism contract — and the speedup is
+ *     gated against the baseline, but only when both the baseline host
+ *     and this host have at least sim_threads CPUs (host_cpus is
+ *     recorded alongside; a 1-core CI runner can't measure parallelism
+ *     and reports informationally instead).
  *
  * Methodology: every measurement runs --warmup discarded iterations and
  * --repeat timed ones and reports the median plus the MAD (median
@@ -45,6 +53,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hh"
@@ -68,6 +77,10 @@ namespace
 constexpr const char *kBenchmark = "CCS";
 constexpr std::uint32_t kWidth = 960;
 constexpr std::uint32_t kHeight = 544;
+
+/** Pinned parallel-engine measurement: a 4-RU machine so the sharded
+ *  engine has four shards to spread over kSimThreads lanes. */
+constexpr std::uint32_t kSimThreads = 4;
 
 double
 seconds(std::chrono::steady_clock::duration d)
@@ -280,6 +293,40 @@ main(int argc, char **argv)
         return s;
     });
 
+    // --- Parallel engine: 4-RU machine, 1 vs kSimThreads lanes. ------
+    GpuConfig cfg_par = GpuConfig::libra(4, 4);
+    cfg_par.screenWidth = kWidth;
+    cfg_par.screenHeight = kHeight;
+
+    std::uint64_t events_parallel = 0;
+    const auto run_parallel = [&](std::uint32_t threads) {
+        GpuConfig c = cfg_par;
+        c.simThreads = threads;
+        Gpu gpu(c);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint32_t f = 0; f < frames; ++f)
+            gpu.renderFrame(scene.frame(f), scene.textures());
+        const double s =
+            seconds(std::chrono::steady_clock::now() - t0);
+        const std::uint64_t e = gpu.eventsExecuted();
+        // The sharded engine's determinism contract: the event count
+        // is a pure function of the config, never of the lane count.
+        libra_assert(events_parallel == 0 || events_parallel == e,
+                     "sharded engine event count varies with threads");
+        events_parallel = e;
+        return s;
+    };
+    const Stats par1 = measure(warmup, repeat,
+                               [&] { return run_parallel(1); });
+    const Stats parN = measure(warmup, repeat,
+                               [&] { return run_parallel(kSimThreads); });
+    const double events_per_sec_parallel = parN.median > 0.0
+        ? static_cast<double>(events_parallel) / parN.median
+        : 0.0;
+    const double parallel_speedup =
+        parN.median > 0.0 ? par1.median / parN.median : 0.0;
+    const std::uint32_t host_cpus = std::thread::hardware_concurrency();
+
     // --- Report. -----------------------------------------------------
     std::printf("perf_smoke: %s %ux%u, %u frame(s), "
                 "%u warmup + %u repeat(s)\n",
@@ -297,6 +344,12 @@ main(int argc, char **argv)
     std::printf("  sweep      : %zu jobs, %u worker(s), median %.3f s "
                 "(MAD %.3f)\n",
                 n_jobs, runner.workers(), sweep.median, sweep.mad);
+    std::printf("  parallel   : %llu events, 1 thread %.3f s, "
+                "%u threads %.3f s (MAD %.3f) — %.2fx, %.3g events/s "
+                "(%u host cpus)\n",
+                static_cast<unsigned long long>(events_parallel),
+                par1.median, kSimThreads, parN.median, parN.mad,
+                parallel_speedup, events_per_sec_parallel, host_cpus);
 
     if (!report_out.empty()) {
         if (Status st =
@@ -337,14 +390,27 @@ main(int argc, char **argv)
                  "  \"sweep_jobs\": %zu,\n"
                  "  \"sweep_workers\": %u,\n"
                  "  \"sweep_wall_time_s\": %.6f,\n"
-                 "  \"sweep_wall_time_mad_s\": %.6f\n"
+                 "  \"sweep_wall_time_mad_s\": %.6f,\n"
+                 "  \"sim_threads\": %u,\n"
+                 "  \"host_cpus\": %u,\n"
+                 "  \"events_parallel\": %llu,\n"
+                 "  \"events_per_sec_parallel\": %.1f,\n"
+                 "  \"wall_time_parallel1_s\": %.6f,\n"
+                 "  \"wall_time_parallel1_mad_s\": %.6f,\n"
+                 "  \"wall_time_parallel4_s\": %.6f,\n"
+                 "  \"wall_time_parallel4_mad_s\": %.6f,\n"
+                 "  \"parallel_speedup\": %.3f\n"
                  "}\n",
                  kBenchmark, kWidth, kHeight, frames, warmup, repeat,
                  calib_s, static_cast<unsigned long long>(events),
                  events_per_sec, sim.median, sim.mad,
                  events_per_sec_traced, traced.trace->eventCount(),
                  traced_stats.median, traced_stats.mad, n_jobs,
-                 runner.workers(), sweep.median, sweep.mad);
+                 runner.workers(), sweep.median, sweep.mad,
+                 kSimThreads, host_cpus,
+                 static_cast<unsigned long long>(events_parallel),
+                 events_per_sec_parallel, par1.median, par1.mad,
+                 parN.median, parN.mad, parallel_speedup);
     std::fclose(fp);
     std::printf("wrote %s\n", out.c_str());
 
@@ -413,8 +479,37 @@ main(int argc, char **argv)
     }
     const double geomean =
         std::exp(log_sum / std::size(metrics));
-    const bool regressed = geomean > 1.0 + tolerance / 100.0;
+    bool regressed = geomean > 1.0 + tolerance / 100.0;
     std::printf("baseline: wall-time geomean ratio %.3fx — %s\n",
                 geomean, regressed ? "REGRESSION" : "ok");
+
+    // Parallel-speedup gate: only meaningful when both the baseline
+    // host and this host actually have the CPUs to run kSimThreads
+    // lanes; otherwise (1-core CI runner, old baseline file) report
+    // informationally and don't gate.
+    const JsonValue *base_speedup = base.find("parallel_speedup");
+    const JsonValue *base_cpus = base.find("host_cpus");
+    if (base_speedup == nullptr || !base_speedup->isNumber()) {
+        std::printf("baseline: no parallel_speedup recorded — "
+                    "parallel gate skipped\n");
+    } else if (base_cpus == nullptr || !base_cpus->isNumber()
+               || base_cpus->number < kSimThreads
+               || host_cpus < kSimThreads) {
+        std::printf("baseline: parallel speedup %.2fx vs %.2fx "
+                    "(informational: baseline host %.0f cpus, this "
+                    "host %u cpus, need >= %u to gate)\n",
+                    parallel_speedup, base_speedup->number,
+                    base_cpus ? base_cpus->number : 0.0, host_cpus,
+                    kSimThreads);
+    } else {
+        const double floor =
+            base_speedup->number * (1.0 - tolerance / 100.0);
+        const bool par_regressed = parallel_speedup < floor;
+        std::printf("baseline: parallel speedup %.2fx vs %.2fx "
+                    "(floor %.2fx) — %s\n",
+                    parallel_speedup, base_speedup->number, floor,
+                    par_regressed ? "REGRESSION" : "ok");
+        regressed = regressed || par_regressed;
+    }
     return regressed ? 1 : 0;
 }

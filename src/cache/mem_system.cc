@@ -11,22 +11,34 @@ ReplicationTracker::attach(Cache &cache)
     // Chain behind any existing hooks so multiple observers compose.
     auto prev_install = cache.onInstall;
     cache.onInstall = [this, prev_install](Addr line) {
-        ++totalInstalls;
-        const auto count = ++refCount[line];
-        if (count > 1)
-            ++replicated;
+        recordInstall(line);
         if (prev_install)
             prev_install(line);
     };
     auto prev_evict = cache.onEvict;
     cache.onEvict = [this, prev_evict](Addr line) {
-        if (std::uint32_t *refs = refCount.find(line)) {
-            if (--*refs == 0)
-                refCount.erase(line);
-        }
+        recordEvict(line);
         if (prev_evict)
             prev_evict(line);
     };
+}
+
+void
+ReplicationTracker::recordInstall(Addr line)
+{
+    ++totalInstalls;
+    const auto count = ++refCount[line];
+    if (count > 1)
+        ++replicated;
+}
+
+void
+ReplicationTracker::recordEvict(Addr line)
+{
+    if (std::uint32_t *refs = refCount.find(line)) {
+        if (--*refs == 0)
+            refCount.erase(line);
+    }
 }
 
 std::uint64_t

@@ -25,6 +25,7 @@
 #include "gpu/geometry/geometry_pipeline.hh"
 #include "gpu/gpu_config.hh"
 #include "gpu/raster/raster_unit.hh"
+#include "gpu/shard_engine.hh"
 #include "gpu/tiling/tile_fetcher.hh"
 #include "gpu/tiling/tile_grid.hh"
 #include "sim/event_queue.hh"
@@ -121,6 +122,19 @@ class Gpu
     Dram &dram() { return *dramModel; }
     TileScheduler &scheduler() { return *tileSched; }
 
+    /** Events executed across every queue of this simulation: the
+     *  shared queue plus (sharded engine only) all RU shards. */
+    std::uint64_t
+    eventsExecuted() const
+    {
+        return queue.eventsExecuted()
+            + (engine ? engine->shardEventsExecuted() : 0);
+    }
+
+    /** The sharded engine, or null under the sequential engine (test
+     *  hook: the parallel-sim suite asserts its window invariants). */
+    const ShardEngine *shardEngine() const { return engine.get(); }
+
     /** Cumulative (run-lifetime) counters of every component. */
     const StatGroup &stats() const { return statGroup; }
 
@@ -179,7 +193,12 @@ class Gpu
 
     GpuConfig config;
     TileGrid grid;
-    EventQueue queue;
+    EventQueue queue; //!< the only queue (sequential) or the shared
+                      //!< L2/DRAM/scheduler shard (sharded engine)
+
+    /** Sharded parallel engine (simThreads >= 1); null runs the
+     *  historical sequential event loop. */
+    std::unique_ptr<ShardEngine> engine;
 
     std::unique_ptr<Dram> dramModel;
     std::unique_ptr<IdealMemory> idealSink; //!< idealMemory mode
@@ -223,6 +242,14 @@ class Gpu
 
     /** Mark the GPU wedged and wrap @p st's message with diagnostics. */
     Status wedge(const Status &st, const char *phase);
+
+    /** Shared-state accounting for one finished tile; runs on the
+     *  coordinator in both engines. */
+    void applyTileDone(const TileDoneInfo &info);
+
+    /** Windowed raster phase + drain of the sharded engine (the
+     *  sequential equivalent lives inline in tryRenderFrame). */
+    Status runShardedRaster(Watchdog &watchdog);
 
     // Trace wiring (all null / zero when no sink is attached).
     TraceSink *traceSink = nullptr;

@@ -1,0 +1,344 @@
+#include "gpu/shard_engine.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+// --- ShardMemLink ------------------------------------------------------
+
+void
+ShardMemLink::access(MemReq req)
+{
+    libra_assert(downstream, "shard link has no downstream sink");
+    Outgoing out;
+    out.sentAt = shardQ.now();
+    if (req.onComplete) {
+        std::uint32_t slot;
+        if (!freeSlots.empty()) {
+            slot = freeSlots.back();
+            freeSlots.pop_back();
+            slots[slot] = std::move(req.onComplete);
+        } else {
+            slot = static_cast<std::uint32_t>(slots.size());
+            slots.push_back(std::move(req.onComplete));
+        }
+        // The forwarded completion runs in the shared domain; it only
+        // records {slot, tick} — the parked callback never crosses.
+        req.onComplete = [this, slot](Tick when) {
+            complete(slot, when);
+        };
+    }
+    out.req = std::move(req);
+    outbox.push_back(std::move(out));
+}
+
+void
+ShardMemLink::complete(std::uint32_t slot, Tick when)
+{
+    const Tick deliver_at = when + engine.la;
+    ++engine.engineStats.crossMessages;
+    if (deliver_at < engine.windowEnd)
+        ++engine.engineStats.earlyDeliveries;
+    inbox.push_back(Completion{slot, deliver_at});
+}
+
+void
+ShardMemLink::deliver(std::uint32_t slot)
+{
+    MemCallback cb = std::move(slots[slot]);
+    freeSlots.push_back(slot);
+    cb(shardQ.now());
+}
+
+// --- ShardRasterLink ---------------------------------------------------
+
+void
+ShardRasterLink::push(const RasterWork &work)
+{
+    libra_assert(credits > 0, "push to a raster link without credits");
+    --credits;
+    ++engine.engineStats.crossMessages;
+    pushBuf.push_back(PendingPush{engine.shared.now(), work});
+}
+
+void
+ShardRasterLink::returnCredit()
+{
+    creditBuf.push_back(shardQ.now());
+}
+
+void
+ShardRasterLink::applyCredit()
+{
+    ++credits;
+    if (onSpaceFreed)
+        onSpaceFreed();
+}
+
+void
+ShardRasterLink::deliverFront()
+{
+    libra_assert(!inFlight.empty(), "raster delivery without work");
+    const RasterWork work = inFlight.front();
+    inFlight.pop_front();
+    target->push(work);
+}
+
+// --- ShardEngine -------------------------------------------------------
+
+ShardEngine::ShardEngine(EventQueue &shared_queue,
+                         std::uint32_t shard_count,
+                         std::uint32_t threads, Tick lookahead_ticks,
+                         std::uint32_t fifo_depth)
+    : shared(shared_queue), la(std::max<Tick>(1, lookahead_ticks))
+{
+    libra_assert(shard_count > 0, "sharded engine needs shards");
+    queues.reserve(shard_count);
+    texLinks.reserve(shard_count);
+    fbLinks.reserve(shard_count);
+    rasterLinks.reserve(shard_count);
+    for (std::uint32_t s = 0; s < shard_count; ++s) {
+        queues.push_back(std::make_unique<EventQueue>());
+        texLinks.push_back(
+            std::make_unique<ShardMemLink>(*this, s, *queues[s]));
+        fbLinks.push_back(
+            std::make_unique<ShardMemLink>(*this, s, *queues[s]));
+        rasterLinks.push_back(std::make_unique<ShardRasterLink>(
+            *this, s, *queues[s], fifo_depth));
+    }
+    tileDone.resize(shard_count);
+    replEvents.resize(shard_count);
+    // Threads beyond the shard count can never find work: lane t only
+    // ever runs shards t, t + threads, ...
+    const std::uint32_t lanes = std::min(std::max(1u, threads),
+                                         shard_count);
+    if (lanes > 1)
+        pool = std::make_unique<SimThreadPool>(lanes);
+}
+
+ShardEngine::~ShardEngine() = default;
+
+void
+ShardEngine::setDownstreams(MemSink &tex_sink, MemSink &fb_sink)
+{
+    for (std::size_t s = 0; s < queues.size(); ++s) {
+        texLinks[s]->setDownstream(tex_sink);
+        fbLinks[s]->setDownstream(fb_sink);
+    }
+}
+
+void
+ShardEngine::bufferTileDone(std::uint32_t shard,
+                            const TileDoneInfo &info)
+{
+    TileDoneRecord rec;
+    rec.info = info;
+    if (info.colorBuffer) {
+        rec.color = *info.colorBuffer;
+        rec.hasColor = true;
+    }
+    // The pointer refers to flush-local storage; reseat it onto the
+    // record's copy when the coordinator applies it.
+    rec.info.colorBuffer = nullptr;
+    tileDone[shard].push_back(std::move(rec));
+}
+
+void
+ShardEngine::bufferReplEvent(std::uint32_t shard, Addr line,
+                             bool install)
+{
+    replEvents[shard].push_back(ReplEvent{line, install});
+}
+
+Tick
+ShardEngine::alignClocks()
+{
+    Tick t = shared.now();
+    for (const auto &q : queues)
+        t = std::max(t, q->now());
+    shared.advanceTo(t);
+    for (const auto &q : queues)
+        q->advanceTo(t);
+    return t;
+}
+
+bool
+ShardEngine::anyPending() const
+{
+    if (!shared.empty())
+        return true;
+    for (const auto &q : queues) {
+        if (!q->empty())
+            return true;
+    }
+    // Work can park in a link without a scheduled event between
+    // windows: the fetcher's beginFrame pushes happen outside any
+    // window, and runWindow() turns them into delivery events.
+    for (std::uint32_t s = 0; s < shardCount(); ++s) {
+        if (!texLinks[s]->outbox.empty() || !texLinks[s]->inbox.empty()
+            || !fbLinks[s]->outbox.empty()
+            || !fbLinks[s]->inbox.empty()
+            || !rasterLinks[s]->pushBuf.empty()
+            || !rasterLinks[s]->creditBuf.empty()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+Tick
+ShardEngine::maxNow() const
+{
+    Tick t = shared.now();
+    for (const auto &q : queues)
+        t = std::max(t, q->now());
+    return t;
+}
+
+std::uint64_t
+ShardEngine::shardEventsExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues)
+        n += q->eventsExecuted();
+    return n;
+}
+
+std::size_t
+ShardEngine::shardPendingEvents() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues)
+        n += q->pending();
+    return n;
+}
+
+void
+ShardEngine::runInject(std::size_t index)
+{
+    Inject &in = injects[index];
+    in.sink->access(std::move(in.req));
+}
+
+void
+ShardEngine::mergeShardOutput(std::uint32_t s)
+{
+    // Fixed per-shard drain order (credits, tile results, replication,
+    // texture fills, flush writes); with the fixed shard iteration
+    // order in runWindow() this makes every injection's (tick, seq)
+    // position a pure function of simulated state.
+    ShardRasterLink &rl = *rasterLinks[s];
+    for (const Tick t : rl.creditBuf) {
+        ShardRasterLink *link = &rl;
+        shared.schedule(t, [link] { link->applyCredit(); });
+    }
+    rl.creditBuf.clear();
+
+    for (TileDoneRecord &rec : tileDone[s]) {
+        if (rec.hasColor)
+            rec.info.colorBuffer = &rec.color;
+        applyTileDone(rec.info);
+    }
+    tileDone[s].clear();
+
+    if (replTracker) {
+        for (const ReplEvent &ev : replEvents[s]) {
+            if (ev.install)
+                replTracker->recordInstall(ev.line);
+            else
+                replTracker->recordEvict(ev.line);
+        }
+    }
+    replEvents[s].clear();
+
+    for (ShardMemLink *link : {texLinks[s].get(), fbLinks[s].get()}) {
+        for (ShardMemLink::Outgoing &out : link->outbox) {
+            ++engineStats.crossMessages;
+            const std::size_t index = injects.size();
+            injects.push_back(
+                Inject{link->downstream, std::move(out.req)});
+            ShardEngine *eng = this;
+            shared.schedule(out.sentAt,
+                            [eng, index] { eng->runInject(index); });
+        }
+        link->outbox.clear();
+    }
+}
+
+void
+ShardEngine::deliverSharedOutput(std::uint32_t s)
+{
+    EventQueue &q = *queues[s];
+    for (ShardMemLink *link : {texLinks[s].get(), fbLinks[s].get()}) {
+        for (const ShardMemLink::Completion &c : link->inbox) {
+            ShardMemLink *l = link;
+            const std::uint32_t slot = c.slot;
+            q.schedule(c.deliverAt, [l, slot] { l->deliver(slot); });
+        }
+        link->inbox.clear();
+    }
+    ShardRasterLink &rl = *rasterLinks[s];
+    for (const ShardRasterLink::PendingPush &p : rl.pushBuf) {
+        rl.inFlight.push_back(p.work);
+        ShardRasterLink *link = &rl;
+        q.schedule(p.sentAt + la, [link] { link->deliverFront(); });
+    }
+    rl.pushBuf.clear();
+}
+
+void
+ShardEngine::runWindow()
+{
+    // Turn anything parked outside a window (the fetcher's beginFrame
+    // pushes) into scheduled delivery events so it participates in the
+    // window-start computation below.
+    for (std::uint32_t s = 0; s < shardCount(); ++s)
+        deliverSharedOutput(s);
+
+    // Window start: the earliest pending tick anywhere. Jumping to it
+    // (rather than sliding W by L) skips idle stretches entirely.
+    Tick start = shared.nextEventTick();
+    for (const auto &q : queues)
+        start = std::min(start, q->nextEventTick());
+    libra_assert(start != maxTick, "runWindow with no pending events");
+
+    windowEnd = start + la;
+    const Tick limit = windowEnd - 1;
+
+    // --- Phase A: RU shards over [start, windowEnd) --------------------
+    activeList.clear();
+    for (std::uint32_t s = 0; s < shardCount(); ++s) {
+        if (queues[s]->nextEventTick() <= limit)
+            activeList.push_back(s);
+    }
+    if (pool && activeList.size() > 1) {
+        ++engineStats.parallelWindows;
+        pool->parallelFor(
+            static_cast<std::uint32_t>(activeList.size()),
+            [this, limit](std::uint32_t i) {
+                queues[activeList[i]]->runUntil(limit);
+            });
+    } else {
+        for (const std::uint32_t s : activeList)
+            queues[s]->runUntil(limit);
+    }
+
+    // --- Barrier: merge RU → shared in (shard, seq) order --------------
+    for (std::uint32_t s = 0; s < shardCount(); ++s)
+        mergeShardOutput(s);
+
+    // --- Phase B: shared domain over the same window --------------------
+    shared.runUntil(limit);
+
+    // --- Barrier: schedule shared → RU deliveries ----------------------
+    for (std::uint32_t s = 0; s < shardCount(); ++s)
+        deliverSharedOutput(s);
+    injects.clear();
+
+    ++engineStats.windows;
+}
+
+} // namespace libra

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Sharded discrete-event engine: conservative parallel windows over
+ * per-Raster-Unit event-queue shards (DESIGN.md §8).
+ *
+ * The machine is partitioned along the paper's own independence
+ * argument: Raster Units own disjoint tiles and touch each other only
+ * through the shared L2/DRAM/scheduler domain. Each RU (its cores,
+ * private texture L1s, rasterizer, blender and flush DMA) runs on its
+ * own EventQueue shard; everything else (geometry, L2, vertex/tile
+ * caches, DRAM, tile scheduler and fetcher) stays on the shared queue.
+ *
+ * Execution alternates over conservative time windows of one lookahead
+ * L = GpuConfig::shardLookahead() (the minimum L2 round trip):
+ *
+ *   Phase A  every RU shard runs its events in [W, W+L) on a worker
+ *            lane, buffering anything that crosses the boundary into
+ *            its outboxes (no shared state is touched);
+ *   barrier  the coordinator merges all outboxes in fixed (shard,
+ *            sequence) order and injects them into the shared queue at
+ *            their original send ticks;
+ *   Phase B  the shared domain runs [W, W+L); completions that cross
+ *            back are buffered with a delivery tick of (completion
+ *            tick + L);
+ *   barrier  the coordinator schedules the buffered deliveries onto
+ *            the RU shards, where they execute in a later window.
+ *
+ * Safety: a shared-domain completion at tick c >= W delivers at
+ * c + L >= W + L — never inside the window that produced it, so RU
+ * shards running [W, W+L) in isolation can miss nothing (the
+ * `earlyDeliveries` stat counts violations of exactly this invariant;
+ * it must stay 0). RU→shared traffic is injected at its original send
+ * tick, which is safe because the shared domain only starts the window
+ * after the merge.
+ *
+ * Determinism: every buffer is appended by exactly one thread and
+ * merged at a barrier in (shard index, append order), so the event
+ * order seen by any queue is a pure function of the configuration —
+ * independent of the thread count and of OS scheduling. simThreads = 1
+ * runs the identical windowed algorithm inline; byte-identical
+ * counters, reports and traces for 1 vs N threads is the contract the
+ * parallel-sim test suite pins down.
+ */
+
+#ifndef LIBRA_GPU_SHARD_ENGINE_HH
+#define LIBRA_GPU_SHARD_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cache/mem_system.hh"
+#include "gpu/raster/raster_unit.hh"
+#include "sim/event_queue.hh"
+#include "sim/sim_thread_pool.hh"
+
+namespace libra
+{
+
+class ShardEngine;
+
+/**
+ * Shard-crossing MemSink standing between a shard-resident producer (a
+ * texture L1's fill path, a Raster Unit's flush DMA) and a
+ * shared-domain sink (the L2, DRAM). Phase A buffers requests; the
+ * original completion callback parks in a slot table and the forwarded
+ * request carries only {link, slot}, so the shared domain completes it
+ * without touching shard state.
+ */
+class ShardMemLink : public MemSink
+{
+  public:
+    ShardMemLink(ShardEngine &eng, std::uint32_t shard_index,
+                 EventQueue &shard_queue)
+        : engine(eng), shard(shard_index), shardQ(shard_queue)
+    {}
+
+    void setDownstream(MemSink &sink) { downstream = &sink; }
+
+    /** Shard side (Phase A): buffer the request in the outbox. */
+    void access(MemReq req) override;
+
+  private:
+    friend class ShardEngine;
+
+    struct Outgoing
+    {
+        Tick sentAt;
+        MemReq req;
+    };
+
+    struct Completion
+    {
+        std::uint32_t slot;
+        Tick deliverAt;
+    };
+
+    /** Shared side (Phase B): park the completion for delivery. */
+    void complete(std::uint32_t slot, Tick when);
+
+    /** Shard side (a later window): run the original callback. */
+    void deliver(std::uint32_t slot);
+
+    ShardEngine &engine;
+    const std::uint32_t shard;
+    EventQueue &shardQ;
+    MemSink *downstream = nullptr;
+
+    // Written by the owning shard during Phase A, drained by the
+    // coordinator at the barrier.
+    std::vector<Outgoing> outbox;
+
+    // Slot table: written/freed by the shard, only the index crosses.
+    std::vector<MemCallback> slots;
+    std::vector<std::uint32_t> freeSlots;
+
+    // Written by the shared domain during Phase B, drained by the
+    // coordinator before the next window.
+    std::vector<Completion> inbox;
+};
+
+/**
+ * Shared-domain stand-in for a Raster Unit's input FIFO. The Tile
+ * Fetcher pushes into this link; work is delivered to the real unit one
+ * lookahead later. Backpressure is credit-based: the link starts with
+ * fifoDepth credits, a push consumes one and the unit returns one per
+ * FIFO pop, so in-flight work plus FIFO occupancy can never exceed the
+ * modeled depth and a delivery can never hit a full FIFO.
+ */
+class ShardRasterLink : public RasterSink
+{
+  public:
+    ShardRasterLink(ShardEngine &eng, std::uint32_t shard_index,
+                    EventQueue &shard_queue, std::uint32_t fifo_depth)
+        : engine(eng), shard(shard_index), shardQ(shard_queue),
+          credits(fifo_depth)
+    {}
+
+    void setTarget(RasterSink &sink) { target = &sink; }
+
+    // Shared side (the fetcher's view of the FIFO).
+    bool canPush() const override { return credits > 0; }
+    void push(const RasterWork &work) override;
+
+    /** Shard side: one FIFO slot freed (RasterUnit::onSpaceFreed). */
+    void returnCredit();
+
+  private:
+    friend class ShardEngine;
+
+    struct PendingPush
+    {
+        Tick sentAt;
+        RasterWork work;
+    };
+
+    /** Shared side: credit arrives at its original tick. */
+    void applyCredit();
+
+    /** Shard side: hand the oldest delivered entry to the real FIFO. */
+    void deliverFront();
+
+    ShardEngine &engine;
+    const std::uint32_t shard;
+    EventQueue &shardQ;
+    RasterSink *target = nullptr;
+
+    std::uint32_t credits;
+    std::vector<PendingPush> pushBuf; //!< shared-side, Phase B
+    std::deque<RasterWork> inFlight;  //!< delivery-scheduled entries
+    std::vector<Tick> creditBuf;      //!< shard-side, Phase A
+};
+
+class ShardEngine
+{
+  public:
+    /**
+     * @param shared_queue the L2/DRAM/scheduler domain's queue (owned
+     *        by the Gpu).
+     * @param shard_count one shard per Raster Unit.
+     * @param threads     worker lanes for Phase A (>= 1; 1 = inline).
+     * @param fifo_depth  per-RU FIFO depth (raster-link credits).
+     */
+    ShardEngine(EventQueue &shared_queue, std::uint32_t shard_count,
+                std::uint32_t threads, Tick la,
+                std::uint32_t fifo_depth);
+    ~ShardEngine();
+
+    ShardEngine(const ShardEngine &) = delete;
+    ShardEngine &operator=(const ShardEngine &) = delete;
+
+    EventQueue &shardQueue(std::uint32_t s) { return *queues[s]; }
+    ShardMemLink &texLink(std::uint32_t s) { return *texLinks[s]; }
+    ShardMemLink &fbLink(std::uint32_t s) { return *fbLinks[s]; }
+    ShardRasterLink &rasterLink(std::uint32_t s)
+    {
+        return *rasterLinks[s];
+    }
+
+    /** Wire every shard's links to the shared-domain sinks. */
+    void setDownstreams(MemSink &tex_sink, MemSink &fb_sink);
+
+    /**
+     * Applied by the coordinator, in (shard, sequence) order, for every
+     * tile-done event buffered during Phase A — the Gpu installs its
+     * (single-threaded) accounting body here.
+     */
+    std::function<void(const TileDoneInfo &)> applyTileDone;
+
+    /** Replication events buffered per shard replay into this tracker
+     *  at the barrier (null disables). */
+    ReplicationTracker *replTracker = nullptr;
+
+    // --- Shard-side buffering hooks ------------------------------------
+    void bufferTileDone(std::uint32_t shard, const TileDoneInfo &info);
+    void bufferReplEvent(std::uint32_t shard, Addr line, bool install);
+
+    // --- Frame orchestration (coordinator only) ------------------------
+    /** Align every queue (shards and shared) at a frame boundary:
+     *  advances each clock to the global maximum and returns it. */
+    Tick alignClocks();
+
+    /** True while any queue holds a pending event. */
+    bool anyPending() const;
+
+    /**
+     * Run one conservative window at the earliest pending tick: Phase A
+     * on the worker lanes, merge, Phase B, deliveries. Requires
+     * anyPending().
+     */
+    void runWindow();
+
+    /** Global maximum of all queue clocks. */
+    Tick maxNow() const;
+
+    /** Events executed by the RU shards (the shared queue keeps its
+     *  own count). */
+    std::uint64_t shardEventsExecuted() const;
+
+    /** Pending events across the RU shards (diagnostics). */
+    std::size_t shardPendingEvents() const;
+
+    std::uint32_t shardCount() const
+    {
+        return static_cast<std::uint32_t>(queues.size());
+    }
+
+    Tick lookahead() const { return la; }
+
+    struct Stats
+    {
+        std::uint64_t windows = 0;         //!< conservative windows run
+        std::uint64_t parallelWindows = 0; //!< >= 2 shards active
+        std::uint64_t crossMessages = 0;   //!< boundary crossings
+        std::uint64_t earlyDeliveries = 0; //!< lookahead violations (0!)
+    };
+    const Stats &stats() const { return engineStats; }
+
+  private:
+    friend class ShardMemLink;
+    friend class ShardRasterLink;
+
+    struct TileDoneRecord
+    {
+        TileDoneInfo info;
+        std::vector<std::uint64_t> color;
+        bool hasColor = false;
+    };
+
+    struct ReplEvent
+    {
+        Addr line;
+        bool install;
+    };
+
+    /** Deferred RU→shared request (EventCallback can't hold a MemReq,
+     *  so injected events reference this per-window list by index). */
+    struct Inject
+    {
+        MemSink *sink;
+        MemReq req;
+    };
+    void runInject(std::size_t index);
+
+    void mergeShardOutput(std::uint32_t s);
+    void deliverSharedOutput(std::uint32_t s);
+
+    EventQueue &shared;
+    const Tick la;
+    Tick windowEnd = 0; //!< exclusive end of the window in flight
+
+    std::vector<std::unique_ptr<EventQueue>> queues;
+    std::vector<std::unique_ptr<ShardMemLink>> texLinks;
+    std::vector<std::unique_ptr<ShardMemLink>> fbLinks;
+    std::vector<std::unique_ptr<ShardRasterLink>> rasterLinks;
+
+    std::vector<std::vector<TileDoneRecord>> tileDone; //!< per shard
+    std::vector<std::vector<ReplEvent>> replEvents;    //!< per shard
+
+    std::vector<Inject> injects;           //!< valid for one window
+    std::vector<std::uint32_t> activeList; //!< Phase A scratch
+
+    std::unique_ptr<SimThreadPool> pool; //!< null when threads == 1
+
+    Stats engineStats;
+};
+
+} // namespace libra
+
+#endif // LIBRA_GPU_SHARD_ENGINE_HH

@@ -93,4 +93,15 @@ EventQueue::runUntil(Tick limit)
     return count;
 }
 
+void
+EventQueue::advanceTo(Tick when)
+{
+    if (when <= curTick)
+        return;
+    libra_assert(nextEventTick() >= when,
+                 "advanceTo(", when, ") would skip a pending event at ",
+                 nextEventTick());
+    curTick = when;
+}
+
 } // namespace libra

@@ -1,0 +1,125 @@
+#include "sim/sim_thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace libra
+{
+
+namespace
+{
+
+/** Spin budget before parking on the condition variable. Windows run
+ *  every few microseconds, so the common case should resolve while
+ *  spinning; the cv is the idle-phase (geometry, drain) fallback. */
+constexpr int kSpinIterations = 20000;
+
+} // namespace
+
+SimThreadPool::SimThreadPool(std::uint32_t threads)
+    : laneCount(std::max(1u, threads))
+{
+    workers.reserve(laneCount - 1);
+    for (std::uint32_t lane = 1; lane < laneCount; ++lane)
+        workers.emplace_back([this, lane] { workerLoop(lane); });
+}
+
+SimThreadPool::~SimThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping.store(true, std::memory_order_relaxed);
+        epoch.fetch_add(1, std::memory_order_release);
+    }
+    wakeCv.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+SimThreadPool::runLane(std::uint32_t lane)
+{
+    const std::function<void(std::uint32_t)> &fn = *job;
+    for (std::uint32_t i = lane; i < jobCount; i += laneCount)
+        fn(i);
+}
+
+void
+SimThreadPool::workerLoop(std::uint32_t lane)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        // Spin for the next epoch, then park.
+        std::uint64_t next = epoch.load(std::memory_order_acquire);
+        for (int spin = 0; next == seen && spin < kSpinIterations;
+             ++spin) {
+            next = epoch.load(std::memory_order_acquire);
+        }
+        if (next == seen) {
+            std::unique_lock<std::mutex> lock(mtx);
+            wakeCv.wait(lock, [&] {
+                return epoch.load(std::memory_order_acquire) != seen;
+            });
+            next = epoch.load(std::memory_order_acquire);
+        }
+        seen = next;
+        if (stopping.load(std::memory_order_relaxed))
+            return;
+        runLane(lane);
+        if (lanesDone.fetch_add(1, std::memory_order_release) + 1
+            == laneCount - 1) {
+            // Last worker out: the caller may be parked on doneCv.
+            std::lock_guard<std::mutex> lock(mtx);
+            doneCv.notify_one();
+        }
+    }
+}
+
+void
+SimThreadPool::parallelFor(std::uint32_t count,
+                           const std::function<void(std::uint32_t)> &fn)
+{
+    if (laneCount == 1 || count <= 1) {
+        for (std::uint32_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        job = &fn;
+        jobCount = count;
+        lanesDone.store(0, std::memory_order_relaxed);
+        epoch.fetch_add(1, std::memory_order_release);
+    }
+    wakeCv.notify_all();
+
+    runLane(0);
+
+    const std::uint32_t target = laneCount - 1;
+    std::uint32_t done = lanesDone.load(std::memory_order_acquire);
+    for (int spin = 0; done != target && spin < kSpinIterations;
+         ++spin) {
+        done = lanesDone.load(std::memory_order_acquire);
+    }
+    if (done != target) {
+        std::unique_lock<std::mutex> lock(mtx);
+        doneCv.wait(lock, [&] {
+            return lanesDone.load(std::memory_order_acquire) == target;
+        });
+    }
+    job = nullptr;
+}
+
+std::uint32_t
+clampOversubscribedJobs(std::uint32_t jobs, std::uint32_t sim_threads,
+                        std::uint32_t hardware)
+{
+    jobs = std::max(1u, jobs);
+    const std::uint32_t lanes = std::max(1u, sim_threads);
+    if (hardware == 0 || jobs * lanes <= hardware)
+        return jobs;
+    return std::max(1u, hardware / lanes);
+}
+
+} // namespace libra

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Worker pool driving the Phase-A window execution of the sharded
+ * simulation engine (see DESIGN.md §8).
+ *
+ * A pool of `threads` total lanes runs parallelFor(count, fn): the
+ * calling thread participates as lane 0 and `threads - 1` persistent
+ * workers take the remaining lanes. Indices are assigned statically
+ * (lane t runs indices t, t + threads, ...), so the index→lane mapping
+ * is a pure function of (count, threads) — no work stealing, no
+ * dynamic scheduling. The engine relies on that: a shard's events are
+ * only ever executed by one lane per window, and determinism is
+ * preserved by construction rather than by ordering recovery.
+ *
+ * Windows are short (one L2-latency's worth of events), so the barrier
+ * cost dominates if workers park on every window. Workers therefore
+ * spin briefly on the generation counter before falling back to a
+ * condition variable; the caller does the same while waiting for
+ * completion.
+ */
+
+#ifndef LIBRA_SIM_SIM_THREAD_POOL_HH
+#define LIBRA_SIM_SIM_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace libra
+{
+
+class SimThreadPool
+{
+  public:
+    /** @param threads total lanes including the caller (min 1). */
+    explicit SimThreadPool(std::uint32_t threads);
+    ~SimThreadPool();
+
+    SimThreadPool(const SimThreadPool &) = delete;
+    SimThreadPool &operator=(const SimThreadPool &) = delete;
+
+    std::uint32_t threads() const { return laneCount; }
+
+    /**
+     * Run fn(i) for every i in [0, count), partitioned statically over
+     * the lanes. Returns after every call completed (full barrier; the
+     * completing workers' writes happen-before the return). fn must not
+     * call back into the pool.
+     */
+    void parallelFor(std::uint32_t count,
+                     const std::function<void(std::uint32_t)> &fn);
+
+  private:
+    void workerLoop(std::uint32_t lane);
+    void runLane(std::uint32_t lane);
+
+    const std::uint32_t laneCount;
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable wakeCv; //!< workers wait for a new epoch
+    std::condition_variable doneCv; //!< caller waits for completion
+
+    // Published under mtx before the epoch bump; read by workers after
+    // they observe the new epoch (acquire).
+    const std::function<void(std::uint32_t)> *job = nullptr;
+    std::uint32_t jobCount = 0;
+
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint32_t> lanesDone{0};
+    std::atomic<bool> stopping{false};
+};
+
+/**
+ * Oversubscription guard shared by the bench drivers: with @p jobs
+ * sweep workers each running @p sim_threads simulation lanes, clamp the
+ * job count so jobs * sim_threads does not exceed @p hardware (the
+ * machine's logical CPU count). Returns the clamped job count, always
+ * at least 1. sim_threads == 0 (the sequential engine) counts as one
+ * lane; hardware == 0 (unknown) leaves @p jobs untouched.
+ */
+std::uint32_t clampOversubscribedJobs(std::uint32_t jobs,
+                                      std::uint32_t sim_threads,
+                                      std::uint32_t hardware);
+
+} // namespace libra
+
+#endif // LIBRA_SIM_SIM_THREAD_POOL_HH

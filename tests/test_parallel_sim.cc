@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Sharded-engine contract tests (DESIGN.md §8).
+ *
+ * The deterministic parallel engine's whole value is one equality:
+ * counters, RunReports and chrome traces must be byte-identical for
+ * --sim-threads 1 and --sim-threads N, for any N, run after run. These
+ * tests pin that contract across the diff_check machine shapes, check
+ * the conservative-window invariant directly (no shared-domain
+ * completion ever delivers inside the window that produced it), and
+ * cover the SimThreadPool / oversubscription-clamp building blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/fault_injector.hh"
+#include "gpu/gpu.hh"
+#include "gpu/runner.hh"
+#include "sim/sim_thread_pool.hh"
+#include "sim/sweep.hh"
+#include "trace/run_report.hh"
+#include "workload/benchmarks.hh"
+#include "workload/scene.hh"
+
+using namespace libra;
+
+namespace
+{
+
+// Small frames: the suite's value is the 1-vs-N equality, not per-run
+// depth, and it has to stay inside the test timeout on 1-core CI.
+constexpr std::uint32_t kWidth = 128;
+constexpr std::uint32_t kHeight = 64;
+constexpr std::uint32_t kFrames = 2;
+
+GpuConfig
+at(GpuConfig cfg, std::uint32_t threads)
+{
+    cfg.screenWidth = kWidth;
+    cfg.screenHeight = kHeight;
+    cfg.simThreads = threads;
+    return cfg;
+}
+
+/** The diff_check machine shapes, one per scheduler code path. */
+std::vector<GpuConfig>
+matrixShapes()
+{
+    return {GpuConfig::ptr(2, 4), GpuConfig::libra(2, 4),
+            GpuConfig::staticSupertile(2, 2, 4)};
+}
+
+} // namespace
+
+TEST(ParallelSim, OneVsFourThreadsByteIdentical)
+{
+    const Scene scene(findBenchmark("CCS"), kWidth, kHeight);
+    for (const GpuConfig &shape : matrixShapes()) {
+        GpuConfig one = at(shape, 1);
+        GpuConfig four = at(shape, 4);
+        one.traceEvents = true;
+        four.traceEvents = true;
+
+        Result<RunResult> a = runBenchmark(scene, one, kFrames);
+        Result<RunResult> b = runBenchmark(scene, four, kFrames);
+        ASSERT_TRUE(a.isOk()) << a.status().toString();
+        ASSERT_TRUE(b.isOk()) << b.status().toString();
+
+        // Counter dump, serialized report and trace export — all to
+        // the byte. (configHash mixes only "sharded or not", so the
+        // reports really are comparable.)
+        EXPECT_EQ(a->counters, b->counters);
+        EXPECT_EQ(runReportJson(*a), runReportJson(*b));
+        ASSERT_NE(a->trace, nullptr);
+        ASSERT_NE(b->trace, nullptr);
+        EXPECT_EQ(a->trace->chromeTraceJson(),
+                  b->trace->chromeTraceJson());
+    }
+}
+
+TEST(ParallelSim, RunTwiceAtFourThreadsIsDeterministic)
+{
+    const Scene scene(findBenchmark("CCS"), kWidth, kHeight);
+    GpuConfig cfg = at(GpuConfig::libra(2, 4), 4);
+    cfg.traceEvents = true;
+
+    Result<RunResult> first = runBenchmark(scene, cfg, kFrames);
+    Result<RunResult> second = runBenchmark(scene, cfg, kFrames);
+    ASSERT_TRUE(first.isOk()) << first.status().toString();
+    ASSERT_TRUE(second.isOk()) << second.status().toString();
+    EXPECT_EQ(first->counters, second->counters);
+    EXPECT_EQ(runReportJson(*first), runReportJson(*second));
+    EXPECT_EQ(first->trace->chromeTraceJson(),
+              second->trace->chromeTraceJson());
+}
+
+TEST(ParallelSim, WindowBarrierNeverDeliversEarly)
+{
+    // Drive the engine directly and read its invariant counters: work
+    // crossed the RU/shared boundary, windows ran in parallel, and no
+    // completion was ever scheduled inside the window that produced it
+    // (the conservative-lookahead safety property).
+    const Scene scene(findBenchmark("CCS"), kWidth, kHeight);
+    Gpu gpu(at(GpuConfig::libra(2, 4), 2));
+    for (std::uint32_t f = 0; f < kFrames; ++f)
+        gpu.renderFrame(scene.frame(f), scene.textures());
+
+    const ShardEngine *engine = gpu.shardEngine();
+    ASSERT_NE(engine, nullptr);
+    const ShardEngine::Stats &st = engine->stats();
+    EXPECT_GT(st.windows, 0u);
+    EXPECT_GT(st.crossMessages, 0u);
+    EXPECT_EQ(st.earlyDeliveries, 0u)
+        << "a shared-domain completion was scheduled inside its own "
+           "window — the lookahead bound is broken";
+    EXPECT_EQ(engine->lookahead(), gpu.cfg().shardLookahead());
+
+    // The sequential engine must not exist at simThreads = 0.
+    Gpu sequential(at(GpuConfig::libra(2, 4), 0));
+    EXPECT_EQ(sequential.shardEngine(), nullptr);
+}
+
+TEST(ParallelSim, ArmedFaultsStayDeterministicAcrossThreadCounts)
+{
+    // Model-level faults (dropped fills in both domains, DRAM stalls)
+    // must not break the 1-vs-N contract: the injection hooks are
+    // shard-local or coordinator-applied, never racy.
+    Result<FaultPlan> plan = FaultPlan::parse(
+        "seed=7;dropfill:l2@every=64;dropfill:tex_l1_ru0_c0@every=32;"
+        "dramstall@every=256,ticks=120");
+    ASSERT_TRUE(plan.isOk()) << plan.status().toString();
+
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    SweepPolicy policy;
+    policy.faults = *plan;
+
+    SweepRunner pool(2);
+    SceneCache cache;
+    const auto digest = [&](std::uint32_t threads) {
+        std::vector<SweepJob> jobs;
+        jobs.push_back(
+            {&ccs, at(GpuConfig::libra(2, 4), threads), kFrames, 0});
+        SweepOutcome out =
+            pool.runWithPolicy(std::move(jobs), policy, &cache);
+        std::vector<std::string> d;
+        for (const JobOutcome &o : out.jobs) {
+            d.push_back(o.result.isOk()
+                            ? runReportJson(*o.result)
+                            : "FAIL " + o.result.status().toString());
+        }
+        return d;
+    };
+
+    const std::vector<std::string> one = digest(1);
+    EXPECT_EQ(one, digest(4));
+    EXPECT_EQ(one, digest(1)); // run-twice under faults
+}
+
+TEST(SimThreadPool, PartitionsAllIndicesExactlyOnce)
+{
+    SimThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+
+    std::vector<std::atomic<std::uint32_t>> hits(1000);
+    pool.parallelFor(1000, [&](std::uint32_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::uint32_t i = 0; i < 1000; ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << i;
+}
+
+TEST(SimThreadPool, ReusableAndHandlesEdgeCounts)
+{
+    SimThreadPool pool(3);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallelFor(0, [&](std::uint32_t) { sum.fetch_add(1); });
+    EXPECT_EQ(sum.load(), 0u);
+    pool.parallelFor(1, [&](std::uint32_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 1u);
+    // Back-to-back windows exercise the epoch/parking handshake.
+    for (int round = 0; round < 50; ++round)
+        pool.parallelFor(7, [&](std::uint32_t) { sum.fetch_add(1); });
+    EXPECT_EQ(sum.load(), 1u + 50u * 7u);
+}
+
+TEST(SimThreadPool, SingleLanePoolRunsInline)
+{
+    SimThreadPool pool(1);
+    std::uint64_t sum = 0; // no atomics needed: everything is inline
+    pool.parallelFor(100, [&](std::uint32_t i) { sum += i; });
+    EXPECT_EQ(sum, 4950u);
+}
+
+TEST(OversubscriptionClamp, JobsTimesLanesBoundedByHardware)
+{
+    // 8 jobs x 4 lanes on a 16-CPU box: clamp to 4 jobs.
+    EXPECT_EQ(clampOversubscribedJobs(8, 4, 16), 4u);
+    // Fits: untouched.
+    EXPECT_EQ(clampOversubscribedJobs(4, 4, 16), 4u);
+    EXPECT_EQ(clampOversubscribedJobs(16, 1, 16), 16u);
+    // Sequential engine (0 lanes) counts as one lane.
+    EXPECT_EQ(clampOversubscribedJobs(16, 0, 16), 16u);
+    EXPECT_EQ(clampOversubscribedJobs(32, 0, 16), 16u);
+    // Unknown hardware: leave the request alone.
+    EXPECT_EQ(clampOversubscribedJobs(8, 4, 0), 8u);
+    // Never below one job, even when lanes alone oversubscribe.
+    EXPECT_EQ(clampOversubscribedJobs(4, 8, 4), 1u);
+    EXPECT_EQ(clampOversubscribedJobs(0, 2, 4), 1u);
+}
+
+TEST(GpuConfigSharding, LookaheadAndValidation)
+{
+    GpuConfig cfg = GpuConfig::libra(2, 4);
+    EXPECT_EQ(cfg.shardLookahead(), cfg.l2.hitLatency);
+    cfg.l2.hitLatency = 0;
+    EXPECT_EQ(cfg.shardLookahead(), 1u);
+
+    GpuConfig bad = at(GpuConfig::libra(2, 4), 65);
+    EXPECT_FALSE(bad.validate().isOk());
+    EXPECT_TRUE(at(GpuConfig::libra(2, 4), 64).validate().isOk());
+
+    // The thread count is not model identity — only the engine is.
+    const std::uint64_t seq = at(GpuConfig::libra(2, 4), 0).configHash();
+    const std::uint64_t one = at(GpuConfig::libra(2, 4), 1).configHash();
+    const std::uint64_t four =
+        at(GpuConfig::libra(2, 4), 4).configHash();
+    EXPECT_EQ(one, four);
+    EXPECT_NE(seq, one);
+}
