@@ -29,6 +29,16 @@
  *   --faults SPEC         armed fault plan (chaos testing; see
  *                         FaultPlan::parse)
  *
+ * Checkpointing (DESIGN.md §10):
+ *   --checkpoint-dir DIR  snapshot directory for periodic checkpoints
+ *   --checkpoint-every N  write a snapshot every N frames (needs
+ *                         --checkpoint-dir; 0 = never)
+ *   --from-checkpoint     restore each job from its freshest usable
+ *                         snapshot in --checkpoint-dir
+ *   --warm-prefix N       fork jobs sharing an N-frame warm prefix
+ *                         (equal warmPrefixHash) from one in-memory
+ *                         snapshot instead of re-rendering it (0 = off)
+ *
  * Default runs use a representative subset at reduced resolution so the
  * whole bench directory executes in minutes; --full reproduces the
  * paper-scale configuration (32 benchmarks, FHD, 25 frames).
@@ -82,6 +92,12 @@ struct BenchOptions
     bool resume = false;           //!< replay journaled successes
     bool keepGoing = false;        //!< failed jobs don't fail the bench
     std::string faults;            //!< FaultPlan spec ("" = none)
+
+    // Checkpointing (forwarded into SweepPolicy::checkpoint by Sweep).
+    std::string checkpointDir;       //!< snapshot dir ("" = off)
+    std::uint32_t checkpointEvery = 0; //!< frames between snapshots
+    bool fromCheckpoint = false;     //!< restore jobs from snapshots
+    std::uint32_t warmPrefix = 0;    //!< warm-prefix fork length; 0=off
 };
 
 /** Reduced default subsets keeping the default runtime small. */
@@ -108,7 +124,10 @@ parseBenchOptions(int argc, char **argv,
         "jobs", "sim-threads", "outdir", "report-out", "trace-out",
         // failure policy
         "deadline-ms", "retries", "backoff-ms", "quarantine",
-        "journal", "resume", "keep-going", "faults"};
+        "journal", "resume", "keep-going", "faults",
+        // checkpointing
+        "checkpoint-dir", "checkpoint-every", "from-checkpoint",
+        "warm-prefix"};
     known.insert(known.end(), extra_options.begin(),
                  extra_options.end());
     const CliArgs args(argc, argv, known);
@@ -167,6 +186,18 @@ parseBenchOptions(int argc, char **argv,
     opt.faults = args.get("faults", "");
     if (opt.resume && opt.journal.empty())
         fatal("--resume needs --journal FILE");
+
+    opt.checkpointDir = args.get("checkpoint-dir", "");
+    opt.checkpointEvery = static_cast<std::uint32_t>(
+        args.getInt("checkpoint-every", 0));
+    opt.fromCheckpoint = args.getBool("from-checkpoint");
+    opt.warmPrefix = static_cast<std::uint32_t>(
+        args.getInt("warm-prefix", 0));
+    if ((opt.checkpointEvery != 0 || opt.fromCheckpoint)
+        && opt.checkpointDir.empty()) {
+        fatal("--checkpoint-every / --from-checkpoint need "
+              "--checkpoint-dir DIR");
+    }
 
     libra_assert(opt.frames >= 2, "benches need at least 2 frames");
     return opt;
@@ -257,6 +288,10 @@ class Sweep
                 fatal("--faults: ", plan.status().toString());
             policy.faults = std::move(*plan);
         }
+        policy.checkpoint.dir = opt.checkpointDir;
+        policy.checkpoint.every = opt.checkpointEvery;
+        policy.checkpoint.fromCheckpoint = opt.fromCheckpoint;
+        policy.checkpoint.warmPrefixFrames = opt.warmPrefix;
     }
 
     /** Enqueue one run; returns its result handle. */
@@ -284,6 +319,7 @@ class Sweep
             runner.runWithPolicy(std::move(jobs), policy, &scenes);
         jobs.clear();
         killed = out.killed;
+        warmForks = out.warmPrefixForks;
 
         results.reserve(out.jobs.size());
         for (std::size_t i = 0; i < out.jobs.size(); ++i) {
@@ -342,6 +378,14 @@ class Sweep
     exitCode() const
     {
         return failures.empty() || keepGoing ? 0 : 1;
+    }
+
+    /** Jobs that forked from a shared warm-prefix snapshot (valid
+     *  after run(); nonzero only with --warm-prefix). */
+    std::uint64_t
+    warmPrefixForks() const
+    {
+        return warmForks;
     }
 
   private:
@@ -427,6 +471,7 @@ class Sweep
     std::string traceOut;
     bool keepGoing = false;
     bool killed = false;
+    std::uint64_t warmForks = 0;
 };
 
 /**

@@ -19,13 +19,23 @@
  * randomized valid configurations through the runner with every
  * conservation law armed; any accounting violation fails the run.
  *
+ * With --checkpoint-fuzz N (and optionally --seed S), it draws N
+ * random (config, scene, checkpoint frame) triples and asserts the
+ * snapshot restore contract (DESIGN.md §10) on each: rendering the
+ * first F frames, snapshotting, and forking a fresh run from the
+ * restored state must produce a full counter dump identical to the
+ * uninterrupted cold run. --sim-threads N exercises the sharded
+ * engine's restore path the same way.
+ *
  * Exits non-zero on the first mismatch or violation, so CI can gate on
  * it directly.
  */
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_common.hh"
 #include "check/config_fuzzer.hh"
@@ -215,6 +225,97 @@ runFuzz(const BenchOptions &opt, std::uint32_t count,
     return 0;
 }
 
+/**
+ * Fork-vs-cold fuzz: @p count random (config, scene, checkpoint frame)
+ * triples, each asserting that a run forked from a frame-F snapshot
+ * finishes with the cold run's exact counter dump and frame stats.
+ */
+int
+runCheckpointFuzz(const BenchOptions &opt, std::uint32_t count,
+                  std::uint64_t seed)
+{
+    banner("Checkpoint fuzz: " + std::to_string(count)
+           + " fork-vs-cold triples, seed " + std::to_string(seed)
+           + (opt.simThreads > 0
+                  ? ", " + std::to_string(opt.simThreads)
+                        + " sim threads"
+                  : ", sequential engine"));
+
+    Rng rng(seed);
+    SceneCache scenes;
+    int failures = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        // The triple under test: a scene, a valid random config, and a
+        // checkpoint frame strictly inside the run.
+        const std::string &name =
+            opt.benchmarks[rng.below(opt.benchmarks.size())];
+        const BenchmarkSpec &spec = findBenchmark(name);
+        GpuConfig cfg = fuzzGpuConfig(rng, opt.width, opt.height);
+        cfg.simThreads = opt.simThreads;
+        const auto ckpt = static_cast<std::uint32_t>(
+            rng.range(1, static_cast<std::int64_t>(opt.frames) - 1));
+        const std::string label = "triple " + std::to_string(i) + " ["
+            + name + " ckpt@" + std::to_string(ckpt) + "]";
+
+        const std::shared_ptr<const Scene> scene =
+            scenes.get(spec, cfg.screenWidth, cfg.screenHeight);
+
+        Result<RunResult> cold =
+            runBenchmark(*scene, cfg, opt.frames, 0);
+        if (!cold.isOk())
+            fatal(label, ": cold run: ", cold.status().toString());
+
+        CheckpointPlan capture;
+        capture.captureAfter =
+            std::make_shared<std::vector<std::uint8_t>>();
+        capture.captureAfterFrames = ckpt;
+        Result<RunResult> prefix =
+            runBenchmark(*scene, cfg, ckpt, 0, capture);
+        if (!prefix.isOk())
+            fatal(label, ": prefix run: ", prefix.status().toString());
+        if (capture.captureAfter->empty())
+            fatal(label, ": no snapshot captured at frame ", ckpt);
+
+        CheckpointPlan fork;
+        fork.warmStart = capture.captureAfter;
+        Result<RunResult> forked =
+            runBenchmark(*scene, cfg, opt.frames, 0, fork);
+        if (!forked.isOk())
+            fatal(label, ": forked run: ", forked.status().toString());
+
+        bool ok = countersMatch(label, cold->counters,
+                                forked->counters);
+        if (cold->frames.size() != forked->frames.size()) {
+            std::printf("MISMATCH %s: %zu frames cold, %zu forked\n",
+                        label.c_str(), cold->frames.size(),
+                        forked->frames.size());
+            ok = false;
+        } else {
+            for (std::size_t f = 0; f < cold->frames.size(); ++f) {
+                if (cold->frames[f].totalCycles
+                    != forked->frames[f].totalCycles) {
+                    std::printf(
+                        "MISMATCH %s: frame %zu cycles %llu != %llu\n",
+                        label.c_str(), f,
+                        static_cast<unsigned long long>(
+                            cold->frames[f].totalCycles),
+                        static_cast<unsigned long long>(
+                            forked->frames[f].totalCycles));
+                    ok = false;
+                }
+            }
+        }
+        std::printf("%-40s %s\n", label.c_str(), ok ? "ok" : "FAILED");
+        failures += !ok;
+    }
+    if (failures)
+        std::printf("%d checkpoint triple(s) FAILED\n", failures);
+    else
+        std::printf("checkpoint fuzz: %u triples fork == cold\n",
+                    count);
+    return failures ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -222,20 +323,26 @@ main(int argc, char **argv)
 {
     const BenchOptions opt = parseBenchOptions(
         argc, argv, {"CCS", "SuS"}, defaultMemorySubset(),
-        {"fuzz", "seed"});
+        {"fuzz", "checkpoint-fuzz", "seed"});
     const CliArgs args(argc, argv,
                        {"frames", "width", "height", "benchmarks",
                         "full", "csv", "jobs", "outdir", "report-out",
                         "trace-out", "deadline-ms", "retries",
                         "backoff-ms", "quarantine", "journal", "resume",
-                        "keep-going", "faults", "fuzz", "seed",
-                        "sim-threads"});
+                        "keep-going", "faults", "fuzz",
+                        "checkpoint-fuzz", "seed", "sim-threads",
+                        "checkpoint-dir", "checkpoint-every",
+                        "from-checkpoint", "warm-prefix"});
 
+    const auto seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 2024));
     const auto fuzz =
         static_cast<std::uint32_t>(args.getInt("fuzz", 0));
+    const auto ckpt_fuzz =
+        static_cast<std::uint32_t>(args.getInt("checkpoint-fuzz", 0));
     if (fuzz > 0)
-        return runFuzz(opt, fuzz,
-                       static_cast<std::uint64_t>(
-                           args.getInt("seed", 2024)));
+        return runFuzz(opt, fuzz, seed);
+    if (ckpt_fuzz > 0)
+        return runCheckpointFuzz(opt, ckpt_fuzz, seed);
     return runEquivalenceMatrix(opt);
 }

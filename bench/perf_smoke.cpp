@@ -16,9 +16,18 @@
  *     parallel_speedup). The two runs must execute identical event
  *     counts — the engine's determinism contract — and the speedup is
  *     gated against the baseline, but only when both the baseline host
- *     and this host have at least sim_threads CPUs (host_cpus is
- *     recorded alongside; a 1-core CI runner can't measure parallelism
- *     and reports informationally instead).
+ *     and this host have at least sim_threads CPUs (a 1-core CI runner
+ *     can't measure parallelism). A skipped gate is never silent: the
+ *     skip and its reason are printed AND recorded in the results file
+ *     (parallel_gate_skipped / parallel_gate_skip_reason), so a CI
+ *     history where the gate quietly stopped gating is visible in the
+ *     archived JSON;
+ *   - warm-prefix forking: a fig19-style threshold sweep (four LIBRA
+ *     configs differing only in sched.resizeThreshold) run cold and
+ *     then with --warm-prefix-style forking (CheckpointPolicy
+ *     warmPrefixFrames = 2). The counter dumps must match exactly —
+ *     the fork-restore byte-identity contract — and the wall-time
+ *     reduction is recorded (warm_prefix_time_reduction_pct).
  *
  * Methodology: every measurement runs --warmup discarded iterations and
  * --repeat timed ones and reports the median plus the MAD (median
@@ -50,6 +59,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -327,6 +337,68 @@ main(int argc, char **argv)
         parN.median > 0.0 ? par1.median / parN.median : 0.0;
     const std::uint32_t host_cpus = std::thread::hardware_concurrency();
 
+    // This host's side of the parallel-speedup gate, decided (and
+    // recorded) whether or not --baseline was given: a skipped gate
+    // that leaves no trace in the archived JSON looks identical to a
+    // passing one when trending CI history.
+    std::string parallel_gate_skip_reason;
+    if (host_cpus < kSimThreads) {
+        std::ostringstream reason;
+        reason << "host_cpus " << host_cpus << " < sim_threads "
+               << kSimThreads;
+        parallel_gate_skip_reason = reason.str();
+    }
+
+    // --- Warm-prefix forking: fig19-style threshold sweep. -----------
+    // Four LIBRA configs differing only in the supertile resize
+    // threshold share a warmPrefixHash, so with warmPrefixFrames = 2
+    // the sweep renders the two opening frames once and forks the rest.
+    const auto make_threshold_jobs = [&] {
+        std::vector<SweepJob> tj;
+        for (const double thr : {0.0, 0.0025, 0.01, 0.05}) {
+            GpuConfig c = cfg;
+            c.sched.resizeThreshold = thr;
+            tj.push_back(SweepJob{&spec, c, frames, 0});
+        }
+        return tj;
+    };
+    std::uint64_t warm_prefix_forks = 0;
+    std::vector<std::map<std::string, std::uint64_t>> cold_dumps;
+    const auto run_threshold_sweep = [&](std::uint32_t warm_frames) {
+        SweepPolicy policy;
+        policy.checkpoint.warmPrefixFrames = warm_frames;
+        const auto t0 = std::chrono::steady_clock::now();
+        SweepOutcome sweep_out =
+            runner.runWithPolicy(make_threshold_jobs(), policy, &scenes);
+        const double s =
+            seconds(std::chrono::steady_clock::now() - t0);
+        std::vector<std::map<std::string, std::uint64_t>> dumps;
+        for (std::size_t i = 0; i < sweep_out.jobs.size(); ++i) {
+            if (!sweep_out.jobs[i].result.isOk())
+                fatal("threshold sweep job ", i, ": ",
+                      sweep_out.jobs[i].result.status().toString());
+            dumps.push_back(
+                std::move(sweep_out.jobs[i].result->counters));
+        }
+        // Fork-restore byte-identity contract: the forked runs must be
+        // indistinguishable from the cold ones, counter for counter.
+        if (cold_dumps.empty())
+            cold_dumps = std::move(dumps);
+        else
+            libra_assert(dumps == cold_dumps,
+                         "warm-prefix fork diverged from cold run");
+        if (warm_frames != 0)
+            warm_prefix_forks = sweep_out.warmPrefixForks;
+        return s;
+    };
+    const Stats sweep_cold = measure(warmup, repeat,
+                                     [&] { return run_threshold_sweep(0); });
+    const Stats sweep_warm = measure(warmup, repeat,
+                                     [&] { return run_threshold_sweep(2); });
+    const double warm_prefix_reduction_pct = sweep_cold.median > 0.0
+        ? 100.0 * (1.0 - sweep_warm.median / sweep_cold.median)
+        : 0.0;
+
     // --- Report. -----------------------------------------------------
     std::printf("perf_smoke: %s %ux%u, %u frame(s), "
                 "%u warmup + %u repeat(s)\n",
@@ -350,6 +422,14 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(events_parallel),
                 par1.median, kSimThreads, parN.median, parN.mad,
                 parallel_speedup, events_per_sec_parallel, host_cpus);
+    if (!parallel_gate_skip_reason.empty())
+        std::printf("  parallel gate SKIPPED: %s\n",
+                    parallel_gate_skip_reason.c_str());
+    std::printf("  warm prefix: cold %.3f s, warm %.3f s (MAD %.3f) — "
+                "%llu fork(s), %.1f%% faster\n",
+                sweep_cold.median, sweep_warm.median, sweep_warm.mad,
+                static_cast<unsigned long long>(warm_prefix_forks),
+                warm_prefix_reduction_pct);
 
     if (!report_out.empty()) {
         if (Status st =
@@ -399,7 +479,15 @@ main(int argc, char **argv)
                  "  \"wall_time_parallel1_mad_s\": %.6f,\n"
                  "  \"wall_time_parallel4_s\": %.6f,\n"
                  "  \"wall_time_parallel4_mad_s\": %.6f,\n"
-                 "  \"parallel_speedup\": %.3f\n"
+                 "  \"parallel_speedup\": %.3f,\n"
+                 "  \"parallel_gate_skipped\": %s,\n"
+                 "  \"parallel_gate_skip_reason\": \"%s\",\n"
+                 "  \"warm_prefix_frames\": 2,\n"
+                 "  \"warm_prefix_forks\": %llu,\n"
+                 "  \"warm_prefix_cold_wall_time_s\": %.6f,\n"
+                 "  \"warm_prefix_warm_wall_time_s\": %.6f,\n"
+                 "  \"warm_prefix_warm_wall_time_mad_s\": %.6f,\n"
+                 "  \"warm_prefix_time_reduction_pct\": %.1f\n"
                  "}\n",
                  kBenchmark, kWidth, kHeight, frames, warmup, repeat,
                  calib_s, static_cast<unsigned long long>(events),
@@ -410,7 +498,12 @@ main(int argc, char **argv)
                  kSimThreads, host_cpus,
                  static_cast<unsigned long long>(events_parallel),
                  events_per_sec_parallel, par1.median, par1.mad,
-                 parN.median, parN.mad, parallel_speedup);
+                 parN.median, parN.mad, parallel_speedup,
+                 parallel_gate_skip_reason.empty() ? "false" : "true",
+                 parallel_gate_skip_reason.c_str(),
+                 static_cast<unsigned long long>(warm_prefix_forks),
+                 sweep_cold.median, sweep_warm.median, sweep_warm.mad,
+                 warm_prefix_reduction_pct);
     std::fclose(fp);
     std::printf("wrote %s\n", out.c_str());
 
@@ -485,22 +578,24 @@ main(int argc, char **argv)
 
     // Parallel-speedup gate: only meaningful when both the baseline
     // host and this host actually have the CPUs to run kSimThreads
-    // lanes; otherwise (1-core CI runner, old baseline file) report
-    // informationally and don't gate.
+    // lanes; otherwise (1-core CI runner, old baseline file) say so
+    // explicitly — the skip is already recorded in the results file —
+    // and don't gate.
     const JsonValue *base_speedup = base.find("parallel_speedup");
     const JsonValue *base_cpus = base.find("host_cpus");
     if (base_speedup == nullptr || !base_speedup->isNumber()) {
-        std::printf("baseline: no parallel_speedup recorded — "
-                    "parallel gate skipped\n");
+        std::printf("baseline: parallel gate SKIPPED: baseline has no "
+                    "parallel_speedup field\n");
     } else if (base_cpus == nullptr || !base_cpus->isNumber()
                || base_cpus->number < kSimThreads
                || host_cpus < kSimThreads) {
-        std::printf("baseline: parallel speedup %.2fx vs %.2fx "
-                    "(informational: baseline host %.0f cpus, this "
-                    "host %u cpus, need >= %u to gate)\n",
-                    parallel_speedup, base_speedup->number,
-                    base_cpus ? base_cpus->number : 0.0, host_cpus,
-                    kSimThreads);
+        std::printf("baseline: parallel gate SKIPPED: baseline host "
+                    "%.0f cpus, this host %u cpus, need >= %u to gate "
+                    "(speedup %.2fx vs %.2fx, informational)\n",
+                    base_cpus && base_cpus->isNumber()
+                        ? base_cpus->number : 0.0,
+                    host_cpus, kSimThreads, parallel_speedup,
+                    base_speedup->number);
     } else {
         const double floor =
             base_speedup->number * (1.0 - tolerance / 100.0);

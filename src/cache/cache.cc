@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "check/snapshot.hh"
 #include "common/log.hh"
 
 namespace libra
@@ -318,6 +319,43 @@ Cache::hitRatio() const
 {
     const std::uint64_t total = hits.value() + misses.value();
     return total == 0 ? 1.0 : static_cast<double>(hits.value()) / total;
+}
+
+void
+Cache::saveState(SnapshotWriter &w) const
+{
+    libra_assert(mshrIndex.size() == 0 && stalledReqs.empty(),
+                 "cache snapshot with in-flight misses: ", config.name);
+    w.putU64(lines.size());
+    for (const Line &line : lines) {
+        w.putBool(line.valid);
+        w.putBool(line.dirty);
+        w.putU64(line.tag);
+        w.putU64(line.lruStamp);
+    }
+    w.putU64(lruClock);
+    w.putU64(portTick);
+    w.putU32(portCount);
+    w.putU64(fillSeq);
+}
+
+void
+Cache::loadState(SnapshotReader &r)
+{
+    const std::uint64_t count = r.takeU64();
+    if (!r.check(count == lines.size(),
+                 "cache line count mismatches the configuration"))
+        return;
+    for (Line &line : lines) {
+        line.valid = r.takeBool();
+        line.dirty = r.takeBool();
+        line.tag = r.takeU64();
+        line.lruStamp = r.takeU64();
+    }
+    lruClock = r.takeU64();
+    portTick = r.takeU64();
+    portCount = r.takeU32();
+    fillSeq = r.takeU64();
 }
 
 } // namespace libra

@@ -34,6 +34,9 @@
 namespace libra
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Geometry and timing of one cache. */
 struct CacheConfig
 {
@@ -75,6 +78,17 @@ class Cache : public MemSink
     const CacheConfig &cfg() const { return config; }
     const StatGroup &stats() const { return statGroup; }
     StatGroup &stats() { return statGroup; }
+
+    /**
+     * Serialize persistent state (tags/LRU/ports/fill sequence) for a
+     * frame-boundary snapshot. Only legal while quiescent: occupied
+     * MSHRs or stalled requests imply pending events and are asserted
+     * against. Counters are restored separately via the StatGroup.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore what saveState() wrote (geometry must match). */
+    void loadState(SnapshotReader &r);
 
     /** Install/evict hooks for cross-cache replication tracking. */
     std::function<void(Addr)> onInstall;

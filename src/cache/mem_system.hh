@@ -139,6 +139,8 @@ class IdealMemory : public MemSink
 };
 
 class Cache;
+class SnapshotWriter;
+class SnapshotReader;
 
 /**
  * Tracks line replication across a group of sibling caches (the per-core
@@ -184,6 +186,16 @@ class ReplicationTracker
         totalInstalls = 0;
         replicated = 0;
     }
+
+    /**
+     * Serialize counters and the live refcount table for a
+     * frame-boundary snapshot. Entries are emitted sorted by line
+     * address so the byte image is independent of hash-table layout.
+     */
+    void exportState(SnapshotWriter &w) const;
+
+    /** Restore what exportState() wrote into this (fresh) tracker. */
+    void importState(SnapshotReader &r);
 
   private:
     /** Sized for a texture-heavy L1 working set; grows if exceeded. The

@@ -75,6 +75,25 @@ StatGroup::resetAll()
         counter->reset();
 }
 
+Status
+StatGroup::restoreValues(const std::map<std::string, std::uint64_t> &values)
+{
+    if (values.size() != entries.size()) {
+        return Status::error(ErrorCode::CorruptData, "stat restore: ",
+                             values.size(), " saved counters vs ",
+                             entries.size(), " registered");
+    }
+    for (auto &[name, counter] : entries) {
+        const auto it = values.find(name);
+        if (it == values.end()) {
+            return Status::error(ErrorCode::CorruptData, "stat restore: "
+                                 "no saved value for counter ", name);
+        }
+        counter->set(it->second);
+    }
+    return Status::ok();
+}
+
 std::map<std::string, std::uint64_t>
 StatSnapshot::deltaTo(const StatSnapshot &later) const
 {

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
+
 namespace libra
 {
 
@@ -69,6 +71,15 @@ class StatGroup
 
     /** Reset every registered counter to zero. */
     void resetAll();
+
+    /**
+     * Set every registered counter from @p values (snapshot restore).
+     * The name sets must match exactly both ways — a counter with no
+     * saved value or a saved value with no counter is CorruptData, so
+     * a snapshot from a differently-wired machine is refused loudly
+     * rather than partially applied.
+     */
+    Status restoreValues(const std::map<std::string, std::uint64_t> &values);
 
     const std::string &name() const { return _name; }
 

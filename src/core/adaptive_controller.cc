@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/snapshot.hh"
 #include "common/log.hh"
 
 namespace libra
@@ -81,6 +82,31 @@ AdaptiveController::decide(const FrameObservation &obs)
 
     prev = obs;
     return {useTemperature, stSize};
+}
+
+void
+AdaptiveController::exportState(SnapshotWriter &w) const
+{
+    w.putBool(useTemperature);
+    w.putU32(stSize);
+    w.putBool(growing);
+    w.putBool(prev.valid);
+    w.putU64(prev.rasterCycles);
+    w.putDouble(prev.textureHitRatio);
+}
+
+void
+AdaptiveController::importState(SnapshotReader &r)
+{
+    useTemperature = r.takeBool();
+    stSize = r.takeU32();
+    growing = r.takeBool();
+    prev.valid = r.takeBool();
+    prev.rasterCycles = r.takeU64();
+    prev.textureHitRatio = r.takeDouble();
+    r.check(stSize >= config.minSupertileSize
+                && stSize <= config.maxSupertileSize,
+            "supertile size outside the configured range");
 }
 
 } // namespace libra

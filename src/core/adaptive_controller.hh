@@ -28,6 +28,9 @@
 namespace libra
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Per-frame observables the controller consumes. */
 struct FrameObservation
 {
@@ -57,6 +60,11 @@ class AdaptiveController
     /** Current state, for tests and reporting. */
     bool temperatureOrder() const { return useTemperature; }
     std::uint32_t supertileSize() const { return stSize; }
+
+    /** Serialize/restore the controller's cross-frame window (the
+     *  current decision plus the retained frame-N-1 observation). */
+    void exportState(SnapshotWriter &w) const;
+    void importState(SnapshotReader &r);
 
   private:
     /** Relative change later vs earlier; 0 when either is missing. */

@@ -162,4 +162,18 @@ TileScheduler::tilesRemaining() const
     return total;
 }
 
+void
+TileScheduler::exportState(SnapshotWriter &w) const
+{
+    libra_assert(tilesRemaining() == 0,
+                 "scheduler snapshot mid-frame: tiles still queued");
+    adaptive.exportState(w);
+}
+
+void
+TileScheduler::importState(SnapshotReader &r)
+{
+    adaptive.importState(r);
+}
+
 } // namespace libra

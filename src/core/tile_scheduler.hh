@@ -69,6 +69,15 @@ class TileScheduler
      */
     std::uint64_t tilesRemaining() const;
 
+    /**
+     * Serialize/restore cross-frame scheduler state. Only the adaptive
+     * controller carries state across frames — the supertile queue,
+     * cursors and ranking cost are rebuilt by beginFrame() — so this
+     * delegates to AdaptiveController.
+     */
+    void exportState(SnapshotWriter &w) const;
+    void importState(SnapshotReader &r);
+
   private:
     void buildQueue(const FrameFeedback &prev);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "check/snapshot.hh"
 #include "common/log.hh"
 
 namespace libra
@@ -337,6 +338,52 @@ Dram::access(MemReq req)
         enqueueLine(line * config.lineBytes, req.write, req.cls,
                     req.tileTag, std::move(part));
     }
+}
+
+void
+Dram::saveState(SnapshotWriter &w) const
+{
+    libra_assert(ctrlPipe.empty(), "DRAM snapshot with ctrl pipe busy");
+    w.putU64(channelState.size());
+    for (const Channel &ch : channelState) {
+        libra_assert(ch.readQ.empty() && ch.writeQ.empty()
+                         && !ch.wakeupScheduled,
+                     "DRAM snapshot with a busy channel");
+        w.putU64(ch.banks.size());
+        for (const Bank &bank : ch.banks) {
+            w.putBool(bank.rowOpen);
+            w.putU64(bank.openRow);
+            w.putU64(bank.readyAt);
+        }
+        w.putBool(ch.drainingWrites);
+        w.putU64(ch.busReadyAt);
+    }
+    w.putU64(issueSeq);
+}
+
+void
+Dram::loadState(SnapshotReader &r)
+{
+    if (!r.check(r.takeU64() == channelState.size(),
+                 "DRAM channel count mismatches the configuration"))
+        return;
+    for (Channel &ch : channelState) {
+        if (!r.check(r.takeU64() == ch.banks.size(),
+                     "DRAM bank count mismatches the configuration"))
+            return;
+        for (Bank &bank : ch.banks) {
+            bank.rowOpen = r.takeBool();
+            bank.openRow = r.takeU64();
+            bank.readyAt = r.takeU64();
+        }
+        ch.drainingWrites = r.takeBool();
+        ch.busReadyAt = r.takeU64();
+        // The wakeup event itself is transient; a drained queue always
+        // leaves the flag cleared (saveState asserts it).
+        ch.wakeupScheduled = false;
+        ch.wakeupAt = maxTick;
+    }
+    issueSeq = r.takeU64();
 }
 
 } // namespace libra

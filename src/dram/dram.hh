@@ -35,6 +35,9 @@
 namespace libra
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Configurable LPDDR4 timing/geometry, defaults follow Table I. */
 struct DramConfig
 {
@@ -117,6 +120,18 @@ class Dram : public MemSink
     }
 
     const DramConfig &cfg() const { return config; }
+
+    /**
+     * Serialize persistent state (bank rows, bus clocks, issue
+     * sequence) for a frame-boundary snapshot. Only legal while
+     * quiescent: non-empty queues or an armed wakeup imply pending
+     * events and are asserted against (a drained queue always runs the
+     * last wakeup event, which clears the flag — see armWakeup()).
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore what saveState() wrote (geometry must match). */
+    void loadState(SnapshotReader &r);
 
     // Statistics (public counters, registered in statGroup).
     Counter reads;

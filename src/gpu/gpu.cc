@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "check/fault_injector.hh"
+#include "check/snapshot.hh"
 #include "common/log.hh"
 #include "sim/watchdog.hh"
 
@@ -648,6 +649,168 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
     feedback.tileInstructions = fs.tileInstr;
 
     return fs;
+}
+
+void
+Gpu::saveState(SnapshotWriter &w) const
+{
+    libra_assert(!isWedged, "snapshot of a wedged Gpu");
+    libra_assert(!rasterActive, "snapshot taken mid-frame");
+    for (const auto &unit : rus)
+        libra_assert(unit->idle(), "snapshot with a busy Raster Unit");
+
+    w.beginSection(SnapSection::Engine);
+    queue.exportState(w);
+    if (engine)
+        engine->saveState(w);
+    w.endSection();
+
+    w.beginSection(SnapSection::Caches);
+    l2->saveState(w);
+    vertexCache->saveState(w);
+    tileCache->saveState(w);
+    w.putU64(texL1s.size());
+    for (const auto &tex : texL1s)
+        tex->saveState(w);
+    w.endSection();
+
+    w.beginSection(SnapSection::Dram);
+    dramModel->saveState(w);
+    w.endSection();
+
+    w.beginSection(SnapSection::Replication);
+    replTracker.exportState(w);
+    w.endSection();
+
+    w.beginSection(SnapSection::Scheduler);
+    tileSched->exportState(w);
+    w.endSection();
+
+    w.beginSection(SnapSection::RasterUnits);
+    w.putU64(rus.size());
+    for (const auto &unit : rus)
+        unit->saveState(w);
+    w.endSection();
+
+    w.beginSection(SnapSection::GpuCore);
+    w.putU32(framesRendered);
+    w.putU64(tileSignatures.size());
+    for (const std::uint64_t sig : tileSignatures)
+        w.putU64(sig);
+    w.putBool(feedback.valid);
+    w.putU64(feedback.rasterCycles);
+    w.putDouble(feedback.textureHitRatio);
+    w.putU64(feedback.tileDramAccesses.size());
+    for (const std::uint64_t v : feedback.tileDramAccesses)
+        w.putU64(v);
+    w.putU64(feedback.tileInstructions.size());
+    for (const std::uint64_t v : feedback.tileInstructions)
+        w.putU64(v);
+    w.putU64(geometry->verticesProcessed.value());
+    w.putU64(geometry->drawsProcessed.value());
+    w.putU64(geometry->binEntriesWritten.value());
+    w.putU64(geometry->primRecordsWritten.value());
+    w.endSection();
+
+    // The flat counter tree last: names pin the machine's wiring, so a
+    // restore onto a differently shaped build fails loudly here even
+    // if every structural check above happened to pass.
+    w.beginSection(SnapSection::Counters);
+    const std::map<std::string, std::uint64_t> values =
+        statGroup.values();
+    w.putU64(values.size());
+    for (const auto &[name, value] : values) {
+        w.putString(name);
+        w.putU64(value);
+    }
+    w.endSection();
+}
+
+Status
+Gpu::loadState(SnapshotReader &r)
+{
+    r.openSection(SnapSection::Engine);
+    queue.importState(r);
+    if (engine)
+        engine->loadState(r);
+    r.closeSection();
+
+    r.openSection(SnapSection::Caches);
+    l2->loadState(r);
+    vertexCache->loadState(r);
+    tileCache->loadState(r);
+    if (r.check(r.takeU64() == texL1s.size(),
+                "texture-L1 count mismatches the configuration")) {
+        for (auto &tex : texL1s)
+            tex->loadState(r);
+    }
+    r.closeSection();
+
+    r.openSection(SnapSection::Dram);
+    dramModel->loadState(r);
+    r.closeSection();
+
+    r.openSection(SnapSection::Replication);
+    replTracker.importState(r);
+    r.closeSection();
+
+    r.openSection(SnapSection::Scheduler);
+    tileSched->importState(r);
+    r.closeSection();
+
+    r.openSection(SnapSection::RasterUnits);
+    if (r.check(r.takeU64() == rus.size(),
+                "Raster Unit count mismatches the configuration")) {
+        for (auto &unit : rus)
+            unit->loadState(r);
+    }
+    r.closeSection();
+
+    r.openSection(SnapSection::GpuCore);
+    framesRendered = r.takeU32();
+    if (r.check(r.takeU64() == tileSignatures.size(),
+                "tile-signature count mismatches the grid")) {
+        for (std::uint64_t &sig : tileSignatures)
+            sig = r.takeU64();
+    }
+    feedback.valid = r.takeBool();
+    feedback.rasterCycles = r.takeU64();
+    feedback.textureHitRatio = r.takeDouble();
+    const std::uint64_t n_dram = r.takeU64();
+    if (r.check(n_dram == 0 || n_dram == grid.tileCount(),
+                "feedback DRAM vector length mismatches the grid")) {
+        feedback.tileDramAccesses.assign(n_dram, 0);
+        for (std::uint64_t &v : feedback.tileDramAccesses)
+            v = r.takeU64();
+    }
+    const std::uint64_t n_instr = r.takeU64();
+    if (r.check(n_instr == 0 || n_instr == grid.tileCount(),
+                "feedback instruction vector length mismatches the "
+                "grid")) {
+        feedback.tileInstructions.assign(n_instr, 0);
+        for (std::uint64_t &v : feedback.tileInstructions)
+            v = r.takeU64();
+    }
+    geometry->verticesProcessed.set(r.takeU64());
+    geometry->drawsProcessed.set(r.takeU64());
+    geometry->binEntriesWritten.set(r.takeU64());
+    geometry->primRecordsWritten.set(r.takeU64());
+    r.closeSection();
+
+    r.openSection(SnapSection::Counters);
+    std::map<std::string, std::uint64_t> values;
+    const std::uint64_t n_counters = r.takeU64();
+    for (std::uint64_t i = 0; i < n_counters && r.ok(); ++i) {
+        std::string name = r.takeString();
+        const std::uint64_t value = r.takeU64();
+        values.emplace(std::move(name), value);
+    }
+    r.closeSection();
+    if (r.ok()) {
+        if (Status st = statGroup.restoreValues(values); !st.isOk())
+            return st;
+    }
+    return r.status();
 }
 
 Status

@@ -35,6 +35,9 @@
 namespace libra
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /** Everything measured while rendering one frame. */
 struct FrameStats
 {
@@ -166,6 +169,27 @@ class Gpu
      * law that checkInvariants must then report).
      */
     Cache &testL2Cache() { return *l2; }
+
+    /**
+     * Serialize every piece of persistent cross-frame machine state —
+     * event-queue clocks (and shard-engine window state), cache tag
+     * arrays and port/LRU clocks, DRAM bank/bus state, the replication
+     * tracker, the adaptive-controller window, per-RU/core pacing
+     * state, transaction-elimination signatures, frame feedback and
+     * the full counter tree — as the machine sections of a
+     * `libra.snapshot/1` image (src/check/snapshot.hh). Must be called
+     * at a frame boundary: asserts full quiescence (queues drained,
+     * RUs idle, MSHRs empty, boundary links empty, not wedged).
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /**
+     * Restore what saveState() wrote onto a freshly constructed Gpu of
+     * the *same* configuration (the caller checks configHash before
+     * getting here). Returns CorruptData if the image disagrees with
+     * this machine's shape; the Gpu must then be discarded.
+     */
+    Status loadState(SnapshotReader &r);
 
     EnergyParams energyParams; //!< tweakable before rendering
 

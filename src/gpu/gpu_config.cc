@@ -199,6 +199,16 @@ GpuConfig::configHash() const
     return h.value();
 }
 
+std::uint64_t
+GpuConfig::warmPrefixHash() const
+{
+    GpuConfig pinned = *this;
+    pinned.faults.reset(); // never hashed, but keep the copy cheap
+    pinned.sched.resizeThreshold = 0.0;
+    pinned.sched.orderSwitchThreshold = 0.0;
+    return pinned.configHash();
+}
+
 Status
 GpuConfig::validate() const
 {

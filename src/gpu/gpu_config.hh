@@ -145,6 +145,17 @@ struct GpuConfig
     std::uint64_t configHash() const;
 
     /**
+     * configHash() with the adaptive-controller decision thresholds
+     * (sched.resizeThreshold, sched.orderSwitchThreshold) pinned to
+     * fixed values. Two configs that differ only in those thresholds
+     * render byte-identical warm-up frames — the controller first
+     * consults them when frame 2's feedback is compared against frame
+     * 1's — so a frame-boundary snapshot taken within the warm prefix
+     * is shared across such a sweep (see src/check/snapshot.hh).
+     */
+    std::uint64_t warmPrefixHash() const;
+
+    /**
      * Cross-field sanity validation. Checks ranges of every knob, the
      * tile size against the screen, the Raster-Unit/core organization
      * against the warp configuration, and the cache/DRAM geometry.

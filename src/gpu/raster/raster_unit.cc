@@ -5,6 +5,7 @@
 #include <memory>
 #include <sstream>
 
+#include "check/snapshot.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 
@@ -575,6 +576,41 @@ RasterUnit::startFlush()
     dispatchPending();
     maybeCompleteTile(); // the promoted tile may already be finished
     tryAdvance();
+}
+
+void
+RasterUnit::saveState(SnapshotWriter &w) const
+{
+    libra_assert(idle() && !advanceScheduled && !inAdvance,
+                 "raster-unit snapshot while not idle");
+    w.putU32(nextCore);
+    w.putU64(frontReadyAt);
+    w.putU64(flushReadyAt);
+    w.putU8(static_cast<std::uint8_t>(phaseTracker.current()));
+    w.putU64(phaseTracker.lastTransition());
+    w.putU64(cores.size());
+    for (const auto &core : cores)
+        core->saveState(w);
+}
+
+void
+RasterUnit::loadState(SnapshotReader &r)
+{
+    nextCore = r.takeU32();
+    frontReadyAt = r.takeU64();
+    flushReadyAt = r.takeU64();
+    const std::uint8_t phase = r.takeU8();
+    const Tick phase_edge = r.takeU64();
+    if (!r.check(phase < kNumRuPhases, "RU phase out of range")
+        || !r.check(nextCore < cores.size() || cores.empty(),
+                    "RU dispatch rotation out of range"))
+        return;
+    phaseTracker.restore(static_cast<RuPhase>(phase), phase_edge);
+    if (!r.check(r.takeU64() == cores.size(),
+                 "RU core count mismatches the configuration"))
+        return;
+    for (const auto &core : cores)
+        core->loadState(r);
 }
 
 } // namespace libra

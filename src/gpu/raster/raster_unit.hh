@@ -110,6 +110,18 @@ class RuPhaseTracker
         return out;
     }
 
+    /** Tick of the last transition (snapshot save support; the six
+     *  counters themselves are registered and restored via StatGroup). */
+    Tick lastTransition() const { return last; }
+
+    /** Reinstate the edge state saved by a snapshot. */
+    void
+    restore(RuPhase phase, Tick at)
+    {
+        cur = phase;
+        last = at;
+    }
+
   private:
     std::array<Counter, kNumRuPhases> counters;
     RuPhase cur = RuPhase::Idle;
@@ -271,6 +283,17 @@ class RasterUnit : public RasterSink
      *  this at frame boundaries so per-frame deltas partition the
      *  frame exactly. */
     void syncPhase(Tick now) { phaseTracker.sync(now); }
+
+    /**
+     * Serialize persistent state (dispatch rotation, front/flush
+     * clocks, phase-tracker edge, per-core state) for a frame-boundary
+     * snapshot. Asserts the unit is idle; registered counters are
+     * restored separately via the StatGroup.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore what saveState() wrote. */
+    void loadState(SnapshotReader &r);
 
     /**
      * Attach a chrome-trace lane: every tile's residency in this unit

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "check/snapshot.hh"
 #include "common/log.hh"
 
 namespace libra
@@ -124,6 +125,28 @@ ShaderCore::retireWarp(const std::shared_ptr<Flight> &flight)
     libra_assert(residentWarps > 0, "slot underflow");
     --residentWarps;
     flight->onRetire(flight->info);
+}
+
+void
+ShaderCore::saveState(SnapshotWriter &w) const
+{
+    libra_assert(residentWarps == 0,
+                 "shader-core snapshot with resident warps");
+    w.putU64(issueReadyAt);
+    w.putU64(warpsExecuted.value());
+    w.putU64(issueBusy.value());
+    w.putU64(texRequests.value());
+    w.putU64(texLatencySum.value());
+}
+
+void
+ShaderCore::loadState(SnapshotReader &r)
+{
+    issueReadyAt = r.takeU64();
+    warpsExecuted.set(r.takeU64());
+    issueBusy.set(r.takeU64());
+    texRequests.set(r.takeU64());
+    texLatencySum.set(r.takeU64());
 }
 
 } // namespace libra

@@ -109,6 +109,16 @@ class ShaderCore
     Counter texRequests;
     Counter texLatencySum;
 
+    /**
+     * Serialize persistent state (issue-port clock plus the four
+     * counters above, which are not registered in any StatGroup) for a
+     * frame-boundary snapshot. Asserts no warps are resident.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore what saveState() wrote. */
+    void loadState(SnapshotReader &r);
+
   private:
     /** Shared state of one in-flight warp (defined in shader_core.cc).
      *  Everything the warp's events need lives here so each event

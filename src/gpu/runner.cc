@@ -1,9 +1,14 @@
 #include "gpu/runner.hh"
 
 #include <cmath>
+#include <filesystem>
 #include <memory>
+#include <utility>
 
+#include "check/snapshot.hh"
 #include "common/log.hh"
+#include "sim/sweep_journal.hh"
+#include "trace/json.hh"
 
 namespace libra
 {
@@ -137,11 +142,231 @@ accumulateCounters(std::map<std::string, std::uint64_t> &into,
         into[name] += value;
 }
 
+std::uint64_t
+sceneHashOf(const Scene &scene, const GpuConfig &cfg)
+{
+    return snapshotSceneHash(scene.spec().abbrev, cfg.screenWidth,
+                             cfg.screenHeight);
+}
+
+/** Complete `libra.snapshot/1` image of a run paused after
+ *  @p frames_done frames: run-so-far + trace + machine sections. */
+std::vector<std::uint8_t>
+buildSnapshot(const Scene &scene, const GpuConfig &cfg,
+              const RunResult &result, const Gpu &gpu,
+              std::uint32_t first_frame, std::uint32_t frames_done)
+{
+    SnapshotHeader header;
+    header.configHash = cfg.configHash();
+    header.warmPrefixHash = cfg.warmPrefixHash();
+    header.sceneHash = sceneHashOf(scene, cfg);
+    header.firstFrame = first_frame;
+    header.framesDone = frames_done;
+
+    SnapshotWriter w(header);
+    w.beginSection(SnapSection::Result);
+    JsonWriter json;
+    runResultToJson(json, result);
+    w.putString(json.str());
+    w.endSection();
+
+    w.beginSection(SnapSection::Trace);
+    w.putBool(result.trace != nullptr);
+    if (result.trace)
+        result.trace->exportState(w);
+    w.endSection();
+
+    gpu.saveState(w);
+    return w.finish();
+}
+
+/**
+ * Rebuild (result, gpu) from a snapshot image. Returns the number of
+ * frames already done on success. Key mismatches (config, scene, frame
+ * range, code version) are FailedPrecondition, structural damage is
+ * CorruptData — the caller treats both as "fall back to a cold run".
+ */
+Result<std::uint32_t>
+restoreFromSnapshot(std::vector<std::uint8_t> bytes, const Scene &scene,
+                    const GpuConfig &cfg, std::uint32_t frames,
+                    std::uint32_t first_frame, RunResult &result,
+                    std::unique_ptr<Gpu> &gpu)
+{
+    Result<SnapshotReader> parsed =
+        SnapshotReader::parse(std::move(bytes));
+    if (!parsed.isOk())
+        return parsed.status();
+    SnapshotReader r = std::move(*parsed);
+
+    const SnapshotHeader &h = r.header();
+    if (h.codeVersion != kSnapshotCodeVersion) {
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "snapshot code version ", h.codeVersion,
+                             " does not match this build's ",
+                             kSnapshotCodeVersion);
+    }
+    // The exact config, or one sharing the warm prefix (the adaptive
+    // thresholds pinned out of warmPrefixHash first matter after the
+    // prefix frames, which therefore rendered byte-identically).
+    if (h.configHash != cfg.configHash()
+        && h.warmPrefixHash != cfg.warmPrefixHash()) {
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "snapshot was written by a different GPU "
+                             "configuration");
+    }
+    if (h.sceneHash != sceneHashOf(scene, cfg)) {
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "snapshot was written for a different "
+                             "scene");
+    }
+    if (h.firstFrame != first_frame) {
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "snapshot first frame ", h.firstFrame,
+                             " does not match the requested ",
+                             first_frame);
+    }
+    if (h.framesDone > frames) {
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "snapshot already rendered ", h.framesDone,
+                             " frames, more than the requested ",
+                             frames);
+    }
+
+    r.openSection(SnapSection::Result);
+    const std::string result_json = r.takeString();
+    r.closeSection();
+    if (!r.ok())
+        return r.status();
+    Result<JsonValue> doc = parseJson(result_json);
+    if (!doc.isOk()) {
+        return Status::error(ErrorCode::CorruptData,
+                             "snapshot result section: ",
+                             doc.status().message());
+    }
+    Result<RunResult> saved = runResultFromJson(*doc);
+    if (!saved.isOk())
+        return saved.status();
+    RunResult restored = std::move(*saved);
+    restored.config = cfg;
+    if (restored.frames.size() + restored.skippedFrames.size()
+        != h.framesDone) {
+        return Status::error(ErrorCode::CorruptData,
+                             "snapshot claims ", h.framesDone,
+                             " frames done but carries ",
+                             restored.frames.size(), " + ",
+                             restored.skippedFrames.size(),
+                             " frame records");
+    }
+
+    r.openSection(SnapSection::Trace);
+    const bool has_trace = r.takeBool();
+    if (has_trace != cfg.traceEvents) {
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "snapshot trace presence does not match "
+                             "GpuConfig::traceEvents");
+    }
+    if (has_trace) {
+        // Import before setTraceSink: the lanes must exist, in saved
+        // order, so the Gpu's lane lookups find them by name and lane
+        // ids stay stable across the restore.
+        restored.trace = std::make_shared<TraceSink>();
+        restored.trace->importState(r);
+    }
+    r.closeSection();
+    if (!r.ok())
+        return r.status();
+
+    auto fresh = std::make_unique<Gpu>(cfg);
+    fresh->setTraceSink(restored.trace.get());
+    if (Status st = fresh->loadState(r); !st.isOk())
+        return st;
+    if (Status st = r.finish(); !st.isOk())
+        return st;
+
+    result = std::move(restored);
+    gpu = std::move(fresh);
+    return h.framesDone;
+}
+
+/** Dir-based restore: pick the freshest usable manifest entry. A
+ *  NotFound return means "nothing to restore" (silent cold start). */
+Result<std::uint32_t>
+restoreFromDir(const std::string &dir, const Scene &scene,
+               const GpuConfig &cfg, std::uint32_t frames,
+               std::uint32_t first_frame, RunResult &result,
+               std::unique_ptr<Gpu> &gpu)
+{
+    Result<std::vector<SnapshotManifestEntry>> manifest =
+        loadSnapshotManifest(dir);
+    if (!manifest.isOk())
+        return manifest.status();
+    const SnapshotManifestEntry *entry =
+        findSnapshotEntry(*manifest, cfg.configHash(),
+                          sceneHashOf(scene, cfg), first_frame, frames);
+    if (!entry) {
+        return Status::error(ErrorCode::NotFound,
+                             "no usable snapshot in ", dir);
+    }
+    const std::string path =
+        (std::filesystem::path(dir) / entry->file).string();
+    Result<std::vector<std::uint8_t>> bytes = readSnapshotFile(path);
+    if (!bytes.isOk())
+        return bytes.status();
+    return restoreFromSnapshot(std::move(*bytes), scene, cfg, frames,
+                               first_frame, result, gpu);
+}
+
+/** Frame-boundary checkpoint hook: capture the warm-prefix image
+ *  and/or write a periodic snapshot file + manifest row. Write
+ *  failures degrade to a warning — checkpointing must never change a
+ *  run's outcome. */
+void
+maybeCheckpoint(const CheckpointPlan &plan, const Scene &scene,
+                const GpuConfig &cfg, const RunResult &result,
+                const Gpu &gpu, std::uint32_t first_frame,
+                std::uint32_t frames_done, std::uint32_t frames_total)
+{
+    if (plan.captureAfter && frames_done == plan.captureAfterFrames) {
+        *plan.captureAfter = buildSnapshot(scene, cfg, result, gpu,
+                                           first_frame, frames_done);
+    }
+    if (plan.dir.empty() || plan.every == 0 || frames_done == 0
+        || frames_done % plan.every != 0
+        || frames_done >= frames_total) {
+        return; // the final frame needs no checkpoint: the run is done
+    }
+    const std::vector<std::uint8_t> bytes =
+        buildSnapshot(scene, cfg, result, gpu, first_frame, frames_done);
+    std::error_code ec;
+    std::filesystem::create_directories(plan.dir, ec);
+    const std::uint64_t scene_hash = sceneHashOf(scene, cfg);
+    const std::string name =
+        snapshotFileName(cfg.configHash(), scene_hash, frames_done);
+    const std::string path =
+        (std::filesystem::path(plan.dir) / name).string();
+    if (Status st = writeSnapshotFile(path, bytes); !st.isOk()) {
+        warn("checkpoint: ", st.toString());
+        return;
+    }
+    SnapshotManifestEntry entry;
+    entry.configHash = cfg.configHash();
+    entry.sceneHash = scene_hash;
+    entry.codeVersion = kSnapshotCodeVersion;
+    entry.firstFrame = first_frame;
+    entry.framesDone = frames_done;
+    entry.file = name;
+    if (Status st = recordSnapshotInManifest(plan.dir, entry);
+        !st.isOk()) {
+        warn("checkpoint manifest: ", st.toString());
+    }
+}
+
 } // namespace
 
 Result<RunResult>
 runBenchmark(const Scene &scene, const GpuConfig &cfg,
-             std::uint32_t frames, std::uint32_t first_frame)
+             std::uint32_t frames, std::uint32_t first_frame,
+             const CheckpointPlan &checkpoint)
 {
     const BenchmarkSpec &spec = scene.spec();
     if (Status st = cfg.validate(); !st.isOk()) {
@@ -162,39 +387,79 @@ runBenchmark(const Scene &scene, const GpuConfig &cfg,
     RunResult result;
     result.benchmark = spec.abbrev;
     result.config = cfg;
-    if (cfg.traceEvents)
-        result.trace = std::make_shared<TraceSink>();
 
-    auto gpu = std::make_unique<Gpu>(cfg);
-    gpu->setTraceSink(result.trace.get());
+    // --- Restore: warm-start bytes first, then the checkpoint dir ----
+    // Every restore failure except "nothing there" warns and degrades
+    // to a cold run; a snapshot can speed a run up, never break it.
+    std::unique_ptr<Gpu> gpu;
+    std::uint32_t start = 0;
+    if (checkpoint.warmStart
+        || (!checkpoint.dir.empty() && checkpoint.restore)) {
+        Result<std::uint32_t> restored = checkpoint.warmStart
+            ? restoreFromSnapshot(*checkpoint.warmStart, scene, cfg,
+                                  frames, first_frame, result, gpu)
+            : restoreFromDir(checkpoint.dir, scene, cfg, frames,
+                             first_frame, result, gpu);
+        if (restored.isOk()) {
+            start = *restored;
+        } else if (restored.status().code() != ErrorCode::NotFound) {
+            warn("benchmark ", spec.abbrev,
+                 ": checkpoint restore failed, falling back to a cold "
+                 "run: ", restored.status().toString());
+            result = RunResult{};
+            result.benchmark = spec.abbrev;
+            result.config = cfg;
+            gpu.reset();
+        }
+    }
+    if (!gpu) {
+        if (cfg.traceEvents)
+            result.trace = std::make_shared<TraceSink>();
+        gpu = std::make_unique<Gpu>(cfg);
+        gpu->setTraceSink(result.trace.get());
+        start = 0;
+    }
+
     result.frames.reserve(frames);
-    for (std::uint32_t f = 0; f < frames; ++f) {
+    for (std::uint32_t f = start; f < frames; ++f) {
         const FrameData frame = scene.frame(first_frame + f);
         Result<FrameStats> fs =
             gpu->tryRenderFrame(frame, scene.textures());
         if (fs.isOk()) {
             result.frames.push_back(std::move(*fs));
-            continue;
+        } else {
+            const ErrorCode code = fs.status().code();
+            if (code != ErrorCode::WatchdogExpired
+                && code != ErrorCode::NoProgress) {
+                return fs.status();
+            }
+            // Watchdog fired: degrade gracefully — drop this frame,
+            // rebuild the wedged GPU and carry on with the sweep. The
+            // wedged instance's counters are merged first: work done
+            // before the rebuild (including the aborted frame's
+            // partial progress) must survive into the run totals.
+            warn("benchmark ", spec.abbrev, ": skipping frame ",
+                 first_frame + f, ": ", fs.status().toString());
+            result.skippedFrames.push_back(first_frame + f);
+            accumulateCounters(result.counters, gpu->stats().values());
+            gpu = std::make_unique<Gpu>(cfg);
+            gpu->setTraceSink(result.trace.get());
         }
-        const ErrorCode code = fs.status().code();
-        if (code != ErrorCode::WatchdogExpired
-            && code != ErrorCode::NoProgress) {
-            return fs.status();
+        if (checkpoint.enabled()) {
+            maybeCheckpoint(checkpoint, scene, cfg, result, *gpu,
+                            first_frame, f + 1, frames);
         }
-        // Watchdog fired: degrade gracefully — drop this frame,
-        // rebuild the wedged GPU and carry on with the sweep. The
-        // wedged instance's counters are merged first: work done before
-        // the rebuild (including the aborted frame's partial progress)
-        // must survive into the run totals.
-        warn("benchmark ", spec.abbrev, ": skipping frame ",
-             first_frame + f, ": ", fs.status().toString());
-        result.skippedFrames.push_back(first_frame + f);
-        accumulateCounters(result.counters, gpu->stats().values());
-        gpu = std::make_unique<Gpu>(cfg);
-        gpu->setTraceSink(result.trace.get());
     }
     accumulateCounters(result.counters, gpu->stats().values());
     return result;
+}
+
+Result<RunResult>
+runBenchmark(const Scene &scene, const GpuConfig &cfg,
+             std::uint32_t frames, std::uint32_t first_frame)
+{
+    return runBenchmark(scene, cfg, frames, first_frame,
+                        CheckpointPlan{});
 }
 
 Result<RunResult>

@@ -68,6 +68,50 @@ struct RunResult
 };
 
 /**
+ * Checkpointing directives for one runBenchmark() call. All defaults
+ * off: the run is a plain cold run. The restore contract is byte
+ * identity — a run restored at frame F finishes with counter dumps,
+ * reports and Chrome traces identical to the uninterrupted run — and
+ * every restore failure (missing file, corrupt image, key mismatch)
+ * degrades to a cold run with a warning, never an error.
+ */
+struct CheckpointPlan
+{
+    /** Snapshot directory (created on demand); empty disables both
+     *  writing and dir-based restore. */
+    std::string dir;
+
+    /** Write a snapshot into @ref dir every N finished frames; 0
+     *  writes none. */
+    std::uint32_t every = 0;
+
+    /** Restore from the freshest usable snapshot in @ref dir (matching
+     *  config hash, scene hash, code version and first frame, with
+     *  framesDone <= the requested frame count). */
+    bool restore = false;
+
+    /**
+     * In-memory warm-start image (sweep warm-prefix forking): restore
+     * from these bytes instead of @ref dir. The image may come from a
+     * config differing only in the adaptive thresholds — the header's
+     * warmPrefixHash proves the prefix frames were byte-identical.
+     */
+    std::shared_ptr<const std::vector<std::uint8_t>> warmStart;
+
+    /** When set, capture a snapshot image into *captureAfter once
+     *  captureAfterFrames frames have finished (warm-prefix record). */
+    std::shared_ptr<std::vector<std::uint8_t>> captureAfter;
+    std::uint32_t captureAfterFrames = 0;
+
+    bool
+    enabled() const
+    {
+        return !dir.empty() || warmStart != nullptr
+            || captureAfter != nullptr;
+    }
+};
+
+/**
  * Render @p frames frames of @p spec under @p cfg.
  *
  * Validates @p cfg first (InvalidArgument on a bad configuration). If
@@ -90,6 +134,12 @@ Result<RunResult> runBenchmark(const BenchmarkSpec &spec,
 Result<RunResult> runBenchmark(const Scene &scene, const GpuConfig &cfg,
                                std::uint32_t frames,
                                std::uint32_t first_frame = 0);
+
+/** Same, under a checkpoint plan (snapshot writing and/or restore). */
+Result<RunResult> runBenchmark(const Scene &scene, const GpuConfig &cfg,
+                               std::uint32_t frames,
+                               std::uint32_t first_frame,
+                               const CheckpointPlan &checkpoint);
 
 /**
  * Fraction of execution time attributable to memory: 1 - ideal/real,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/snapshot.hh"
 #include "common/log.hh"
 
 namespace libra
@@ -339,6 +340,52 @@ ShardEngine::runWindow()
     injects.clear();
 
     ++engineStats.windows;
+}
+
+void
+ShardEngine::saveState(SnapshotWriter &w) const
+{
+    libra_assert(!anyPending(), "engine snapshot with pending events");
+    libra_assert(injects.empty(), "engine snapshot mid-window");
+    w.putU64(queues.size());
+    for (std::uint32_t s = 0; s < shardCount(); ++s) {
+        const ShardMemLink &tex = *texLinks[s];
+        const ShardMemLink &fb = *fbLinks[s];
+        const ShardRasterLink &rl = *rasterLinks[s];
+        libra_assert(tex.outbox.empty() && tex.inbox.empty()
+                         && tex.slots.size() == tex.freeSlots.size(),
+                     "engine snapshot with tex-link traffic in flight");
+        libra_assert(fb.outbox.empty() && fb.inbox.empty()
+                         && fb.slots.size() == fb.freeSlots.size(),
+                     "engine snapshot with fb-link traffic in flight");
+        libra_assert(rl.pushBuf.empty() && rl.creditBuf.empty()
+                         && rl.inFlight.empty()
+                         && rl.credits == rl.maxCredits,
+                     "engine snapshot with raster-link work in flight");
+        libra_assert(tileDone[s].empty() && replEvents[s].empty(),
+                     "engine snapshot with unapplied tile events");
+        queues[s]->exportState(w);
+    }
+    w.putU64(windowEnd);
+    w.putU64(engineStats.windows);
+    w.putU64(engineStats.parallelWindows);
+    w.putU64(engineStats.crossMessages);
+    w.putU64(engineStats.earlyDeliveries);
+}
+
+void
+ShardEngine::loadState(SnapshotReader &r)
+{
+    if (!r.check(r.takeU64() == queues.size(),
+                 "shard count mismatches the configuration"))
+        return;
+    for (std::uint32_t s = 0; s < shardCount(); ++s)
+        queues[s]->importState(r);
+    windowEnd = r.takeU64();
+    engineStats.windows = r.takeU64();
+    engineStats.parallelWindows = r.takeU64();
+    engineStats.crossMessages = r.takeU64();
+    engineStats.earlyDeliveries = r.takeU64();
 }
 
 } // namespace libra

@@ -134,7 +134,7 @@ class ShardRasterLink : public RasterSink
     ShardRasterLink(ShardEngine &eng, std::uint32_t shard_index,
                     EventQueue &shard_queue, std::uint32_t fifo_depth)
         : engine(eng), shard(shard_index), shardQ(shard_queue),
-          credits(fifo_depth)
+          credits(fifo_depth), maxCredits(fifo_depth)
     {}
 
     void setTarget(RasterSink &sink) { target = &sink; }
@@ -167,6 +167,7 @@ class ShardRasterLink : public RasterSink
     RasterSink *target = nullptr;
 
     std::uint32_t credits;
+    const std::uint32_t maxCredits; //!< full-FIFO credit level (depth)
     std::vector<PendingPush> pushBuf; //!< shared-side, Phase B
     std::deque<RasterWork> inFlight;  //!< delivery-scheduled entries
     std::vector<Tick> creditBuf;      //!< shard-side, Phase A
@@ -256,6 +257,17 @@ class ShardEngine
         std::uint64_t earlyDeliveries = 0; //!< lookahead violations (0!)
     };
     const Stats &stats() const { return engineStats; }
+
+    /**
+     * Serialize persistent engine state (per-shard queue clocks, window
+     * end, window statistics) for a frame-boundary snapshot. Asserts
+     * full quiescence: every link buffer empty, every slot free, every
+     * raster link holding its full credit level.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore what saveState() wrote (shard count must match). */
+    void loadState(SnapshotReader &r);
 
   private:
     friend class ShardMemLink;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/snapshot.hh"
 #include "common/log.hh"
 
 namespace libra
@@ -91,6 +92,24 @@ EventQueue::runUntil(Tick limit)
         ++count;
     }
     return count;
+}
+
+void
+EventQueue::exportState(SnapshotWriter &w) const
+{
+    libra_assert(empty(), "event-queue snapshot with pending events");
+    w.putU64(curTick);
+    w.putU64(nextSeq);
+    w.putU64(executed);
+}
+
+void
+EventQueue::importState(SnapshotReader &r)
+{
+    libra_assert(empty(), "event-queue restore into a non-empty queue");
+    curTick = r.takeU64();
+    nextSeq = r.takeU64();
+    executed = r.takeU64();
 }
 
 void

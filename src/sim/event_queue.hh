@@ -43,6 +43,9 @@
 namespace libra
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * Deferred work item.
  *
@@ -124,6 +127,16 @@ class EventQueue
 
     /** Total events executed since construction. */
     std::uint64_t eventsExecuted() const { return executed; }
+
+    /**
+     * Serialize the clock state (now, sequence, executed). Only legal
+     * on a drained queue — pending events are transient frame-internal
+     * machinery and are never snapshotted (see check/snapshot.hh).
+     */
+    void exportState(SnapshotWriter &w) const;
+
+    /** Restore what exportState() wrote; requires an empty queue. */
+    void importState(SnapshotReader &r);
 
   private:
     /**

@@ -41,7 +41,8 @@ namespace
 
 /** Run one job start-to-finish; never throws. */
 Result<RunResult>
-runJob(const SweepJob &job, SceneCache *cache)
+runJob(const SweepJob &job, SceneCache *cache,
+       const CheckpointPlan &checkpoint = {})
 {
     try {
         if (!job.spec) {
@@ -53,10 +54,24 @@ runJob(const SweepJob &job, SceneCache *cache)
                 *job.spec, job.config.screenWidth,
                 job.config.screenHeight);
             return runBenchmark(*scene, job.config, job.frames,
+                                job.firstFrame, checkpoint);
+        }
+        if (!checkpoint.enabled()) {
+            return runBenchmark(*job.spec, job.config, job.frames,
                                 job.firstFrame);
         }
-        return runBenchmark(*job.spec, job.config, job.frames,
-                            job.firstFrame);
+        // Validate before the (possibly expensive) scene build, like
+        // the spec-level runBenchmark overload does.
+        if (Status st = job.config.validate(); !st.isOk()) {
+            return Status::error(st.code(), "benchmark ",
+                                 job.spec->abbrev,
+                                 ": invalid GPU configuration: ",
+                                 st.message());
+        }
+        const Scene scene(*job.spec, job.config.screenWidth,
+                          job.config.screenHeight);
+        return runBenchmark(scene, job.config, job.frames,
+                            job.firstFrame, checkpoint);
     } catch (const std::exception &e) {
         // Isolation: a throwing job loses its own data point only.
         return Status::error(ErrorCode::FailedPrecondition, "benchmark ",
@@ -177,6 +192,19 @@ SweepOutcome::failureCount() const
 namespace
 {
 
+/**
+ * One warm-prefix group: jobs with equal (benchmark, resolution, frame
+ * range, warmPrefixHash) share the snapshot of their common opening
+ * frames. The first member to run renders the prefix once (call_once;
+ * racing members block on it); a failed prefix leaves bytes null and
+ * every member silently runs cold.
+ */
+struct WarmGroup
+{
+    std::once_flag once;
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+};
+
 /** Shared mutable state of one runWithPolicy() execution. */
 struct PolicyRun
 {
@@ -186,6 +214,10 @@ struct PolicyRun
     std::vector<std::string> keys;       //!< sweepJobKey per job
     std::vector<std::uint64_t> hashes;   //!< configHash per job
     std::vector<JobOutcome> *outcomes = nullptr;
+
+    /** Warm-prefix group of each job; null = no forking for it. */
+    std::vector<std::shared_ptr<WarmGroup>> warmGroups;
+    std::atomic<std::uint64_t> warmForks{0};
 
     std::mutex quarantineMtx;
     std::unordered_map<std::uint64_t, std::uint32_t> permanentStrikes;
@@ -264,6 +296,36 @@ runPolicyJob(PolicyRun &run, std::size_t index)
         }
     }
 
+    // --- Checkpoint plan (constant across attempts) -------------------
+    CheckpointPlan checkpoint;
+    checkpoint.dir = policy.checkpoint.dir;
+    checkpoint.every = policy.checkpoint.every;
+    checkpoint.restore = policy.checkpoint.fromCheckpoint;
+    if (const std::shared_ptr<WarmGroup> group = run.warmGroups[index]) {
+        std::call_once(group->once, [&] {
+            // First member to arrive renders the shared prefix once
+            // and captures its frame-boundary snapshot in memory.
+            SweepJob prefix = (*run.jobs)[index];
+            prefix.frames = policy.checkpoint.warmPrefixFrames;
+            CheckpointPlan capture;
+            capture.captureAfter =
+                std::make_shared<std::vector<std::uint8_t>>();
+            capture.captureAfterFrames = prefix.frames;
+            Result<RunResult> r = runJob(prefix, run.cache, capture);
+            if (r.isOk() && !capture.captureAfter->empty()) {
+                group->bytes = capture.captureAfter;
+            } else {
+                warn("warm prefix of job ", index, " [",
+                     run.keys[index], "] failed; its group runs cold",
+                     r.isOk() ? "" : (": " + r.status().toString()));
+            }
+        });
+        if (group->bytes) {
+            checkpoint.warmStart = group->bytes;
+            run.warmForks.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
     for (std::uint32_t attempt = 0;; ++attempt) {
         ++outcome.attempts;
         SweepJob job = (*run.jobs)[index]; // fresh copy per attempt
@@ -292,7 +354,7 @@ runPolicyJob(PolicyRun &run, std::size_t index)
                                      "(attempt ", attempt, ")");
             }
 #endif
-            return runJob(job, run.cache);
+            return runJob(job, run.cache, checkpoint);
         }();
 
         if (r.isOk()) {
@@ -412,6 +474,37 @@ SweepRunner::runWithPolicy(std::vector<SweepJob> jobs,
         ++out.replayedFromJournal;
     }
 
+    // --- Warm-prefix groups (CheckpointPolicy::warmPrefixFrames) ------
+    // Grouped over the still-pending jobs only; a group needs >= 2
+    // members to amortize the prefix run, and each member must render
+    // past the prefix. Disabled under a fault plan: injected faults
+    // are positional, so forking would change what each job observes.
+    run.warmGroups.assign(jobs.size(), nullptr);
+    if (policy.checkpoint.warmPrefixFrames > 0 && policy.faults.empty()) {
+        using GroupKey =
+            std::tuple<std::string, std::uint32_t, std::uint32_t,
+                       std::uint32_t, std::uint32_t, std::uint64_t>;
+        std::map<GroupKey, std::vector<std::size_t>> groups;
+        for (std::size_t index : pending) {
+            const SweepJob &job = jobs[index];
+            if (!job.spec
+                || job.frames <= policy.checkpoint.warmPrefixFrames)
+                continue;
+            groups[GroupKey{job.spec->abbrev, job.config.screenWidth,
+                            job.config.screenHeight, job.frames,
+                            job.firstFrame,
+                            job.config.warmPrefixHash()}]
+                .push_back(index);
+        }
+        for (const auto &[key, members] : groups) {
+            if (members.size() < 2)
+                continue;
+            auto group = std::make_shared<WarmGroup>();
+            for (std::size_t index : members)
+                run.warmGroups[index] = group;
+        }
+    }
+
     // --- Chains: quarantine needs same-config jobs serialized ---------
     // (deterministic strike counting); otherwise every job is its own
     // chain and the pool keeps full parallelism.
@@ -463,6 +556,8 @@ SweepRunner::runWithPolicy(std::vector<SweepJob> jobs,
     }
 
     out.killed = run.killFlag.load(std::memory_order_relaxed);
+    out.warmPrefixForks =
+        run.warmForks.load(std::memory_order_relaxed);
     return out;
 }
 

@@ -84,6 +84,47 @@ class SceneCache
 };
 
 /**
+ * Checkpointing policy of one sweep (DESIGN.md §10). Two independent
+ * mechanisms, both built on frame-boundary snapshots
+ * (src/check/snapshot.hh):
+ *
+ *  - **Periodic checkpoints** (@ref dir + @ref every): every job writes
+ *    a snapshot into @ref dir every N frames; with @ref fromCheckpoint
+ *    a re-run sweep restores each job from its freshest usable
+ *    snapshot and renders only the remaining frames. Byte-identity:
+ *    the resumed results equal the uninterrupted ones.
+ *  - **Warm-prefix forking** (@ref warmPrefixFrames): jobs differing
+ *    only in the adaptive-controller thresholds (equal
+ *    GpuConfig::warmPrefixHash(), same benchmark/resolution/frame
+ *    range — e.g. a fig19_sensitivity threshold sweep) render
+ *    byte-identical opening frames. The first group member runs that
+ *    prefix once, snapshots in memory, and every member forks from the
+ *    restored state instead of re-rendering it. Disabled while a fault
+ *    plan is armed (injected faults are positional; forking would
+ *    change what each job observes).
+ */
+struct CheckpointPolicy
+{
+    /** Snapshot directory; empty disables periodic checkpointing. */
+    std::string dir;
+
+    /** Write a snapshot every N finished frames (0 = never). */
+    std::uint32_t every = 0;
+
+    /** Restore each job from the freshest usable snapshot in dir. */
+    bool fromCheckpoint = false;
+
+    /**
+     * Warm-prefix length in frames shared across a threshold sweep; 0
+     * disables forking. Must not exceed the frames the adaptive
+     * controller renders before its thresholds first matter (the
+     * controller compares frame feedback from frame 2 on, so 2 is the
+     * safe default).
+     */
+    std::uint32_t warmPrefixFrames = 0;
+};
+
+/**
  * Failure-handling policy for SweepRunner::runWithPolicy. The default
  * policy (all fields at their defaults) behaves exactly like run():
  * one attempt per job, no deadline, no quarantine, no journal.
@@ -127,6 +168,9 @@ struct SweepPolicy
 
     /** Armed fault plan (chaos testing; empty = no injection). */
     FaultPlan faults;
+
+    /** Snapshot/restore and warm-prefix forking (see CheckpointPolicy). */
+    CheckpointPolicy checkpoint;
 };
 
 /** Result plus execution metadata of one job under runWithPolicy. */
@@ -152,6 +196,10 @@ struct SweepOutcome
     bool killed = false;
 
     std::uint64_t replayedFromJournal = 0;
+
+    /** Jobs that forked from a shared warm-prefix snapshot instead of
+     *  rendering their opening frames cold (CheckpointPolicy). */
+    std::uint64_t warmPrefixForks = 0;
 
     /** Jobs whose final result is a failure (incl. quarantined and
      *  not-run). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/snapshot.hh"
 #include "common/log.hh"
 #include "trace/json.hh"
 
@@ -189,6 +190,61 @@ Status
 TraceSink::writeChromeTrace(const std::string &path) const
 {
     return writeTextFile(path, chromeTraceJson());
+}
+
+void
+TraceSink::exportState(SnapshotWriter &w) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    w.putU64(names.size());
+    for (const std::string &n : names)
+        w.putString(n);
+    w.putU64(lanes.size());
+    for (const auto &l : lanes) {
+        w.putString(l->laneName);
+        w.putU64(l->buf.size());
+        for (const Event &e : l->buf) {
+            w.putU64(e.tick);
+            w.putU32(e.name);
+            w.putU64(e.value);
+            w.putU8(static_cast<std::uint8_t>(e.type));
+        }
+    }
+}
+
+void
+TraceSink::importState(SnapshotReader &r)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (!r.check(lanes.empty() && names.empty(),
+                 "trace restore into a non-empty sink"))
+        return;
+    const std::uint64_t num_names = r.takeU64();
+    for (std::uint64_t i = 0; r.ok() && i < num_names; ++i)
+        names.push_back(r.takeString());
+    const std::uint64_t num_lanes = r.takeU64();
+    for (std::uint64_t li = 0; r.ok() && li < num_lanes; ++li) {
+        auto l = std::make_unique<Lane>();
+        l->laneName = r.takeString();
+        l->tid = static_cast<std::uint32_t>(li);
+        l->enabledFlag = &recording;
+        const std::uint64_t num_events = r.takeU64();
+        for (std::uint64_t i = 0; r.ok() && i < num_events; ++i) {
+            Event e;
+            e.tick = r.takeU64();
+            e.name = r.takeU32();
+            e.value = r.takeU64();
+            const std::uint8_t type = r.takeU8();
+            if (!r.check(type <= static_cast<std::uint8_t>(Ev::Instant),
+                         "trace event type out of range"))
+                break;
+            e.type = static_cast<Ev>(type);
+            r.check(e.type == Ev::End || e.name < names.size(),
+                    "trace event names an uninterned id");
+            l->buf.push_back(e);
+        }
+        lanes.push_back(std::move(l));
+    }
 }
 
 } // namespace libra

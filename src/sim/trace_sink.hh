@@ -54,6 +54,9 @@
 namespace libra
 {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 class TraceSink
 {
   public:
@@ -163,6 +166,20 @@ class TraceSink
 
     /** chromeTraceJson() to @p path; IoError on failure. */
     Status writeChromeTrace(const std::string &path) const;
+
+    /**
+     * Serialize interned names and every lane (name, tid order,
+     * buffered events) for a frame-boundary snapshot.
+     */
+    void exportState(SnapshotWriter &w) const;
+
+    /**
+     * Recreate what exportState() wrote into this (empty, freshly
+     * constructed) sink. Lanes come back in saved order, so later
+     * lane()/nameId() calls during Gpu wiring find the existing
+     * entries and ids stay stable.
+     */
+    void importState(SnapshotReader &r);
 
   private:
     mutable std::mutex mtx; //!< guards lanes/names *creation* only
