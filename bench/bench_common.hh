@@ -39,6 +39,20 @@
  *                         (equal warmPrefixHash) from one in-memory
  *                         snapshot instead of re-rendering it (0 = off)
  *
+ * Sim-farm (DESIGN.md §12) — every bench binary can run as a one-shot
+ * resident farm server instead of executing its figure:
+ *   --serve               serve simulation requests until a shutdown
+ *                         request arrives, then exit
+ *   --socket PATH         AF_UNIX socket path (default libra_farm.sock)
+ *   --cache-dir DIR       persistent result cache (default farm_cache)
+ *   --farm-journal FILE   crash-safe accepted-request journal
+ *   --farm-workers N      simulation worker threads (default 1)
+ *   --max-queue N         queued-request admission bound (default 64)
+ *   --client-quota N      outstanding requests per connection (16)
+ *   --cache-max-entries N trim the cache to N entries (0 = unlimited)
+ * The failure-policy flags above (--deadline-ms, --retries,
+ * --backoff-ms, --quarantine) apply per served simulation.
+ *
  * Default runs use a representative subset at reduced resolution so the
  * whole bench directory executes in minutes; --full reproduces the
  * paper-scale configuration (32 benchmarks, FHD, 25 frames).
@@ -56,6 +70,7 @@
 
 #include "common/cli.hh"
 #include "common/log.hh"
+#include "farm/farm_server.hh"
 #include "gpu/runner.hh"
 #include "sim/sim_thread_pool.hh"
 #include "sim/sweep.hh"
@@ -127,10 +142,44 @@ parseBenchOptions(int argc, char **argv,
         "journal", "resume", "keep-going", "faults",
         // checkpointing
         "checkpoint-dir", "checkpoint-every", "from-checkpoint",
-        "warm-prefix"};
+        "warm-prefix",
+        // sim-farm one-shot server mode
+        "serve", "socket", "cache-dir", "farm-journal", "farm-workers",
+        "max-queue", "client-quota", "cache-max-entries"};
     known.insert(known.end(), extra_options.begin(),
                  extra_options.end());
     const CliArgs args(argc, argv, known);
+
+    if (args.getBool("serve")) {
+        // One-shot farm mode: this process becomes a resident sweep
+        // service and never runs its own figure. Exits when a client
+        // sends a shutdown request (or the process is killed — the
+        // journal makes that safe).
+        FarmOptions farm;
+        farm.socketPath = args.get("socket", "libra_farm.sock");
+        farm.cacheDir = args.get("cache-dir", "farm_cache");
+        farm.journalPath = args.get("farm-journal", "");
+        farm.workers =
+            static_cast<unsigned>(args.getUint("farm-workers", 1));
+        farm.maxQueue =
+            static_cast<std::uint32_t>(args.getUint("max-queue", 64));
+        farm.clientQuota = static_cast<std::uint32_t>(
+            args.getUint("client-quota", 16));
+        farm.cacheMaxEntries = args.getUint("cache-max-entries", 0);
+        farm.deadlineMs = args.getUint("deadline-ms", 0);
+        farm.maxRetries =
+            static_cast<std::uint32_t>(args.getUint("retries", 0));
+        farm.backoffMs = args.getUint("backoff-ms", 100);
+        farm.quarantineThreshold =
+            static_cast<std::uint32_t>(args.getUint("quarantine", 0));
+        Result<std::unique_ptr<FarmServer>> server =
+            FarmServer::start(std::move(farm));
+        if (!server.isOk())
+            fatal("--serve: ", server.status().toString());
+        (*server)->wait();
+        server->reset(); // join threads before exiting
+        std::exit(0);
+    }
 
     BenchOptions opt;
     opt.full = args.getBool("full");
@@ -143,20 +192,20 @@ parseBenchOptions(int argc, char **argv,
         opt.benchmarks = std::move(default_benchmarks);
     }
     opt.frames = static_cast<std::uint32_t>(
-        args.getInt("frames", opt.frames));
+        args.getUint("frames", opt.frames));
     opt.width = static_cast<std::uint32_t>(
-        args.getInt("width", opt.width));
+        args.getUint("width", opt.width));
     opt.height = static_cast<std::uint32_t>(
-        args.getInt("height", opt.height));
+        args.getUint("height", opt.height));
     if (args.has("benchmarks"))
         opt.benchmarks = args.getList("benchmarks");
     opt.csv = args.getBool("csv");
-    opt.jobs = static_cast<unsigned>(args.getInt(
+    opt.jobs = static_cast<unsigned>(args.getUint(
         "jobs", std::max(1u, std::thread::hardware_concurrency())));
     if (opt.jobs == 0)
         fatal("--jobs must be at least 1");
     opt.simThreads =
-        static_cast<std::uint32_t>(args.getInt("sim-threads", 0));
+        static_cast<std::uint32_t>(args.getUint("sim-threads", 0));
     // Two-level oversubscription guard: jobs sweep workers each
     // running simThreads event lanes must not exceed the machine.
     const std::uint32_t clamped = clampOversubscribedJobs(
@@ -172,14 +221,12 @@ parseBenchOptions(int argc, char **argv,
     opt.reportOut = args.get("report-out", "");
     opt.traceOut = args.get("trace-out", "");
 
-    opt.deadlineMs = static_cast<std::uint64_t>(
-        args.getInt("deadline-ms", 0));
-    opt.retries = static_cast<std::uint32_t>(args.getInt("retries", 0));
-    opt.backoffMs = static_cast<std::uint64_t>(
-        args.getInt("backoff-ms", static_cast<std::int64_t>(
-                                      opt.backoffMs)));
+    opt.deadlineMs = args.getUint("deadline-ms", 0);
+    opt.retries =
+        static_cast<std::uint32_t>(args.getUint("retries", 0));
+    opt.backoffMs = args.getUint("backoff-ms", opt.backoffMs);
     opt.quarantine = static_cast<std::uint32_t>(
-        args.getInt("quarantine", 0));
+        args.getUint("quarantine", 0));
     opt.journal = args.get("journal", "");
     opt.resume = args.getBool("resume");
     opt.keepGoing = args.getBool("keep-going");
@@ -189,10 +236,10 @@ parseBenchOptions(int argc, char **argv,
 
     opt.checkpointDir = args.get("checkpoint-dir", "");
     opt.checkpointEvery = static_cast<std::uint32_t>(
-        args.getInt("checkpoint-every", 0));
+        args.getUint("checkpoint-every", 0));
     opt.fromCheckpoint = args.getBool("from-checkpoint");
     opt.warmPrefix = static_cast<std::uint32_t>(
-        args.getInt("warm-prefix", 0));
+        args.getUint("warm-prefix", 0));
     if ((opt.checkpointEvery != 0 || opt.fromCheckpoint)
         && opt.checkpointDir.empty()) {
         fatal("--checkpoint-every / --from-checkpoint need "

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * End-to-end sim-farm smoke: in one process, drive a real FarmServer
+ * over its unix socket through the whole contract —
+ *
+ *   1. cold miss, report byte-identical to a direct cold run;
+ *   2. repeated request is a cache hit with byte-identical payload;
+ *   3. concurrent identical requests coalesce onto one simulation and
+ *      all receive the same bytes;
+ *   4. stats/ping ops answer;
+ *   5. bad requests get attributable errors, not hangs;
+ *   6. a journaled-but-uncompleted request is recovered into the cache
+ *      on restart (the kill -9 path, minus the kill) and a torn
+ *      trailing journal line is tolerated;
+ *   7. a shutdown request stops the server.
+ *
+ * Exits nonzero with a message on the first violated expectation. CI
+ * runs this as the in-process half of the farm-smoke job; the
+ * out-of-process half (real kill -9 against libra_farm --serve) lives
+ * in the workflow script.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "check/result_cache.hh"
+#include "farm/farm_client.hh"
+#include "farm/farm_server.hh"
+#include "gpu/runner.hh"
+#include "trace/json.hh"
+#include "trace/run_report.hh"
+#include "workload/benchmarks.hh"
+
+using namespace libra;
+
+namespace
+{
+
+#define SMOKE_CHECK(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::fprintf(stderr, "farm_smoke FAIL at %s:%d: %s\n",        \
+                         __FILE__, __LINE__, #cond);                      \
+            fatal(__VA_ARGS__);                                           \
+        }                                                                 \
+    } while (0)
+
+/** Direct (farm-less) run of a request — the byte-identity reference. */
+std::string
+coldReference(const FarmRequest &req)
+{
+    const BenchmarkSpec &spec = findBenchmark(req.benchmark);
+    Result<GpuConfig> cfg = farmRequestConfig(req);
+    if (!cfg.isOk())
+        fatal("cold reference config: ", cfg.status().toString());
+    Result<RunResult> run =
+        runBenchmark(spec, *cfg, req.frames, req.firstFrame);
+    if (!run.isOk())
+        fatal("cold reference run: ", run.status().toString());
+    return runReportJson(*run);
+}
+
+FarmRequest
+request(const std::string &config, const std::string &id)
+{
+    FarmRequest req;
+    req.id = id;
+    req.benchmark = "CCS";
+    req.width = 256;
+    req.height = 128;
+    req.frames = 2;
+    req.config = config;
+    return req;
+}
+
+FarmReply
+mustCall(FarmClient &client, const FarmRequest &req)
+{
+    Result<FarmReply> reply = client.call(req);
+    if (!reply.isOk())
+        fatal("call '", req.id, "': ", reply.status().toString());
+    return std::move(*reply);
+}
+
+} // namespace
+
+int
+main()
+{
+    namespace fs = std::filesystem;
+    const std::string base = "farm_smoke_out";
+    fs::remove_all(base);
+    fs::create_directories(base);
+    const std::string socket = base + "/farm.sock";
+    const std::string cacheDir = base + "/cache";
+    const std::string journal = base + "/farm.journal";
+
+    FarmOptions opt;
+    opt.socketPath = socket;
+    opt.cacheDir = cacheDir;
+    opt.journalPath = journal;
+    opt.workers = 2;
+
+    Result<std::unique_ptr<FarmServer>> server = FarmServer::start(opt);
+    if (!server.isOk())
+        fatal("start: ", server.status().toString());
+
+    const FarmRequest reqA = request("baseline:2", "a");
+    const std::string refA = coldReference(reqA);
+
+    Result<FarmClient> client = FarmClient::connect(socket);
+    if (!client.isOk())
+        fatal("connect: ", client.status().toString());
+
+    // 1. Cold miss, byte-identical to the direct run.
+    FarmReply first = mustCall(*client, reqA);
+    SMOKE_CHECK(first.header.ok(), "first request failed: ",
+                first.header.message);
+    SMOKE_CHECK(first.header.cache == FarmCacheState::Miss,
+                "first request should be a miss, was ",
+                farmCacheStateName(first.header.cache));
+    SMOKE_CHECK(first.report == refA,
+                "miss report differs from direct run (",
+                first.report.size(), " vs ", refA.size(), " bytes)");
+
+    // 2. Identical request: cache hit, byte-identical.
+    FarmReply second = mustCall(*client, reqA);
+    SMOKE_CHECK(second.header.cache == FarmCacheState::Hit,
+                "repeat request should hit, was ",
+                farmCacheStateName(second.header.cache));
+    SMOKE_CHECK(second.report == first.report,
+                "cache hit is not byte-identical to the miss");
+
+    // 3. Concurrent identical requests: one simulation, same bytes.
+    // (Not ptr:1x2 — a 1-RU ptr config hashes identically to baseline:2
+    // and would be a plain cache hit.)
+    const FarmRequest reqB = request("libra:2x2", "b");
+    FarmReply replyB1, replyB2;
+    {
+        std::thread other([&] {
+            Result<FarmClient> c2 = FarmClient::connect(socket);
+            if (!c2.isOk())
+                fatal("connect(2): ", c2.status().toString());
+            replyB2 = mustCall(*c2, reqB);
+        });
+        Result<FarmClient> c1 = FarmClient::connect(socket);
+        if (!c1.isOk())
+            fatal("connect(1): ", c1.status().toString());
+        replyB1 = mustCall(*c1, reqB);
+        other.join();
+    }
+    SMOKE_CHECK(replyB1.header.ok() && replyB2.header.ok(),
+                "concurrent requests failed");
+    SMOKE_CHECK(replyB1.report == replyB2.report,
+                "concurrent identical requests got different bytes");
+    SMOKE_CHECK(replyB1.report == coldReference(reqB),
+                "coalesced report differs from direct run");
+
+    // 4. Ping and stats.
+    FarmRequest ping;
+    ping.op = FarmOp::Ping;
+    ping.id = "p";
+    SMOKE_CHECK(mustCall(*client, ping).header.ok(), "ping failed");
+    FarmRequest statsReq;
+    statsReq.op = FarmOp::Stats;
+    FarmReply statsReply = mustCall(*client, statsReq);
+    SMOKE_CHECK(statsReply.header.ok(), "stats failed");
+    Result<JsonValue> stats = parseJson(statsReply.header.payload);
+    SMOKE_CHECK(stats.isOk() && stats->isObject(),
+                "stats payload is not a JSON object: ",
+                statsReply.header.payload);
+    const JsonValue *hits = stats->find("cache_hits");
+    const JsonValue *sims = stats->find("simulations");
+    SMOKE_CHECK(hits && hits->number >= 1, "expected >= 1 cache hit");
+    SMOKE_CHECK(sims && sims->number >= 2,
+                "expected >= 2 simulations, payload: ",
+                statsReply.header.payload);
+
+    // 5. Errors are attributable, not fatal to the server.
+    FarmRequest bad = request("baseline:2", "bad-bench");
+    bad.benchmark = "NOPE";
+    FarmReply badReply = mustCall(*client, bad);
+    SMOKE_CHECK(badReply.header.status == "error",
+                "unknown benchmark should answer error");
+    FarmRequest badCfg = request("warp-drive", "bad-config");
+    FarmReply badCfgReply = mustCall(*client, badCfg);
+    SMOKE_CHECK(badCfgReply.header.status == "error",
+                "unknown config spec should answer error");
+    SMOKE_CHECK(mustCall(*client, ping).header.ok(),
+                "server wedged after bad requests");
+
+    // 6. Recovery: stop the server, fabricate an accepted-but-never-
+    //    completed journal entry plus a torn trailing line, restart.
+    *client = FarmClient(); // disconnect before stopping the server
+    server->reset();
+
+    const FarmRequest reqC = request("libra:1x2", "c");
+    {
+        JsonWriter w;
+        w.beginObject();
+        w.key("schema");
+        w.value(kFarmJournalSchema);
+        w.key("key");
+        w.value("smoke-recovery");
+        w.key("request_line");
+        w.value(farmRequestLine(reqC));
+        w.endObject();
+        std::FILE *f = std::fopen(journal.c_str(), "ab");
+        SMOKE_CHECK(f != nullptr, "cannot append to journal");
+        const std::string line = w.str() + "\n";
+        std::fwrite(line.data(), 1, line.size(), f);
+        // Torn tail: half a record, no newline — must be discarded.
+        std::fwrite(line.data(), 1, line.size() / 2, f);
+        std::fclose(f);
+    }
+
+    server = FarmServer::start(opt);
+    if (!server.isOk())
+        fatal("restart: ", server.status().toString());
+    SMOKE_CHECK((*server)->stats().recovered == 1,
+                "restart should recover exactly the journaled request, "
+                "recovered=", (*server)->stats().recovered);
+
+    client = FarmClient::connect(socket);
+    if (!client.isOk())
+        fatal("reconnect: ", client.status().toString());
+    FarmReply recovered = mustCall(*client, reqC);
+    SMOKE_CHECK(recovered.header.cache == FarmCacheState::Hit,
+                "recovered request should be a hit, was ",
+                farmCacheStateName(recovered.header.cache));
+    SMOKE_CHECK(recovered.report == coldReference(reqC),
+                "recovered report differs from direct run");
+    // Pre-restart entries survive too (the cache is persistent).
+    FarmReply stillThere = mustCall(*client, reqA);
+    SMOKE_CHECK(stillThere.header.cache == FarmCacheState::Hit
+                    && stillThere.report == refA,
+                "pre-restart cache entry lost or changed");
+
+    // 7. Shutdown request stops the server.
+    FarmRequest down;
+    down.op = FarmOp::Shutdown;
+    down.id = "down";
+    SMOKE_CHECK(mustCall(*client, down).header.ok(), "shutdown failed");
+    (*server)->wait();
+    server->reset();
+
+    std::printf("farm_smoke: all checks passed\n");
+    return 0;
+}

@@ -646,7 +646,13 @@ findSnapshotEntry(const std::vector<SnapshotManifestEntry> &entries,
             || e.codeVersion != kSnapshotCodeVersion
             || e.firstFrame != first_frame || e.framesDone > max_frames)
             continue;
-        if (!best || e.framesDone > best->framesDone)
+        // Total order: freshest first (most frames done), ties broken
+        // by file path ascending. Manifest enumeration order is append
+        // order — a manifest rewritten after concurrent sweeps can list
+        // equal-framesDone entries either way round, and resume must
+        // pick the same snapshot every time.
+        if (!best || e.framesDone > best->framesDone
+            || (e.framesDone == best->framesDone && e.file < best->file))
             best = &e;
     }
     return best;

@@ -75,6 +75,11 @@ enum class SnapSection : std::uint32_t
     RasterUnits, //!< per-RU/core issue state, phase trackers
     GpuCore,     //!< frames rendered, feedback, geometry counters
     Counters,    //!< full StatGroup value dump
+
+    /** Finished libra.run_report/1 JSON (sim-farm result cache,
+     *  src/check/result_cache.hh) — the only section of a cache entry,
+     *  never part of a GPU state snapshot. */
+    CachedReport,
 };
 
 /**

@@ -70,6 +70,29 @@ CliArgs::getInt(const std::string &name, std::int64_t fallback) const
     return value;
 }
 
+std::uint64_t
+CliArgs::getUint(const std::string &name, std::uint64_t fallback) const
+{
+    auto it = opts.find(name);
+    if (it == opts.end())
+        return fallback;
+    const std::string &text = it->second;
+    // strtoull quietly wraps negative input; reject the sign up front.
+    if (text.find('-') != std::string::npos) {
+        fatal("option --", name, ": expected a non-negative integer, "
+              "got '", text, "'");
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 0);
+    if (text.empty() || end != text.c_str() + text.size())
+        fatal("option --", name, ": expected an integer, got '", text,
+              "'");
+    if (errno == ERANGE)
+        fatal("option --", name, ": value '", text, "' out of range");
+    return value;
+}
+
 double
 CliArgs::getDouble(const std::string &name, double fallback) const
 {

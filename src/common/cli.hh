@@ -41,6 +41,16 @@ class CliArgs
      * quietly run 0 frames).
      */
     std::int64_t getInt(const std::string &name, std::int64_t fallback) const;
+
+    /**
+     * Unsigned variant for count/duration options (--deadline-ms,
+     * --checkpoint-every, ...): everything getInt rejects plus any
+     * negative value. "--backoff-ms=-5" must die here, not wrap to a
+     * 584-million-year backoff through a static_cast.
+     */
+    std::uint64_t getUint(const std::string &name,
+                          std::uint64_t fallback) const;
+
     double getDouble(const std::string &name, double fallback) const;
     bool getBool(const std::string &name, bool fallback = false) const;
 

@@ -27,7 +27,31 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
-/** Stateless 64-bit mix of two values (for per-entity derived seeds). */
+/**
+ * Stateless 64-bit mix of two values: boost-style combine folded
+ * through the splitmix64 finalizer.
+ *
+ * Originally for per-entity derived seeds; since the sim-farm this also
+ * feeds every *persistent* identity — GpuConfig::configHash(),
+ * snapshotSceneHash() and through them the result-cache and snapshot
+ * keys on disk. Two contracts follow:
+ *
+ *  - **Quality**: for any fixed accumulator a, x -> hashCombine(a, x)
+ *    is a bijection, so a chained key hash never collides at the fold
+ *    that consumes a differing field, and chains seeded from a fixed
+ *    basis stay collision-free over dense small-integer fields; the
+ *    splitmix64 finalizer adds full avalanche (~32 of 64 output bits
+ *    flip per single-bit input flip). Caveat: combining two *small*
+ *    values directly (both args < ~2^8) pigeonholes the pre-finalizer
+ *    state into a narrow window and collides heavily — fine for the
+ *    cosmetic position hashes in scene.cc, never acceptable for a
+ *    persistent key, which must chain from a mixed basis. test_rng
+ *    locks all of this down.
+ *  - **Stability**: changing this mixer silently invalidates every
+ *    snapshot, manifest and cached report on disk. If it must change,
+ *    bump kSnapshotCodeVersion and kResultCacheCodeVersion in the same
+ *    commit so stale entries are refused instead of mis-keyed.
+ */
 constexpr std::uint64_t
 hashCombine(std::uint64_t a, std::uint64_t b)
 {

@@ -1,0 +1,158 @@
+#include "farm/farm_client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+namespace libra
+{
+
+Result<FarmClient>
+FarmClient::connect(const std::string &socketPath)
+{
+    sockaddr_un addr{};
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "farm client: socket path too long: ",
+                             socketPath);
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return Status::error(ErrorCode::IoError,
+                             "farm client: socket(): ",
+                             std::strerror(errno));
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socketPath.c_str(),
+                socketPath.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Status::error(ErrorCode::Unavailable,
+                             "farm client: cannot connect to ",
+                             socketPath, ": ", std::strerror(err));
+    }
+    FarmClient client;
+    client.fd = fd;
+    return client;
+}
+
+FarmClient::~FarmClient()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+FarmClient::FarmClient(FarmClient &&o) noexcept
+    : fd(std::exchange(o.fd, -1)), buffer(std::move(o.buffer))
+{
+}
+
+FarmClient &
+FarmClient::operator=(FarmClient &&o) noexcept
+{
+    if (this != &o) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = std::exchange(o.fd, -1);
+        buffer = std::move(o.buffer);
+    }
+    return *this;
+}
+
+Result<FarmReply>
+FarmClient::call(const FarmRequest &req)
+{
+    if (fd < 0) {
+        return Status::error(ErrorCode::FailedPrecondition,
+                             "farm client: not connected");
+    }
+    std::string line = farmRequestLine(req);
+    line += '\n';
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+        const ssize_t n = ::send(fd, line.data() + sent,
+                                 line.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            return Status::error(ErrorCode::IoError,
+                                 "farm client: send failed: ",
+                                 std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    Result<std::string> header_line = readLine();
+    if (!header_line.isOk())
+        return header_line.status();
+    Result<FarmResponse> header = parseFarmResponse(*header_line);
+    if (!header.isOk())
+        return header.status();
+
+    FarmReply reply;
+    reply.header = std::move(*header);
+    if (reply.header.reportBytes != 0) {
+        if (Status st = readExact(reply.report,
+                                  reply.header.reportBytes);
+            !st.isOk()) {
+            return st;
+        }
+        // The report is newline-terminated on the wire; the byte count
+        // excludes the terminator.
+        std::string nl;
+        if (Status st = readExact(nl, 1); !st.isOk())
+            return st;
+        if (nl != "\n") {
+            return Status::error(ErrorCode::CorruptData,
+                                 "farm client: report not newline-"
+                                 "terminated after ",
+                                 reply.header.reportBytes, " bytes");
+        }
+    }
+    return reply;
+}
+
+Result<std::string>
+FarmClient::readLine()
+{
+    while (true) {
+        const std::size_t nl = buffer.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            return line;
+        }
+        char buf[4096];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) {
+            return Status::error(ErrorCode::IoError,
+                                 "farm client: connection closed "
+                                 "mid-reply");
+        }
+        buffer.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+Status
+FarmClient::readExact(std::string &out, std::size_t n)
+{
+    while (buffer.size() < n) {
+        char buf[65536];
+        const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+        if (got <= 0) {
+            return Status::error(ErrorCode::IoError,
+                                 "farm client: connection closed after ",
+                                 buffer.size(), " of ", n,
+                                 " report bytes");
+        }
+        buffer.append(buf, static_cast<std::size_t>(got));
+    }
+    out = buffer.substr(0, n);
+    buffer.erase(0, n);
+    return Status::ok();
+}
+
+} // namespace libra

@@ -1,0 +1,758 @@
+#include "farm/farm_server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "check/snapshot.hh"
+#include "common/log.hh"
+#include "trace/json.hh"
+#include "trace/run_report.hh"
+#include "workload/benchmarks.hh"
+
+namespace libra
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** One journal line: the accepted request, re-parseable for replay. */
+std::string
+journalLine(const std::string &key, const FarmRequest &req)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value(kFarmJournalSchema);
+    w.key("key");
+    w.value(key);
+    // The request rides along as a string so replay reuses
+    // parseFarmRequest verbatim instead of a second schema walk.
+    w.key("request_line");
+    w.value(farmRequestLine(req));
+    w.endObject();
+    return w.str();
+}
+
+} // namespace
+
+/** One client connection. The fd is written under writeMtx only, and
+ *  close happens under the same mutex, so a worker responding can never
+ *  race a concurrently-closing reader onto a reused descriptor. */
+struct FarmServer::Connection
+{
+    int fd = -1;
+    std::mutex writeMtx;
+    bool open = true; //!< under writeMtx
+    std::atomic<std::uint32_t> pending{0}; //!< unanswered accepted reqs
+};
+
+/** One unit of simulation work, shared by every coalesced waiter. */
+struct FarmServer::Task
+{
+    FarmRequest req;
+    ResultCacheKey key;
+    std::string keyStr;
+    std::uint64_t configHash = 0;
+
+    struct Waiter
+    {
+        std::shared_ptr<Connection> conn;
+        std::string id;
+        FarmCacheState state = FarmCacheState::Miss;
+    };
+
+    std::mutex mtx;
+    bool done = false;                //!< under mtx
+    std::vector<Waiter> waiters;      //!< under mtx
+    std::string report;               //!< set by the worker before done
+    Status failure = Status::ok();    //!< set by the worker before done
+};
+
+Result<std::unique_ptr<FarmServer>>
+FarmServer::start(FarmOptions options)
+{
+    if (options.cacheDir.empty()) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "farm: cacheDir is required");
+    }
+    if (options.socketPath.empty()) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "farm: socketPath is required");
+    }
+    sockaddr_un addr{};
+    if (options.socketPath.size() >= sizeof(addr.sun_path)) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "farm: socket path longer than ",
+                             sizeof(addr.sun_path) - 1, " bytes: ",
+                             options.socketPath);
+    }
+    if (options.workers == 0)
+        options.workers = 1;
+
+    std::unique_ptr<FarmServer> srv(new FarmServer);
+    srv->opt = std::move(options);
+
+    Result<ResultCache> cache = ResultCache::open(srv->opt.cacheDir);
+    if (!cache.isOk())
+        return cache.status();
+    srv->cache = std::move(*cache);
+
+    // Recovery before the socket opens: every previously accepted
+    // request is completed into the cache (or warned away as
+    // permanently failing) before any client can connect.
+    if (Status st = srv->recoverFromJournal(); !st.isOk())
+        return st;
+
+    if (!srv->opt.journalPath.empty()) {
+        // Recovery drained the journal into the cache, so truncate —
+        // the cache entry, not the journal line, is the durable record
+        // of completed work.
+        srv->journal = std::fopen(srv->opt.journalPath.c_str(), "wb");
+        if (!srv->journal) {
+            return Status::error(ErrorCode::IoError,
+                                 "farm: cannot open journal ",
+                                 srv->opt.journalPath, ": ",
+                                 std::strerror(errno));
+        }
+    }
+
+    std::error_code ec;
+    fs::remove(srv->opt.socketPath, ec); // stale socket from a kill -9
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return Status::error(ErrorCode::IoError, "farm: socket(): ",
+                             std::strerror(errno));
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, srv->opt.socketPath.c_str(),
+                srv->opt.socketPath.size() + 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0
+        || ::listen(fd, 64) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return Status::error(ErrorCode::IoError, "farm: cannot listen "
+                             "on ", srv->opt.socketPath, ": ",
+                             std::strerror(err));
+    }
+    srv->listenFd = fd;
+
+    for (unsigned i = 0; i < srv->opt.workers; ++i)
+        srv->workers.emplace_back([s = srv.get()] { s->workerLoop(); });
+    srv->listener = std::thread([s = srv.get()] { s->listenerLoop(); });
+    inform("farm: serving on ", srv->opt.socketPath, " (",
+           srv->opt.workers, " workers, cache ", srv->opt.cacheDir, ")");
+    return srv;
+}
+
+FarmServer::~FarmServer()
+{
+    stop();
+    if (listener.joinable())
+        listener.join();
+    for (std::thread &w : workers)
+        w.join();
+    {
+        std::lock_guard<std::mutex> lock(connMtx);
+        for (std::thread &t : connThreads)
+            t.join();
+        connThreads.clear();
+    }
+    if (journal)
+        std::fclose(journal);
+    if (listenFd >= 0)
+        ::close(listenFd);
+    std::error_code ec;
+    fs::remove(opt.socketPath, ec);
+}
+
+void
+FarmServer::wait()
+{
+    std::unique_lock<std::mutex> lock(waitMtx);
+    waitCv.wait(lock, [this] { return stopped; });
+}
+
+void
+FarmServer::stop()
+{
+    bool expected = false;
+    if (!stopping.compare_exchange_strong(expected, true))
+        return;
+    if (listenFd >= 0)
+        ::shutdown(listenFd, SHUT_RDWR);
+    {
+        std::lock_guard<std::mutex> lock(connMtx);
+        for (const std::shared_ptr<Connection> &c : conns) {
+            std::lock_guard<std::mutex> wl(c->writeMtx);
+            if (c->open)
+                ::shutdown(c->fd, SHUT_RDWR);
+        }
+    }
+    {
+        // `stopping` is set outside taskMtx, so notify while holding
+        // it: a worker that just saw stopping==false must reach the cv
+        // wait (releasing taskMtx) before this notify can fire, or the
+        // wakeup is lost and shutdown wedges on the join.
+        std::lock_guard<std::mutex> lock(taskMtx);
+        taskCv.notify_all();
+    }
+    {
+        std::lock_guard<std::mutex> lock(waitMtx);
+        stopped = true;
+    }
+    waitCv.notify_all();
+}
+
+FarmStats
+FarmServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMtx);
+    return counters;
+}
+
+Status
+FarmServer::recoverFromJournal()
+{
+    if (opt.journalPath.empty())
+        return Status::ok();
+
+    std::FILE *f = std::fopen(opt.journalPath.c_str(), "rb");
+    if (!f)
+        return Status::ok(); // no journal yet: nothing accepted
+
+    std::string text;
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error) {
+        return Status::error(ErrorCode::IoError, "farm journal: read "
+                             "of ", opt.journalPath, " failed");
+    }
+
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        if (end > start)
+            lines.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+
+    std::vector<std::pair<std::string, FarmRequest>> pending;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const bool last = i + 1 == lines.size();
+        const bool has_newline =
+            last ? !text.empty() && text.back() == '\n' : true;
+        Result<JsonValue> doc = parseJson(lines[i]);
+        if (!doc.isOk() || !has_newline) {
+            if (last) {
+                // Same contract as the sweep journal: a record is only
+                // durable once its newline hit the disk.
+                warn("farm journal ", opt.journalPath, ": discarding "
+                     "torn trailing line (", lines[i].size(),
+                     " bytes) — interrupted append");
+                break;
+            }
+            return Status::error(ErrorCode::CorruptData, "farm journal ",
+                                 opt.journalPath, ": line ", i + 1,
+                                 " is unparseable: ",
+                                 doc.status().message());
+        }
+        const JsonValue *schema = doc->find("schema");
+        const JsonValue *key = doc->find("key");
+        const JsonValue *line = doc->find("request_line");
+        if (!schema || !schema->isString()
+            || schema->str != kFarmJournalSchema || !key
+            || !key->isString() || !line || !line->isString()) {
+            return Status::error(ErrorCode::CorruptData, "farm journal ",
+                                 opt.journalPath, ": line ", i + 1,
+                                 " is not a ", kFarmJournalSchema,
+                                 " record");
+        }
+        Result<FarmRequest> req = parseFarmRequest(line->str);
+        if (!req.isOk()) {
+            return Status::error(ErrorCode::CorruptData, "farm journal ",
+                                 opt.journalPath, ": line ", i + 1, ": ",
+                                 req.status().message());
+        }
+        // Last entry for a key wins; earlier duplicates describe the
+        // same work (the key pins benchmark, config, frame range).
+        bool seen = false;
+        for (auto &[k, r] : pending) {
+            if (k == key->str) {
+                r = *req;
+                seen = true;
+                break;
+            }
+        }
+        if (!seen)
+            pending.emplace_back(key->str, *req);
+    }
+
+    for (const auto &[keyStr, req] : pending) {
+        Result<const BenchmarkSpec *> spec =
+            tryFindBenchmark(req.benchmark);
+        Result<GpuConfig> cfg = farmRequestConfig(req);
+        if (!spec.isOk() || !cfg.isOk()) {
+            warn("farm journal: dropping unreplayable request ", keyStr,
+                 ": ", (spec.isOk() ? cfg.status() : spec.status())
+                           .message());
+            continue;
+        }
+        const ResultCacheKey key{
+            cfg->configHash(),
+            snapshotSceneHash((*spec)->abbrev, req.width, req.height),
+            kResultCacheCodeVersion, req.frames, req.firstFrame};
+        if (cache.contains(key))
+            continue; // completed before the crash
+        inform("farm: recovering journaled request ", keyStr);
+        Result<std::string> report = simulate(req, key);
+        if (!report.isOk()) {
+            warn("farm journal: replay of ", keyStr, " failed "
+                 "permanently: ", report.status().message());
+            continue;
+        }
+        if (Status st = cache.store(key, *report); !st.isOk())
+            return st;
+        std::lock_guard<std::mutex> lock(statsMtx);
+        ++counters.recovered;
+    }
+    return Status::ok();
+}
+
+void
+FarmServer::listenerLoop()
+{
+    while (!stopping.load()) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (stopping.load())
+            break;
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(statsMtx);
+            ++counters.connections;
+        }
+        std::lock_guard<std::mutex> lock(connMtx);
+        conns.push_back(conn);
+        connThreads.emplace_back(
+            [this, conn] { connectionLoop(conn); });
+    }
+}
+
+void
+FarmServer::connectionLoop(std::shared_ptr<Connection> conn)
+{
+    std::string acc;
+    char buf[4096];
+    while (!stopping.load()) {
+        const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        acc.append(buf, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        while (true) {
+            const std::size_t end = acc.find('\n', start);
+            if (end == std::string::npos)
+                break;
+            if (end > start)
+                handleLine(conn, acc.substr(start, end - start));
+            start = end + 1;
+        }
+        acc.erase(0, start);
+    }
+    {
+        std::lock_guard<std::mutex> lock(conn->writeMtx);
+        conn->open = false;
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+    std::lock_guard<std::mutex> lock(connMtx);
+    for (auto it = conns.begin(); it != conns.end(); ++it) {
+        if (it->get() == conn.get()) {
+            conns.erase(it);
+            break;
+        }
+    }
+}
+
+void
+FarmServer::handleLine(const std::shared_ptr<Connection> &conn,
+                       const std::string &line)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMtx);
+        ++counters.requests;
+    }
+    Result<FarmRequest> parsed = parseFarmRequest(line);
+    if (!parsed.isOk()) {
+        FarmResponse resp;
+        resp.status = "error";
+        resp.code = errorCodeName(parsed.status().code());
+        resp.message = parsed.status().message();
+        respond(conn, resp);
+        return;
+    }
+    const FarmRequest &req = *parsed;
+    switch (req.op) {
+      case FarmOp::Simulate:
+        handleSimulate(conn, req);
+        return;
+      case FarmOp::Ping: {
+        FarmResponse resp;
+        resp.id = req.id;
+        resp.status = "ok";
+        respond(conn, resp);
+        return;
+      }
+      case FarmOp::Stats: {
+        const FarmStats s = stats();
+        JsonWriter w;
+        w.beginObject();
+        w.key("connections"); w.value(s.connections);
+        w.key("requests"); w.value(s.requests);
+        w.key("cache_hits"); w.value(s.cacheHits);
+        w.key("coalesced"); w.value(s.coalesced);
+        w.key("simulations"); w.value(s.simulations);
+        w.key("failures"); w.value(s.failures);
+        w.key("rejected"); w.value(s.rejected);
+        w.key("recovered"); w.value(s.recovered);
+        w.key("evicted"); w.value(s.evicted);
+        w.endObject();
+        FarmResponse resp;
+        resp.id = req.id;
+        resp.status = "ok";
+        resp.payload = w.str();
+        respond(conn, resp);
+        return;
+      }
+      case FarmOp::Shutdown: {
+        FarmResponse resp;
+        resp.id = req.id;
+        resp.status = "ok";
+        respond(conn, resp);
+        inform("farm: shutdown requested by client");
+        stop();
+        return;
+      }
+    }
+}
+
+void
+FarmServer::handleSimulate(const std::shared_ptr<Connection> &conn,
+                           const FarmRequest &req)
+{
+    FarmResponse resp;
+    resp.id = req.id;
+
+    Result<const BenchmarkSpec *> spec = tryFindBenchmark(req.benchmark);
+    if (!spec.isOk()) {
+        resp.status = "error";
+        resp.code = errorCodeName(spec.status().code());
+        resp.message = spec.status().message();
+        respond(conn, resp);
+        return;
+    }
+    Result<GpuConfig> cfg = farmRequestConfig(req);
+    if (!cfg.isOk()) {
+        resp.status = "error";
+        resp.code = errorCodeName(cfg.status().code());
+        resp.message = cfg.status().message();
+        respond(conn, resp);
+        return;
+    }
+
+    const ResultCacheKey key{
+        cfg->configHash(),
+        snapshotSceneHash((*spec)->abbrev, req.width, req.height),
+        kResultCacheCodeVersion, req.frames, req.firstFrame};
+    resp.key = key.toString();
+
+    // Fast path: serve a hit without touching the task lock.
+    Result<std::string> hit = cache.lookup(key);
+    if (hit.isOk()) {
+        resp.status = "ok";
+        resp.cache = FarmCacheState::Hit;
+        resp.reportBytes = hit->size();
+        {
+            std::lock_guard<std::mutex> lock(statsMtx);
+            ++counters.cacheHits;
+        }
+        respond(conn, resp, &*hit);
+        return;
+    }
+    if (hit.status().code() != ErrorCode::NotFound) {
+        warn("farm: unusable cache entry for ", resp.key, " (",
+             hit.status().message(), ") — re-simulating");
+    }
+
+    std::lock_guard<std::mutex> lock(taskMtx);
+
+    if (opt.quarantineThreshold != 0) {
+        const auto it = strikes.find(key.configHash);
+        if (it != strikes.end()
+            && it->second >= opt.quarantineThreshold) {
+            resp.status = "error";
+            resp.code = errorCodeName(ErrorCode::FailedPrecondition);
+            resp.message = "config quarantined after "
+                + std::to_string(it->second) + " failures";
+            respond(conn, resp);
+            return;
+        }
+    }
+
+    if (conn->pending.load() >= opt.clientQuota) {
+        resp.status = "rejected";
+        resp.code = errorCodeName(ErrorCode::Unavailable);
+        resp.message = "per-client quota of "
+            + std::to_string(opt.clientQuota)
+            + " outstanding requests reached";
+        {
+            std::lock_guard<std::mutex> slock(statsMtx);
+            ++counters.rejected;
+        }
+        respond(conn, resp);
+        return;
+    }
+
+    // Identical request already being simulated? Attach, don't re-queue.
+    if (const auto it = inflight.find(resp.key); it != inflight.end()) {
+        const std::shared_ptr<Task> &task = it->second;
+        std::lock_guard<std::mutex> tlock(task->mtx);
+        libra_assert(!task->done,
+                     "finished task still registered in-flight");
+        task->waiters.push_back(
+            {conn, req.id, FarmCacheState::Coalesced});
+        conn->pending.fetch_add(1);
+        std::lock_guard<std::mutex> slock(statsMtx);
+        ++counters.coalesced;
+        return;
+    }
+
+    // The fast-path lookup raced a concurrent completion if the entry
+    // appeared since; re-check before paying for a simulation.
+    if (Result<std::string> again = cache.lookup(key); again.isOk()) {
+        resp.status = "ok";
+        resp.cache = FarmCacheState::Hit;
+        resp.reportBytes = again->size();
+        {
+            std::lock_guard<std::mutex> slock(statsMtx);
+            ++counters.cacheHits;
+        }
+        respond(conn, resp, &*again);
+        return;
+    }
+
+    if (queue.size() >= opt.maxQueue) {
+        resp.status = "rejected";
+        resp.code = errorCodeName(ErrorCode::Unavailable);
+        resp.message = "farm queue full ("
+            + std::to_string(opt.maxQueue) + " tasks)";
+        {
+            std::lock_guard<std::mutex> slock(statsMtx);
+            ++counters.rejected;
+        }
+        respond(conn, resp);
+        return;
+    }
+
+    // Accept: journal first (fsync'd), so a kill -9 between here and
+    // the cache store loses no accepted work.
+    if (journal) {
+        std::string jline = journalLine(resp.key, req);
+        jline += '\n';
+        if (std::fwrite(jline.data(), 1, jline.size(), journal)
+                != jline.size()
+            || std::fflush(journal) != 0
+            || ::fsync(::fileno(journal)) != 0) {
+            resp.status = "error";
+            resp.code = errorCodeName(ErrorCode::IoError);
+            resp.message = "farm journal append failed: "
+                + std::string(std::strerror(errno));
+            respond(conn, resp);
+            return;
+        }
+    }
+
+    auto task = std::make_shared<Task>();
+    task->req = req;
+    task->key = key;
+    task->keyStr = resp.key;
+    task->configHash = key.configHash;
+    task->waiters.push_back({conn, req.id, FarmCacheState::Miss});
+    conn->pending.fetch_add(1);
+    inflight.emplace(task->keyStr, task);
+    queue.push_back(std::move(task));
+    taskCv.notify_one();
+}
+
+Result<std::string>
+FarmServer::simulate(const FarmRequest &req, const ResultCacheKey &key)
+{
+    Result<const BenchmarkSpec *> spec = tryFindBenchmark(req.benchmark);
+    if (!spec.isOk())
+        return spec.status();
+    Result<GpuConfig> cfg = farmRequestConfig(req);
+    if (!cfg.isOk())
+        return cfg.status();
+
+    SweepJob job;
+    job.spec = *spec;
+    job.config = *cfg;
+    job.frames = req.frames;
+    job.firstFrame = req.firstFrame;
+
+    // PR 6 failure machinery per attempt; quarantine stays farm-level
+    // (threshold 0 here) so strikes are not double-counted.
+    SweepPolicy policy;
+    policy.deadlineMs = opt.deadlineMs;
+    policy.maxRetries = opt.maxRetries;
+    policy.backoffMs = opt.backoffMs;
+
+    SweepRunner runner(1);
+    SweepOutcome outcome =
+        runner.runWithPolicy({job}, policy, &scenes);
+    libra_assert(outcome.jobs.size() == 1,
+                 "single-job sweep produced ", outcome.jobs.size(),
+                 " outcomes");
+    JobOutcome &result = outcome.jobs[0];
+    if (!result.result.isOk())
+        return result.result.status();
+    (void)key;
+    return runReportJson(*result.result);
+}
+
+void
+FarmServer::workerLoop()
+{
+    while (true) {
+        std::shared_ptr<Task> task;
+        {
+            std::unique_lock<std::mutex> lock(taskMtx);
+            taskCv.wait(lock, [this] {
+                return stopping.load() || !queue.empty();
+            });
+            if (stopping.load())
+                return; // journaled work recovers on restart
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+
+        Result<std::string> report = simulate(task->req, task->key);
+        if (report.isOk()) {
+            task->report = std::move(*report);
+            if (Status st = cache.store(task->key, task->report);
+                !st.isOk()) {
+                // Waiters still get the in-memory bytes; only
+                // memoization is lost.
+                warn("farm: cannot persist result for ", task->keyStr,
+                     ": ", st.message());
+            }
+            if (opt.cacheMaxEntries != 0) {
+                Result<std::uint64_t> evicted =
+                    cache.trim(opt.cacheMaxEntries);
+                if (evicted.isOk() && *evicted != 0) {
+                    std::lock_guard<std::mutex> lock(statsMtx);
+                    counters.evicted += *evicted;
+                }
+            }
+            std::lock_guard<std::mutex> lock(statsMtx);
+            ++counters.simulations;
+        } else {
+            task->failure = report.status();
+            std::lock_guard<std::mutex> lock(taskMtx);
+            ++strikes[task->configHash];
+        }
+        finishTask(task);
+    }
+}
+
+void
+FarmServer::finishTask(const std::shared_ptr<Task> &task)
+{
+    {
+        // De-register first: a request arriving after this sees the
+        // cache entry (hit); one arriving before blocks on taskMtx and
+        // attaches before done is set below.
+        std::lock_guard<std::mutex> lock(taskMtx);
+        inflight.erase(task->keyStr);
+    }
+    std::vector<Task::Waiter> waiters;
+    {
+        std::lock_guard<std::mutex> lock(task->mtx);
+        task->done = true;
+        waiters.swap(task->waiters);
+    }
+    for (const Task::Waiter &w : waiters) {
+        FarmResponse resp;
+        resp.id = w.id;
+        resp.key = task->keyStr;
+        if (task->failure.isOk()) {
+            resp.status = "ok";
+            resp.cache = w.state;
+            resp.reportBytes = task->report.size();
+            respond(w.conn, resp, &task->report);
+        } else {
+            resp.status = "error";
+            resp.code = errorCodeName(task->failure.code());
+            resp.message = task->failure.message();
+            {
+                std::lock_guard<std::mutex> lock(statsMtx);
+                ++counters.failures;
+            }
+            respond(w.conn, resp);
+        }
+        w.conn->pending.fetch_sub(1);
+    }
+}
+
+void
+FarmServer::respond(const std::shared_ptr<Connection> &conn,
+                    const FarmResponse &resp, const std::string *report)
+{
+    std::string out = farmResponseLine(resp);
+    out += '\n';
+    if (report) {
+        libra_assert(report->find('\n') == std::string::npos,
+                     "run report contains a raw newline");
+        out += *report;
+        out += '\n';
+    }
+    std::lock_guard<std::mutex> lock(conn->writeMtx);
+    if (!conn->open)
+        return; // client went away; journaled work still completes
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t n = ::send(conn->fd, out.data() + sent,
+                                 out.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            warn("farm: dropping response for '", resp.id,
+                 "': client connection lost");
+            conn->open = false;
+            return;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace libra

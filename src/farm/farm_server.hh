@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Resident sim-farm server (ROADMAP item 2, DESIGN.md §12).
+ *
+ * Accepts simulation requests over a local (AF_UNIX) stream socket in
+ * the newline-delimited JSON protocol of farm_protocol.hh, and serves
+ * each from a persistent ResultCache keyed on (config hash, scene hash,
+ * code version, frame range):
+ *
+ *  - **cache hit** — the stored `libra.run_report/1` bytes are streamed
+ *    back verbatim, byte-identical to the run that produced them;
+ *  - **in-flight dedup** — a request identical to one currently being
+ *    simulated attaches to it ("coalesced") instead of re-queuing the
+ *    work; every waiter gets the same bytes;
+ *  - **cache miss** — the request is journaled (crash safety), queued
+ *    under admission control (bounded queue + per-connection quota) and
+ *    simulated on the worker pool via SweepRunner::runWithPolicy, which
+ *    supplies the PR 6 failure machinery: per-attempt wall-clock
+ *    deadlines (watchdog CancelToken), bounded exponential-backoff
+ *    retries, and attributable "job N [key]:" failure messages. A
+ *    farm-level quarantine fails repeat-offender configs fast so one
+ *    poisoned config cannot wedge the farm.
+ *
+ * Crash safety: every accepted (journaled) request is either completed
+ * into the cache or re-run at the next start() — recovery replays the
+ * journal before the socket opens, so a kill -9 loses no accepted work
+ * and a re-sent request is a byte-identical cache hit. The journal is
+ * truncated once recovery lands everything in the cache.
+ *
+ * Scenes are shared through one SceneCache: concurrent requests against
+ * the same (benchmark, resolution) build geometry/textures once (the
+ * Thread-Batching observation — correlated requests share working
+ * sets).
+ */
+
+#ifndef LIBRA_FARM_FARM_SERVER_HH
+#define LIBRA_FARM_FARM_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "check/result_cache.hh"
+#include "common/status.hh"
+#include "farm/farm_protocol.hh"
+#include "sim/sweep.hh"
+
+namespace libra
+{
+
+inline constexpr const char *kFarmJournalSchema = "libra.farm_journal/1";
+
+/** Server configuration. */
+struct FarmOptions
+{
+    std::string socketPath; //!< AF_UNIX path (stale file is replaced)
+    std::string cacheDir;   //!< ResultCache directory (required)
+    std::string journalPath; //!< accepted-request journal; "" = none
+
+    unsigned workers = 1;        //!< simulation worker threads
+    std::uint32_t maxQueue = 64; //!< queued-task bound (admission)
+    std::uint32_t clientQuota = 16; //!< un-answered requests per conn
+    std::uint64_t cacheMaxEntries = 0; //!< trim target; 0 = unlimited
+
+    // Failure policy forwarded into SweepPolicy per simulation.
+    std::uint64_t deadlineMs = 0;
+    std::uint32_t maxRetries = 0;
+    std::uint64_t backoffMs = 0;
+    /** Permanent failures of one configHash before its requests fail
+     *  fast (farm-level quarantine); 0 disables. */
+    std::uint32_t quarantineThreshold = 0;
+};
+
+/** Monotonic server counters (stats op; test assertions). */
+struct FarmStats
+{
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;   //!< parsed request lines
+    std::uint64_t cacheHits = 0;
+    std::uint64_t coalesced = 0;  //!< attached to in-flight work
+    std::uint64_t simulations = 0; //!< actually executed (misses)
+    std::uint64_t failures = 0;   //!< simulate requests answered error
+    std::uint64_t rejected = 0;   //!< admission-control rejections
+    std::uint64_t recovered = 0;  //!< journal-replay completions
+    std::uint64_t evicted = 0;    //!< cache entries trimmed
+};
+
+class FarmServer
+{
+  public:
+    /**
+     * Open cache + journal, replay unfinished journaled work into the
+     * cache (recovery), bind the socket and start the listener/worker
+     * threads. On error nothing is left running.
+     */
+    static Result<std::unique_ptr<FarmServer>> start(FarmOptions opt);
+
+    ~FarmServer();
+
+    FarmServer(const FarmServer &) = delete;
+    FarmServer &operator=(const FarmServer &) = delete;
+
+    /** Block until the server stops (shutdown request or stop()). */
+    void wait();
+
+    /** Ask the server to stop; idempotent, returns immediately. */
+    void stop();
+
+    FarmStats stats() const;
+
+    const std::string &socketPath() const { return opt.socketPath; }
+
+  private:
+    struct Connection;
+    struct Task;
+
+    FarmServer() = default;
+
+    Status recoverFromJournal();
+    void listenerLoop();
+    void connectionLoop(std::shared_ptr<Connection> conn);
+    void workerLoop();
+
+    void handleLine(const std::shared_ptr<Connection> &conn,
+                    const std::string &line);
+    void handleSimulate(const std::shared_ptr<Connection> &conn,
+                        const FarmRequest &req);
+    /** Run one simulate request to a report (shared by workers and
+     *  journal recovery); status carries the attributable failure. */
+    Result<std::string> simulate(const FarmRequest &req,
+                                 const ResultCacheKey &key);
+    void finishTask(const std::shared_ptr<Task> &task);
+
+    void respond(const std::shared_ptr<Connection> &conn,
+                 const FarmResponse &resp,
+                 const std::string *report = nullptr);
+
+    FarmOptions opt;
+    ResultCache cache;
+    SceneCache scenes;
+
+    int listenFd = -1;
+    std::atomic<bool> stopping{false};
+
+    std::thread listener;
+    std::vector<std::thread> workers;
+
+    mutable std::mutex connMtx;
+    std::vector<std::shared_ptr<Connection>> conns;
+    std::vector<std::thread> connThreads; //!< joined at destruction
+
+    std::mutex taskMtx; //!< guards queue + inflight + journal + strikes
+    std::condition_variable taskCv;
+    std::deque<std::shared_ptr<Task>> queue;
+    std::unordered_map<std::string, std::shared_ptr<Task>> inflight;
+    std::unordered_map<std::uint64_t, std::uint32_t> strikes;
+    std::FILE *journal = nullptr; //!< append handle; null = no journal
+
+    mutable std::mutex statsMtx;
+    FarmStats counters;
+
+    std::mutex waitMtx;
+    std::condition_variable waitCv;
+    bool stopped = false;
+};
+
+} // namespace libra
+
+#endif // LIBRA_FARM_FARM_SERVER_HH

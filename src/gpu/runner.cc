@@ -337,8 +337,17 @@ maybeCheckpoint(const CheckpointPlan &plan, const Scene &scene,
     }
     const std::vector<std::uint8_t> bytes =
         buildSnapshot(scene, cfg, result, gpu, first_frame, frames_done);
+    // Plan setup already validated the directory once; re-creating it
+    // here covers a mid-run deletion. The error contract is the same:
+    // warn, skip the write, never change the run's outcome.
     std::error_code ec;
     std::filesystem::create_directories(plan.dir, ec);
+    if (ec) {
+        warn("checkpoint: cannot create directory ", plan.dir, ": ",
+             ec.message(), " — skipping snapshot at frame ",
+             first_frame + frames_done);
+        return;
+    }
     const std::uint64_t scene_hash = sceneHashOf(scene, cfg);
     const std::string name =
         snapshotFileName(cfg.configHash(), scene_hash, frames_done);
@@ -382,6 +391,23 @@ runBenchmark(const Scene &scene, const GpuConfig &cfg,
                              scene.screenHeight(),
                              " does not match configured ",
                              cfg.screenWidth, "x", cfg.screenHeight);
+    }
+
+    // Surface an unusable checkpoint directory once, at plan setup,
+    // instead of silently ignoring the create_directories error on
+    // every frame. Warn-only: checkpointing must never change a run's
+    // outcome, so the run proceeds with periodic snapshots disabled.
+    CheckpointPlan plan = checkpoint;
+    if (!plan.dir.empty() && plan.every != 0) {
+        std::error_code ec;
+        std::filesystem::create_directories(plan.dir, ec);
+        if (ec) {
+            warn("benchmark ", spec.abbrev,
+                 ": cannot create checkpoint directory ", plan.dir,
+                 ": ", ec.message(),
+                 " — periodic checkpoints disabled for this run");
+            plan.every = 0;
+        }
     }
 
     RunResult result;
@@ -445,8 +471,8 @@ runBenchmark(const Scene &scene, const GpuConfig &cfg,
             gpu = std::make_unique<Gpu>(cfg);
             gpu->setTraceSink(result.trace.get());
         }
-        if (checkpoint.enabled()) {
-            maybeCheckpoint(checkpoint, scene, cfg, result, *gpu,
+        if (plan.enabled()) {
+            maybeCheckpoint(plan, scene, cfg, result, *gpu,
                             first_frame, f + 1, frames);
         }
     }

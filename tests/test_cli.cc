@@ -143,3 +143,80 @@ TEST(CliDeathTest, BareFlagReadAsIntegerStaysValid)
     const auto args = parse({"--full"}, {"full"});
     EXPECT_EQ(args.getInt("full", 0), 1);
 }
+
+// --- getUint: strict parsing for count/duration options --------------
+//
+// --deadline-ms, --backoff-ms, --checkpoint-every, --warm-prefix and
+// friends are unsigned; before getUint they went through getInt +
+// static_cast, so "--backoff-ms=-5" quietly became an astronomically
+// large unsigned backoff. getUint keeps getInt's trailing-garbage and
+// overflow strictness and adds negative rejection.
+
+TEST(Cli, UintParsesPlainAndHex)
+{
+    const auto args = parse({"--a", "42", "--b", "0x20"}, {"a", "b"});
+    EXPECT_EQ(args.getUint("a", 0), 42u);
+    EXPECT_EQ(args.getUint("b", 0), 32u);
+}
+
+TEST(Cli, UintMissingUsesFallback)
+{
+    const auto args = parse({}, {"deadline-ms"});
+    EXPECT_EQ(args.getUint("deadline-ms", 123), 123u);
+}
+
+TEST(Cli, UintFullRange)
+{
+    // Values above int64 max are legal for a u64 option.
+    const auto args =
+        parse({"--a", "18446744073709551615"}, {"a"});
+    EXPECT_EQ(args.getUint("a", 0), ~std::uint64_t{0});
+}
+
+TEST(CliDeathTest, UintRejectsNegative)
+{
+    const auto args = parse({"--backoff-ms", "-5"}, {"backoff-ms"});
+    EXPECT_EXIT((void)args.getUint("backoff-ms", 0),
+                ::testing::ExitedWithCode(1),
+                "expected a non-negative integer");
+}
+
+TEST(CliDeathTest, UintRejectsNegativeEqualsForm)
+{
+    const auto args = parse({"--deadline-ms=-1"}, {"deadline-ms"});
+    EXPECT_EXIT((void)args.getUint("deadline-ms", 0),
+                ::testing::ExitedWithCode(1),
+                "expected a non-negative integer");
+}
+
+TEST(CliDeathTest, UintRejectsTrailingGarbage)
+{
+    const auto args = parse({"--checkpoint-every=3frames"},
+                            {"checkpoint-every"});
+    EXPECT_EXIT((void)args.getUint("checkpoint-every", 0),
+                ::testing::ExitedWithCode(1), "expected an integer");
+}
+
+TEST(CliDeathTest, UintRejectsEmptyValue)
+{
+    const auto args = parse({"--warm-prefix="}, {"warm-prefix"});
+    EXPECT_EXIT((void)args.getUint("warm-prefix", 0),
+                ::testing::ExitedWithCode(1), "expected an integer");
+}
+
+TEST(CliDeathTest, UintRejectsOverflow)
+{
+    const auto args =
+        parse({"--a", "99999999999999999999999"}, {"a"});
+    EXPECT_EXIT((void)args.getUint("a", 0),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(CliDeathTest, UintRejectsInteriorMinus)
+{
+    // strtoull would stop at the '-'; the whole-value contract and the
+    // sign check both have to hold.
+    const auto args = parse({"--a", "12-34"}, {"a"});
+    EXPECT_EXIT((void)args.getUint("a", 0),
+                ::testing::ExitedWithCode(1), "non-negative");
+}

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Unit tests for the sim-farm building blocks: the NDJSON wire
+ * protocol (round-trips, config specs, error attribution) and the
+ * persistent result cache (key identity, store/lookup byte-exactness,
+ * corruption and mismatch degradation, deterministic eviction).
+ *
+ * The live server (socket, coalescing, journal recovery) is exercised
+ * end-to-end by bench/farm_smoke.cpp; these tests pin the pieces it is
+ * built from, without spinning up threads or running simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "check/result_cache.hh"
+#include "check/snapshot.hh"
+#include "farm/farm_protocol.hh"
+#include "gpu/gpu_config.hh"
+#include "trace/json.hh"
+
+using namespace libra;
+
+namespace
+{
+
+/** Fresh temp directory, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const char *tag)
+        : path_(std::string("/tmp/libra_farm_test_") + tag)
+    {
+        std::filesystem::remove_all(path_);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path_); }
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+ResultCacheKey
+sampleKey()
+{
+    ResultCacheKey key;
+    key.configHash = 0x0123456789abcdefull;
+    key.sceneHash = 0xfedcba9876543210ull;
+    key.frames = 4;
+    key.firstFrame = 2;
+    return key;
+}
+
+} // namespace
+
+// --- wire protocol ---------------------------------------------------
+
+TEST(FarmProtocol, RequestRoundTripsAllFields)
+{
+    FarmRequest req;
+    req.op = FarmOp::Simulate;
+    req.id = "fig9-ccs-libra";
+    req.benchmark = "CCS";
+    req.width = 1280;
+    req.height = 720;
+    req.frames = 8;
+    req.firstFrame = 3;
+    req.config = "supertile:4:2x4";
+    req.simThreads = 2;
+    req.figure = "fig9";
+
+    Result<FarmRequest> back = parseFarmRequest(farmRequestLine(req));
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    EXPECT_EQ(back->op, FarmOp::Simulate);
+    EXPECT_EQ(back->id, req.id);
+    EXPECT_EQ(back->benchmark, req.benchmark);
+    EXPECT_EQ(back->width, req.width);
+    EXPECT_EQ(back->height, req.height);
+    EXPECT_EQ(back->frames, req.frames);
+    EXPECT_EQ(back->firstFrame, req.firstFrame);
+    EXPECT_EQ(back->config, req.config);
+    EXPECT_EQ(back->simThreads, req.simThreads);
+    EXPECT_EQ(back->figure, req.figure);
+}
+
+TEST(FarmProtocol, NonSimulateOpsRoundTrip)
+{
+    for (const FarmOp op :
+         {FarmOp::Ping, FarmOp::Stats, FarmOp::Shutdown}) {
+        FarmRequest req;
+        req.op = op;
+        req.id = farmOpName(op);
+        Result<FarmRequest> back =
+            parseFarmRequest(farmRequestLine(req));
+        ASSERT_TRUE(back.isOk()) << back.status().toString();
+        EXPECT_EQ(back->op, op);
+        EXPECT_EQ(back->id, farmOpName(op));
+    }
+}
+
+TEST(FarmProtocol, RequestParseRejectsGarbage)
+{
+    EXPECT_FALSE(parseFarmRequest("not json").isOk());
+    EXPECT_FALSE(parseFarmRequest("{}").isOk()); // missing schema
+    EXPECT_FALSE(
+        parseFarmRequest(R"({"schema":"libra.other/1","op":"ping"})")
+            .isOk());
+    EXPECT_FALSE(parseFarmRequest(
+                     R"({"schema":"libra.farm_request/1","op":"fly"})")
+                     .isOk());
+}
+
+TEST(FarmProtocol, ResponseRoundTripsIncludingPayload)
+{
+    FarmResponse resp;
+    resp.id = "r1";
+    resp.status = "ok";
+    resp.cache = FarmCacheState::Coalesced;
+    resp.key = sampleKey().toString();
+    resp.reportBytes = 12345;
+    resp.payload = R"({"cache_hits":3,"simulations":2})";
+
+    Result<FarmResponse> back =
+        parseFarmResponse(farmResponseLine(resp));
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    EXPECT_TRUE(back->ok());
+    EXPECT_EQ(back->id, resp.id);
+    EXPECT_EQ(back->cache, FarmCacheState::Coalesced);
+    EXPECT_EQ(back->key, resp.key);
+    EXPECT_EQ(back->reportBytes, resp.reportBytes);
+    // The payload must survive re-serialization byte-exactly: clients
+    // parse it as JSON (stats counters), and numbers must not be
+    // mangled through a double round-trip.
+    EXPECT_EQ(back->payload, resp.payload);
+}
+
+TEST(FarmProtocol, ErrorResponseCarriesAttribution)
+{
+    FarmResponse resp;
+    resp.id = "bad";
+    resp.status = "error";
+    resp.code = "invalid_argument";
+    resp.message = "unknown benchmark 'NOPE'";
+
+    Result<FarmResponse> back =
+        parseFarmResponse(farmResponseLine(resp));
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    EXPECT_FALSE(back->ok());
+    EXPECT_EQ(back->code, "invalid_argument");
+    EXPECT_EQ(back->message, "unknown benchmark 'NOPE'");
+}
+
+// --- config specs ----------------------------------------------------
+
+TEST(FarmProtocol, ConfigSpecsMatchPresets)
+{
+    Result<GpuConfig> baseline = parseConfigSpec("baseline:2");
+    ASSERT_TRUE(baseline.isOk());
+    EXPECT_EQ(baseline->configHash(), GpuConfig::baseline(2).configHash());
+
+    Result<GpuConfig> ptr = parseConfigSpec("ptr:2x4");
+    ASSERT_TRUE(ptr.isOk());
+    EXPECT_EQ(ptr->configHash(), GpuConfig::ptr(2, 4).configHash());
+
+    Result<GpuConfig> libra = parseConfigSpec("libra:2x4");
+    ASSERT_TRUE(libra.isOk());
+    EXPECT_EQ(libra->configHash(), GpuConfig::libra(2, 4).configHash());
+
+    Result<GpuConfig> super = parseConfigSpec("supertile:4:2x4");
+    ASSERT_TRUE(super.isOk());
+    EXPECT_EQ(super->configHash(),
+              GpuConfig::staticSupertile(4, 2, 4).configHash());
+
+    // Defaults when the geometry suffix is omitted.
+    Result<GpuConfig> bare = parseConfigSpec("libra");
+    ASSERT_TRUE(bare.isOk());
+    EXPECT_EQ(bare->configHash(), GpuConfig::libra().configHash());
+}
+
+TEST(FarmProtocol, ConfigSpecRejectsMalformedSpecs)
+{
+    for (const char *bad : {"", "warp-drive", "libra:2x", "libra:x4",
+                            "ptr:0x4", "baseline:", "supertile",
+                            "supertile:4:2x4:extra", "libra:2x4x8"}) {
+        Result<GpuConfig> cfg = parseConfigSpec(bad);
+        EXPECT_FALSE(cfg.isOk()) << "accepted spec '" << bad << "'";
+        if (!cfg.isOk())
+            EXPECT_EQ(cfg.status().code(), ErrorCode::InvalidArgument)
+                << bad;
+    }
+}
+
+TEST(FarmProtocol, RequestConfigAppliesResolutionAndThreads)
+{
+    FarmRequest req;
+    req.benchmark = "CCS";
+    req.width = 640;
+    req.height = 360;
+    req.config = "libra:2x2";
+    req.simThreads = 2;
+
+    Result<GpuConfig> cfg = farmRequestConfig(req);
+    ASSERT_TRUE(cfg.isOk()) << cfg.status().toString();
+    EXPECT_EQ(cfg->screenWidth, 640u);
+    EXPECT_EQ(cfg->screenHeight, 360u);
+    EXPECT_EQ(cfg->simThreads, 2u);
+    EXPECT_EQ(cfg->rasterUnits, 2u);
+    EXPECT_EQ(cfg->coresPerRu, 2u);
+}
+
+TEST(FarmProtocol, RequestConfigRejectsInvalidResolution)
+{
+    FarmRequest req;
+    req.config = "libra:2x2";
+    req.width = 0;
+    EXPECT_FALSE(farmRequestConfig(req).isOk());
+}
+
+// --- result-cache key ------------------------------------------------
+
+TEST(ResultCacheTest, KeyToStringIsCanonical)
+{
+    EXPECT_EQ(sampleKey().toString(),
+              "cfg:0123456789abcdef:scene:fedcba9876543210:f4@2:v1");
+}
+
+TEST(ResultCacheTest, KeyDistinguishesEveryField)
+{
+    const ResultCacheKey base = sampleKey();
+    ResultCacheKey k = base;
+    k.configHash ^= 1;
+    EXPECT_FALSE(k == base);
+    EXPECT_NE(k.toString(), base.toString());
+    k = base;
+    k.sceneHash ^= 1;
+    EXPECT_NE(k.toString(), base.toString());
+    k = base;
+    k.frames = 5;
+    EXPECT_NE(k.toString(), base.toString());
+    k = base;
+    k.firstFrame = 0;
+    EXPECT_NE(k.toString(), base.toString());
+    k = base;
+    k.codeVersion = 2;
+    EXPECT_NE(k.toString(), base.toString());
+}
+
+// --- entry image -----------------------------------------------------
+
+TEST(ResultCacheTest, EntryImageRoundTripsReportBytes)
+{
+    const std::string report =
+        R"({"schema":"libra.run_report/1","cycles":123})";
+    std::vector<std::uint8_t> image =
+        buildResultCacheEntry(sampleKey(), report);
+    Result<std::string> back =
+        parseResultCacheEntry(sampleKey(), std::move(image));
+    ASSERT_TRUE(back.isOk()) << back.status().toString();
+    EXPECT_EQ(*back, report);
+}
+
+TEST(ResultCacheTest, EntryImageRejectsKeyMismatch)
+{
+    std::vector<std::uint8_t> image =
+        buildResultCacheEntry(sampleKey(), "{}");
+    ResultCacheKey other = sampleKey();
+    other.configHash ^= 1;
+    Result<std::string> back =
+        parseResultCacheEntry(other, std::move(image));
+    ASSERT_FALSE(back.isOk());
+    EXPECT_EQ(back.status().code(), ErrorCode::FailedPrecondition);
+}
+
+TEST(ResultCacheTest, EntryImageRejectsBitFlip)
+{
+    const std::string report(256, 'r');
+    std::vector<std::uint8_t> image =
+        buildResultCacheEntry(sampleKey(), report);
+    image[image.size() / 2] ^= 0x40; // inside the CRC-framed section
+    Result<std::string> back =
+        parseResultCacheEntry(sampleKey(), std::move(image));
+    ASSERT_FALSE(back.isOk());
+    EXPECT_EQ(back.status().code(), ErrorCode::CorruptData);
+}
+
+// --- directory cache -------------------------------------------------
+
+TEST(ResultCacheTest, StoreThenLookupIsByteExact)
+{
+    const TempDir dir("store");
+    Result<ResultCache> cache = ResultCache::open(dir.str());
+    ASSERT_TRUE(cache.isOk()) << cache.status().toString();
+
+    const std::string report =
+        R"({"schema":"libra.run_report/1","cycles":9001})";
+    EXPECT_FALSE(cache->contains(sampleKey()));
+    ASSERT_TRUE(cache->store(sampleKey(), report).isOk());
+    EXPECT_TRUE(cache->contains(sampleKey()));
+
+    Result<std::string> got = cache->lookup(sampleKey());
+    ASSERT_TRUE(got.isOk()) << got.status().toString();
+    EXPECT_EQ(*got, report);
+
+    // Overwrite with new bytes: last store wins, still byte-exact.
+    const std::string updated =
+        R"({"schema":"libra.run_report/1","cycles":9002})";
+    ASSERT_TRUE(cache->store(sampleKey(), updated).isOk());
+    EXPECT_EQ(*cache->lookup(sampleKey()), updated);
+}
+
+TEST(ResultCacheTest, MissIsNotFound)
+{
+    const TempDir dir("miss");
+    Result<ResultCache> cache = ResultCache::open(dir.str());
+    ASSERT_TRUE(cache.isOk());
+    Result<std::string> got = cache->lookup(sampleKey());
+    ASSERT_FALSE(got.isOk());
+    EXPECT_EQ(got.status().code(), ErrorCode::NotFound);
+}
+
+TEST(ResultCacheTest, TruncatedEntryDegradesToCorruptData)
+{
+    const TempDir dir("trunc");
+    Result<ResultCache> cache = ResultCache::open(dir.str());
+    ASSERT_TRUE(cache.isOk());
+    ASSERT_TRUE(cache->store(sampleKey(), std::string(512, 'x')).isOk());
+
+    const std::string file =
+        dir.str() + "/" + ResultCache::entryFileName(sampleKey());
+    const auto size = std::filesystem::file_size(file);
+    std::filesystem::resize_file(file, size / 2);
+
+    Result<std::string> got = cache->lookup(sampleKey());
+    ASSERT_FALSE(got.isOk());
+    EXPECT_EQ(got.status().code(), ErrorCode::CorruptData);
+    EXPECT_FALSE(cache->contains(sampleKey()));
+}
+
+TEST(ResultCacheTest, ForeignEntryFileDegradesToFailedPrecondition)
+{
+    // An entry stored under one key but renamed to another key's file
+    // name (or a hash-function change) must be refused at lookup, not
+    // served as the wrong report.
+    const TempDir dir("mismatch");
+    Result<ResultCache> cache = ResultCache::open(dir.str());
+    ASSERT_TRUE(cache.isOk());
+    ASSERT_TRUE(cache->store(sampleKey(), "{}").isOk());
+
+    ResultCacheKey other = sampleKey();
+    other.sceneHash ^= 0xff;
+    std::filesystem::rename(
+        dir.str() + "/" + ResultCache::entryFileName(sampleKey()),
+        dir.str() + "/" + ResultCache::entryFileName(other));
+
+    Result<std::string> got = cache->lookup(other);
+    ASSERT_FALSE(got.isOk());
+    EXPECT_EQ(got.status().code(), ErrorCode::FailedPrecondition);
+}
+
+TEST(ResultCacheTest, TrimEvictsDownToBoundDeterministically)
+{
+    const TempDir dir("trim");
+    Result<ResultCache> cache = ResultCache::open(dir.str());
+    ASSERT_TRUE(cache.isOk());
+
+    std::vector<ResultCacheKey> keys;
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        ResultCacheKey key = sampleKey();
+        key.configHash = i;
+        keys.push_back(key);
+        ASSERT_TRUE(cache->store(key, "{}").isOk());
+    }
+    Result<std::vector<std::string>> files = cache->entries();
+    ASSERT_TRUE(files.isOk());
+    ASSERT_EQ(files->size(), 5u);
+
+    // All five share one mtime resolution window, so eviction order
+    // falls back to the name tie-break — deterministic by contract.
+    Result<std::uint64_t> removed = cache->trim(2);
+    ASSERT_TRUE(removed.isOk()) << removed.status().toString();
+    EXPECT_EQ(*removed, 3u);
+    files = cache->entries();
+    ASSERT_TRUE(files.isOk());
+    EXPECT_EQ(files->size(), 2u);
+
+    // trim(0) trims *to* zero — "0 disables" is the FarmOptions
+    // contract, enforced by the server before it ever calls trim.
+    Result<std::uint64_t> all = cache->trim(0);
+    ASSERT_TRUE(all.isOk());
+    EXPECT_EQ(*all, 2u);
+    EXPECT_EQ(cache->entries()->size(), 0u);
+}
+
+TEST(ResultCacheTest, SceneHashBindsBenchmarkAndResolution)
+{
+    // The scene hash is the request-side half of the key: any change to
+    // benchmark or resolution must change it, or two different scenes
+    // would share cache entries.
+    const std::uint64_t base = snapshotSceneHash("CCS", 256, 128);
+    EXPECT_NE(base, snapshotSceneHash("SPT", 256, 128));
+    EXPECT_NE(base, snapshotSceneHash("CCS", 512, 128));
+    EXPECT_NE(base, snapshotSceneHash("CCS", 256, 256));
+    EXPECT_EQ(base, snapshotSceneHash("CCS", 256, 128));
+}

@@ -332,3 +332,42 @@ TEST(SnapshotManifest, SceneHashIsStable)
     EXPECT_NE(a, snapshotSceneHash("SuS", 128, 64));
     EXPECT_NE(a, snapshotSceneHash("CCS", 256, 64));
 }
+
+TEST(SnapshotManifest, EqualFreshnessTieBreaksOnPathDeterministically)
+{
+    // Regression: two equally-fresh snapshots (same framesDone — e.g.
+    // written by concurrent sweeps into one directory) used to resolve
+    // by manifest enumeration order, so resume could restore different
+    // bytes depending on append order. The pinned total order is
+    // framesDone descending, then file path ascending.
+    SnapshotManifestEntry a;
+    a.configHash = 7;
+    a.sceneHash = 9;
+    a.codeVersion = kSnapshotCodeVersion;
+    a.firstFrame = 0;
+    a.framesDone = 2;
+    a.file = "snap_b.lsnp";
+    SnapshotManifestEntry b = a;
+    b.file = "snap_a.lsnp";
+
+    const std::vector<SnapshotManifestEntry> forward{a, b};
+    const std::vector<SnapshotManifestEntry> reversed{b, a};
+    const SnapshotManifestEntry *fwd =
+        findSnapshotEntry(forward, 7, 9, 0, 10);
+    const SnapshotManifestEntry *rev =
+        findSnapshotEntry(reversed, 7, 9, 0, 10);
+    ASSERT_NE(fwd, nullptr);
+    ASSERT_NE(rev, nullptr);
+    EXPECT_EQ(fwd->file, "snap_a.lsnp");
+    EXPECT_EQ(rev->file, "snap_a.lsnp");
+
+    // Freshness still dominates the path tie-break.
+    SnapshotManifestEntry fresher = a;
+    fresher.framesDone = 3;
+    fresher.file = "snap_z.lsnp";
+    const std::vector<SnapshotManifestEntry> mixed{a, fresher, b};
+    const SnapshotManifestEntry *best =
+        findSnapshotEntry(mixed, 7, 9, 0, 10);
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(best->file, "snap_z.lsnp");
+}

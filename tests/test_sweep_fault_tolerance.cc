@@ -363,3 +363,132 @@ TEST(SweepJournalTest, KillAndResumeReportIsByteIdentical)
     EXPECT_EQ(resumed.failureCount(), 0u);
     EXPECT_EQ(outcomeReport(smallJobs(ccs), resumed), reference);
 }
+
+TEST(SweepJournalTest, DuplicateEntriesForOneKeyReplayLastWriteWins)
+{
+    // A journal can hold several records for one job key: a re-run
+    // sweep appends again (the journal is append-only), and a crashed
+    // farm can leave a success followed by later re-executions. Replay
+    // must be deterministic: the LAST ok record for a key wins,
+    // regardless of what precedes it.
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    const JournalPath journal("dup");
+
+    SweepPolicy policy;
+    policy.journalPath = journal.str();
+
+    SweepRunner pool(1);
+    SceneCache cache;
+    SweepOutcome first =
+        pool.runWithPolicy(smallJobs(ccs), policy, &cache);
+    ASSERT_EQ(first.failureCount(), 0u);
+
+    // Append a conflicting duplicate for job 0's key whose payload is
+    // distinguishable from the genuine result.
+    const std::string key0 = sweepJobKey(smallJobs(ccs)[0]);
+    {
+        Result<SweepJournal> j = SweepJournal::open(journal.str());
+        ASSERT_TRUE(j.isOk()) << j.status().toString();
+        JournalRecord dup;
+        dup.key = key0;
+        dup.ok = true;
+        dup.attempts = 7;
+        dup.result = *first.jobs[0].result;
+        dup.result.counters["journal.duplicate_marker"] = 1;
+        ASSERT_TRUE(j->append(dup).isOk());
+    }
+
+    policy.resume = true;
+    SweepOutcome resumed =
+        pool.runWithPolicy(smallJobs(ccs), policy, &cache);
+    EXPECT_EQ(resumed.replayedFromJournal, 3u);
+    ASSERT_TRUE(resumed.jobs[0].result.isOk());
+    EXPECT_TRUE(resumed.jobs[0].fromJournal);
+    // The later record — marker and all — is what replays.
+    EXPECT_EQ(resumed.jobs[0].result->counters.count(
+                  "journal.duplicate_marker"),
+              1u);
+    // Unrelated keys are untouched by the duplicate.
+    ASSERT_TRUE(resumed.jobs[1].result.isOk());
+    EXPECT_EQ(runReportJson(*first.jobs[1].result),
+              runReportJson(*resumed.jobs[1].result));
+}
+
+TEST(SweepJournalTest, FailureRecordAfterSuccessDoesNotMaskReplay)
+{
+    // Conflicting records of mixed outcome: a success followed by a
+    // later failure record for the same key (e.g. a re-run attempt that
+    // died). Failed records never mask a durable success — resume
+    // replays the ok record and the final report is byte-identical to
+    // an uninterrupted sweep.
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    const JournalPath journal("conflict");
+
+    SweepRunner pool(1);
+    SceneCache cache;
+    const std::string reference = outcomeReport(
+        smallJobs(ccs),
+        pool.runWithPolicy(smallJobs(ccs), SweepPolicy{}, &cache));
+
+    SweepPolicy policy;
+    policy.journalPath = journal.str();
+    SweepOutcome first =
+        pool.runWithPolicy(smallJobs(ccs), policy, &cache);
+    ASSERT_EQ(first.failureCount(), 0u);
+
+    {
+        Result<SweepJournal> j = SweepJournal::open(journal.str());
+        ASSERT_TRUE(j.isOk()) << j.status().toString();
+        JournalRecord failed;
+        failed.key = sweepJobKey(smallJobs(ccs)[1]);
+        failed.ok = false;
+        failed.attempts = 1;
+        failed.code = ErrorCode::Unavailable;
+        failed.message = "fabricated post-success failure";
+        ASSERT_TRUE(j->append(failed).isOk());
+    }
+
+    SweepPolicy resuming;
+    resuming.journalPath = journal.str();
+    resuming.resume = true;
+    SweepOutcome resumed =
+        pool.runWithPolicy(smallJobs(ccs), resuming, &cache);
+    EXPECT_EQ(resumed.replayedFromJournal, 3u);
+    EXPECT_EQ(resumed.failureCount(), 0u);
+    EXPECT_EQ(outcomeReport(smallJobs(ccs), resumed), reference);
+}
+
+TEST(SweepJournalTest, DuplicateReplayIsByteIdenticalToCleanRun)
+{
+    // The acceptance bar for last-write-wins: duplicates of identical
+    // payload (the common append-twice case) replay to a report byte-
+    // identical to a sweep that never touched a journal.
+    const BenchmarkSpec &ccs = findBenchmark("CCS");
+    const JournalPath journal("dup2");
+
+    SweepRunner pool(1);
+    SceneCache cache;
+    const std::string reference = outcomeReport(
+        smallJobs(ccs),
+        pool.runWithPolicy(smallJobs(ccs), SweepPolicy{}, &cache));
+
+    SweepPolicy policy;
+    policy.journalPath = journal.str();
+    ASSERT_EQ(pool.runWithPolicy(smallJobs(ccs), policy, &cache)
+                  .failureCount(),
+              0u);
+    // Second run appends a full second copy of every record.
+    ASSERT_EQ(pool.runWithPolicy(smallJobs(ccs), policy, &cache)
+                  .failureCount(),
+              0u);
+    Result<std::vector<JournalRecord>> records =
+        SweepJournal::load(journal.str());
+    ASSERT_TRUE(records.isOk());
+    EXPECT_EQ(records->size(), 6u); // 3 jobs x 2 appends
+
+    policy.resume = true;
+    SweepOutcome resumed =
+        pool.runWithPolicy(smallJobs(ccs), policy, &cache);
+    EXPECT_EQ(resumed.replayedFromJournal, 3u);
+    EXPECT_EQ(outcomeReport(smallJobs(ccs), resumed), reference);
+}
