@@ -26,6 +26,7 @@
 #include <thread>
 
 #include "check/result_cache.hh"
+#include "check/snapshot.hh"
 #include "farm/farm_client.hh"
 #include "farm/farm_server.hh"
 #include "gpu/runner.hh"
@@ -191,6 +192,38 @@ main()
     SMOKE_CHECK(mustCall(*client, ping).header.ok(),
                 "server wedged after bad requests");
 
+    // 5b. A zero-length cached report must not desync the connection:
+    //     its header advertises no report_bytes, so no stray report
+    //     newline may follow it either. Plant an empty entry under the
+    //     key the server computes and read it back.
+    {
+        FarmRequest reqE = request("baseline:2", "empty");
+        reqE.width = 128; // distinct scene hash, distinct cache key
+        reqE.height = 64;
+        const BenchmarkSpec &spec = findBenchmark(reqE.benchmark);
+        Result<GpuConfig> cfg = farmRequestConfig(reqE);
+        SMOKE_CHECK(cfg.isOk(), "empty-report config: ",
+                    cfg.status().toString());
+        const ResultCacheKey key{
+            cfg->configHash(),
+            snapshotSceneHash(spec.abbrev, reqE.width, reqE.height),
+            kResultCacheCodeVersion, reqE.frames, reqE.firstFrame};
+        Result<ResultCache> side = ResultCache::open(cacheDir);
+        SMOKE_CHECK(side.isOk(), "side cache open: ",
+                    side.status().toString());
+        SMOKE_CHECK(side->store(key, "").isOk(),
+                    "cannot store empty entry");
+        FarmReply emptyHit = mustCall(*client, reqE);
+        SMOKE_CHECK(emptyHit.header.ok()
+                        && emptyHit.header.cache == FarmCacheState::Hit
+                        && emptyHit.header.reportBytes == 0
+                        && emptyHit.report.empty(),
+                    "zero-length cached report not served as an empty "
+                    "hit");
+        SMOKE_CHECK(mustCall(*client, ping).header.ok(),
+                    "connection desynced after zero-length report");
+    }
+
     // 6. Recovery: stop the server, fabricate an accepted-but-never-
     //    completed journal entry plus a torn trailing line, restart.
     *client = FarmClient(); // disconnect before stopping the server
@@ -238,13 +271,62 @@ main()
                     && stillThere.report == refA,
                 "pre-restart cache entry lost or changed");
 
-    // 7. Shutdown request stops the server.
+    // 7. Shutdown request stops the server (the client connection is
+    //    still open here, so destruction races a reader thread that is
+    //    on its way out — the join must not deadlock on connMtx).
     FarmRequest down;
     down.op = FarmOp::Shutdown;
     down.id = "down";
     SMOKE_CHECK(mustCall(*client, down).header.ok(), "shutdown failed");
     (*server)->wait();
     server->reset();
+
+    // 8. A failed task counts as one failure however many coalesced
+    //    waiters hear about it. Separate server: a 1 ms deadline makes
+    //    every simulation fail, and the retry backoff holds the task
+    //    in flight long enough that the concurrent duplicate must
+    //    coalesce rather than spawn a second task.
+    {
+        FarmOptions fopt;
+        fopt.socketPath = base + "/fail.sock";
+        fopt.cacheDir = base + "/fail.cache";
+        fopt.workers = 1;
+        fopt.deadlineMs = 1;
+        fopt.maxRetries = 1;
+        fopt.backoffMs = 500;
+        Result<std::unique_ptr<FarmServer>> fsrv =
+            FarmServer::start(fopt);
+        if (!fsrv.isOk())
+            fatal("failure-server start: ", fsrv.status().toString());
+        const FarmRequest reqF1 = request("baseline:2", "f1");
+        const FarmRequest reqF2 = request("baseline:2", "f2");
+        FarmReply replyF1, replyF2;
+        std::thread other([&] {
+            Result<FarmClient> c2 = FarmClient::connect(fopt.socketPath);
+            if (!c2.isOk())
+                fatal("connect(f2): ", c2.status().toString());
+            replyF2 = mustCall(*c2, reqF2);
+        });
+        Result<FarmClient> c1 = FarmClient::connect(fopt.socketPath);
+        if (!c1.isOk())
+            fatal("connect(f1): ", c1.status().toString());
+        replyF1 = mustCall(*c1, reqF1);
+        other.join();
+        SMOKE_CHECK(replyF1.header.status == "error"
+                        && replyF2.header.status == "error",
+                    "deadline-doomed requests should answer error, got ",
+                    replyF1.header.status, " / ", replyF2.header.status);
+        const FarmStats fstats = (*fsrv)->stats();
+        SMOKE_CHECK(fstats.coalesced == 1,
+                    "duplicate request did not coalesce (coalesced=",
+                    fstats.coalesced, ")");
+        SMOKE_CHECK(fstats.failures == 1,
+                    "one failed task with two waiters must count one "
+                    "failure, counted ", fstats.failures);
+        SMOKE_CHECK(fstats.simulations == 0,
+                    "failed tasks must not count as simulations");
+        fsrv->reset();
+    }
 
     std::printf("farm_smoke: all checks passed\n");
     return 0;

@@ -160,12 +160,7 @@ FarmServer::~FarmServer()
         listener.join();
     for (std::thread &w : workers)
         w.join();
-    {
-        std::lock_guard<std::mutex> lock(connMtx);
-        for (std::thread &t : connThreads)
-            t.join();
-        connThreads.clear();
-    }
+    reapConnThreads(/*all=*/true);
     if (journal)
         std::fclose(journal);
     if (listenFd >= 0)
@@ -335,11 +330,45 @@ FarmServer::recoverFromJournal()
 }
 
 void
+FarmServer::reapConnThreads(bool all)
+{
+    // Collect joinable handles under connMtx, but join with the lock
+    // released: an exiting connection thread takes connMtx to
+    // deregister itself, so joining under the lock would deadlock
+    // against any thread still on its way out.
+    std::vector<std::thread> done;
+    {
+        std::lock_guard<std::mutex> lock(connMtx);
+        if (all) {
+            done.swap(connThreads);
+        } else {
+            for (const std::thread::id id : doneConnThreads) {
+                for (auto it = connThreads.begin();
+                     it != connThreads.end(); ++it) {
+                    if (it->get_id() == id) {
+                        done.push_back(std::move(*it));
+                        connThreads.erase(it);
+                        break;
+                    }
+                }
+            }
+        }
+        doneConnThreads.clear();
+    }
+    for (std::thread &t : done)
+        t.join();
+}
+
+void
 FarmServer::listenerLoop()
 {
     while (!stopping.load()) {
         pollfd pfd{listenFd, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, 200);
+        // A resident daemon sees an unbounded stream of short-lived CLI
+        // connections; join the finished readers as we go so neither
+        // the thread table nor the kernel's zombie threads accumulate.
+        reapConnThreads(/*all=*/false);
         if (stopping.load())
             break;
         if (ready <= 0)
@@ -394,6 +423,10 @@ FarmServer::connectionLoop(std::shared_ptr<Connection> conn)
             break;
         }
     }
+    // Announce completion last: once the id is visible the listener
+    // (or destructor) may join this thread, which then only waits for
+    // the return below.
+    doneConnThreads.push_back(std::this_thread::get_id());
 }
 
 void
@@ -506,51 +539,53 @@ FarmServer::handleSimulate(const std::shared_ptr<Connection> &conn,
              hit.status().message(), ") — re-simulating");
     }
 
-    std::lock_guard<std::mutex> lock(taskMtx);
+    // Admission bookkeeping under taskMtx — no I/O here (replies go
+    // out after the lock drops), so coalesce attaches and quota
+    // rejections from other connections never serialize behind a
+    // journal fsync, a cache file read, or a stalled client's socket.
+    bool turnedAway = false;
+    {
+        std::lock_guard<std::mutex> lock(taskMtx);
 
-    if (opt.quarantineThreshold != 0) {
-        const auto it = strikes.find(key.configHash);
+        const auto it = opt.quarantineThreshold != 0
+            ? strikes.find(key.configHash) : strikes.end();
         if (it != strikes.end()
             && it->second >= opt.quarantineThreshold) {
             resp.status = "error";
             resp.code = errorCodeName(ErrorCode::FailedPrecondition);
             resp.message = "config quarantined after "
                 + std::to_string(it->second) + " failures";
-            respond(conn, resp);
-            return;
-        }
-    }
-
-    if (conn->pending.load() >= opt.clientQuota) {
-        resp.status = "rejected";
-        resp.code = errorCodeName(ErrorCode::Unavailable);
-        resp.message = "per-client quota of "
-            + std::to_string(opt.clientQuota)
-            + " outstanding requests reached";
-        {
+            turnedAway = true;
+        } else if (conn->pending.load() >= opt.clientQuota) {
+            resp.status = "rejected";
+            resp.code = errorCodeName(ErrorCode::Unavailable);
+            resp.message = "per-client quota of "
+                + std::to_string(opt.clientQuota)
+                + " outstanding requests reached";
             std::lock_guard<std::mutex> slock(statsMtx);
             ++counters.rejected;
+            turnedAway = true;
+        } else if (tryAttachLocked(conn, req.id, resp.key)) {
+            return;
+        } else if (queue.size() >= opt.maxQueue) {
+            resp.status = "rejected";
+            resp.code = errorCodeName(ErrorCode::Unavailable);
+            resp.message = "farm queue full ("
+                + std::to_string(opt.maxQueue) + " tasks)";
+            std::lock_guard<std::mutex> slock(statsMtx);
+            ++counters.rejected;
+            turnedAway = true;
         }
+    }
+    if (turnedAway) {
         respond(conn, resp);
         return;
     }
 
-    // Identical request already being simulated? Attach, don't re-queue.
-    if (const auto it = inflight.find(resp.key); it != inflight.end()) {
-        const std::shared_ptr<Task> &task = it->second;
-        std::lock_guard<std::mutex> tlock(task->mtx);
-        libra_assert(!task->done,
-                     "finished task still registered in-flight");
-        task->waiters.push_back(
-            {conn, req.id, FarmCacheState::Coalesced});
-        conn->pending.fetch_add(1);
-        std::lock_guard<std::mutex> slock(statsMtx);
-        ++counters.coalesced;
-        return;
-    }
-
     // The fast-path lookup raced a concurrent completion if the entry
-    // appeared since; re-check before paying for a simulation.
+    // appeared since (store lands before the in-flight entry is
+    // erased, so a finished task is visible here); re-check before
+    // paying for a journal append and a simulation.
     if (Result<std::string> again = cache.lookup(key); again.isOk()) {
         resp.status = "ok";
         resp.cache = FarmCacheState::Hit;
@@ -563,24 +598,14 @@ FarmServer::handleSimulate(const std::shared_ptr<Connection> &conn,
         return;
     }
 
-    if (queue.size() >= opt.maxQueue) {
-        resp.status = "rejected";
-        resp.code = errorCodeName(ErrorCode::Unavailable);
-        resp.message = "farm queue full ("
-            + std::to_string(opt.maxQueue) + " tasks)";
-        {
-            std::lock_guard<std::mutex> slock(statsMtx);
-            ++counters.rejected;
-        }
-        respond(conn, resp);
-        return;
-    }
-
-    // Accept: journal first (fsync'd), so a kill -9 between here and
-    // the cache store loses no accepted work.
+    // Accept: journal first (fsync'd, own mutex), so a kill -9 between
+    // here and the cache store loses no accepted work. A duplicate
+    // line for a key already admitted by a racing connection is
+    // harmless — replay dedups on the key.
     if (journal) {
         std::string jline = journalLine(resp.key, req);
         jline += '\n';
+        std::lock_guard<std::mutex> jlock(journalMtx);
         if (std::fwrite(jline.data(), 1, jline.size(), journal)
                 != jline.size()
             || std::fflush(journal) != 0
@@ -594,16 +619,57 @@ FarmServer::handleSimulate(const std::shared_ptr<Connection> &conn,
         }
     }
 
-    auto task = std::make_shared<Task>();
-    task->req = req;
-    task->key = key;
-    task->keyStr = resp.key;
-    task->configHash = key.configHash;
-    task->waiters.push_back({conn, req.id, FarmCacheState::Miss});
+    {
+        std::lock_guard<std::mutex> lock(taskMtx);
+
+        // Both admission races can re-open while the journal write
+        // runs unlocked: an identical request may have been admitted
+        // (attach to it) and the queue may have filled (reject; the
+        // stray journal line only costs a redundant, cache-checked
+        // replay at next start).
+        if (tryAttachLocked(conn, req.id, resp.key))
+            return;
+        if (queue.size() >= opt.maxQueue) {
+            resp.status = "rejected";
+            resp.code = errorCodeName(ErrorCode::Unavailable);
+            resp.message = "farm queue full ("
+                + std::to_string(opt.maxQueue) + " tasks)";
+            std::lock_guard<std::mutex> slock(statsMtx);
+            ++counters.rejected;
+        } else {
+            auto task = std::make_shared<Task>();
+            task->req = req;
+            task->key = key;
+            task->keyStr = resp.key;
+            task->configHash = key.configHash;
+            task->waiters.push_back({conn, req.id, FarmCacheState::Miss});
+            conn->pending.fetch_add(1);
+            inflight.emplace(task->keyStr, task);
+            queue.push_back(std::move(task));
+            taskCv.notify_one();
+            return;
+        }
+    }
+    respond(conn, resp);
+}
+
+bool
+FarmServer::tryAttachLocked(const std::shared_ptr<Connection> &conn,
+                            const std::string &id,
+                            const std::string &keyStr)
+{
+    const auto it = inflight.find(keyStr);
+    if (it == inflight.end())
+        return false;
+    const std::shared_ptr<Task> &task = it->second;
+    std::lock_guard<std::mutex> tlock(task->mtx);
+    libra_assert(!task->done,
+                 "finished task still registered in-flight");
+    task->waiters.push_back({conn, id, FarmCacheState::Coalesced});
     conn->pending.fetch_add(1);
-    inflight.emplace(task->keyStr, task);
-    queue.push_back(std::move(task));
-    taskCv.notify_one();
+    std::lock_guard<std::mutex> slock(statsMtx);
+    ++counters.coalesced;
+    return true;
 }
 
 Result<std::string>
@@ -703,6 +769,12 @@ FarmServer::finishTask(const std::shared_ptr<Task> &task)
         task->done = true;
         waiters.swap(task->waiters);
     }
+    if (!task->failure.isOk()) {
+        // One failed task is one failure, however many coalesced
+        // waiters hear about it.
+        std::lock_guard<std::mutex> lock(statsMtx);
+        ++counters.failures;
+    }
     for (const Task::Waiter &w : waiters) {
         FarmResponse resp;
         resp.id = w.id;
@@ -716,10 +788,6 @@ FarmServer::finishTask(const std::shared_ptr<Task> &task)
             resp.status = "error";
             resp.code = errorCodeName(task->failure.code());
             resp.message = task->failure.message();
-            {
-                std::lock_guard<std::mutex> lock(statsMtx);
-                ++counters.failures;
-            }
             respond(w.conn, resp);
         }
         w.conn->pending.fetch_sub(1);
@@ -732,7 +800,11 @@ FarmServer::respond(const std::shared_ptr<Connection> &conn,
 {
     std::string out = farmResponseLine(resp);
     out += '\n';
-    if (report) {
+    // The header advertises report_bytes only when it is nonzero, so a
+    // zero-length report must not emit its terminating newline either —
+    // the client would never consume it and the next reply on the
+    // connection would desync.
+    if (report && !report->empty()) {
         libra_assert(report->find('\n') == std::string::npos,
                      "run report contains a raw newline");
         out += *report;

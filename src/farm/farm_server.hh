@@ -87,7 +87,8 @@ struct FarmStats
     std::uint64_t cacheHits = 0;
     std::uint64_t coalesced = 0;  //!< attached to in-flight work
     std::uint64_t simulations = 0; //!< actually executed (misses)
-    std::uint64_t failures = 0;   //!< simulate requests answered error
+    std::uint64_t failures = 0;   //!< failed simulate tasks (per task,
+                                  //!< not per coalesced waiter)
     std::uint64_t rejected = 0;   //!< admission-control rejections
     std::uint64_t recovered = 0;  //!< journal-replay completions
     std::uint64_t evicted = 0;    //!< cache entries trimmed
@@ -133,6 +134,15 @@ class FarmServer
                     const std::string &line);
     void handleSimulate(const std::shared_ptr<Connection> &conn,
                         const FarmRequest &req);
+    /** Attach to an identical in-flight task if one exists (taskMtx
+     *  must be held); true if the request was coalesced. */
+    bool tryAttachLocked(const std::shared_ptr<Connection> &conn,
+                         const std::string &id,
+                         const std::string &keyStr);
+    /** Join connection threads that announced completion (or, with
+     *  @p all, every connection thread). Joins happen with connMtx
+     *  released so an exiting thread can still deregister itself. */
+    void reapConnThreads(bool all);
     /** Run one simulate request to a report (shared by workers and
      *  journal recovery); status carries the attributable failure. */
     Result<std::string> simulate(const FarmRequest &req,
@@ -155,13 +165,20 @@ class FarmServer
 
     mutable std::mutex connMtx;
     std::vector<std::shared_ptr<Connection>> conns;
-    std::vector<std::thread> connThreads; //!< joined at destruction
+    std::vector<std::thread> connThreads; //!< reaped by the listener
+    /** Threads that finished connectionLoop and can be joined without
+     *  blocking; ids are appended by the exiting thread itself and
+     *  consumed by reapConnThreads (both under connMtx). */
+    std::vector<std::thread::id> doneConnThreads;
 
-    std::mutex taskMtx; //!< guards queue + inflight + journal + strikes
+    std::mutex taskMtx; //!< guards queue + inflight + strikes
     std::condition_variable taskCv;
     std::deque<std::shared_ptr<Task>> queue;
     std::unordered_map<std::string, std::shared_ptr<Task>> inflight;
     std::unordered_map<std::uint64_t, std::uint32_t> strikes;
+    /** Accepted-request journal; appends serialize on journalMtx only,
+     *  so admission control never waits behind an fsync. */
+    std::mutex journalMtx;
     std::FILE *journal = nullptr; //!< append handle; null = no journal
 
     mutable std::mutex statsMtx;
