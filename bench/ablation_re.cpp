@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Rendering Elimination ablation (EXPERIMENTS.md workflow): how
+ * Anglada et al.'s input-signature tile skipping composes with LIBRA's
+ * temperature-aware scheduling.
+ *
+ * Four variants per benchmark, all drawn from the policy registry so
+ * this bench also exercises the `--policy` plumbing end to end:
+ *
+ *   zorder    PTR reference (RE off)
+ *   re        PTR + Rendering Elimination
+ *   libra     LIBRA (RE off)
+ *   re-libra  LIBRA + Rendering Elimination
+ *
+ * Beyond cycles/DRAM, the table answers the interaction question the
+ * issue poses — does RE remove exactly the hot tiles LIBRA wants to
+ * schedule? For every steady frame we intersect the set of skipped
+ * tiles with the previous frame's top-decile tiles by DRAM accesses
+ * (the same per-tile signal the temperature ranking consumes):
+ *
+ *   hot-skip  fraction of the hot decile that RE skipped
+ *   skip-hot  fraction of skipped tiles that were hot
+ *
+ * A high hot-skip means RE is eating LIBRA's lunch (the tiles LIBRA
+ * would deprioritize/pair are simply gone); a low one means the two
+ * mechanisms are complementary (RE removes static background, LIBRA
+ * balances what remains).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "gpu/policy_registry.hh"
+
+using namespace libra;
+using namespace libra::bench;
+
+namespace
+{
+
+/** Per-frame hot/skip overlap, averaged over steady frames with at
+ *  least one skip. Hot = top decile of the *previous* frame's per-tile
+ *  DRAM accesses (what the temperature table would rank highest). */
+struct Overlap
+{
+    double hotSkipped = 0.0; //!< skipped ∩ hot / hot
+    double skippedHot = 0.0; //!< skipped ∩ hot / skipped
+    std::uint32_t frames = 0;
+};
+
+Overlap
+hotSkipOverlap(const RunResult &r)
+{
+    Overlap o;
+    for (std::size_t f = 1; f < r.frames.size(); ++f) {
+        const FrameStats &fs = r.frames[f];
+        const FrameStats &prev = r.frames[f - 1];
+        if (fs.reTilesSkipped == 0
+            || fs.reSkippedTiles.size() != prev.tileDram.size()
+            || prev.tileDram.empty()) {
+            continue;
+        }
+        // Top decile by previous-frame DRAM accesses (at least one).
+        const std::size_t tiles = prev.tileDram.size();
+        std::vector<std::size_t> order(tiles);
+        for (std::size_t t = 0; t < tiles; ++t)
+            order[t] = t;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return prev.tileDram[a] > prev.tileDram[b];
+                  });
+        const std::size_t hot_n = std::max<std::size_t>(1, tiles / 10);
+        std::uint64_t both = 0;
+        for (std::size_t i = 0; i < hot_n; ++i)
+            both += fs.reSkippedTiles[order[i]] != 0;
+        o.hotSkipped += static_cast<double>(both)
+            / static_cast<double>(hot_n);
+        o.skippedHot += static_cast<double>(both)
+            / static_cast<double>(fs.reTilesSkipped);
+        ++o.frames;
+    }
+    if (o.frames > 0) {
+        o.hotSkipped /= o.frames;
+        o.skippedHot /= o.frames;
+    }
+    return o;
+}
+
+/** Counter whose path ends with @p suffix, or 0. */
+std::uint64_t
+counterEndingWith(const RunResult &r, const std::string &suffix)
+{
+    for (const auto &[name, value] : r.counters) {
+        if (name.size() >= suffix.size()
+            && name.compare(name.size() - suffix.size(),
+                            suffix.size(), suffix)
+                   == 0) {
+            return value;
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Defaults pick one memory-intensive and one compute-intensive
+    // title with real frame-to-frame tile stability. RE's signal is
+    // strongly scene-dependent: titles whose sprite overdraw covers
+    // every tile each frame (CCS, SuS at small screens) skip nothing,
+    // while UI-heavy titles (ChE, CuT) skip 20-40% of tiles.
+    const BenchOptions opt = parseBenchOptions(
+        argc, argv, {"AmU", "ChE"}, defaultMemorySubset());
+
+    const char *const variant_names[] = {"zorder", "re", "libra",
+                                         "re-libra"};
+
+    Sweep sweep(opt);
+    std::vector<std::vector<std::size_t>> handles;
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        std::vector<std::size_t> per_variant;
+        for (const char *policy : variant_names) {
+            GpuConfig cfg = sized(GpuConfig::ptr(2, 4), opt);
+            if (const Status st = applyPolicy(cfg, policy); !st.isOk())
+                fatal("applyPolicy(", policy, "): ", st.toString());
+            per_variant.push_back(sweep.add(spec, cfg, opt.frames));
+        }
+        handles.push_back(std::move(per_variant));
+    }
+    sweep.run();
+
+    for (std::size_t b = 0; b < opt.benchmarks.size(); ++b) {
+        const BenchmarkSpec &spec = findBenchmark(opt.benchmarks[b]);
+        banner("RE ablation: " + spec.title);
+        Table table({"policy", "cycles/frame", "speedup vs zorder",
+                     "dram MB/f", "skip%", "collisions", "hot-skip%",
+                     "skip-hot%"});
+        double ref_cycles = 0.0;
+        for (std::size_t v = 0; v < 4; ++v) {
+            const RunResult &r = sweep[handles[b][v]];
+            const double cyc =
+                static_cast<double>(steadyCycles(r))
+                / static_cast<double>(r.frames.size() - 1);
+            if (v == 0)
+                ref_cycles = cyc;
+            const double mb = steadyMean(r, [](const FrameStats &fs) {
+                return static_cast<double>(fs.dramReads
+                                           + fs.dramWrites)
+                    * 64.0 / 1e6;
+            });
+            const double tiles = static_cast<double>(
+                std::max<std::size_t>(1, r.frames.empty()
+                                             ? 1
+                                             : r.frames[0]
+                                                   .tileDram.size()));
+            const double skip_pct =
+                steadyMean(r,
+                           [&](const FrameStats &fs) {
+                               return static_cast<double>(
+                                          fs.reTilesSkipped)
+                                   / tiles;
+                           })
+                * 100.0;
+            const Overlap o = hotSkipOverlap(r);
+            table.addRow(
+                {variant_names[v], Table::num(cyc, 0),
+                 ref_cycles > 0 ? Table::num(ref_cycles / cyc, 3)
+                                : "(ref pending)",
+                 Table::num(mb, 2), Table::num(skip_pct, 1),
+                 Table::num(static_cast<double>(counterEndingWith(
+                                r, "re.signature_collisions")),
+                            0),
+                 Table::num(o.hotSkipped * 100.0, 1),
+                 Table::num(o.skippedHot * 100.0, 1)});
+        }
+        printTable(table, opt);
+    }
+    return sweep.exitCode();
+}

@@ -4,6 +4,10 @@
  *
  * Every bench accepts:
  *   --frames N            frames per run (default 4; paper used 25)
+ *   --policy NAME         apply a registered scheduling/pipeline
+ *                         policy preset onto every config the bench
+ *                         builds (see src/gpu/policy_registry.hh;
+ *                         e.g. zorder, libra, re, re-libra)
  *   --width W --height H  screen (default 960x544 for speed)
  *   --benchmarks a,b,c    explicit benchmark subset
  *   --full                paper-scale: FHD, 25 frames, whole suite
@@ -71,6 +75,7 @@
 #include "common/cli.hh"
 #include "common/log.hh"
 #include "farm/farm_server.hh"
+#include "gpu/policy_registry.hh"
 #include "gpu/runner.hh"
 #include "sim/sim_thread_pool.hh"
 #include "sim/sweep.hh"
@@ -86,6 +91,7 @@ namespace libra::bench
 struct BenchOptions
 {
     std::uint32_t frames = 4;
+    std::string policy; //!< registry policy preset ("" = bench default)
     std::uint32_t width = 960;
     std::uint32_t height = 544;
     std::vector<std::string> benchmarks;
@@ -136,6 +142,7 @@ parseBenchOptions(int argc, char **argv,
 {
     std::vector<std::string> known{
         "frames", "width", "height", "benchmarks", "full", "csv",
+        "policy",
         "jobs", "sim-threads", "outdir", "report-out", "trace-out",
         // failure policy
         "deadline-ms", "retries", "backoff-ms", "quarantine",
@@ -200,6 +207,10 @@ parseBenchOptions(int argc, char **argv,
     if (args.has("benchmarks"))
         opt.benchmarks = args.getList("benchmarks");
     opt.csv = args.getBool("csv");
+    opt.policy = args.get("policy", "");
+    if (!opt.policy.empty() && !findPolicy(opt.policy))
+        fatal("--policy ", opt.policy, ": unknown; registered: ",
+              policyNames());
     opt.jobs = static_cast<unsigned>(args.getUint(
         "jobs", std::max(1u, std::thread::hardware_concurrency())));
     if (opt.jobs == 0)
@@ -262,13 +273,18 @@ outPath(const BenchOptions &opt, const std::string &filename)
     return (std::filesystem::path(opt.outdir) / filename).string();
 }
 
-/** Apply the bench's screen size and simulation engine to a config. */
+/** Apply the bench's screen size, simulation engine and --policy
+ *  override to a config. */
 inline GpuConfig
 sized(GpuConfig cfg, const BenchOptions &opt)
 {
     cfg.screenWidth = opt.width;
     cfg.screenHeight = opt.height;
     cfg.simThreads = opt.simThreads;
+    if (!opt.policy.empty()) {
+        if (Status st = applyPolicy(cfg, opt.policy); !st.isOk())
+            fatal("--policy: ", st.toString());
+    }
     return cfg;
 }
 

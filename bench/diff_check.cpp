@@ -15,6 +15,15 @@
  * contract: each machine shape at 1 simulation thread must be
  * counter-identical to itself at N threads.
  *
+ * With --policies 1, it runs the policy-extraction matrix instead:
+ * every entry of the policy registry, applied by name to a base config
+ * whose Libra-only adaptive knobs are deliberately perturbed, must be
+ * counter-identical to the hand-built factory config for that policy.
+ * This pins two contracts at once: applyPolicy() touches exactly the
+ * documented fields, and each policy object reads only its own knobs
+ * (the refactor that extracted SchedulingPolicy from TileScheduler is
+ * a pure extraction — unused knobs cannot leak into behavior).
+ *
  * With --fuzz N (and optionally --seed S), it instead sweeps N
  * randomized valid configurations through the runner with every
  * conservation law armed; any accounting violation fails the run.
@@ -40,6 +49,7 @@
 #include "bench_common.hh"
 #include "check/config_fuzzer.hh"
 #include "common/rng.hh"
+#include "gpu/policy_registry.hh"
 
 using namespace libra;
 using namespace libra::bench;
@@ -195,6 +205,99 @@ runEquivalenceMatrix(const BenchOptions &opt)
     return failures ? 1 : 0;
 }
 
+/**
+ * The policy-extraction matrix: registry-applied configs versus
+ * hand-built factory equivalents (see the file comment). The base for
+ * non-Libra policies carries perturbed adaptive thresholds — knobs
+ * only the Libra policy reads — so a counter match proves those knobs
+ * are dead weight under every other policy.
+ */
+int
+runPolicyMatrix(const BenchOptions &opt)
+{
+    banner("Policy extraction matrix (registry == hand-built)");
+
+    // Libra base with the three adaptive knobs moved off their
+    // defaults. Any policy that (incorrectly) read them would diverge
+    // from the hand-built config below.
+    GpuConfig perturbed = GpuConfig::libra(2, 4);
+    perturbed.sched.hitRatioThreshold = 0.25;
+    perturbed.sched.orderSwitchThreshold = 0.5;
+    perturbed.sched.resizeThreshold = 0.5;
+
+    struct Pair
+    {
+        std::string name;
+        GpuConfig left;
+        GpuConfig right;
+        std::size_t hLeft = 0, hRight = 0;
+    };
+    std::vector<Pair> pairs;
+    for (const PolicyInfo &p : policyRegistry()) {
+        const bool is_libra = p.sched == SchedulerPolicy::Libra;
+        // Libra reads the adaptive knobs for real, so its base keeps
+        // the defaults and differs from the factory config only in the
+        // fields applyPolicy() must overwrite.
+        GpuConfig left = is_libra ? GpuConfig::ptr(2, 4) : perturbed;
+        const Status st = applyPolicy(left, p.name);
+        if (!st.isOk())
+            fatal("applyPolicy(", p.name, "): ", st.toString());
+
+        // Hand-built equivalent: factory where one exists, direct
+        // field assignment otherwise. Never goes through the registry.
+        GpuConfig right;
+        switch (p.sched) {
+        case SchedulerPolicy::Libra:
+            right = GpuConfig::libra(2, 4);
+            break;
+        case SchedulerPolicy::StaticSupertile:
+            right = GpuConfig::staticSupertile(
+                perturbed.sched.staticSupertileSize, 2, 4);
+            break;
+        default:
+            right = GpuConfig::ptr(2, 4);
+            right.sched.policy = p.sched;
+            break;
+        }
+        // The hand-built side keeps default adaptive knobs: for
+        // non-Libra policies the two configs differ in those fields,
+        // so a counter match proves the policy never reads them.
+        right.renderingElimination = p.renderingElimination;
+        pairs.push_back({std::string("--policy ") + p.name
+                             + " == hand-built",
+                         checked(left, opt), checked(right, opt)});
+    }
+
+    int failures = 0;
+    for (const auto &name : opt.benchmarks) {
+        const BenchmarkSpec &spec = findBenchmark(name);
+        Sweep sweep(opt);
+        for (auto &p : pairs) {
+            p.hLeft = sweep.add(spec, p.left, opt.frames);
+            p.hRight = sweep.add(spec, p.right, opt.frames);
+        }
+        sweep.run();
+        if (sweep.exitCode() != 0) {
+            std::printf("%-4s sweep had failed jobs\n", name.c_str());
+            ++failures;
+            continue;
+        }
+        for (const auto &p : pairs) {
+            const bool ok = countersMatch(
+                name + " / " + p.name, sweep[p.hLeft].counters,
+                sweep[p.hRight].counters);
+            std::printf("%-4s %-44s %s\n", name.c_str(),
+                        p.name.c_str(), ok ? "ok" : "FAILED");
+            failures += !ok;
+        }
+    }
+    if (failures)
+        std::printf("%d policy pair(s) FAILED\n", failures);
+    else
+        std::printf("all registry policies match hand-built configs\n");
+    return failures ? 1 : 0;
+}
+
 int
 runFuzz(const BenchOptions &opt, std::uint32_t count,
         std::uint64_t seed)
@@ -323,14 +426,15 @@ main(int argc, char **argv)
 {
     const BenchOptions opt = parseBenchOptions(
         argc, argv, {"CCS", "SuS"}, defaultMemorySubset(),
-        {"fuzz", "checkpoint-fuzz", "seed"});
+        {"fuzz", "checkpoint-fuzz", "seed", "policies"});
     const CliArgs args(argc, argv,
                        {"frames", "width", "height", "benchmarks",
                         "full", "csv", "jobs", "outdir", "report-out",
                         "trace-out", "deadline-ms", "retries",
                         "backoff-ms", "quarantine", "journal", "resume",
                         "keep-going", "faults", "fuzz",
-                        "checkpoint-fuzz", "seed", "sim-threads",
+                        "checkpoint-fuzz", "seed", "policies",
+                        "policy", "sim-threads",
                         "checkpoint-dir", "checkpoint-every",
                         "from-checkpoint", "warm-prefix"});
 
@@ -344,5 +448,7 @@ main(int argc, char **argv)
         return runFuzz(opt, fuzz, seed);
     if (ckpt_fuzz > 0)
         return runCheckpointFuzz(opt, ckpt_fuzz, seed);
+    if (args.getInt("policies", 0) > 0)
+        return runPolicyMatrix(opt);
     return runEquivalenceMatrix(opt);
 }

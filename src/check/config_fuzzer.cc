@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "gpu/policy_registry.hh"
 
 namespace libra
 {
@@ -55,11 +56,13 @@ fuzzGpuConfig(Rng &rng, std::uint32_t width, std::uint32_t height)
     cfg.dram.banksPerChannel = 4u << rng.below(2); // 4 or 8
     cfg.idealMemory = rng.chance(0.1);
 
-    constexpr SchedulerPolicy policies[] = {
-        SchedulerPolicy::ZOrder, SchedulerPolicy::StaticSupertile,
-        SchedulerPolicy::Libra, SchedulerPolicy::TemperatureStatic,
-        SchedulerPolicy::Scanline};
-    cfg.sched.policy = policies[rng.below(std::size(policies))];
+    // Uniform draw over the policy registry, so every registered
+    // mechanism — including Rendering Elimination — meets the
+    // conservation laws across the fuzzed machine space.
+    const std::vector<PolicyInfo> &policies = policyRegistry();
+    const PolicyInfo &policy = policies[rng.below(policies.size())];
+    cfg.sched.policy = policy.sched;
+    cfg.renderingElimination = policy.renderingElimination;
     cfg.sched.minSupertileSize = 1u << rng.below(2); // 1 or 2
     cfg.sched.maxSupertileSize =
         cfg.sched.minSupertileSize << rng.below(4);  // up to x8

@@ -55,12 +55,23 @@ InvariantChecker::checkDramAttribution(
 
 void
 InvariantChecker::checkTileCoverage(
-    const std::vector<std::uint32_t> &flush_count)
+    const std::vector<std::uint32_t> &flush_count,
+    const std::vector<std::uint32_t> &skip_count)
 {
+    if (!skip_count.empty() && skip_count.size() != flush_count.size()) {
+        violation("skip-count vector has ", skip_count.size(),
+                  " tiles but the flush-count vector has ",
+                  flush_count.size());
+        return;
+    }
     for (std::size_t t = 0; t < flush_count.size(); ++t) {
-        if (flush_count[t] != 1) {
+        const std::uint32_t skipped =
+            skip_count.empty() ? 0 : skip_count[t];
+        if (flush_count[t] + skipped != 1) {
             violation("tile ", t, " flushed ", flush_count[t],
-                      " times this frame (must be exactly once)");
+                      " times and skipped ", skipped,
+                      " times this frame (must be covered exactly "
+                      "once)");
         }
     }
 }

@@ -13,8 +13,9 @@
  *    hits + misses + mshr_coalesced == read_accesses + write_accesses;
  *  - DRAM attribution: the per-tile DRAM feedback vector sums to the
  *    frame's attributed DRAM traffic;
- *  - tile coverage: the scheduler issues (and the Raster Units flush)
- *    each tile exactly once per frame, and drains completely;
+ *  - tile coverage: each tile is either flushed by a Raster Unit or
+ *    skipped by Rendering Elimination exactly once per frame (never
+ *    both, never neither), and the scheduler drains completely;
  *  - phase partition: each RU's six phase counters sum exactly to the
  *    frame's cycles;
  *  - energy: the breakdown components sum to EnergyBreakdown::totalMj.
@@ -78,8 +79,14 @@ class InvariantChecker
     void checkDramAttribution(const std::vector<std::uint64_t> &tile_dram,
                               std::uint64_t attributed);
 
-    /** Every tile flushed exactly once this frame. */
-    void checkTileCoverage(const std::vector<std::uint32_t> &flush_count);
+    /**
+     * Every tile covered exactly once this frame: rendered+flushed or
+     * skipped by Rendering Elimination, never both and never neither.
+     * @p skip_count may be empty (no RE accounting: all-rendered).
+     */
+    void checkTileCoverage(
+        const std::vector<std::uint32_t> &flush_count,
+        const std::vector<std::uint32_t> &skip_count = {});
 
     /** The scheduler handed out its whole queue. */
     void checkSchedulerDrained(std::uint64_t tiles_remaining);

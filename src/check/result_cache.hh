@@ -47,7 +47,9 @@ namespace libra
  * report could go stale against the current code: simulator model
  * changes, report schema changes, or key-hash (mixer) changes.
  */
-constexpr std::uint32_t kResultCacheCodeVersion = 1;
+constexpr std::uint32_t kResultCacheCodeVersion = 2;
+// v2: configHash() chain gained renderingElimination; reports may
+//     carry re.* counters.
 
 /** Identity of one cacheable simulation request. */
 struct ResultCacheKey

@@ -49,7 +49,11 @@ constexpr std::uint32_t kSnapshotFormatVersion = 1;
  * payload changes (new field, reordered member, changed invariant), so
  * snapshots written by older code are refused instead of misread.
  */
-constexpr std::uint32_t kSnapshotCodeVersion = 1;
+constexpr std::uint32_t kSnapshotCodeVersion = 2;
+// v2: Scheduler section holds policy-object state (only LIBRA's
+//     adaptive controller writes anything; stateless policies write
+//     nothing) and GpuCore carries the Rendering Elimination input-
+//     signature table.
 
 /** Fixed header keying a snapshot to the run that may restore it. */
 struct SnapshotHeader

@@ -52,7 +52,7 @@ TileScheduler::TileScheduler(const SchedulerConfig &cfg,
                              const TileGrid &tile_grid,
                              std::uint32_t num_rus)
     : config(clampToGrid(cfg, tile_grid, num_rus)), grid(tile_grid),
-      numRus(num_rus), adaptive(config)
+      numRus(num_rus), policy(makeSchedulingPolicy(config, tile_grid))
 {
     libra_assert(num_rus > 0, "scheduler needs at least one RU");
     cursors.resize(num_rus);
@@ -67,61 +67,7 @@ TileScheduler::beginFrame(const FrameFeedback &prev)
         cursor.tiles.clear();
         cursor.idx = 0;
     }
-    buildQueue(prev);
-}
-
-void
-TileScheduler::buildQueue(const FrameFeedback &prev)
-{
-    stQueue.clear();
-    rankingCycles = 0;
-
-    switch (config.policy) {
-      case SchedulerPolicy::ZOrder:
-      case SchedulerPolicy::Scanline:
-        tempOrder = false;
-        stSize = 1;
-        break;
-      case SchedulerPolicy::StaticSupertile:
-        tempOrder = false;
-        stSize = config.staticSupertileSize;
-        break;
-      case SchedulerPolicy::TemperatureStatic:
-        tempOrder = prev.valid;
-        stSize = config.staticSupertileSize;
-        break;
-      case SchedulerPolicy::Libra: {
-        FrameObservation obs;
-        obs.valid = prev.valid;
-        obs.rasterCycles = prev.rasterCycles;
-        obs.textureHitRatio = prev.textureHitRatio;
-        const ScheduleDecision decision = adaptive.decide(obs);
-        tempOrder = decision.temperatureOrder && prev.valid;
-        stSize = decision.supertileSize;
-        break;
-      }
-    }
-
-    if (config.policy == SchedulerPolicy::Scanline) {
-        for (const TileId t : grid.scanlineOrder())
-            stQueue.push_back(t);
-        return;
-    }
-
-    if (tempOrder) {
-        libra_assert(prev.tileDramAccesses.size() == grid.tileCount(),
-                     "temperature order needs per-tile feedback");
-        TemperatureTable table(grid.tileCount());
-        table.load(prev.tileDramAccesses, prev.tileInstructions);
-        const auto ranks = table.rank(grid, stSize);
-        for (const auto &rank : ranks)
-            stQueue.push_back(rank.id);
-        rankingCycles = TemperatureTable::hardwareCost(
-            static_cast<std::uint32_t>(ranks.size())).rankingCycles;
-    } else {
-        for (SuperTileId s : grid.superTileZOrder(stSize))
-            stQueue.push_back(s);
-    }
+    plan = policy->planFrame(prev);
 }
 
 std::optional<TileId>
@@ -131,22 +77,40 @@ TileScheduler::nextTile(std::uint32_t ru)
     RuCursor &cursor = cursors[ru];
 
     while (cursor.idx == cursor.tiles.size()) {
-        if (stQueue.empty())
+        if (plan.queue.empty())
             return std::nullopt;
         SuperTileId s;
         const bool cold_ru = ru >= config.hotRasterUnits;
-        if (tempOrder && cold_ru && numRus > config.hotRasterUnits) {
+        if (plan.temperatureOrder && cold_ru
+            && numRus > config.hotRasterUnits) {
             // Cold Raster Units pull from the cold end of the ranking;
             // the first hotRasterUnits (paper: one) take the hot end
             // (§III-D / §V-D).
-            s = stQueue.back();
-            stQueue.pop_back();
+            s = plan.queue.back();
+            plan.queue.pop_back();
         } else {
-            s = stQueue.front();
-            stQueue.pop_front();
+            s = plan.queue.front();
+            plan.queue.pop_front();
         }
-        cursor.tiles = grid.tilesInSuperTile(s, stSize);
+        cursor.tiles = grid.tilesInSuperTile(s, plan.supertileSize);
         cursor.idx = 0;
+
+        if (skipTile) {
+            // Rendering Elimination: unchanged tiles are discarded at
+            // handout, never reaching the Tile Fetcher; the Gpu's
+            // onTileSkipped accounting keeps exactly-once coverage.
+            std::vector<TileId> kept;
+            kept.reserve(cursor.tiles.size());
+            for (const TileId t : cursor.tiles) {
+                if (skipTile(t)) {
+                    if (onTileSkipped)
+                        onTileSkipped(t);
+                } else {
+                    kept.push_back(t);
+                }
+            }
+            cursor.tiles = std::move(kept);
+        }
     }
     return cursor.tiles[cursor.idx++];
 }
@@ -155,8 +119,8 @@ std::uint64_t
 TileScheduler::tilesRemaining() const
 {
     std::uint64_t total = 0;
-    for (const SuperTileId s : stQueue)
-        total += grid.tilesInSuperTile(s, stSize).size();
+    for (const SuperTileId s : plan.queue)
+        total += grid.tilesInSuperTile(s, plan.supertileSize).size();
     for (const auto &cursor : cursors)
         total += cursor.tiles.size() - cursor.idx;
     return total;
@@ -167,13 +131,13 @@ TileScheduler::exportState(SnapshotWriter &w) const
 {
     libra_assert(tilesRemaining() == 0,
                  "scheduler snapshot mid-frame: tiles still queued");
-    adaptive.exportState(w);
+    policy->exportState(w);
 }
 
 void
 TileScheduler::importState(SnapshotReader &r)
 {
-    adaptive.importState(r);
+    policy->importState(r);
 }
 
 } // namespace libra

@@ -3,44 +3,38 @@
  * The tile scheduler: decides which tile each Raster Unit renders next
  * (paper §III-B/§III-D).
  *
- * The Tile Fetcher pulls tiles per Raster Unit. Depending on policy:
+ * The Tile Fetcher pulls tiles per Raster Unit. The per-frame plan
+ * (traversal order, supertile size, ranking) is produced by a
+ * SchedulingPolicy object (core/scheduling_policy.hh); this class
+ * keeps only the handout mechanics shared by every policy: the
+ * supertile queue, the per-RU cursors and the hot/cold split —
+ * RU 0..hotRasterUnits-1 pull the hot/front end of a
+ * temperature-ordered queue, every other RU the cold/back end.
  *
- *  - ZOrder: one shared Z-order stream; any RU pulls the next tile —
- *    the interleaved-assignment PTR baseline.
- *  - StaticSupertile: a Z-order stream of fixed-size supertiles; a
- *    whole supertile is pulled by one RU.
- *  - TemperatureStatic: supertiles ranked hottest→coldest from the
- *    previous frame's temperature table; RU 0 pulls from the hot end,
- *    every other RU pulls from the cold end.
- *  - Libra: TemperatureStatic/ZOrder chosen per frame by the
- *    AdaptiveController, with dynamic supertile resizing.
+ * Rendering Elimination hooks in here too: when the Gpu installs a
+ * skipTile predicate, tiles whose input signature is unchanged are
+ * discarded at handout time — before they ever reach the Tile Fetcher
+ * — and reported through onTileSkipped so frame accounting still sees
+ * them exactly once. Both callbacks run on the shared/coordinator
+ * event domain in the sharded engine (nextTile() is only ever called
+ * from the fetcher), so skip decisions stay deterministic.
  */
 
 #ifndef LIBRA_CORE_TILE_SCHEDULER_HH
 #define LIBRA_CORE_TILE_SCHEDULER_HH
 
 #include <cstdint>
-#include <deque>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
-#include "core/adaptive_controller.hh"
 #include "core/scheduler_config.hh"
-#include "core/temperature_table.hh"
+#include "core/scheduling_policy.hh"
 #include "gpu/tiling/tile_grid.hh"
 
 namespace libra
 {
-
-/** Everything the scheduler may use from the previous frame. */
-struct FrameFeedback
-{
-    bool valid = false;
-    std::uint64_t rasterCycles = 0;
-    double textureHitRatio = 1.0;
-    std::vector<std::uint64_t> tileDramAccesses;
-    std::vector<std::uint64_t> tileInstructions;
-};
 
 class TileScheduler
 {
@@ -57,10 +51,23 @@ class TileScheduler
      */
     std::optional<TileId> nextTile(std::uint32_t ru);
 
+    /**
+     * Rendering Elimination hook (installed by the Gpu when
+     * GpuConfig::renderingElimination is set): a tile for which
+     * skipTile returns true is dropped at handout instead of being
+     * returned from nextTile(), and onTileSkipped is invoked for it so
+     * the frame's exactly-once coverage accounting still holds.
+     */
+    std::function<bool(TileId)> skipTile;
+    std::function<void(TileId)> onTileSkipped;
+
     // --- Introspection (tests, benches, reports) -----------------------
-    bool temperatureOrderActive() const { return tempOrder; }
-    std::uint32_t supertileSize() const { return stSize; }
-    std::uint64_t lastRankingCycles() const { return rankingCycles; }
+    bool temperatureOrderActive() const { return plan.temperatureOrder; }
+    std::uint32_t supertileSize() const { return plan.supertileSize; }
+    std::uint64_t lastRankingCycles() const { return plan.rankingCycles; }
+
+    /** The policy object planning this scheduler's frames. */
+    const SchedulingPolicy &schedulingPolicy() const { return *policy; }
 
     /**
      * Tiles not yet handed out this frame (queued supertiles plus
@@ -70,28 +77,22 @@ class TileScheduler
     std::uint64_t tilesRemaining() const;
 
     /**
-     * Serialize/restore cross-frame scheduler state. Only the adaptive
-     * controller carries state across frames — the supertile queue,
-     * cursors and ranking cost are rebuilt by beginFrame() — so this
-     * delegates to AdaptiveController.
+     * Serialize/restore cross-frame scheduler state. The supertile
+     * queue, cursors and ranking cost are rebuilt by beginFrame(), so
+     * this delegates to the policy object — only a policy with
+     * cross-frame state (LIBRA's adaptive controller) writes anything.
      */
     void exportState(SnapshotWriter &w) const;
     void importState(SnapshotReader &r);
 
   private:
-    void buildQueue(const FrameFeedback &prev);
-
     SchedulerConfig config;
     const TileGrid &grid;
     std::uint32_t numRus;
-    AdaptiveController adaptive;
+    std::unique_ptr<SchedulingPolicy> policy;
 
-    bool tempOrder = false;
-    std::uint32_t stSize = 1;
-    std::uint64_t rankingCycles = 0;
-
-    /** Supertiles to hand out: hot/front ... cold/back. */
-    std::deque<SuperTileId> stQueue;
+    /** This frame's plan, replaced wholesale every beginFrame(). */
+    FramePlan plan;
 
     /** Per-RU current supertile contents. */
     struct RuCursor

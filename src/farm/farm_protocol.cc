@@ -394,7 +394,8 @@ parseConfigSpec(const std::string &spec)
         }
         return GpuConfig::baseline(cores);
     }
-    if (head == "ptr" || head == "libra") {
+    if (head == "ptr" || head == "libra" || head == "re" ||
+        head == "re-libra") {
         std::uint32_t rus = 2, cores = 4;
         if (parts.size() > 2) {
             return Status::error(ErrorCode::InvalidArgument,
@@ -409,8 +410,12 @@ parseConfigSpec(const std::string &spec)
             rus = shape->first;
             cores = shape->second;
         }
-        return head == "ptr" ? GpuConfig::ptr(rus, cores)
-                             : GpuConfig::libra(rus, cores);
+        GpuConfig cfg = (head == "ptr" || head == "re")
+                            ? GpuConfig::ptr(rus, cores)
+                            : GpuConfig::libra(rus, cores);
+        if (head == "re" || head == "re-libra")
+            cfg.renderingElimination = true;
+        return cfg;
     }
     if (head == "supertile") {
         if (parts.size() < 2 || parts.size() > 3) {
@@ -435,7 +440,8 @@ parseConfigSpec(const std::string &spec)
     }
     return Status::error(ErrorCode::InvalidArgument,
                          "config spec: unknown preset '", head,
-                         "' (want baseline/ptr/libra/supertile)");
+                         "' (want baseline/ptr/libra/supertile/re/"
+                         "re-libra)");
 }
 
 Result<GpuConfig>

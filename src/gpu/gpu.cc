@@ -6,6 +6,7 @@
 #include "check/fault_injector.hh"
 #include "check/snapshot.hh"
 #include "common/log.hh"
+#include "common/rng.hh"
 #include "sim/watchdog.hh"
 
 namespace libra
@@ -155,6 +156,19 @@ Gpu::Gpu(const GpuConfig &cfg)
 
     tileSched = std::make_unique<TileScheduler>(config.sched, grid,
                                                 config.rasterUnits);
+    if (config.renderingElimination) {
+        // Skip decisions read the precomputed per-frame skip set; both
+        // hooks run at scheduler handout, which only ever happens on
+        // the shared/coordinator event domain (the fetcher), so the
+        // sharded engine stays deterministic with no new event
+        // ownership.
+        tileSched->skipTile = [this](TileId tile) {
+            return reSkipTile[tile] != 0;
+        };
+        tileSched->onTileSkipped = [this](TileId tile) {
+            applyTileSkipped(tile);
+        };
+    }
     // The fetcher lives in the shared domain; sharded, it pushes into
     // the credit-tracking raster links instead of the units directly.
     std::vector<RasterSink *> ru_ptrs;
@@ -205,8 +219,18 @@ Gpu::Gpu(const GpuConfig &cfg)
     }
 #endif
 
+    if (config.renderingElimination) {
+        reStats.add("tiles_skipped", &reTilesSkipped);
+        reStats.add("signature_collisions", &reSignatureCollisions);
+        statGroup.addChild(reStats);
+        reWeakSig.resize(grid.tileCount(), 0);
+        reStrongSig.resize(grid.tileCount(), 0);
+        reSkipTile.resize(grid.tileCount(), 0);
+    }
+
     tileInstr.resize(grid.tileCount(), 0);
     tileFlushCount.resize(grid.tileCount(), 0);
+    tileSkipCount.resize(grid.tileCount(), 0);
     // Seed with a sentinel so every tile flushes on the first frame.
     tileSignatures.resize(grid.tileCount(),
                           0xfeedfacecafebeefull);
@@ -357,6 +381,55 @@ Gpu::applyTileDone(const TileDoneInfo &info)
     }
 }
 
+void
+Gpu::applyTileSkipped(TileId tile)
+{
+    // A skipped tile is covered for this frame without rendering: it
+    // counts toward the frame's flush total (the raster loop's
+    // termination condition) and into its own per-tile vector so the
+    // coverage law can assert rendered + skipped == 1 per tile.
+    ++tilesFlushed;
+    ++tileSkipCount[tile];
+    ++reTilesSkipped;
+    ++frameTilesSkipped;
+}
+
+void
+Gpu::computeReSignatures(const BinnedFrame &binned)
+{
+    // Distinct fixed bases so the weak and strong hashes of identical
+    // content never agree by construction; the strong hash additionally
+    // perturbs every primitive hash so the two chains diverge.
+    constexpr std::uint64_t weak_basis = 0x5eba5e17ad09f00dull;
+    constexpr std::uint64_t strong_basis = 0x0ddba11c0ffee123ull;
+    constexpr std::uint64_t strong_xor = 0x9e3779b97f4a7c15ull;
+
+    for (TileId t = 0; t < grid.tileCount(); ++t) {
+        std::uint64_t weak = weak_basis;
+        std::uint64_t strong = strong_basis;
+        for (const std::uint32_t idx : binned.tileLists[t]) {
+            const std::uint64_t h = primContentHash(binned.tris[idx]);
+            weak = hashCombine(weak, h);
+            strong = hashCombine(strong, h ^ strong_xor);
+        }
+        // Skip iff the weak input signature matches the previous
+        // frame's (the hardware decision). A strong mismatch under a
+        // weak match is an aliasing event: the tile is still skipped —
+        // modeling the real mechanism's (vanishingly rare) error — but
+        // counted so the model's exposure is observable.
+        bool skip = false;
+        if (reSigValid && weak == reWeakSig[t]) {
+            skip = true;
+            if (strong != reStrongSig[t])
+                ++reSignatureCollisions;
+        }
+        reSkipTile[t] = skip ? 1 : 0;
+        reWeakSig[t] = weak;
+        reStrongSig[t] = strong;
+    }
+    reSigValid = true;
+}
+
 Status
 Gpu::runShardedRaster(Watchdog &watchdog)
 {
@@ -447,6 +520,13 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
     // Functional binning (the timing is charged by GeometryPipeline).
     const BinnedFrame binned = binFrame(frame, grid);
 
+    // Rendering Elimination input-signature stage: hash every tile's
+    // binned content and fix this frame's skip set before any tile is
+    // handed out. Functional (zero modeled cycles): real hardware folds
+    // this hashing into the binning writes of the *previous* frame.
+    if (config.renderingElimination)
+        computeReSignatures(binned);
+
     // Scheduler decision for this frame, from last frame's feedback —
     // the ranking happens in parallel with the geometry phase (§III-E).
     tileSched->beginFrame(feedback);
@@ -458,8 +538,13 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
     tempTable.reset();
     frameAttributedDram = 0;
     std::fill(tileFlushCount.begin(), tileFlushCount.end(), 0u);
+    std::fill(tileSkipCount.begin(), tileSkipCount.end(), 0u);
     std::fill(tileInstr.begin(), tileInstr.end(), 0);
-    if (config.captureImage)
+    frameTilesSkipped = 0;
+    // Under Rendering Elimination the frame buffer persists: a skipped
+    // tile's pixels must remain from the previous frame, and every
+    // rendered tile overwrites its whole rect anyway.
+    if (config.captureImage && !config.renderingElimination)
         std::fill(image.begin(), image.end(), 0);
     tilesFlushed = 0;
     frameInstructions = 0;
@@ -621,6 +706,11 @@ Gpu::tryRenderFrame(const FrameData &frame, const TexturePool &pool)
     fs.supertileSize = tileSched->supertileSize();
     fs.rankingCycles = tileSched->lastRankingCycles();
 
+    if (config.renderingElimination) {
+        fs.reTilesSkipped = frameTilesSkipped;
+        fs.reSkippedTiles.assign(reSkipTile.begin(), reSkipTile.end());
+    }
+
     EnergyEvents ev;
     ev.warpInstructions = frameInstructions;
     ev.l1Accesses = after.l1Accesses - before.l1Accesses;
@@ -696,6 +786,16 @@ Gpu::saveState(SnapshotWriter &w) const
     w.putU32(framesRendered);
     w.putU64(tileSignatures.size());
     for (const std::uint64_t sig : tileSignatures)
+        w.putU64(sig);
+    // Rendering Elimination signature table (empty when the mechanism
+    // is off; the restore target has the same config, so the layout
+    // matches). Serialized state layout change: kSnapshotCodeVersion 2.
+    w.putBool(reSigValid);
+    w.putU64(reWeakSig.size());
+    for (const std::uint64_t sig : reWeakSig)
+        w.putU64(sig);
+    w.putU64(reStrongSig.size());
+    for (const std::uint64_t sig : reStrongSig)
         w.putU64(sig);
     w.putBool(feedback.valid);
     w.putU64(feedback.rasterCycles);
@@ -773,6 +873,18 @@ Gpu::loadState(SnapshotReader &r)
         for (std::uint64_t &sig : tileSignatures)
             sig = r.takeU64();
     }
+    reSigValid = r.takeBool();
+    if (r.check(r.takeU64() == reWeakSig.size(),
+                "RE weak-signature count mismatches the configuration")) {
+        for (std::uint64_t &sig : reWeakSig)
+            sig = r.takeU64();
+    }
+    if (r.check(r.takeU64() == reStrongSig.size(),
+                "RE strong-signature count mismatches the "
+                "configuration")) {
+        for (std::uint64_t &sig : reStrongSig)
+            sig = r.takeU64();
+    }
     feedback.valid = r.takeBool();
     feedback.rasterCycles = r.takeU64();
     feedback.textureHitRatio = r.takeDouble();
@@ -829,7 +941,7 @@ Gpu::checkFrameInvariants(const FrameStats &fs)
 
     invariantChecker.checkDramAttribution(fs.tileDram,
                                           frameAttributedDram);
-    invariantChecker.checkTileCoverage(tileFlushCount);
+    invariantChecker.checkTileCoverage(tileFlushCount, tileSkipCount);
     invariantChecker.checkSchedulerDrained(tileSched->tilesRemaining());
     for (std::size_t i = 0; i < fs.ruPhases.size(); ++i) {
         invariantChecker.checkPhasePartition(i, fs.ruPhases[i],

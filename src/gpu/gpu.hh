@@ -78,10 +78,20 @@ struct FrameStats
 
     EnergyBreakdown energy;
 
-    /** Scheduler decisions taken for this frame. */
+    /**
+     * Scheduler decisions taken for this frame, copied verbatim from
+     * the policy layer's FramePlan — the plan is rebuilt by value
+     * every frame, so a policy that did no ranking reports
+     * rankingCycles == 0 here by construction (no stale attribution).
+     */
     bool temperatureOrder = false;
     std::uint32_t supertileSize = 1;
     std::uint64_t rankingCycles = 0;
+
+    /** Rendering Elimination (only with renderingElimination): tiles
+     *  skipped this frame, and which ones (1 = skipped). */
+    std::uint64_t reTilesSkipped = 0;
+    std::vector<std::uint8_t> reSkippedTiles;
 
     /** Final per-pixel hash image (only with captureImage). */
     std::vector<std::uint64_t> image;
@@ -257,6 +267,30 @@ class Gpu
     IntervalSampler dramSampler; //!< Fig. 7 bandwidth timeline
     std::vector<std::uint64_t> tileInstr;
     std::vector<std::uint64_t> tileSignatures; //!< transaction elim.
+
+    // Rendering Elimination (GpuConfig::renderingElimination). The
+    // input-signature stage runs functionally on the coordinator right
+    // after binning; skip decisions are taken at scheduler handout on
+    // the shared event domain, so the sharded engine needs no new
+    // event ownership. The weak hash drives the skip; the strong hash
+    // (different basis) only detects weak-hash aliasing, counted as
+    // re.signature_collisions.
+    std::vector<std::uint64_t> reWeakSig;   //!< previous frame, weak
+    std::vector<std::uint64_t> reStrongSig; //!< previous frame, strong
+    std::vector<std::uint8_t> reSkipTile;   //!< this frame's skip set
+    bool reSigValid = false; //!< false until one frame is hashed
+    std::vector<std::uint32_t> tileSkipCount; //!< per-tile, this frame
+    std::uint64_t frameTilesSkipped = 0;
+    Counter reTilesSkipped;
+    Counter reSignatureCollisions;
+    StatGroup reStats{"re"};
+
+    /** Hash this frame's binned tile lists and decide the skip set. */
+    void computeReSignatures(const BinnedFrame &binned);
+
+    /** Coverage accounting for a tile discarded before rasterization. */
+    void applyTileSkipped(TileId tile);
+
     std::vector<std::uint64_t> image;
     std::uint64_t frameInstructions = 0;
     std::uint64_t frameFragments = 0;

@@ -184,6 +184,7 @@ GpuConfig::configHash() const
     h.mix(std::uint64_t(sched.hotRasterUnits));
     h.mix(transactionElimination);
     h.mix(fbCompressionRatio);
+    h.mix(renderingElimination);
     // The sharded engine is a different timing reference from the
     // sequential one (cross-shard completions pay the lookahead
     // transit), but every sharded thread count is byte-identical — so

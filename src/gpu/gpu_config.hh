@@ -74,6 +74,18 @@ struct GpuConfig
     bool transactionElimination = false; //!< skip unchanged-tile flushes
     double fbCompressionRatio = 1.0;     //!< AFBC-style flush compression
 
+    /**
+     * Rendering Elimination (Anglada et al., policy "re"): hash each
+     * tile's binned-primitive content after binning and skip the whole
+     * raster pipeline — fetch, shading, flush — for tiles whose input
+     * signature matches the previous frame (the framebuffer already
+     * holds the right pixels). Composes with any scheduling policy;
+     * counters land under "re.*". Contrast transactionElimination,
+     * which renders everything and elides only the flush based on the
+     * *output* signature.
+     */
+    bool renderingElimination = false;
+
     // --- Instrumentation -------------------------------------------------
     bool captureImage = false; //!< keep a per-pixel hash "image"
     bool traceEvents = false;  //!< record a chrome-trace event timeline

@@ -1,0 +1,78 @@
+#include "gpu/policy_registry.hh"
+
+namespace libra
+{
+
+const std::vector<PolicyInfo> &
+policyRegistry()
+{
+    // Stable registration order: tests and the fuzzer index into this
+    // list, and reordering would silently reshuffle fuzz seeds.
+    static const std::vector<PolicyInfo> registry{
+        {"zorder", "interleaved Z-order tile assignment (PTR baseline)",
+         SchedulerPolicy::ZOrder, false},
+        {"scanline", "row-major traversal (§II-B conventional order)",
+         SchedulerPolicy::Scanline, false},
+        {"supertile", "fixed-size Z-order supertiles (Fig. 16 static)",
+         SchedulerPolicy::StaticSupertile, false},
+        {"temperature",
+         "temperature-ranked hot/cold order, fixed supertiles",
+         SchedulerPolicy::TemperatureStatic, false},
+        {"libra", "full LIBRA adaptive scheduler (§III-D)",
+         SchedulerPolicy::Libra, false},
+        {"re", "Rendering Elimination over Z-order PTR (Anglada et al.)",
+         SchedulerPolicy::ZOrder, true},
+        {"re-libra", "Rendering Elimination composed with LIBRA",
+         SchedulerPolicy::Libra, true},
+    };
+    return registry;
+}
+
+const PolicyInfo *
+findPolicy(std::string_view name)
+{
+    for (const PolicyInfo &info : policyRegistry())
+        if (name == info.name)
+            return &info;
+    return nullptr;
+}
+
+Status
+applyPolicy(GpuConfig &cfg, std::string_view name)
+{
+    const PolicyInfo *info = findPolicy(name);
+    if (!info) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "unknown policy \"", std::string(name),
+                             "\"; registered: ", policyNames());
+    }
+    cfg.sched.policy = info->sched;
+    cfg.renderingElimination = info->renderingElimination;
+    return Status::ok();
+}
+
+std::string
+policyNames()
+{
+    std::string names;
+    for (const PolicyInfo &info : policyRegistry()) {
+        if (!names.empty())
+            names += ", ";
+        names += info.name;
+    }
+    return names;
+}
+
+const char *
+policyNameFor(const GpuConfig &cfg)
+{
+    for (const PolicyInfo &info : policyRegistry()) {
+        if (info.sched == cfg.sched.policy
+            && info.renderingElimination == cfg.renderingElimination) {
+            return info.name;
+        }
+    }
+    return "?";
+}
+
+} // namespace libra

@@ -291,11 +291,8 @@ struct PendingFlush
     TileId tile = 0;
 };
 
-/**
- * Frame-independent content hash of a primitive: identical geometry
- * with identical state hashes identically even when its index in the
- * frame's triangle list changes (used by transaction elimination).
- */
+} // namespace
+
 std::uint64_t
 primContentHash(const Triangle &tri)
 {
@@ -313,8 +310,6 @@ primContentHash(const Triangle &tri)
     }
     return h;
 }
-
-} // namespace
 
 void
 RasterUnit::emitWarp(TileCtx &ctx, const Triangle &tri,

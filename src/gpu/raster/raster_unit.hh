@@ -162,6 +162,16 @@ class RasterSink
     std::function<void()> onSpaceFreed;
 };
 
+/**
+ * Frame-independent content hash of a primitive: identical geometry
+ * with identical state hashes identically even when its index in the
+ * frame's triangle list changes. Shared identity basis of the two
+ * redundancy-elimination mechanisms: transaction elimination hashes a
+ * tile's *rendered* quads with it, Rendering Elimination hashes a
+ * tile's *binned* list with it (Gpu's input-signature stage).
+ */
+std::uint64_t primContentHash(const Triangle &tri);
+
 /** Per-tile result reported when a tile's flush completes. */
 struct TileDoneInfo
 {

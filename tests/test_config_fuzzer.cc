@@ -11,8 +11,12 @@
 #include <cstdint>
 #include <vector>
 
+#include <set>
+#include <string>
+
 #include "check/config_fuzzer.hh"
 #include "common/rng.hh"
+#include "gpu/policy_registry.hh"
 #include "sim/sweep.hh"
 #include "workload/benchmarks.hh"
 
@@ -58,6 +62,27 @@ TEST(ConfigFuzzer, DeterministicFromSeed)
                    other.sched.policy != first.sched.policy;
     }
     EXPECT_TRUE(diverged);
+}
+
+TEST(ConfigFuzzer, EveryRegisteredPolicyIsReachable)
+{
+    // The fuzzer draws mechanism presets uniformly from the policy
+    // registry; a 200-config run must hit every registered entry, so
+    // the conservation laws fuzz every policy including Rendering
+    // Elimination. policyNameFor() maps the drawn (sched, RE) pair
+    // back to its registry name — "?" would mean the fuzzer produced
+    // an unregistered combination.
+    Rng rng(0xca11ab1eu);
+    std::set<std::string> seen;
+    for (int i = 0; i < 200; ++i) {
+        const GpuConfig cfg = fuzzGpuConfig(rng, W, H);
+        const std::string name = policyNameFor(cfg);
+        EXPECT_NE(name, "?");
+        seen.insert(name);
+    }
+    for (const PolicyInfo &p : policyRegistry())
+        EXPECT_TRUE(seen.count(p.name))
+            << p.name << " never drawn in 200 configs";
 }
 
 TEST(ConfigFuzzer, FixedSeedBatchSimulatesCleanly)

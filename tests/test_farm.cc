@@ -15,12 +15,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 
 #include "check/result_cache.hh"
 #include "check/snapshot.hh"
 #include "farm/farm_protocol.hh"
 #include "gpu/gpu_config.hh"
+#include "gpu/policy_registry.hh"
 #include "trace/json.hh"
 
 using namespace libra;
@@ -181,6 +183,43 @@ TEST(FarmProtocol, ConfigSpecsMatchPresets)
     Result<GpuConfig> bare = parseConfigSpec("libra");
     ASSERT_TRUE(bare.isOk());
     EXPECT_EQ(bare->configHash(), GpuConfig::libra().configHash());
+
+    // Rendering Elimination presets: the ptr/libra machine with the
+    // mechanism flag set.
+    GpuConfig re_want = GpuConfig::ptr(2, 4);
+    re_want.renderingElimination = true;
+    Result<GpuConfig> re = parseConfigSpec("re:2x4");
+    ASSERT_TRUE(re.isOk());
+    EXPECT_EQ(re->configHash(), re_want.configHash());
+
+    GpuConfig re_libra_want = GpuConfig::libra(4, 2);
+    re_libra_want.renderingElimination = true;
+    Result<GpuConfig> re_libra = parseConfigSpec("re-libra:4x2");
+    ASSERT_TRUE(re_libra.isOk());
+    EXPECT_EQ(re_libra->configHash(), re_libra_want.configHash());
+}
+
+TEST(FarmProtocol, PolicyPresetsProduceDistinctCacheKeys)
+{
+    // The result cache keys on configHash; every registry preset
+    // applied to the same machine must hash apart — in particular the
+    // renderingElimination flag (new in cache code version 2) must be
+    // part of the chain, or an RE run could be answered with a cached
+    // non-RE result.
+    std::set<std::uint64_t> hashes;
+    for (const PolicyInfo &p : policyRegistry()) {
+        GpuConfig cfg = GpuConfig::ptr(2, 4);
+        ASSERT_TRUE(applyPolicy(cfg, p.name).isOk()) << p.name;
+        EXPECT_TRUE(hashes.insert(cfg.configHash()).second)
+            << p.name << " collides with another preset";
+    }
+    EXPECT_GE(hashes.size(), 7u);
+
+    // The flag alone separates otherwise-identical configs.
+    GpuConfig off = GpuConfig::ptr(2, 4);
+    GpuConfig on = off;
+    on.renderingElimination = true;
+    EXPECT_NE(off.configHash(), on.configHash());
 }
 
 TEST(FarmProtocol, ConfigSpecRejectsMalformedSpecs)
@@ -227,7 +266,7 @@ TEST(FarmProtocol, RequestConfigRejectsInvalidResolution)
 TEST(ResultCacheTest, KeyToStringIsCanonical)
 {
     EXPECT_EQ(sampleKey().toString(),
-              "cfg:0123456789abcdef:scene:fedcba9876543210:f4@2:v1");
+              "cfg:0123456789abcdef:scene:fedcba9876543210:f4@2:v2");
 }
 
 TEST(ResultCacheTest, KeyDistinguishesEveryField)
@@ -247,7 +286,7 @@ TEST(ResultCacheTest, KeyDistinguishesEveryField)
     k.firstFrame = 0;
     EXPECT_NE(k.toString(), base.toString());
     k = base;
-    k.codeVersion = 2;
+    k.codeVersion = 1;
     EXPECT_NE(k.toString(), base.toString());
 }
 

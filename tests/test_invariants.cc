@@ -82,6 +82,25 @@ TEST(InvariantChecker, TileCoverageLaw)
     EXPECT_EQ(checker.violations().size(), 2u);
 }
 
+TEST(InvariantChecker, TileCoverageLawCountsSkippedTiles)
+{
+    // Under Rendering Elimination the law generalizes to
+    // flushed + skipped == 1: a skipped tile is covered, a tile both
+    // flushed and skipped (or neither) is a violation.
+    InvariantChecker checker;
+    checker.checkTileCoverage({1, 0, 1}, {0, 1, 0});
+    EXPECT_TRUE(checker.ok());
+
+    checker.checkTileCoverage({1, 0}, {1, 0});
+    EXPECT_EQ(checker.violations().size(), 2u);
+
+    // A skip vector of mismatched size is itself a violation, never
+    // an out-of-bounds read.
+    InvariantChecker sized;
+    sized.checkTileCoverage({1, 1}, {0});
+    EXPECT_FALSE(sized.ok());
+}
+
 TEST(InvariantChecker, PhasePartitionLaw)
 {
     InvariantChecker checker;

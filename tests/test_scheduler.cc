@@ -11,6 +11,7 @@
 #include <set>
 #include <type_traits>
 
+#include "core/temperature_table.hh"
 #include "core/tile_scheduler.hh"
 
 using namespace libra;
